@@ -1,0 +1,209 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Tables 2-6, Figure 4) plus the ablation studies documented in
+   DESIGN.md, then times each pipeline stage with Bechamel (one Test.make
+   per artifact).
+
+   Usage:
+     dune exec bench/main.exe              # regenerate + time
+     dune exec bench/main.exe -- tables    # regeneration only
+     dune exec bench/main.exe -- timings   # Bechamel only *)
+
+open Bechamel
+open Toolkit
+
+let section title =
+  Format.printf "@.=== %s ===@." title
+
+(* ------------------------------------------------------------------ *)
+(* Regeneration: print the paper's tables and figures                  *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate () =
+  section "Table 2: SRI latencies and minimum stall cycles (measured)";
+  let t2 = Experiments.Table2.run () in
+  Format.printf "%a@." Experiments.Table2.pp t2;
+  Format.printf "matches the model's reference constants: %b@."
+    (Experiments.Table2.matches_reference t2 Platform.Latency.default);
+
+  section "Table 3: constraints on code/data wrt SRI slaves";
+  Format.printf "%a@." Experiments.Static_tables.pp_table3 ();
+
+  section "Table 4: debug counters used by the models";
+  Format.printf "%a@." Experiments.Static_tables.pp_table4 ();
+
+  section "Table 5: ILP-PTAC tailoring per deployment scenario";
+  Format.printf "%a@." Experiments.Static_tables.pp_table5 ();
+
+  section "Table 6: counter readings (application + H-Load, isolation)";
+  Format.printf "%a@." Experiments.Table6.pp (Experiments.Table6.run ());
+
+  section "Figure 4: model predictions w.r.t. execution in isolation";
+  Format.printf "%a@." Experiments.Figure4.pp_rows (Experiments.Figure4.run_all ());
+
+  section "Ablation A1: value of contender information (Eqs. 22-23)";
+  Format.printf "%a@." Experiments.Ablations.pp_a1 (Experiments.Ablations.a1_contender_info ());
+
+  section "Ablation A2: stall-equality encodings (Eqs. 20-23)";
+  Format.printf "%a@." Experiments.Ablations.pp_a2 (Experiments.Ablations.a2_equality_modes ());
+
+  section "Ablation A3: two simultaneous contenders";
+  Format.printf "%a@." Experiments.Ablations.pp_a3
+    (Experiments.Ablations.a3_multi_contender Platform.Scenario.scenario1);
+  Format.printf "%a@." Experiments.Ablations.pp_a3
+    (Experiments.Ablations.a3_multi_contender Platform.Scenario.scenario2);
+
+  section "Ablation A4: FSB reduction vs crossbar model (Sec. 4.3)";
+  Format.printf "%a@." Experiments.Ablations.pp_a4 (Experiments.Ablations.a4_fsb ());
+
+  section "Extension E1: portability across TriCore variants (Sec. 4.3)";
+  Format.printf "%a@." Experiments.Portability.pp (Experiments.Portability.run ());
+
+  section "Extension E2: SRI priority classes vs the same-class setting";
+  Format.printf "%a@." Experiments.Priority_study.pp (Experiments.Priority_study.run ());
+  Format.printf "%a@." Experiments.Priority_study.pp
+    (Experiments.Priority_study.run ~scenario:Platform.Scenario.scenario2 ());
+
+  section "Extension E3: realistic automotive use case (~10% remark)";
+  Format.printf "%a@." Experiments.Realistic.pp (Experiments.Realistic.run ());
+
+  section "Extension E4: system integration (contention-aware RTA)";
+  Format.printf "%a@." Experiments.Integration_study.pp
+    (Experiments.Integration_study.run ());
+
+  section "Extension E5: specification-driven DMA background traffic";
+  Format.printf "%a@." Experiments.Dma_study.pp (Experiments.Dma_study.run ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timings                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Inputs staged outside the timed regions. *)
+let lat = Platform.Latency.default
+
+let small_app variant =
+  Workload.Control_loop.build variant
+    { Workload.Control_loop.default_params with Workload.Control_loop.iterations = 4 }
+
+let staged_counters scenario =
+  let variant = Workload.Control_loop.variant_of_scenario scenario in
+  let app = Workload.Control_loop.app variant in
+  let con = Workload.Load_gen.make ~variant ~level:Workload.Load_gen.High () in
+  let a = (Mbta.Measurement.isolation ~core:0 app).Mbta.Measurement.counters in
+  let b = (Mbta.Measurement.isolation ~core:1 con).Mbta.Measurement.counters in
+  (a, b)
+
+let tests () =
+  let a1, b1 = staged_counters Platform.Scenario.scenario1 in
+  let a2, b2 = staged_counters Platform.Scenario.scenario2 in
+  let small1 = small_app Workload.Control_loop.S1 in
+  let small2 = small_app Workload.Control_loop.S2 in
+  let small_con =
+    Workload.Control_loop.build Workload.Control_loop.S1
+      (let p =
+         Workload.Load_gen.params ~variant:Workload.Control_loop.S1
+           ~level:Workload.Load_gen.High ~region_slot:1
+       in
+       { p with Workload.Control_loop.iterations = 4 })
+  in
+  let big_x = Numeric.Bigint.of_string "123456789123456789123456789" in
+  let reference_lp () =
+    let m = Ilp.Model.create () in
+    let q = Numeric.Q.of_int in
+    let x = Ilp.Model.add_var m "x" in
+    let y = Ilp.Model.add_var m "y" in
+    Ilp.Model.add_constraint m (Ilp.Linexpr.of_terms [ (q 3, x); (q 2, y) ])
+      Ilp.Model.Le (q 18);
+    Ilp.Model.add_constraint m (Ilp.Linexpr.of_terms [ (q 1, x) ]) Ilp.Model.Le (q 4);
+    Ilp.Model.set_objective m Ilp.Model.Maximize
+      (Ilp.Linexpr.of_terms [ (q 3, x); (q 5, y) ]);
+    m
+  in
+  let lp = reference_lp () in
+  [
+    (* Table 2: one calibration pair measurement *)
+    Test.make ~name:"table2/calibrate-pf0-data"
+      (Staged.stage (fun () ->
+           ignore (Mbta.Calibration.measure_pair Platform.Target.Pf0 Platform.Op.Data)));
+    (* Table 6: counter collection = one isolation simulation (scaled) *)
+    Test.make ~name:"table6/isolation-sim-sc1"
+      (Staged.stage (fun () -> ignore (Mbta.Measurement.isolation small1)));
+    Test.make ~name:"table6/isolation-sim-sc2"
+      (Staged.stage (fun () -> ignore (Mbta.Measurement.isolation small2)));
+    (* Figure 4 model computations from staged counter readings *)
+    Test.make ~name:"figure4/ftc-model"
+      (Staged.stage (fun () ->
+           ignore (Contention.Ftc.contention_bound ~latency:lat ~a:a1 ())));
+    Test.make ~name:"figure4/ilp-ptac-sc1"
+      (Staged.stage (fun () ->
+           ignore
+             (Contention.Ilp_ptac.contention_bound_exn ~latency:lat
+                ~scenario:Platform.Scenario.scenario1 ~a:a1 ~b:b1 ())));
+    Test.make ~name:"figure4/ilp-ptac-sc2"
+      (Staged.stage (fun () ->
+           ignore
+             (Contention.Ilp_ptac.contention_bound_exn ~latency:lat
+                ~scenario:Platform.Scenario.scenario2 ~a:a2 ~b:b2 ())));
+    (* Figure 4 validation: one (scaled) co-run simulation *)
+    Test.make ~name:"figure4/corun-sim"
+      (Staged.stage (fun () ->
+           ignore
+             (Mbta.Measurement.corun ~analysis:(small1, 0)
+                ~contenders:[ (small_con, 1) ] ())));
+    (* Ablation A4: closed-form FSB bound *)
+    Test.make ~name:"ablation/fsb-model"
+      (Staged.stage (fun () ->
+           ignore (Contention.Fsb.contention_bound ~latency:lat ~a:a1 ~b:b1 ())));
+    (* Substrate micro-benchmarks *)
+    Test.make ~name:"substrate/simplex-reference-lp"
+      (Staged.stage (fun () -> ignore (Ilp.Simplex.solve lp)));
+    Test.make ~name:"substrate/bigint-mul"
+      (Staged.stage (fun () -> ignore (Numeric.Bigint.mul big_x big_x)));
+  ]
+
+let run_timings () =
+  section "Bechamel timings (ns/run, OLS estimate)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let grouped = Test.make_grouped ~name:"aurix" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+         let est =
+           match Analyze.OLS.estimates ols_result with
+           | Some (e :: _) -> e
+           | _ -> nan
+         in
+         (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.printf "%-40s %16s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+       let pretty =
+         if Float.is_nan ns then "n/a"
+         else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+         else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+         else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+         else Printf.sprintf "%.0f ns" ns
+       in
+       Format.printf "%-40s %16s@." name pretty)
+    rows
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match mode with
+   | "tables" -> regenerate ()
+   | "timings" -> run_timings ()
+   | "all" ->
+     regenerate ();
+     run_timings ()
+   | other ->
+     Format.eprintf "unknown mode %S (expected: tables | timings | all)@." other;
+     exit 2);
+  Format.printf "@.done.@."

@@ -1,0 +1,385 @@
+(* Command-line front end for the AURIX TC27x contention analysis.
+
+   Subcommands mirror the paper's workflow:
+     calibrate   measure the Table 2 timing constants (microbenchmarks)
+     counters    collect Table 6 debug-counter readings in isolation
+     tables      print the static Tables 3, 4 and 5
+     figure4     reproduce Figure 4 (model predictions vs isolation)
+     estimate    one contention-aware WCET estimate, with model details
+     ablations   run the A1-A4 ablation studies
+     sweep       contender-load sweep of the ILP bound *)
+
+open Cmdliner
+
+let scenario_conv =
+  let parse s =
+    match Platform.Scenario.find s with
+    | Some sc -> Ok sc
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown scenario %S (expected scenario1, scenario2 or unrestricted)" s))
+  in
+  let print fmt (s : Platform.Scenario.t) =
+    Format.pp_print_string fmt s.Platform.Scenario.name
+  in
+  Arg.conv (parse, print)
+
+let level_conv =
+  let parse = function
+    | "high" | "h" -> Ok Workload.Load_gen.High
+    | "medium" | "m" -> Ok Workload.Load_gen.Medium
+    | "low" | "l" -> Ok Workload.Load_gen.Low
+    | s -> Error (`Msg (Printf.sprintf "unknown load level %S (high|medium|low)" s))
+  in
+  let print fmt l =
+    Format.pp_print_string fmt (Workload.Load_gen.level_to_string l)
+  in
+  Arg.conv (parse, print)
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt scenario_conv Platform.Scenario.scenario1
+    & info [ "s"; "scenario" ] ~docv:"SCENARIO"
+        ~doc:"Deployment scenario: scenario1, scenario2 or unrestricted.")
+
+let level_arg =
+  Arg.(
+    value
+    & opt level_conv Workload.Load_gen.High
+    & info [ "l"; "load" ] ~docv:"LEVEL" ~doc:"Contender load level: high, medium or low.")
+
+(* --- calibrate -------------------------------------------------------------- *)
+
+let calibrate_cmd =
+  let run () =
+    let t2 = Experiments.Table2.run () in
+    Format.printf "%a@." Experiments.Table2.pp t2;
+    Format.printf "matches reference constants: %b@."
+      (Experiments.Table2.matches_reference t2 Platform.Latency.default)
+  in
+  Cmd.v
+    (Cmd.info "calibrate" ~doc:"Measure the Table 2 latency/stall constants.")
+    Term.(const run $ const ())
+
+(* --- counters ---------------------------------------------------------------- *)
+
+let counters_cmd =
+  let run () = Format.printf "%a@." Experiments.Table6.pp (Experiments.Table6.run ()) in
+  Cmd.v
+    (Cmd.info "counters" ~doc:"Collect the Table 6 counter readings in isolation.")
+    Term.(const run $ const ())
+
+(* --- tables ------------------------------------------------------------------- *)
+
+let tables_cmd =
+  let run () =
+    Format.printf "--- Table 3 ---@.%a@." Experiments.Static_tables.pp_table3 ();
+    Format.printf "--- Table 4 ---@.%a@." Experiments.Static_tables.pp_table4 ();
+    Format.printf "--- Table 5 ---@.%a@." Experiments.Static_tables.pp_table5 ()
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Print the static Tables 3, 4 and 5.")
+    Term.(const run $ const ())
+
+(* --- figure4 ------------------------------------------------------------------ *)
+
+let figure4_cmd =
+  let run all scenario =
+    let rows =
+      if all then Experiments.Figure4.run_all ()
+      else Experiments.Figure4.run_scenario scenario
+    in
+    Format.printf "%a@." Experiments.Figure4.pp_rows rows
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "a"; "all" ] ~doc:"Run both scenarios (default: one).")
+  in
+  Cmd.v
+    (Cmd.info "figure4" ~doc:"Reproduce Figure 4: model predictions vs isolation.")
+    Term.(const run $ all_arg $ scenario_arg)
+
+(* --- estimate ------------------------------------------------------------------ *)
+
+let estimate_cmd =
+  let run scenario level no_contender_info dump_lp =
+    let variant = Workload.Control_loop.variant_of_scenario scenario in
+    let app = Workload.Control_loop.app variant in
+    let con = Workload.Load_gen.make ~variant ~level ()
+    in
+    let iso_a = Mbta.Measurement.isolation ~core:0 app in
+    let iso_b = Mbta.Measurement.isolation ~core:1 con in
+    let latency = Platform.Latency.default in
+    let a = iso_a.Mbta.Measurement.counters and b = iso_b.Mbta.Measurement.counters in
+    Format.printf "application counters:@.%a@.@." Platform.Counters.pp a;
+    Format.printf "contender (%s) counters:@.%a@.@."
+      (Workload.Load_gen.level_to_string level)
+      Platform.Counters.pp b;
+    let is_s2 = scenario.Platform.Scenario.name = "scenario2" in
+    let ftc = Contention.Ftc.contention_bound ~dirty:is_s2 ~latency ~a () in
+    Format.printf "%a@." Contention.Ftc.pp ftc;
+    let options =
+      {
+        Contention.Ilp_ptac.default_options with
+        Contention.Ilp_ptac.use_contender_info = not no_contender_info;
+      }
+    in
+    (match dump_lp with
+     | None -> ()
+     | Some path ->
+       let model, _ =
+         Contention.Ilp_ptac.build_model ~options ~latency ~scenario ~a ~b ()
+       in
+       let oc = open_out path in
+       output_string oc (Ilp.Lp_format.to_string model);
+       close_out oc;
+       Format.printf "ILP written to %s (CPLEX LP format)@.@." path);
+    (match Contention.Ilp_ptac.contention_bound ~options ~latency ~scenario ~a ~b () with
+     | Some r ->
+       Format.printf "%a@." Contention.Ilp_ptac.pp_result r;
+       let iso = iso_a.Mbta.Measurement.cycles in
+       Format.printf "@.WCET estimates over isolation = %d cycles:@." iso;
+       Format.printf "  fTC      %a@." Mbta.Wcet.pp
+         (Mbta.Wcet.make ~isolation_cycles:iso ~contention_cycles:ftc.Contention.Ftc.delta);
+       Format.printf "  ILP-PTAC %a@." Mbta.Wcet.pp
+         (Mbta.Wcet.make ~isolation_cycles:iso ~contention_cycles:r.Contention.Ilp_ptac.delta)
+     | None -> Format.printf "ILP-PTAC: infeasible@.")
+  in
+  let no_info_arg =
+    Arg.(
+      value & flag
+      & info [ "no-contender-info" ]
+          ~doc:"Drop Eqs. 22-23: fully time-composable ILP bound.")
+  in
+  let dump_lp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-lp" ] ~docv:"FILE"
+          ~doc:"Write the tailored ILP to $(docv) in CPLEX LP format.")
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Compute one contention-aware WCET estimate with model details.")
+    Term.(const run $ scenario_arg $ level_arg $ no_info_arg $ dump_lp_arg)
+
+(* --- ablations ------------------------------------------------------------------- *)
+
+let ablations_cmd =
+  let run () =
+    Format.printf "--- A1: contender information ---@.%a@."
+      Experiments.Ablations.pp_a1 (Experiments.Ablations.a1_contender_info ());
+    Format.printf "--- A2: stall-equality encodings ---@.%a@."
+      Experiments.Ablations.pp_a2 (Experiments.Ablations.a2_equality_modes ());
+    Format.printf "--- A3: two contenders ---@.%a@.%a@."
+      Experiments.Ablations.pp_a3
+      (Experiments.Ablations.a3_multi_contender Platform.Scenario.scenario1)
+      Experiments.Ablations.pp_a3
+      (Experiments.Ablations.a3_multi_contender Platform.Scenario.scenario2);
+    Format.printf "--- A4: FSB reduction ---@.%a@."
+      Experiments.Ablations.pp_a4 (Experiments.Ablations.a4_fsb ())
+  in
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Run the A1-A4 ablation studies.")
+    Term.(const run $ const ())
+
+(* --- portability ----------------------------------------------------------------- *)
+
+let portability_cmd =
+  let run () = Format.printf "%a@." Experiments.Portability.pp (Experiments.Portability.run ()) in
+  Cmd.v
+    (Cmd.info "portability"
+       ~doc:"Re-target the analysis at other TriCore-family timings (Sec. 4.3).")
+    Term.(const run $ const ())
+
+(* --- priority ---------------------------------------------------------------------- *)
+
+let priority_cmd =
+  let run scenario =
+    Format.printf "%a@." Experiments.Priority_study.pp
+      (Experiments.Priority_study.run ~scenario ())
+  in
+  Cmd.v
+    (Cmd.info "priority"
+       ~doc:"Compare same-class round-robin against a prioritised application.")
+    Term.(const run $ scenario_arg)
+
+(* --- realistic -------------------------------------------------------------------- *)
+
+let realistic_cmd =
+  let run () =
+    Format.printf "%a@." Experiments.Realistic.pp (Experiments.Realistic.run ())
+  in
+  Cmd.v
+    (Cmd.info "realistic"
+       ~doc:
+         "Bound a production-style engine-control task (the paper's ~10% \
+          use-case remark).")
+    Term.(const run $ const ())
+
+(* --- signatures ----------------------------------------------------------------------- *)
+
+let signatures_cmd =
+  let run scenario steps =
+    let variant = Workload.Control_loop.variant_of_scenario scenario in
+    let latency = Platform.Latency.default in
+    let app = Workload.Control_loop.app variant in
+    let a = (Mbta.Measurement.isolation ~core:0 app).Mbta.Measurement.counters in
+    (* the template ladder tops out at 1.5x the H-Load signature *)
+    let h =
+      (Mbta.Measurement.isolation ~core:1
+         (Workload.Load_gen.make ~variant ~level:Workload.Load_gen.High ()))
+        .Mbta.Measurement.counters
+    in
+    let top = Platform.Counters.scale_div h ~num:3 ~den:2 in
+    let table =
+      Contention.Signatures.precompute ~latency ~scenario ~a
+        ~templates:(Contention.Signatures.grid ~steps ~max:top)
+        ()
+    in
+    Format.printf "%a@." Contention.Signatures.pp table;
+    Format.printf "@.classification of the measured co-runners:@.";
+    List.iter
+      (fun level ->
+         let b =
+           (Mbta.Measurement.isolation ~core:1
+              (Workload.Load_gen.make ~variant ~level ()))
+             .Mbta.Measurement.counters
+         in
+         match Contention.Signatures.classify table b with
+         | Some e ->
+           Format.printf "  %-8s -> %s (delta budget %d)@."
+             (Workload.Load_gen.level_to_string level)
+             e.Contention.Signatures.template.Contention.Signatures.label
+             e.Contention.Signatures.delta
+         | None ->
+           Format.printf "  %-8s -> exceeds every template@."
+             (Workload.Load_gen.level_to_string level))
+      Workload.Load_gen.all_levels
+  in
+  let steps_arg =
+    Arg.(value & opt int 6 & info [ "steps" ] ~docv:"N" ~doc:"Template ladder size.")
+  in
+  Cmd.v
+    (Cmd.info "signatures"
+       ~doc:
+         "Precompute contention budgets against a ladder of contender \
+          templates and classify the measured co-runners.")
+    Term.(const run $ scenario_arg $ steps_arg)
+
+(* --- dma ---------------------------------------------------------------------------- *)
+
+let dma_cmd =
+  let run () = Format.printf "%a@." Experiments.Dma_study.pp (Experiments.Dma_study.run ()) in
+  Cmd.v
+    (Cmd.info "dma"
+       ~doc:"Bound interference from a specification-driven DMA channel.")
+    Term.(const run $ const ())
+
+(* --- report ------------------------------------------------------------------------- *)
+
+let report_cmd =
+  let run scenario level output =
+    let variant = Workload.Control_loop.variant_of_scenario scenario in
+    let app = Workload.Control_loop.app variant in
+    let con = Workload.Load_gen.make ~variant ~level () in
+    let iso = Mbta.Measurement.isolation ~core:0 app in
+    let b = (Mbta.Measurement.isolation ~core:1 con).Mbta.Measurement.counters in
+    let observed =
+      (Mbta.Measurement.corun ~analysis:(app, 0) ~contenders:[ (con, 1) ] ())
+        .Mbta.Measurement.cycles
+    in
+    let text =
+      Contention.Report.markdown ~latency:Platform.Latency.default ~scenario
+        ~a:iso.Mbta.Measurement.counters ~b
+        ~isolation_cycles:iso.Mbta.Measurement.cycles ~observed_cycles:observed ()
+    in
+    match output with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Format.printf "report written to %s@." path
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Generate a markdown contention-analysis report for one estimate.")
+    Term.(const run $ scenario_arg $ level_arg $ output_arg)
+
+(* --- integrate ---------------------------------------------------------------------- *)
+
+let integrate_cmd =
+  let run () =
+    Format.printf "%a@." Experiments.Integration_study.pp
+      (Experiments.Integration_study.run ())
+  in
+  Cmd.v
+    (Cmd.info "integrate"
+       ~doc:
+         "Run the system-integration study: contention-aware response-time \
+          analysis over a two-core task set.")
+    Term.(const run $ const ())
+
+(* --- sweep --------------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let run scenario =
+    let variant = Workload.Control_loop.variant_of_scenario scenario in
+    let app = Workload.Control_loop.app variant in
+    let iso = Mbta.Measurement.isolation ~core:0 app in
+    let a = iso.Mbta.Measurement.counters in
+    let latency = Platform.Latency.default in
+    Format.printf "ILP-PTAC bound vs contender intensity (%s)@."
+      scenario.Platform.Scenario.name;
+    Format.printf "%-24s %12s %8s@." "contender" "delta" "ratio";
+    List.iter
+      (fun level ->
+         let con = Workload.Load_gen.make ~variant ~level () in
+         let b = (Mbta.Measurement.isolation ~core:1 con).Mbta.Measurement.counters in
+         match Contention.Ilp_ptac.contention_bound ~latency ~scenario ~a ~b () with
+         | Some r ->
+           let w =
+             Mbta.Wcet.make ~isolation_cycles:iso.Mbta.Measurement.cycles
+               ~contention_cycles:r.Contention.Ilp_ptac.delta
+           in
+           Format.printf "%-24s %12d %8.2f@."
+             (Workload.Load_gen.level_to_string level)
+             r.Contention.Ilp_ptac.delta w.Mbta.Wcet.ratio
+         | None ->
+           Format.printf "%-24s %12s@." (Workload.Load_gen.level_to_string level) "infeasible")
+      Workload.Load_gen.all_levels
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep the ILP bound over contender load levels.")
+    Term.(const run $ scenario_arg)
+
+let () =
+  let doc = "Multicore contention models for the AURIX TC27x (DAC 2018 reproduction)" in
+  let info = Cmd.info "aurix_contention" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            calibrate_cmd;
+            counters_cmd;
+            tables_cmd;
+            figure4_cmd;
+            estimate_cmd;
+            ablations_cmd;
+            portability_cmd;
+            priority_cmd;
+            realistic_cmd;
+            integrate_cmd;
+            dma_cmd;
+            signatures_cmd;
+            report_cmd;
+            sweep_cmd;
+          ]))

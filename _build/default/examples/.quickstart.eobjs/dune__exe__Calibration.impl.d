@@ -1,0 +1,1 @@
+examples/calibration.ml: Contention Experiments Format Latency Mbta Platform Workload

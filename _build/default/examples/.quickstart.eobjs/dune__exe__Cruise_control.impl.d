@@ -1,0 +1,1 @@
+examples/cruise_control.ml: Counters Experiments Format List Mbta Platform Scenario Workload

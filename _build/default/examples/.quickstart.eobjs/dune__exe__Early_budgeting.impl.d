@@ -1,0 +1,1 @@
+examples/early_budgeting.ml: Contention Experiments Format Latency List Mbta Platform Scenario Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Contention Counters Format Latency List Mbta Memory_map Platform Program Scenario Tcsim

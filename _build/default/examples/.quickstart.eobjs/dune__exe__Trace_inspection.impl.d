@@ -1,0 +1,1 @@
+examples/trace_inspection.ml: Format Latency List Op Platform String Target Tcsim Workload

@@ -1,0 +1,48 @@
+(* Platform calibration: measuring the Table 2 constants with
+   microbenchmarks, then feeding the measured table into a model.
+
+     dune exec examples/calibration.exe
+
+   Porting the contention model to a new TriCore derivative (Section 4.3)
+   starts exactly here: run known-traffic microbenchmarks against each SRI
+   slave, extract maximum latencies and best-case stalls per request, and
+   rebuild the model's latency table from measurements. *)
+
+open Platform
+
+let () =
+  Format.printf "calibrating every (target, operation) pair...@.@.";
+  let results = Mbta.Calibration.run () in
+  Format.printf "%a@.@." Mbta.Calibration.pp_table results;
+
+  (* Rebuild the model's timing table purely from the measurements (the
+     dirty LMU latency comes from the write-back microbenchmark of the
+     vendor docs; we pass the reference value). *)
+  let measured_table =
+    Mbta.Calibration.to_latency_table results
+      ~lmu_dirty_lmax:(Latency.lmu_dirty_lmax Latency.default)
+  in
+  Format.printf "reconstructed latency table:@.%a@.@." Latency.pp measured_table;
+
+  (* Use the measured table end to end: the derived access bounds and fTC
+     estimate match the ones computed from the reference constants. *)
+  let app = Workload.Control_loop.app Workload.Control_loop.S1 in
+  let obs = Mbta.Measurement.isolation app in
+  let bounds_ref =
+    Mbta.Access_bounds.of_counters Latency.default obs.Mbta.Measurement.counters
+  in
+  let bounds_measured =
+    Mbta.Access_bounds.of_counters measured_table obs.Mbta.Measurement.counters
+  in
+  Format.printf "access bounds (reference constants): %a@." Mbta.Access_bounds.pp
+    bounds_ref;
+  Format.printf "access bounds (measured constants):  %a@." Mbta.Access_bounds.pp
+    bounds_measured;
+  let ftc latency =
+    (Contention.Ftc.contention_bound ~latency ~a:obs.Mbta.Measurement.counters ())
+      .Contention.Ftc.delta
+  in
+  Format.printf "fTC delta (reference): %d@." (ftc Latency.default);
+  Format.printf "fTC delta (measured):  %d@." (ftc measured_table);
+  Format.printf "@.calibration agrees with the reference constants: %b@."
+    (Experiments.Table2.matches_reference results Latency.default)

@@ -1,0 +1,71 @@
+(* Early-phase budgeting: the OEM / software-provider workflow the paper
+   motivates (Section 1).
+
+     dune exec examples/early_budgeting.exe
+
+   A software provider must guarantee its application fits a time budget
+   before integration, without knowing the final co-runners. The paper's
+   models support exactly this exploration:
+
+   - the fTC estimate is the contract that holds against ANY contender;
+   - ILP-PTAC estimates, fed with candidate contender profiles (e.g. the
+     loads other suppliers declared), show how much budget each candidate
+     integration scenario really needs — before any joint execution. *)
+
+open Platform
+
+let () =
+  let budget_cycles = 2_000_000 in
+  let scenario = Scenario.scenario1 in
+  let variant = Workload.Control_loop.variant_of_scenario scenario in
+  let app = Workload.Control_loop.app variant in
+  let iso = Mbta.Measurement.isolation ~core:0 app in
+  let a = iso.Mbta.Measurement.counters in
+  let latency = Latency.default in
+  let iso_cycles = iso.Mbta.Measurement.cycles in
+
+  Format.printf "application (deployment %s): %d cycles in isolation@."
+    scenario.Scenario.name iso_cycles;
+  Format.printf "integration budget: %d cycles@.@." budget_cycles;
+
+  (* The any-contender contract. *)
+  let ftc = Contention.Ftc.contention_bound ~latency ~a () in
+  let ftc_wcet =
+    Mbta.Wcet.make ~isolation_cycles:iso_cycles
+      ~contention_cycles:ftc.Contention.Ftc.delta
+  in
+  Format.printf "fTC (any contender):        %a -> %s@." Mbta.Wcet.pp ftc_wcet
+    (if ftc_wcet.Mbta.Wcet.wcet <= budget_cycles then "FITS" else "OVER BUDGET");
+
+  (* Candidate integrations: profiles declared by other suppliers. *)
+  Format.printf "@.candidate co-runner integrations (ILP-PTAC):@.";
+  List.iter
+    (fun level ->
+       let con = Workload.Load_gen.make ~variant ~level () in
+       let b = (Mbta.Measurement.isolation ~core:1 con).Mbta.Measurement.counters in
+       let r =
+         Contention.Ilp_ptac.contention_bound_exn ~latency ~scenario ~a ~b ()
+       in
+       let w =
+         Mbta.Wcet.make ~isolation_cycles:iso_cycles
+           ~contention_cycles:r.Contention.Ilp_ptac.delta
+       in
+       Format.printf "  with %-8s %a -> %s@."
+         (Workload.Load_gen.level_to_string level)
+         Mbta.Wcet.pp w
+         (if w.Mbta.Wcet.wcet <= budget_cycles then "FITS" else "OVER BUDGET"))
+    Workload.Load_gen.all_levels;
+
+  (* Two-supplier integration on the third core. *)
+  Format.printf "@.three-party integration (M-Load + L-Load on cores 1 and 2):@.";
+  let r = Experiments.Ablations.a3_multi_contender scenario in
+  (match r.Experiments.Ablations.bound with
+   | Some delta ->
+     let w = Mbta.Wcet.make ~isolation_cycles:iso_cycles ~contention_cycles:delta in
+     Format.printf "  %a -> %s@." Mbta.Wcet.pp w
+       (if w.Mbta.Wcet.wcet <= budget_cycles then "FITS" else "OVER BUDGET")
+   | None -> Format.printf "  model infeasible@.");
+
+  Format.printf
+    "@.The provider can sign off budgets per integration scenario at design@.\
+     time; only the fTC contract is needed when co-runners are unknown.@."

@@ -1,0 +1,34 @@
+(* System-level integration: from isolation measurements to a
+   schedulability verdict.
+
+     dune exec examples/system_integration.exe
+
+   The paper's industrial setting (Section 1): an OEM integrates software
+   from several providers onto one TC27x; timing must be signed off before
+   joint execution is possible. This example builds a three-task two-core
+   system, measures every task in isolation, inflates WCETs with each
+   contention model and runs per-core response-time analysis — showing
+   that the tighter ILP-PTAC bound is what makes the integration provable. *)
+
+let () =
+  let r = Experiments.Integration_study.run () in
+  Format.printf "%a@.@." Experiments.Integration_study.pp r;
+
+  (* response-time details under each inflation *)
+  List.iter
+    (fun (label, rtas) ->
+       Format.printf "--- %s ---@." label;
+       List.iter
+         (fun (core, rta) ->
+            Format.printf "core %d:@.%a@." core Schedule.Rta.pp rta)
+         rtas)
+    [
+      ("ignoring contention", r.Schedule.Integration.isolation_rta);
+      ("fTC inflation", r.Schedule.Integration.ftc_rta);
+      ("ILP-PTAC inflation", r.Schedule.Integration.ilp_rta);
+    ];
+
+  Format.printf
+    "@.The fTC bound must assume the worst co-runner on every access and@.\
+     rejects the system; the ILP-PTAC bound, consuming only the other@.\
+     cores' isolation counter envelopes, proves it schedulable.@."

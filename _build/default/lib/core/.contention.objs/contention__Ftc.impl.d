@@ -1,0 +1,1 @@
+lib/core/ftc.ml: Format Latency Mbta Op Platform

@@ -1,0 +1,1 @@
+lib/core/ftc.mli: Counters Format Latency Platform

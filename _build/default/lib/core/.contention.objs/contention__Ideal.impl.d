@@ -1,0 +1,1 @@
+lib/core/ideal.ml: Access_profile Latency List Op Platform

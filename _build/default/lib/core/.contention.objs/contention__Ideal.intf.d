@@ -1,0 +1,1 @@
+lib/core/ideal.mli: Access_profile Latency Op Platform Target

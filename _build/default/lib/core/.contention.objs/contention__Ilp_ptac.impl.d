@@ -1,0 +1,1 @@
+lib/core/ilp_ptac.ml: Access_profile Array Counters Format Hashtbl Ilp Latency List Numeric Op Platform Printf Q Scenario Target

@@ -1,0 +1,1 @@
+lib/core/ilp_ptac.mli: Access_profile Counters Format Ilp Latency Op Platform Scenario Target

@@ -1,0 +1,1 @@
+lib/core/multi.ml: Format Ilp_ptac List

@@ -1,0 +1,1 @@
+lib/core/multi.mli: Counters Format Ilp_ptac Latency Platform Scenario

@@ -1,0 +1,1 @@
+lib/core/priority.ml: Format Latency Mbta Op Platform

@@ -1,0 +1,1 @@
+lib/core/report.ml: Access_profile Buffer Counters Format Ftc Hashtbl Ilp Ilp_ptac Latency List Mbta Numeric Op Platform Printf Q Scenario Target

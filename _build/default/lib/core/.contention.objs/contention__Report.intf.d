@@ -1,0 +1,1 @@
+lib/core/report.mli: Counters Ilp_ptac Latency Platform Scenario

@@ -1,0 +1,1 @@
+lib/core/signatures.ml: Counters Format Ilp_ptac List Platform Printf Scenario

@@ -1,0 +1,1 @@
+lib/core/signatures.mli: Counters Format Ilp_ptac Latency Platform Scenario

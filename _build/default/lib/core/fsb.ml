@@ -1,0 +1,18 @@
+open Platform
+
+type result = { delta : int; paired_data : int; paired_code : int }
+
+let contention_bound ?(dirty = false) ~latency ~a ~b () =
+  let ba = Mbta.Access_bounds.of_counters latency a in
+  let bb = Mbta.Access_bounds.of_counters latency b in
+  let n_a = ba.Mbta.Access_bounds.n_co + ba.Mbta.Access_bounds.n_da in
+  let l_da = Latency.worst_latency ~dirty latency Op.Data in
+  let l_co = Latency.worst_latency ~dirty latency Op.Code in
+  (* greedy: expensive (data) contender requests first *)
+  let paired_data = min bb.Mbta.Access_bounds.n_da n_a in
+  let paired_code = min bb.Mbta.Access_bounds.n_co (n_a - paired_data) in
+  { delta = (paired_data * l_da) + (paired_code * l_co); paired_data; paired_code }
+
+let pp fmt r =
+  Format.fprintf fmt "FSB: delta=%d (%d data + %d code pairings)" r.delta
+    r.paired_data r.paired_code

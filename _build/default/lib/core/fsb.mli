@@ -1,0 +1,28 @@
+(** Front-side-bus reduction (paper Section 4.3).
+
+    On an FSB-style platform every shared-memory request serialises on one
+    bus, so any contender request can delay any request of the task under
+    analysis. The paper observes the FSB model is "a reduced case for the
+    more generic cross-bar model": collapse all targets into a single
+    interface and the worst-case pairing becomes a greedy matching —
+    delay as many of τa's requests as possible with the contender's most
+    expensive requests first. *)
+
+open Platform
+
+type result = {
+  delta : int;
+  paired_data : int;  (** τb data requests charged at [l^{da}_{max}] *)
+  paired_code : int;  (** τb code requests charged at [l^{co}_{max}] *)
+}
+
+val contention_bound :
+  ?dirty:bool ->
+  latency:Latency.t ->
+  a:Counters.t ->
+  b:Counters.t ->
+  unit ->
+  result
+(** Both tasks' request totals come from their stall readings (Eq. 4). *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,11 @@
+open Platform
+
+let per_pair ?(dirty = false) ~latency ~a ~b () =
+  List.map
+    (fun (t, o) ->
+       let n = min (Access_profile.get a t o) (Access_profile.get b t o) in
+       ((t, o), n * Latency.lmax_op ~dirty latency t o))
+    Op.valid_pairs
+
+let contention_bound ?dirty ~latency ~a ~b () =
+  List.fold_left (fun acc (_, d) -> acc + d) 0 (per_pair ?dirty ~latency ~a ~b ())

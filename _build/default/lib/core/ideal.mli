@@ -1,0 +1,31 @@
+(** The ideal contention model (paper Eq. 1).
+
+    Assumes full knowledge of both tasks' per-target access counts: each
+    request of the contender delays one same-type request of the task
+    under analysis to the same target for the target's worst latency:
+
+    [Δcont = Σ_t Σ_o min(n^{t,o}_a, n^{t,o}_b) · l^{t,o}]
+
+    Not obtainable from the TC27x DSU (no per-target counters); it serves
+    as the information-rich reference the realistic models approximate. *)
+
+open Platform
+
+val contention_bound :
+  ?dirty:bool ->
+  latency:Latency.t ->
+  a:Access_profile.t ->
+  b:Access_profile.t ->
+  unit ->
+  int
+(** [dirty] (default [false]) uses the LMU dirty-miss latency for LMU data
+    delays. *)
+
+val per_pair :
+  ?dirty:bool ->
+  latency:Latency.t ->
+  a:Access_profile.t ->
+  b:Access_profile.t ->
+  unit ->
+  ((Target.t * Op.t) * int) list
+(** The per-(target, op) contribution breakdown of the bound. *)

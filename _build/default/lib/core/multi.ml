@@ -1,0 +1,25 @@
+type result = { delta : int; per_contender : Ilp_ptac.result list }
+
+let contention_bound ?options ~latency ~scenario ~a ~contenders () =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | b :: rest ->
+      (match Ilp_ptac.contention_bound ?options ~latency ~scenario ~a ~b () with
+       | Some r -> go (r :: acc) rest
+       | None -> None)
+  in
+  match go [] contenders with
+  | None -> None
+  | Some per_contender ->
+    Some
+      {
+        delta = List.fold_left (fun acc r -> acc + r.Ilp_ptac.delta) 0 per_contender;
+        per_contender;
+      }
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>multi-contender: delta=%d@," r.delta;
+  List.iteri
+    (fun i c -> Format.fprintf fmt "  contender %d: %d@," i c.Ilp_ptac.delta)
+    r.per_contender;
+  Format.fprintf fmt "@]"

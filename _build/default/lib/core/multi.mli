@@ -1,0 +1,26 @@
+(** Multi-contender extension (paper Section 2: "this model can be easily
+    extended to consider more contenders at the same time").
+
+    With per-target round-robin arbitration, a request of the task under
+    analysis can wait for at most one in-flight request of {e each} other
+    master, so worst-case interference is additive over contenders: one
+    ILP-PTAC instance per contender, summed. *)
+
+open Platform
+
+type result = {
+  delta : int;  (** total Δcont over all contenders *)
+  per_contender : Ilp_ptac.result list;  (** in input order *)
+}
+
+val contention_bound :
+  ?options:Ilp_ptac.options ->
+  latency:Latency.t ->
+  scenario:Scenario.t ->
+  a:Counters.t ->
+  contenders:Counters.t list ->
+  unit ->
+  result option
+(** [None] if any per-contender instance is infeasible. *)
+
+val pp : Format.formatter -> result -> unit

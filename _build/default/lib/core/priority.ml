@@ -1,0 +1,25 @@
+open Platform
+
+type result = {
+  delta : int;
+  n_co : int;
+  n_da : int;
+  blocking_co : int;
+  blocking_da : int;
+}
+
+let contention_bound ?(dirty = false) ~latency ~a () =
+  let bounds = Mbta.Access_bounds.of_counters latency a in
+  let n_co = bounds.Mbta.Access_bounds.n_co in
+  let n_da = bounds.Mbta.Access_bounds.n_da in
+  (* Non-preemptive blocking: at most one in-service lower-priority
+     transaction per request, bounded by the worst occupancy of any target
+     the request can need — the same per-request delay fTC assumes. *)
+  let blocking_co = Latency.worst_latency ~dirty latency Op.Code in
+  let blocking_da = Latency.worst_latency ~dirty latency Op.Data in
+  { delta = (n_co * blocking_co) + (n_da * blocking_da); n_co; n_da; blocking_co; blocking_da }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "priority blocking bound: delta=%d (n_co=%d x %d + n_da=%d x %d), any number of contenders"
+    r.delta r.n_co r.blocking_co r.n_da r.blocking_da

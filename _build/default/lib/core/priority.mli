@@ -1,0 +1,34 @@
+(** Priority-protected contention bound — an extension beyond the paper.
+
+    The paper analyses the most stressing SRI configuration: all masters in
+    the same priority class, arbitrated round-robin (Section 2). The SRI
+    also supports priority classes; when the task under analysis is
+    {e alone in the most urgent class}, arbitration is non-preemptive
+    priority: each of its requests can be blocked by at most the single
+    lower-priority transaction already occupying the target when the
+    request arrives — independent of how many contenders run.
+
+    The resulting blocking bound reuses the fTC shape (Eq. 8) but its
+    validity differs in both directions:
+    - it needs no contender measurements {e and} does not grow with the
+      number of contenders (the same-class model must add one fTC/ILP term
+      per contender, cf. {!Multi});
+    - it only holds under the asymmetric priority deployment, which
+      platform integrators must enforce. *)
+
+open Platform
+
+type result = {
+  delta : int;
+  n_co : int;
+  n_da : int;
+  blocking_co : int;  (** worst lower-priority occupancy of a code target *)
+  blocking_da : int;
+}
+
+val contention_bound :
+  ?dirty:bool -> latency:Latency.t -> a:Counters.t -> unit -> result
+(** Valid for any number of lower-priority contenders. [dirty] considers
+    lower-priority LMU fills with folded dirty write-backs. *)
+
+val pp : Format.formatter -> result -> unit

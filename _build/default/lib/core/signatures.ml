@@ -1,0 +1,49 @@
+open Platform
+
+type template = { label : string; counters : Counters.t }
+type entry = { template : template; delta : int }
+type t = { scenario : Scenario.t; entries : entry list }
+
+let grid ~steps ~max:m =
+  if steps < 1 then invalid_arg "Signatures.grid: steps < 1";
+  List.init steps (fun i ->
+      let k = i + 1 in
+      {
+        label = Printf.sprintf "load-%d/%d" k steps;
+        counters = Counters.scale_div m ~num:k ~den:steps;
+      })
+
+let precompute ?options ~latency ~scenario ~a ~templates () =
+  let entries =
+    List.map
+      (fun template ->
+         let r =
+           Ilp_ptac.contention_bound_exn ?options ~latency ~scenario ~a
+             ~b:template.counters ()
+         in
+         { template; delta = r.Ilp_ptac.delta })
+      templates
+  in
+  { scenario; entries }
+
+let dominates (t : Counters.t) (s : Counters.t) =
+  t.Counters.pmem_stall >= s.Counters.pmem_stall
+  && t.Counters.dmem_stall >= s.Counters.dmem_stall
+  && t.Counters.pcache_miss >= s.Counters.pcache_miss
+  && t.Counters.dcache_miss_clean >= s.Counters.dcache_miss_clean
+  && t.Counters.dcache_miss_dirty >= s.Counters.dcache_miss_dirty
+
+let classify t signature_ =
+  List.find_opt (fun e -> dominates e.template.counters signature_) t.entries
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>signature table (%s):@," t.scenario.Scenario.name;
+  Format.fprintf fmt "%-12s %10s %10s %8s %12s@," "template" "PS" "DS" "PM" "delta";
+  List.iter
+    (fun e ->
+       Format.fprintf fmt "%-12s %10d %10d %8d %12d@," e.template.label
+         e.template.counters.Counters.pmem_stall
+         e.template.counters.Counters.dmem_stall
+         e.template.counters.Counters.pcache_miss e.delta)
+    t.entries;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,53 @@
+(** Resource-usage templates and signatures (the concept of the paper's
+    reference [10], which its microbenchmarks and partial
+    time-composability build on).
+
+    Pre-integration, the actual co-runners are unknown, but bounds can be
+    precomputed against a ladder of {e templates} — synthetic contender
+    counter envelopes of increasing load. At integration time each real
+    contender is classified by the smallest template that dominates its
+    measured {e signature} (its counter readings), and the precomputed
+    bound applies.
+
+    Soundness rests on monotonicity: enlarging the contender's counters
+    only enlarges the ILP's feasible interference, so a dominating
+    template's bound covers every contender it classifies. *)
+
+open Platform
+
+type template = { label : string; counters : Counters.t }
+
+type entry = { template : template; delta : int }
+
+type t = {
+  scenario : Scenario.t;
+  entries : entry list;  (** increasing load order *)
+}
+
+val grid : steps:int -> max:Counters.t -> template list
+(** [steps] templates scaling [max] linearly from [max/steps] up to [max]
+    (each counter scaled independently, rounding up so every template
+    dominates its predecessor).
+    @raise Invalid_argument if [steps < 1]. *)
+
+val precompute :
+  ?options:Ilp_ptac.options ->
+  latency:Latency.t ->
+  scenario:Scenario.t ->
+  a:Counters.t ->
+  templates:template list ->
+  unit ->
+  t
+(** One ILP-PTAC bound per template.
+    @raise Failure if a template's model is infeasible. *)
+
+val dominates : Counters.t -> Counters.t -> bool
+(** Pointwise (stall and miss counters; [ccnt] is ignored — it is an
+    outcome, not a load signature). *)
+
+val classify : t -> Counters.t -> entry option
+(** The first (smallest) entry whose template dominates the signature;
+    [None] when the contender exceeds every template (no precomputed
+    budget applies — the integrator must renegotiate). *)
+
+val pp : Format.formatter -> t -> unit

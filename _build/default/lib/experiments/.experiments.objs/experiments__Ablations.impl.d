@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Contention Format List Mbta Option Platform Scenario String Tcsim Workload

@@ -1,0 +1,1 @@
+lib/experiments/dma_study.ml: Access_profile Array Contention Format Mbta Platform Scenario Tcsim Workload

@@ -1,0 +1,1 @@
+lib/experiments/dma_study.mli: Format Tcsim

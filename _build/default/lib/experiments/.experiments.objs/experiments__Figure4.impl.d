@@ -1,0 +1,1 @@
+lib/experiments/figure4.ml: Contention Counters Format List Mbta Platform Scenario Tcsim Workload

@@ -1,0 +1,1 @@
+lib/experiments/integration_study.ml: Platform Schedule Workload

@@ -1,0 +1,1 @@
+lib/experiments/portability.ml: Figure4 Format List Mbta Platform Table2 Tcsim Workload

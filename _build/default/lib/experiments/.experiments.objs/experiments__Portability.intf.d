@@ -1,0 +1,1 @@
+lib/experiments/portability.mli: Figure4 Format Platform

@@ -1,0 +1,1 @@
+lib/experiments/priority_study.ml: Contention Format Latency Mbta Option Platform Scenario Tcsim Workload

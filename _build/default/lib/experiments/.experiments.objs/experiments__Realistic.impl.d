@@ -1,0 +1,1 @@
+lib/experiments/realistic.ml: Contention Figure4 Format Mbta Platform Scenario Tcsim Workload

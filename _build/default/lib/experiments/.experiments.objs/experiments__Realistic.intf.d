@@ -1,0 +1,1 @@
+lib/experiments/realistic.mli: Format Mbta Tcsim

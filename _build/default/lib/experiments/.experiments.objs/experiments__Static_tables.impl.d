@@ -1,0 +1,1 @@
+lib/experiments/static_tables.ml: Deployment Format List Op Platform Scenario Target

@@ -1,0 +1,1 @@
+lib/experiments/table6.ml: Format List Mbta Platform Workload

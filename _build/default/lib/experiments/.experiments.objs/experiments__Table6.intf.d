@@ -1,0 +1,1 @@
+lib/experiments/table6.mli: Format Platform Tcsim

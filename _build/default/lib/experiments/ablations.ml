@@ -1,0 +1,193 @@
+open Platform
+
+let latency_of (config : Tcsim.Machine.config option) =
+  match config with
+  | Some c -> c.Tcsim.Machine.latency
+  | None -> Tcsim.Machine.default_config.Tcsim.Machine.latency
+
+let readings ?config ~scenario ~load () =
+  let variant = Workload.Control_loop.variant_of_scenario scenario in
+  let app = Workload.Control_loop.app variant in
+  let contender = Workload.Load_gen.make ~variant ~level:load () in
+  let a = (Mbta.Measurement.isolation ?config ~core:0 app).Mbta.Measurement.counters in
+  let b = (Mbta.Measurement.isolation ?config ~core:1 contender).Mbta.Measurement.counters in
+  (a, b)
+
+(* --- A1: value of contender information ---------------------------------- *)
+
+type a1_row = {
+  a1_scenario : string;
+  a1_load : Workload.Load_gen.level;
+  with_info : int;
+  without_info : int;
+  ftc_delta : int;
+}
+
+let a1_contender_info ?config () =
+  let latency = latency_of config in
+  List.concat_map
+    (fun scenario ->
+       List.map
+         (fun load ->
+            let a, b = readings ?config ~scenario ~load () in
+            let bound options =
+              (Contention.Ilp_ptac.contention_bound_exn ~options ~latency
+                 ~scenario ~a ~b ())
+                .Contention.Ilp_ptac.delta
+            in
+            let with_info = bound Contention.Ilp_ptac.default_options in
+            let without_info =
+              bound
+                {
+                  Contention.Ilp_ptac.default_options with
+                  Contention.Ilp_ptac.use_contender_info = false;
+                }
+            in
+            let ftc_delta =
+              (Contention.Ftc.contention_bound
+                 ~dirty:(scenario.Scenario.name = "scenario2")
+                 ~latency ~a ())
+                .Contention.Ftc.delta
+            in
+            { a1_scenario = scenario.Scenario.name; a1_load = load; with_info; without_info; ftc_delta })
+         Workload.Load_gen.all_levels)
+    [ Scenario.scenario1; Scenario.scenario2 ]
+
+(* --- A2: stall-equality encodings ----------------------------------------- *)
+
+type a2_row = {
+  a2_scenario : string;
+  mode : Contention.Ilp_ptac.equality_mode;
+  delta : int option;
+}
+
+let a2_equality_modes ?config () =
+  let latency = latency_of config in
+  List.concat_map
+    (fun scenario ->
+       let a, b = readings ?config ~scenario ~load:Workload.Load_gen.High () in
+       List.map
+         (fun mode ->
+            let options =
+              { Contention.Ilp_ptac.default_options with Contention.Ilp_ptac.equality_mode = mode }
+            in
+            let delta =
+              Option.map
+                (fun r -> r.Contention.Ilp_ptac.delta)
+                (Contention.Ilp_ptac.contention_bound ~options ~latency ~scenario
+                   ~a ~b ())
+            in
+            { a2_scenario = scenario.Scenario.name; mode; delta })
+         [ Contention.Ilp_ptac.Exact; Contention.Ilp_ptac.Window; Contention.Ilp_ptac.Upper ])
+    [ Scenario.scenario1; Scenario.scenario2 ]
+
+(* --- A3: two simultaneous contenders --------------------------------------- *)
+
+type a3_result = {
+  a3_scenario : string;
+  isolation_cycles : int;
+  observed_two_contenders : int;
+  bound : int option;
+  per_contender : int list;
+}
+
+let a3_multi_contender ?config scenario =
+  let latency = latency_of config in
+  let variant = Workload.Control_loop.variant_of_scenario scenario in
+  let app = Workload.Control_loop.app variant in
+  let c1 = Workload.Load_gen.make ~variant ~level:Workload.Load_gen.Medium ~region_slot:1 () in
+  let c2 = Workload.Load_gen.make ~variant ~level:Workload.Load_gen.Low ~region_slot:2 () in
+  let iso = Mbta.Measurement.isolation ?config ~core:0 app in
+  let b1 = (Mbta.Measurement.isolation ?config ~core:1 c1).Mbta.Measurement.counters in
+  let b2 = (Mbta.Measurement.isolation ?config ~core:2 c2).Mbta.Measurement.counters in
+  let corun =
+    Mbta.Measurement.corun ?config ~analysis:(app, 0)
+      ~contenders:[ (c1, 1); (c2, 2) ] ()
+  in
+  let bound =
+    Contention.Multi.contention_bound ~latency ~scenario
+      ~a:iso.Mbta.Measurement.counters ~contenders:[ b1; b2 ] ()
+  in
+  {
+    a3_scenario = scenario.Scenario.name;
+    isolation_cycles = iso.Mbta.Measurement.cycles;
+    observed_two_contenders = corun.Mbta.Measurement.cycles;
+    bound = Option.map (fun r -> r.Contention.Multi.delta) bound;
+    per_contender =
+      (match bound with
+       | Some r -> List.map (fun c -> c.Contention.Ilp_ptac.delta) r.Contention.Multi.per_contender
+       | None -> []);
+  }
+
+(* --- A4: FSB reduction ------------------------------------------------------ *)
+
+type a4_row = {
+  a4_scenario : string;
+  a4_load : Workload.Load_gen.level;
+  crossbar_delta : int;
+  fsb_delta : int;
+}
+
+let a4_fsb ?config () =
+  let latency = latency_of config in
+  List.concat_map
+    (fun scenario ->
+       List.map
+         (fun load ->
+            let a, b = readings ?config ~scenario ~load () in
+            let crossbar =
+              (Contention.Ilp_ptac.contention_bound_exn ~latency ~scenario ~a ~b ())
+                .Contention.Ilp_ptac.delta
+            in
+            let fsb = (Contention.Fsb.contention_bound ~latency ~a ~b ()).Contention.Fsb.delta in
+            { a4_scenario = scenario.Scenario.name; a4_load = load; crossbar_delta = crossbar; fsb_delta = fsb })
+         Workload.Load_gen.all_levels)
+    [ Scenario.scenario1; Scenario.scenario2 ]
+
+(* --- printers ---------------------------------------------------------------- *)
+
+let pp_a1 fmt rows =
+  Format.fprintf fmt "@[<v>%-10s %-7s %12s %12s %12s@," "scenario" "load"
+    "ILP+info" "ILP-noinfo" "fTC";
+  List.iter
+    (fun r ->
+       Format.fprintf fmt "%-10s %-7s %12d %12d %12d@," r.a1_scenario
+         (Workload.Load_gen.level_to_string r.a1_load)
+         r.with_info r.without_info r.ftc_delta)
+    rows;
+  Format.fprintf fmt "@]"
+
+let mode_to_string = function
+  | Contention.Ilp_ptac.Exact -> "exact"
+  | Contention.Ilp_ptac.Window -> "window"
+  | Contention.Ilp_ptac.Upper -> "upper"
+
+let pp_a2 fmt rows =
+  Format.fprintf fmt "@[<v>%-10s %-8s %12s@," "scenario" "mode" "delta";
+  List.iter
+    (fun r ->
+       Format.fprintf fmt "%-10s %-8s %12s@," r.a2_scenario (mode_to_string r.mode)
+         (match r.delta with Some d -> string_of_int d | None -> "infeasible"))
+    rows;
+  Format.fprintf fmt "@]"
+
+let pp_a3 fmt r =
+  Format.fprintf fmt
+    "@[<v>%s, two contenders (M-Load + L-Load):@,\
+     isolation=%d observed=%d bound=%s per-contender=[%s] sound=%s@]"
+    r.a3_scenario r.isolation_cycles r.observed_two_contenders
+    (match r.bound with Some b -> string_of_int (r.isolation_cycles + b) | None -> "infeasible")
+    (String.concat "; " (List.map string_of_int r.per_contender))
+    (match r.bound with
+     | Some b -> if r.isolation_cycles + b >= r.observed_two_contenders then "yes" else "NO"
+     | None -> "-")
+
+let pp_a4 fmt rows =
+  Format.fprintf fmt "@[<v>%-10s %-7s %12s %12s@," "scenario" "load" "crossbar" "FSB";
+  List.iter
+    (fun r ->
+       Format.fprintf fmt "%-10s %-7s %12d %12d@," r.a4_scenario
+         (Workload.Load_gen.level_to_string r.a4_load)
+         r.crossbar_delta r.fsb_delta)
+    rows;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,63 @@
+(** Ablation and extension studies beyond the paper's headline figure.
+
+    A1 — contender information (Eqs. 22–23): dropping the contender-side
+    constraints makes the ILP bound fully time-composable; the study
+    quantifies how much tightness that information buys per load level.
+
+    A2 — stall-equality encoding: the paper states Eqs. 20–23 as
+    equalities over minimum per-request stalls; this study compares the
+    three encodings ({!Contention.Ilp_ptac.equality_mode}) and shows the
+    literal [Exact] reading is typically infeasible on real readings.
+
+    A3 — multi-contender extension (Section 2): the application against
+    two simultaneous co-runners, bound = sum of per-contender ILPs.
+
+    A4 — FSB reduction (Section 4.3): the crossbar model collapsed onto a
+    single shared bus, compared against the crossbar-aware bound. *)
+
+open Platform
+
+type a1_row = {
+  a1_scenario : string;
+  a1_load : Workload.Load_gen.level;
+  with_info : int;  (** ILP-PTAC Δcont *)
+  without_info : int;  (** same ILP without Eqs. 22–23 *)
+  ftc_delta : int;  (** the closed-form fTC bound, for reference *)
+}
+
+val a1_contender_info : ?config:Tcsim.Machine.config -> unit -> a1_row list
+
+type a2_row = {
+  a2_scenario : string;
+  mode : Contention.Ilp_ptac.equality_mode;
+  delta : int option;  (** [None] = infeasible *)
+}
+
+val a2_equality_modes : ?config:Tcsim.Machine.config -> unit -> a2_row list
+(** Both scenarios, H-Load, the three encodings. *)
+
+type a3_result = {
+  a3_scenario : string;
+  isolation_cycles : int;
+  observed_two_contenders : int;
+  bound : int option;  (** summed two-contender Δcont *)
+  per_contender : int list;
+}
+
+val a3_multi_contender : ?config:Tcsim.Machine.config -> Scenario.t -> a3_result
+(** Application on core 0, M-Load on core 1, L-Load on core 2 (the 1.6E
+    efficiency core). *)
+
+type a4_row = {
+  a4_scenario : string;
+  a4_load : Workload.Load_gen.level;
+  crossbar_delta : int;
+  fsb_delta : int;
+}
+
+val a4_fsb : ?config:Tcsim.Machine.config -> unit -> a4_row list
+
+val pp_a1 : Format.formatter -> a1_row list -> unit
+val pp_a2 : Format.formatter -> a2_row list -> unit
+val pp_a3 : Format.formatter -> a3_result -> unit
+val pp_a4 : Format.formatter -> a4_row list -> unit

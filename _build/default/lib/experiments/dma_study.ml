@@ -1,0 +1,76 @@
+open Platform
+
+type result = {
+  isolation_cycles : int;
+  observed_cycles : int;
+  cpu_delta : int;
+  dma_delta : int;
+  bound : int;
+  dma_requests : int;
+}
+
+let machine_config_with_dma =
+  let dma_master =
+    { Tcsim.Core_model.kind = Tcsim.Core_model.E16; icache = None; dcache = None }
+  in
+  {
+    Tcsim.Machine.default_config with
+    Tcsim.Machine.cores =
+      Array.append Tcsim.Machine.default_config.Tcsim.Machine.cores [| dma_master |];
+  }
+
+let run ?(config = machine_config_with_dma) () =
+  let latency = config.Tcsim.Machine.latency in
+  let scenario = Scenario.scenario1 in
+  let app = Workload.Control_loop.app Workload.Control_loop.S1 in
+  let cpu =
+    Workload.Load_gen.make ~variant:Workload.Control_loop.S1
+      ~level:Workload.Load_gen.Medium ~region_slot:1 ()
+  in
+  let schedule =
+    { Workload.Dma.default_schedule with Workload.Dma.region_offset = 20 * 1024 }
+  in
+  let dma = Workload.Dma.program ~schedule () in
+  let iso = Mbta.Measurement.isolation ~config ~core:0 app in
+  let a = iso.Mbta.Measurement.counters in
+  let b_cpu = (Mbta.Measurement.isolation ~config ~core:1 cpu).Mbta.Measurement.counters in
+  let b_dma = Workload.Dma.synthesized_counters latency schedule in
+  let cpu_delta =
+    (Contention.Ilp_ptac.contention_bound_exn ~latency ~scenario ~a ~b:b_cpu ())
+      .Contention.Ilp_ptac.delta
+  in
+  (* the DMA master does not follow the application's deployment
+     conventions: no contender tailoring *)
+  let dma_options =
+    { Contention.Ilp_ptac.default_options with Contention.Ilp_ptac.tailor_contender = false }
+  in
+  let dma_delta =
+    (Contention.Ilp_ptac.contention_bound_exn ~options:dma_options ~latency
+       ~scenario ~a ~b:b_dma ())
+      .Contention.Ilp_ptac.delta
+  in
+  let corun =
+    Mbta.Measurement.corun ~config ~analysis:(app, 0)
+      ~contenders:[ (cpu, 1); (dma, 3) ]
+      ()
+  in
+  {
+    isolation_cycles = iso.Mbta.Measurement.cycles;
+    observed_cycles = corun.Mbta.Measurement.cycles;
+    cpu_delta;
+    dma_delta;
+    bound = iso.Mbta.Measurement.cycles + cpu_delta + dma_delta;
+    dma_requests = Access_profile.total (Workload.Dma.access_profile schedule);
+  }
+
+let sound r = r.bound >= r.observed_cycles
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>application vs CPU M-Load + DMA channel (%d specified requests):@,\
+     isolation %d, observed %d@,\
+     bound %d = isolation + CPU delta %d + DMA delta %d@,\
+     sound: %s@]"
+    r.dma_requests r.isolation_cycles r.observed_cycles r.bound r.cpu_delta
+    r.dma_delta
+    (if sound r then "yes" else "NO")

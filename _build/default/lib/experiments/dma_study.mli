@@ -1,0 +1,31 @@
+(** DMA background-traffic study (extension E5).
+
+    The SRI also serves non-CPU masters; integrators know their traffic by
+    {e specification} (configured transfer schedules), not measurement.
+    The study runs the Scenario-1 application against a CPU contender
+    {e and} a DMA channel draining the data flash into the LMU, and bounds
+    the total interference as the sum of
+    + the ILP-PTAC bound against the CPU contender's measured counters,
+    + the ILP-PTAC bound against the DMA's specification-synthesized
+      counters (untailored: the DMA does not follow the application's
+      deployment conventions).
+
+    Soundness of the sum rests on the same per-target round-robin argument
+    as the multi-contender extension. *)
+
+type result = {
+  isolation_cycles : int;
+  observed_cycles : int;  (** app vs CPU contender vs DMA, simulated *)
+  cpu_delta : int;
+  dma_delta : int;
+  bound : int;  (** isolation + both deltas *)
+  dma_requests : int;  (** specified SRI requests of the DMA schedule *)
+}
+
+val run : ?config:Tcsim.Machine.config -> unit -> result
+val sound : result -> bool
+val pp : Format.formatter -> result -> unit
+
+val machine_config_with_dma : Tcsim.Machine.config
+(** The TC277 three-core configuration extended with a cache-less
+    fourth master for the DMA engine. *)

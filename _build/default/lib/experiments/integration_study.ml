@@ -1,0 +1,41 @@
+let build_system () =
+  let cruise = Workload.Control_loop.app Workload.Control_loop.S1 in
+  let engine = Workload.Engine_control.task () in
+  let supplier =
+    Workload.Load_gen.make ~variant:Workload.Control_loop.S1
+      ~level:Workload.Load_gen.Medium ~region_slot:1 ()
+  in
+  [
+    {
+      Schedule.Integration.name = "engine_ctrl";
+      program = engine;
+      period = 2_000_000;
+      deadline = None;
+      priority = 1;
+      core = 0;
+    };
+    {
+      Schedule.Integration.name = "cruise_ctrl";
+      program = cruise;
+      period = 4_000_000;
+      (* slack for realistic contention inflation, not for the fully
+         time-composable one *)
+      deadline = Some 3_800_000;
+      priority = 2;
+      core = 0;
+    };
+    {
+      Schedule.Integration.name = "supplier_b";
+      program = supplier;
+      period = 4_000_000;
+      deadline = None;
+      priority = 1;
+      core = 1;
+    };
+  ]
+
+let run ?config () =
+  Schedule.Integration.integrate ?config ~scenario:Platform.Scenario.scenario1
+    (build_system ())
+
+let pp = Schedule.Integration.pp

@@ -1,0 +1,20 @@
+(** System-level integration study (extension E4): the paper's motivating
+    workflow carried to its conclusion.
+
+    A two-core system: core 0 hosts an engine-control task (urgent, short
+    period) and the cruise-control application (longer period, a deadline
+    with slack for moderate — but not fTC-sized — contention inflation);
+    core 1 hosts another supplier's medium-load task. WCETs are inflated
+    per contention model and per-core response-time analysis decides
+    schedulability.
+
+    Expected verdicts (locked by tests): the system is schedulable
+    ignoring contention and under ILP-PTAC inflation, but the fTC
+    inflation — the only option without contender information — rejects
+    it. Tightness buys integrations. *)
+
+val build_system : unit -> Schedule.Integration.app list
+(** The study's task set (Scenario-1 deployment programs). *)
+
+val run : ?config:Tcsim.Machine.config -> unit -> Schedule.Integration.t
+val pp : Format.formatter -> Schedule.Integration.t -> unit

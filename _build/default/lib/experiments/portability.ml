@@ -1,0 +1,38 @@
+type row = {
+  variant : Platform.Variants.t;
+  calibration_ok : bool;
+  figure4_row : Figure4.row;
+}
+
+let config_of (v : Platform.Variants.t) =
+  { Tcsim.Machine.default_config with Tcsim.Machine.latency = v.Platform.Variants.latency }
+
+let run_variant v =
+  let config = config_of v in
+  let measured = Table2.run ~config () in
+  {
+    variant = v;
+    calibration_ok = Table2.matches_reference measured v.Platform.Variants.latency;
+    figure4_row =
+      Figure4.run_row ~config ~scenario:Platform.Scenario.scenario1
+        ~load:Workload.Load_gen.High ();
+  }
+
+let run () = List.map run_variant Platform.Variants.all
+
+let pp fmt rows =
+  Format.fprintf fmt "@[<v>%-18s %-12s %10s %10s(x)   %10s(x)   %s@,"
+    "variant" "calibration" "isolation" "fTC" "ILP-PTAC" "sound";
+  List.iter
+    (fun r ->
+       Format.fprintf fmt "%-18s %-12s %10d %10d(%.2f) %10d(%.2f) %s@,"
+         r.variant.Platform.Variants.name
+         (if r.calibration_ok then "recovered" else "MISMATCH")
+         r.figure4_row.Figure4.isolation_cycles
+         r.figure4_row.Figure4.ftc.Mbta.Wcet.wcet
+         r.figure4_row.Figure4.ftc.Mbta.Wcet.ratio
+         r.figure4_row.Figure4.ilp.Mbta.Wcet.wcet
+         r.figure4_row.Figure4.ilp.Mbta.Wcet.ratio
+         (if Figure4.sound r.figure4_row then "yes" else "NO"))
+    rows;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,18 @@
+(** Portability study (paper Section 4.3): the analysis pipeline re-targeted
+    at other TriCore-family timings.
+
+    For each {!Platform.Variants} preset the study (1) re-runs the
+    calibration microbenchmarks on a machine configured with the variant's
+    timing and checks they recover its constants, and (2) reproduces an
+    H-Load Figure-4 row against the variant — everything downstream of the
+    latency table is untouched, demonstrating the claimed adaptability. *)
+
+type row = {
+  variant : Platform.Variants.t;
+  calibration_ok : bool;
+  figure4_row : Figure4.row;
+}
+
+val run_variant : Platform.Variants.t -> row
+val run : unit -> row list
+val pp : Format.formatter -> row list -> unit

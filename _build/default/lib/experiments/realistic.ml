@@ -1,0 +1,61 @@
+open Platform
+
+type result = {
+  isolation_cycles : int;
+  observed_cycles : int;
+  ftc : Mbta.Wcet.t;
+  ilp : Mbta.Wcet.t;
+  stress_ilp_ratio : float;
+}
+
+let run ?config () =
+  let latency =
+    match config with
+    | Some c -> c.Tcsim.Machine.latency
+    | None -> Tcsim.Machine.default_config.Tcsim.Machine.latency
+  in
+  let scenario = Scenario.scenario1 in
+  let task = Workload.Engine_control.task () in
+  let contender =
+    Workload.Load_gen.make ~variant:Workload.Control_loop.S1
+      ~level:Workload.Load_gen.High ()
+  in
+  let iso = Mbta.Measurement.isolation ?config ~core:0 task in
+  let a = iso.Mbta.Measurement.counters in
+  let b = (Mbta.Measurement.isolation ?config ~core:1 contender).Mbta.Measurement.counters in
+  let ftc_delta = (Contention.Ftc.contention_bound ~latency ~a ()).Contention.Ftc.delta in
+  let ilp_delta =
+    (Contention.Ilp_ptac.contention_bound_exn ~latency ~scenario ~a ~b ())
+      .Contention.Ilp_ptac.delta
+  in
+  let corun =
+    Mbta.Measurement.corun ?config ~analysis:(task, 0) ~contenders:[ (contender, 1) ] ()
+  in
+  let stress = Figure4.run_row ?config ~scenario ~load:Workload.Load_gen.High () in
+  let isolation_cycles = iso.Mbta.Measurement.cycles in
+  {
+    isolation_cycles;
+    observed_cycles = corun.Mbta.Measurement.cycles;
+    ftc = Mbta.Wcet.make ~isolation_cycles ~contention_cycles:ftc_delta;
+    ilp = Mbta.Wcet.make ~isolation_cycles ~contention_cycles:ilp_delta;
+    stress_ilp_ratio = stress.Figure4.ilp.Mbta.Wcet.ratio;
+  }
+
+let sound r =
+  Mbta.Wcet.upper_bounds r.ftc ~observed_cycles:r.observed_cycles
+  && Mbta.Wcet.upper_bounds r.ilp ~observed_cycles:r.observed_cycles
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>engine-control task vs H-Load (scenario 1 deployment):@,\
+     isolation %d, observed %d@,\
+     fTC      %a@,\
+     ILP-PTAC %a@,\
+     stress application ILP ratio under the same contender: x%.2f@,\
+     contention bound as fraction of isolation: %.1f%% (stress: %.1f%%)@,\
+     sound: %s@]"
+    r.isolation_cycles r.observed_cycles Mbta.Wcet.pp r.ftc Mbta.Wcet.pp r.ilp
+    r.stress_ilp_ratio
+    ((r.ilp.Mbta.Wcet.ratio -. 1.0) *. 100.)
+    ((r.stress_ilp_ratio -. 1.0) *. 100.)
+    (if sound r then "yes" else "NO")

@@ -1,0 +1,35 @@
+open Platform
+
+let pp_table3 fmt () =
+  let mark op c t = if Deployment.admissible op c t then "ok" else "x" in
+  Format.fprintf fmt "@[<v>%-10s %-4s %-4s %-4s %-4s@," "" "pf0" "pf1" "dfl" "LMU";
+  List.iter
+    (fun (label, op, c) ->
+       Format.fprintf fmt "%-10s %-4s %-4s %-4s %-4s@," label
+         (mark op c Target.Pf0) (mark op c Target.Pf1) (mark op c Target.Dfl)
+         (mark op c Target.Lmu))
+    [
+      ("Code $", Op.Code, Deployment.Cacheable);
+      ("Code n$", Op.Code, Deployment.Non_cacheable);
+      ("Data $", Op.Data, Deployment.Cacheable);
+      ("Data n$", Op.Data, Deployment.Non_cacheable);
+    ];
+  Format.fprintf fmt "@]"
+
+let pp_table4 fmt () =
+  Format.fprintf fmt "@[<v>%-22s %-8s %-8s@," "Counter" "Task a" "Task b";
+  List.iter
+    (fun (counter, na, nb) -> Format.fprintf fmt "%-22s %-8s %-8s@," counter na nb)
+    [
+      ("PMEM_STALL", "PSa", "PSb");
+      ("DMEM_STALL", "DSa", "DSb");
+      ("P$_MISS", "PMa", "PMb");
+      ("D$_MISS_CLEAN", "DMCa", "DMCb");
+      ("D$_MISS_DIRTY", "DMDa", "DMDb");
+    ];
+  Format.fprintf fmt "@]"
+
+let pp_table5 fmt () =
+  List.iter
+    (fun s -> Format.fprintf fmt "%a@," Scenario.pp s)
+    [ Scenario.scenario1; Scenario.scenario2 ]

@@ -1,0 +1,11 @@
+(** The paper's static tables: deployment constraints (Table 3), the debug
+    counters used (Table 4) and the per-scenario ILP tailoring (Table 5). *)
+
+val pp_table3 : Format.formatter -> unit -> unit
+(** Admissibility of cacheable/non-cacheable code and data per SRI slave. *)
+
+val pp_table4 : Format.formatter -> unit -> unit
+(** Counter inventory with the per-task notation of the paper. *)
+
+val pp_table5 : Format.formatter -> unit -> unit
+(** Tailoring constraints the ILP-PTAC model adds under each scenario. *)

@@ -1,0 +1,13 @@
+open Platform
+
+let run ?config () = Mbta.Calibration.run ?config ()
+
+let matches_reference results reference =
+  List.for_all
+    (fun (t, o, m) ->
+       m.Mbta.Calibration.lmax = Latency.lmax reference t o
+       && m.Mbta.Calibration.lmin = Latency.lmin reference t o
+       && m.Mbta.Calibration.cs = Latency.min_stall reference t o)
+    results
+
+let pp = Mbta.Calibration.pp_table

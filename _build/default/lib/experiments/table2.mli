@@ -1,0 +1,16 @@
+(** Table 2 reproduction: maximum/minimum latencies and minimum stall
+    cycles per (target, operation), measured with the calibration
+    microbenchmarks on the simulated platform.
+
+    The measured values must coincide with {!Platform.Latency.default} —
+    the constants the analytical models consume — closing the
+    model-vs-platform calibration loop. *)
+
+open Platform
+
+val run : ?config:Tcsim.Machine.config -> unit -> (Target.t * Op.t * Mbta.Calibration.measured) list
+
+val matches_reference : (Target.t * Op.t * Mbta.Calibration.measured) list -> Latency.t -> bool
+(** Every measured (lmax, lmin, cs) equals the reference table entry. *)
+
+val pp : Format.formatter -> (Target.t * Op.t * Mbta.Calibration.measured) list -> unit

@@ -1,0 +1,26 @@
+type entry = { scenario : string; core : int; counters : Platform.Counters.t }
+
+let run ?config () =
+  List.concat_map
+    (fun scenario ->
+       let variant = Workload.Control_loop.variant_of_scenario scenario in
+       let app = Workload.Control_loop.app variant in
+       let hload =
+         Workload.Load_gen.make ~variant ~level:Workload.Load_gen.High ()
+       in
+       let obs core p = (Mbta.Measurement.isolation ?config ~core p).Mbta.Measurement.counters in
+       [
+         { scenario = scenario.Platform.Scenario.name; core = 1; counters = obs 0 app };
+         { scenario = scenario.Platform.Scenario.name; core = 2; counters = obs 1 hload };
+       ])
+    [ Platform.Scenario.scenario1; Platform.Scenario.scenario2 ]
+
+let pp fmt entries =
+  Format.fprintf fmt "@[<v>%-12s %-6s %8s %6s %6s %9s %9s@," "scenario" "core"
+    "PM" "DMC" "DMD" "PS" "DS";
+  List.iter
+    (fun e ->
+       Format.fprintf fmt "%-12s Core%-2d %a@," e.scenario e.core
+         Platform.Counters.pp_row e.counters)
+    entries;
+  Format.fprintf fmt "@]"

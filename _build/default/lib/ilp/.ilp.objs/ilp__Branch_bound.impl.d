@@ -1,0 +1,1 @@
+lib/ilp/branch_bound.ml: Array Linexpr List Model Numeric Presolve Q Simplex Solution

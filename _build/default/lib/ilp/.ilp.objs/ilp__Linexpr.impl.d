@@ -1,0 +1,1 @@
+lib/ilp/linexpr.ml: Format Int List Map Numeric Q

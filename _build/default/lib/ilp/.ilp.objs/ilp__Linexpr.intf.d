@@ -1,0 +1,1 @@
+lib/ilp/linexpr.mli: Format Numeric Q

@@ -1,0 +1,1 @@
+lib/ilp/lp_format.ml: Array Bigint Buffer Bytes Fun Hashtbl Linexpr List Model Numeric Printf Q String

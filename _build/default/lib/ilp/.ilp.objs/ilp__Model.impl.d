@@ -1,0 +1,1 @@
+lib/ilp/model.ml: Array Format Linexpr List Numeric Printf Q String

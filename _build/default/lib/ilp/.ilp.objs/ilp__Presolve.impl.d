@@ -1,0 +1,1 @@
+lib/ilp/presolve.ml: Array Linexpr List Model Numeric Option Q

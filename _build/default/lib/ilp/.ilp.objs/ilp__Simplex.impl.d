@@ -1,0 +1,1 @@
+lib/ilp/simplex.ml: Array Linexpr List Model Numeric Q Solution

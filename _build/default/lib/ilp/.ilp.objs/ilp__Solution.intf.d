@@ -1,0 +1,1 @@
+lib/ilp/solution.mli: Format Numeric Q

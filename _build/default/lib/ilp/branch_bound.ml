@@ -1,0 +1,149 @@
+open Numeric
+
+exception Node_limit_exceeded
+
+let branching_value x = (Q.floor x, Q.ceil x)
+
+(* Depth-first branch & bound, most-fractional branching, down-branch
+   first (for the contention ILPs the optimum sits near the upper bounds,
+   so the tightened side finds incumbents quickly).
+
+   [slack] relaxes the pruning test: a node is abandoned when its
+   relaxation cannot beat the incumbent by more than [slack]. The returned
+   incumbent is therefore within [slack] of the true optimum — callers
+   needing a sound upper (resp. lower) bound on a maximisation (resp.
+   minimisation) must add [slack] back. *)
+let solve ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model =
+  if Q.sign slack < 0 then invalid_arg "Branch_bound.solve: negative slack";
+  let nv = Model.num_vars model in
+  let int_vars = Model.integer_vars model in
+  let dir, obj_expr = Model.objective model in
+  (* When the objective takes integral values on every integer-feasible
+     point, a node whose relaxation floors (resp. ceils) to the incumbent
+     cannot contain a better solution — pruning on the rounded bound is
+     exact and collapses fractional near-optimal plateaus. *)
+  let objective_integral =
+    Q.is_integer (Linexpr.constant obj_expr)
+    && List.for_all
+         (fun (v, c) -> Q.is_integer c && (Model.var_info model v).integer)
+         (Linexpr.terms obj_expr)
+  in
+  let effective_bound objective =
+    if objective_integral then
+      match dir with
+      | Model.Maximize -> Q.floor objective
+      | Model.Minimize -> Q.ceil objective
+    else objective
+  in
+  let worth_exploring objective incumbent =
+    (* Can this node still beat [incumbent] by more than [slack]? *)
+    match dir with
+    | Model.Maximize -> Q.compare (effective_bound objective) (Q.add incumbent slack) > 0
+    | Model.Minimize -> Q.compare (effective_bound objective) (Q.sub incumbent slack) < 0
+  in
+  let better a b =
+    match dir with
+    | Model.Maximize -> Q.compare a b > 0
+    | Model.Minimize -> Q.compare a b < 0
+  in
+  let best : (Q.t * Q.t array) option ref = ref None in
+  let nodes = ref 0 in
+  let better_than_best objective =
+    match !best with Some (bobj, _) -> better objective bobj | None -> true
+  in
+  (* Rounding heuristic: flooring a relaxation point keeps every
+     non-negative <=-constraint satisfied, so it often yields a feasible
+     integer incumbent for free; we verify feasibility exactly before
+     accepting it. *)
+  let try_floor_incumbent values =
+    let floored =
+      Array.mapi
+        (fun v x -> if List.mem v int_vars then Q.floor x else x)
+        values
+    in
+    let lookup v = floored.(v) in
+    match Model.check_feasible model lookup with
+    | Error _ -> ()
+    | Ok _ ->
+      let objective = Linexpr.eval obj_expr lookup in
+      if better_than_best objective then best := Some (objective, floored)
+  in
+  (* Branch on the fractional variable closest to half-integral,
+     preferring variables with a non-zero objective coefficient: ties in
+     the relaxation otherwise make the search wander over fractional
+     splits that cannot change the bound. *)
+  let in_objective v = not (Q.is_zero (Linexpr.coeff obj_expr v)) in
+  let most_fractional values =
+    let pick vars =
+      List.fold_left
+        (fun acc v ->
+           let f = Q.frac values.(v) in
+           if Q.is_zero f then acc
+           else begin
+             let dist = Q.abs (Q.sub f (Q.of_ints 1 2)) in
+             match acc with
+             | Some (_, bdist) when Q.compare bdist dist <= 0 -> acc
+             | _ -> Some (v, dist)
+           end)
+        None vars
+    in
+    match pick (List.filter in_objective int_vars) with
+    | Some _ as r -> r
+    | None -> pick int_vars
+  in
+  let rec explore lb0 ub0 =
+    incr nodes;
+    if !nodes > node_limit then raise Node_limit_exceeded;
+    match
+      if presolve then Presolve.tighten model ~lb:lb0 ~ub:ub0
+      else Presolve.Tightened (lb0, ub0)
+    with
+    | Presolve.Infeasible -> ()
+    | Presolve.Tightened (lb, ub) -> explore_box lb ub
+
+  and explore_box lb ub =
+    match Simplex.solve_with_bounds model ~lb ~ub with
+    | Solution.Infeasible -> ()
+    | Solution.Unbounded ->
+      (* An unbounded relaxation of a node means the ILP itself is unbounded
+         or infeasible; surface it as unboundedness at the root. *)
+      raise Exit
+    | Solution.Optimal { objective; values } ->
+      (match most_fractional values with
+       | Some _ -> try_floor_incumbent values
+       | None -> ());
+      let prune =
+        match !best with
+        | Some (bobj, _) -> not (worth_exploring objective bobj)
+        | None -> false
+      in
+      if not prune then begin
+        match most_fractional values with
+        | None ->
+          if better_than_best objective then best := Some (objective, values)
+        | Some (v, _) ->
+          let fl, cl = branching_value values.(v) in
+          let ub' = Array.copy ub in
+          ub'.(v) <-
+            (match ub.(v) with
+             | Some u -> Some (Q.min u fl)
+             | None -> Some fl);
+          explore lb ub';
+          let lb' = Array.copy lb in
+          lb'.(v) <-
+            (match lb.(v) with
+             | Some l -> Some (Q.max l cl)
+             | None -> Some cl);
+          explore lb' ub
+      end
+  in
+  let lb0 = Array.init nv (fun v -> (Model.var_info model v).lb) in
+  let ub0 = Array.init nv (fun v -> (Model.var_info model v).ub) in
+  match explore lb0 ub0 with
+  | () ->
+    (match !best with
+     | Some (objective, values) -> Solution.Optimal { objective; values }
+     | None -> Solution.Infeasible)
+  | exception Exit -> Solution.Unbounded
+
+let solve_lp_relaxation = Simplex.solve

@@ -1,0 +1,35 @@
+(** Integer linear programming by branch & bound over {!Simplex}.
+
+    Exact rational relaxations plus integral branching give sound, optimal
+    ILP solutions for the model sizes the contention analysis produces
+    (tens of variables). *)
+
+open Numeric
+
+exception Node_limit_exceeded
+
+val solve : ?node_limit:int -> ?slack:Q.t -> ?presolve:bool -> Model.t -> Solution.t
+(** Solves the model enforcing integrality of its integer variables.
+    [node_limit] (default [200_000]) bounds the number of explored
+    branch-and-bound nodes.
+
+    [slack] (default 0 — exact) relaxes pruning: nodes that cannot improve
+    on the incumbent by more than [slack] are abandoned, so the returned
+    objective is within [slack] of the true optimum. A caller that needs a
+    sound {e upper} bound on a maximisation must add [slack] to the
+    returned objective. Useful when the relaxation has wide near-optimal
+    plateaus (the Scenario-2 contention ILPs).
+
+    [presolve] (default [true]) runs {!Presolve.tighten} at every node:
+    exact bound propagation that skips simplex on detectably-infeasible
+    boxes.
+    @raise Invalid_argument on negative [slack].
+    @raise Node_limit_exceeded if the search does not finish in the
+    budget — a safety net; the paper's instances take a handful of nodes. *)
+
+val solve_lp_relaxation : Model.t -> Solution.t
+(** The continuous relaxation (same as {!Simplex.solve}); exposed for
+    tightness comparisons. *)
+
+val branching_value : Q.t -> Q.t * Q.t
+(** [branching_value x] is [(floor x, ceil x)] — exposed for tests. *)

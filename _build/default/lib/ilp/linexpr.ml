@@ -1,0 +1,71 @@
+open Numeric
+module Imap = Map.Make (Int)
+
+type t = { terms : Q.t Imap.t; const : Q.t }
+(* Invariant: no binding in [terms] maps to zero. *)
+
+let zero = { terms = Imap.empty; const = Q.zero }
+let const c = { terms = Imap.empty; const = c }
+
+let norm_add m v c =
+  Imap.update v
+    (function
+      | None -> if Q.is_zero c then None else Some c
+      | Some c0 ->
+        let s = Q.add c0 c in
+        if Q.is_zero s then None else Some s)
+    m
+
+let var ?(coeff = Q.one) v = { terms = norm_add Imap.empty v coeff; const = Q.zero }
+
+let of_terms ?(const = Q.zero) l =
+  let terms =
+    List.fold_left (fun m (c, v) -> norm_add m v c) Imap.empty l
+  in
+  { terms; const }
+
+let add a b =
+  let terms = Imap.fold (fun v c m -> norm_add m v c) b.terms a.terms in
+  { terms; const = Q.add a.const b.const }
+
+let neg a = { terms = Imap.map Q.neg a.terms; const = Q.neg a.const }
+let sub a b = add a (neg b)
+
+let scale k a =
+  if Q.is_zero k then zero
+  else { terms = Imap.map (Q.mul k) a.terms; const = Q.mul k a.const }
+
+let add_term a c v = { a with terms = norm_add a.terms v c }
+let add_const a c = { a with const = Q.add a.const c }
+
+let coeff a v = match Imap.find_opt v a.terms with Some c -> c | None -> Q.zero
+let constant a = a.const
+let terms a = Imap.bindings a.terms
+let vars a = List.map fst (terms a)
+
+let eval a lookup =
+  Imap.fold (fun v c acc -> Q.add acc (Q.mul c (lookup v))) a.terms a.const
+
+let is_constant a = Imap.is_empty a.terms
+let equal a b = Q.equal a.const b.const && Imap.equal Q.equal a.terms b.terms
+
+let pp ~names fmt a =
+  let open Format in
+  let first = ref true in
+  Imap.iter
+    (fun v c ->
+       let s = Q.sign c in
+       if !first then begin
+         if s < 0 then pp_print_string fmt "-";
+         first := false
+       end
+       else pp_print_string fmt (if s < 0 then " - " else " + ");
+       let c = Q.abs c in
+       if not (Q.equal c Q.one) then fprintf fmt "%a*" Q.pp c;
+       pp_print_string fmt (names v))
+    a.terms;
+  if not (Q.is_zero a.const) || !first then begin
+    if !first then Q.pp fmt a.const
+    else if Q.sign a.const < 0 then fprintf fmt " - %a" Q.pp (Q.abs a.const)
+    else fprintf fmt " + %a" Q.pp a.const
+  end

@@ -1,0 +1,42 @@
+(** Sparse linear expressions over integer-indexed variables with exact
+    rational coefficients, plus a constant term.
+
+    Variables are identified by the integer handles handed out by
+    {!Model.add_var}; this module never interprets them. *)
+
+open Numeric
+
+type t
+
+val zero : t
+val const : Q.t -> t
+val var : ?coeff:Q.t -> int -> t
+(** [var v] is the expression [1*v]; [var ~coeff v] is [coeff*v]. *)
+
+val of_terms : ?const:Q.t -> (Q.t * int) list -> t
+(** Builds [Σ coeff_i * var_i + const]; repeated variables are summed. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Q.t -> t -> t
+val add_term : t -> Q.t -> int -> t
+val add_const : t -> Q.t -> t
+
+val coeff : t -> int -> Q.t
+(** Coefficient of a variable ([Q.zero] if absent). *)
+
+val constant : t -> Q.t
+
+val terms : t -> (int * Q.t) list
+(** Non-zero terms in increasing variable order. *)
+
+val vars : t -> int list
+(** Variables with non-zero coefficient, increasing. *)
+
+val eval : t -> (int -> Q.t) -> Q.t
+(** [eval e lookup] substitutes [lookup v] for every variable. *)
+
+val is_constant : t -> bool
+val equal : t -> t -> bool
+val pp : names:(int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** CPLEX-LP text format: export a {!Model.t} for external solvers and
+    parse the same dialect back.
+
+    The paper's authors solved their ILPs with an off-the-shelf solver;
+    this module is the interoperability path a deployment would use: dump
+    the tailored contention model, solve it with CPLEX/Gurobi/GLPK, or
+    archive it for audits.
+
+    Supported dialect (exactly what {!to_string} emits):
+    - [Maximize]/[Minimize] with a single named objective row;
+    - [Subject To] rows [name: Σ coeff var {<=,>=,=} rhs];
+    - [Bounds] rows [lb <= var <= ub], [var <= ub], [var >= lb],
+      [var = v] and [var free];
+    - [Generals] (integer variables) and [End].
+
+    Rational coefficients are emitted exactly when their denominator is a
+    product of 2s and 5s (finite decimal); any other denominator raises —
+    the contention models only produce integers. *)
+
+val to_string : Model.t -> string
+(** @raise Invalid_argument on a coefficient without a finite decimal
+    representation. *)
+
+exception Parse_error of { line : int; message : string }
+
+val of_string : string -> Model.t
+(** Parses the dialect above.
+    @raise Parse_error on malformed input. *)

@@ -1,0 +1,102 @@
+open Numeric
+
+type outcome = Tightened of Q.t option array * Q.t option array | Infeasible
+
+(* Minimum/maximum activity of [coeff * x] over the box [lb, ub]:
+   None encodes the corresponding infinity. *)
+let term_min coeff lb ub =
+  if Q.sign coeff >= 0 then Option.map (Q.mul coeff) lb
+  else Option.map (Q.mul coeff) ub
+
+let add_opt a b =
+  match (a, b) with Some x, Some y -> Some (Q.add x y) | _ -> None
+
+exception Empty_box
+
+let tighten ?(rounds = 3) model ~lb ~ub =
+  let nv = Model.num_vars model in
+  if Array.length lb <> nv || Array.length ub <> nv then
+    invalid_arg "Presolve.tighten: bound array length mismatch";
+  let lb = Array.copy lb and ub = Array.copy ub in
+  let integer = Array.init nv (fun v -> (Model.var_info model v).Model.integer) in
+  let raise_lb v x =
+    let x = if integer.(v) then Q.ceil x else x in
+    match lb.(v) with
+    | Some l when Q.compare l x >= 0 -> false
+    | _ ->
+      lb.(v) <- Some x;
+      (match ub.(v) with
+       | Some u when Q.compare x u > 0 -> raise Empty_box
+       | _ -> ());
+      true
+  in
+  let lower_ub v x =
+    let x = if integer.(v) then Q.floor x else x in
+    match ub.(v) with
+    | Some u when Q.compare u x <= 0 -> false
+    | _ ->
+      ub.(v) <- Some x;
+      (match lb.(v) with
+       | Some l when Q.compare l x > 0 -> raise Empty_box
+       | _ -> ());
+      true
+  in
+  (* Propagates [expr <= rhs]; equality is handled by also propagating the
+     negated row. *)
+  let propagate_le expr rhs =
+    let terms = Linexpr.terms expr in
+    let const = Linexpr.constant expr in
+    (* total minimum activity, and whether it is finite *)
+    let min_total =
+      List.fold_left
+        (fun acc (v, c) -> add_opt acc (term_min c lb.(v) ub.(v)))
+        (Some const) terms
+    in
+    (match min_total with
+     | Some m when Q.compare m rhs > 0 -> raise Empty_box
+     | _ -> ());
+    let changed = ref false in
+    List.iter
+      (fun (v, c) ->
+         if not (Q.is_zero c) then begin
+           (* minimum activity of the row without this term *)
+           let rest =
+             List.fold_left
+               (fun acc (v', c') ->
+                  if v' = v then acc else add_opt acc (term_min c' lb.(v') ub.(v')))
+               (Some const) terms
+           in
+           match rest with
+           | None -> ()
+           | Some rest ->
+             let slack = Q.sub rhs rest in
+             let bound = Q.div slack c in
+             if Q.sign c > 0 then begin
+               if lower_ub v bound then changed := true
+             end
+             else if raise_lb v bound then changed := true
+         end)
+      terms;
+    !changed
+  in
+  let propagate_constraint (c : Model.constr) =
+    let expr = c.Model.expr and rhs = c.Model.rhs in
+    match c.Model.csense with
+    | Model.Le -> propagate_le expr rhs
+    | Model.Ge -> propagate_le (Linexpr.neg expr) (Q.neg rhs)
+    | Model.Eq ->
+      let a = propagate_le expr rhs in
+      let b = propagate_le (Linexpr.neg expr) (Q.neg rhs) in
+      a || b
+  in
+  let constraints = Model.constraints model in
+  match
+    let round = ref 0 in
+    let changed = ref true in
+    while !changed && !round < rounds do
+      changed := List.fold_left (fun acc c -> propagate_constraint c || acc) false constraints;
+      incr round
+    done
+  with
+  | () -> Tightened (lb, ub)
+  | exception Empty_box -> Infeasible

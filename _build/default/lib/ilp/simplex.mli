@@ -1,0 +1,18 @@
+(** Exact two-phase primal simplex over rationals.
+
+    Solves the continuous relaxation of a {!Model.t} (integrality markers
+    are ignored). Bland's anti-cycling rule guarantees termination; all
+    arithmetic is exact, so the returned status and values are sound — the
+    property WCET analysis needs from its solver. *)
+
+open Numeric
+
+val solve : Model.t -> Solution.t
+(** Solve with the bounds declared in the model. *)
+
+val solve_with_bounds :
+  Model.t -> lb:Q.t option array -> ub:Q.t option array -> Solution.t
+(** Solve with overriding variable bounds (used by {!Branch_bound}); the
+    arrays must have length [Model.num_vars]. The model's declared bounds
+    are ignored in favour of the arrays.
+    @raise Invalid_argument on a length mismatch. *)

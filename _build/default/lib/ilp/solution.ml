@@ -1,0 +1,27 @@
+open Numeric
+
+type t =
+  | Optimal of { objective : Q.t; values : Q.t array }
+  | Infeasible
+  | Unbounded
+
+let objective_exn = function
+  | Optimal { objective; _ } -> objective
+  | Infeasible -> failwith "Solution.objective_exn: infeasible"
+  | Unbounded -> failwith "Solution.objective_exn: unbounded"
+
+let values_exn = function
+  | Optimal { values; _ } -> values
+  | Infeasible -> failwith "Solution.values_exn: infeasible"
+  | Unbounded -> failwith "Solution.values_exn: unbounded"
+
+let value_exn s v = (values_exn s).(v)
+let is_optimal = function Optimal _ -> true | Infeasible | Unbounded -> false
+
+let pp fmt = function
+  | Infeasible -> Format.pp_print_string fmt "infeasible"
+  | Unbounded -> Format.pp_print_string fmt "unbounded"
+  | Optimal { objective; values } ->
+    Format.fprintf fmt "@[<v>optimal, objective = %a@," Q.pp objective;
+    Array.iteri (fun v x -> Format.fprintf fmt "  x%d = %a@," v Q.pp x) values;
+    Format.fprintf fmt "@]"

@@ -1,0 +1,22 @@
+(** Results of LP / ILP solving. *)
+
+open Numeric
+
+type t =
+  | Optimal of { objective : Q.t; values : Q.t array }
+      (** [values.(v)] is the assignment of model variable [v]. *)
+  | Infeasible
+  | Unbounded
+
+val objective_exn : t -> Q.t
+(** @raise Failure if the solution is not [Optimal]. *)
+
+val values_exn : t -> Q.t array
+(** @raise Failure if the solution is not [Optimal]. *)
+
+val value_exn : t -> int -> Q.t
+(** [value_exn s v] is variable [v]'s assignment.
+    @raise Failure if the solution is not [Optimal]. *)
+
+val is_optimal : t -> bool
+val pp : Format.formatter -> t -> unit

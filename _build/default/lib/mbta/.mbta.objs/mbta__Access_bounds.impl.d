@@ -1,0 +1,1 @@
+lib/mbta/access_bounds.ml: Access_profile Counters Format Latency List Op Platform Scenario

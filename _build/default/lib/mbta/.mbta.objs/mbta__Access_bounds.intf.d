@@ -1,0 +1,1 @@
+lib/mbta/access_bounds.mli: Access_profile Counters Format Latency Platform Scenario

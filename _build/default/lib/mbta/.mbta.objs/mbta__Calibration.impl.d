@@ -1,0 +1,1 @@
+lib/mbta/calibration.ml: Counters Format Latency List Measurement Op Platform Target Workload

@@ -1,0 +1,1 @@
+lib/mbta/calibration.mli: Format Latency Op Platform Target Tcsim

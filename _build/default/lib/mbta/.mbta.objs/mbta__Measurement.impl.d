@@ -1,0 +1,1 @@
+lib/mbta/measurement.ml: Access_profile Counters List Platform Tcsim

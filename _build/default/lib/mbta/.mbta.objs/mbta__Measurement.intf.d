@@ -1,0 +1,1 @@
+lib/mbta/measurement.mli: Access_profile Counters Platform Tcsim

@@ -1,0 +1,1 @@
+lib/mbta/wcet.mli: Format

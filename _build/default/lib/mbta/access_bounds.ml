@@ -1,0 +1,46 @@
+open Platform
+
+type t = { n_co : int; n_da : int }
+
+let cs_co_min lat = Latency.cs_min lat Op.Code
+let cs_da_min lat = Latency.cs_min lat Op.Data
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Access_bounds: non-positive divisor";
+  (a + b - 1) / b
+
+let of_counters lat (c : Counters.t) =
+  {
+    n_co = ceil_div c.Counters.pmem_stall (cs_co_min lat);
+    n_da = ceil_div c.Counters.dmem_stall (cs_da_min lat);
+  }
+
+let scenario_cs_min lat scenario op =
+  let allowed =
+    Scenario.allowed_pairs scenario
+    |> List.filter (fun (_, o) -> Op.equal o op)
+    |> List.map (fun (t, o) -> Latency.min_stall lat t o)
+  in
+  match allowed with
+  | [] -> None (* the scenario generates no such traffic at all *)
+  | l -> Some (List.fold_left min max_int l)
+
+let of_counters_scenario lat scenario (c : Counters.t) =
+  let bound stall op fallback =
+    match scenario_cs_min lat scenario op with
+    | Some cs -> ceil_div stall cs
+    | None ->
+      (* no admissible target: any observed stall must be zero, but fall
+         back to the architectural bound rather than claim impossibility *)
+      if stall = 0 then 0 else ceil_div stall fallback
+  in
+  {
+    n_co = bound c.Counters.pmem_stall Op.Code (cs_co_min lat);
+    n_da = bound c.Counters.dmem_stall Op.Data (cs_da_min lat);
+  }
+
+let sound_for b profile =
+  b.n_co >= Access_profile.total_op profile Op.Code
+  && b.n_da >= Access_profile.total_op profile Op.Data
+
+let pp fmt b = Format.fprintf fmt "{ n_co <= %d; n_da <= %d }" b.n_co b.n_da

@@ -1,0 +1,31 @@
+(** Upper bounds on SRI access counts from stall-cycle readings
+    (paper Eqs. 2–4).
+
+    The TC27x has no per-target SRI access counters, so the number of code
+    and data requests is over-approximated by assuming every stall cycle
+    was caused by the request type with the fewest stalls:
+    [n̂ = ⌈stall / cs_min⌉]. *)
+
+open Platform
+
+type t = { n_co : int; n_da : int }
+(** [n̂^{co}], [n̂^{da}] — upper bounds on code / data SRI requests. *)
+
+val cs_co_min : Latency.t -> int
+(** Eq. 2: minimum over the code-reachable targets (pf0, pf1, lmu). *)
+
+val cs_da_min : Latency.t -> int
+(** Eq. 3: minimum over all data-reachable targets. *)
+
+val of_counters : Latency.t -> Counters.t -> t
+(** Eq. 4, with the architectural target sets of Eqs. 2–3. *)
+
+val of_counters_scenario : Latency.t -> Scenario.t -> Counters.t -> t
+(** Eq. 4 with [cs_min] restricted to the targets the deployment scenario
+    actually allows — tighter, still an over-approximation. *)
+
+val sound_for : t -> Access_profile.t -> bool
+(** Do the bounds dominate a ground-truth profile's per-op totals? Used by
+    tests; a real platform cannot evaluate this. *)
+
+val pp : Format.formatter -> t -> unit

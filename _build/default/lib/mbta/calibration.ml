@@ -1,0 +1,70 @@
+open Platform
+
+type measured = { lmax : int; lmin : int; cs : int }
+
+let cycles ?config p = (Measurement.isolation ?config p).Measurement.cycles
+
+let stall_for op (c : Counters.t) =
+  match op with
+  | Op.Code -> c.Counters.pmem_stall
+  | Op.Data -> c.Counters.dmem_stall
+
+let measure_pair ?config target op =
+  if not (Op.valid target op) then
+    invalid_arg "Calibration.measure_pair: inadmissible pair";
+  (* lmax: cold single access vs matched local baseline *)
+  let probe, baseline = Workload.Microbench.single_probe ~target ~op () in
+  let lmax = cycles ?config probe - cycles ?config baseline in
+  (* lmin: access reusing the interface's line buffer *)
+  let sprobe, sbaseline = Workload.Microbench.streaming_pair_probe ~target ~op () in
+  let lmin = cycles ?config sprobe - cycles ?config sbaseline in
+  (* cs: stall delta between 2n and n streaming accesses, per access *)
+  let n = 64 in
+  let stall k =
+    let p = Workload.Microbench.repeated ~target ~op ~n:k () in
+    stall_for op (Measurement.isolation ?config p).Measurement.counters
+  in
+  let cs = (stall (2 * n) - stall n) / n in
+  { lmax; lmin; cs }
+
+let run ?config () =
+  List.map (fun (t, o) -> (t, o, measure_pair ?config t o)) Op.valid_pairs
+
+let to_latency_table results ~lmu_dirty_lmax =
+  Latency.make
+    (List.map
+       (fun (t, o, m) ->
+          (t, o, { Latency.lmax = m.lmax; lmin = m.lmin; min_stall = m.cs }))
+       results)
+    ~lmu_dirty_lmax
+
+let find results t o =
+  List.find_map
+    (fun (t', o', m) -> if Target.equal t t' && Op.equal o o' then Some m else None)
+    results
+
+let pp_table fmt results =
+  (* Paper layout: one column for lmu, one for pf (pf0 = pf1), one dfl. *)
+  let get t o = find results t o in
+  let cell f t o =
+    match get t o with Some m -> string_of_int (f m) | None -> "-"
+  in
+  Format.fprintf fmt "@[<v>Target (t)     lmu   pf    dfl@,";
+  Format.fprintf fmt "lmax (co)      %-5s %-5s %s@," (cell (fun m -> m.lmax) Target.Lmu Op.Code)
+    (cell (fun m -> m.lmax) Target.Pf0 Op.Code)
+    (cell (fun m -> m.lmax) Target.Dfl Op.Code);
+  Format.fprintf fmt "lmax (da)      %-5s %-5s %s@," (cell (fun m -> m.lmax) Target.Lmu Op.Data)
+    (cell (fun m -> m.lmax) Target.Pf0 Op.Data)
+    (cell (fun m -> m.lmax) Target.Dfl Op.Data);
+  Format.fprintf fmt "lmin (co)      %-5s %-5s %s@," (cell (fun m -> m.lmin) Target.Lmu Op.Code)
+    (cell (fun m -> m.lmin) Target.Pf0 Op.Code)
+    (cell (fun m -> m.lmin) Target.Dfl Op.Code);
+  Format.fprintf fmt "lmin (da)      %-5s %-5s %s@," (cell (fun m -> m.lmin) Target.Lmu Op.Data)
+    (cell (fun m -> m.lmin) Target.Pf0 Op.Data)
+    (cell (fun m -> m.lmin) Target.Dfl Op.Data);
+  Format.fprintf fmt "cs   (co)      %-5s %-5s %s@," (cell (fun m -> m.cs) Target.Lmu Op.Code)
+    (cell (fun m -> m.cs) Target.Pf0 Op.Code)
+    (cell (fun m -> m.cs) Target.Dfl Op.Code);
+  Format.fprintf fmt "cs   (da)      %-5s %-5s %s@]" (cell (fun m -> m.cs) Target.Lmu Op.Data)
+    (cell (fun m -> m.cs) Target.Pf0 Op.Data)
+    (cell (fun m -> m.cs) Target.Dfl Op.Data)

@@ -1,0 +1,28 @@
+(** Measuring the Table 2 constants on the (simulated) platform, the way
+    the authors did on silicon (Section 3.3): single-access probes for the
+    maximum latency, streaming probes for the minimum latency, and repeated
+    streaming access batches for the best-case stall per request.
+
+    The result regenerates Table 2 and is verified by tests against the
+    {!Platform.Latency.default} constants the models use — closing the loop
+    between the simulated hardware and the analytical model. *)
+
+open Platform
+
+type measured = { lmax : int; lmin : int; cs : int }
+
+val measure_pair :
+  ?config:Tcsim.Machine.config -> Target.t -> Op.t -> measured
+(** Calibrate one (target, op) pair.
+    @raise Invalid_argument for (dfl, code). *)
+
+val run : ?config:Tcsim.Machine.config -> unit -> (Target.t * Op.t * measured) list
+(** Calibrate every admissible pair, in {!Platform.Op.valid_pairs} order. *)
+
+val to_latency_table : (Target.t * Op.t * measured) list -> lmu_dirty_lmax:int -> Latency.t
+(** Package measurements as a {!Platform.Latency} table (the dirty LMU
+    latency cannot be derived from clean microbenchmarks and is supplied by
+    the caller, as in the paper's bracketed entry). *)
+
+val pp_table : Format.formatter -> (Target.t * Op.t * measured) list -> unit
+(** Render in the layout of the paper's Table 2. *)

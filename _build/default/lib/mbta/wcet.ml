@@ -1,0 +1,23 @@
+type t = {
+  isolation_cycles : int;
+  contention_cycles : int;
+  wcet : int;
+  ratio : float;
+}
+
+let make ~isolation_cycles ~contention_cycles =
+  if isolation_cycles <= 0 then invalid_arg "Wcet.make: non-positive isolation time";
+  if contention_cycles < 0 then invalid_arg "Wcet.make: negative contention";
+  let wcet = isolation_cycles + contention_cycles in
+  {
+    isolation_cycles;
+    contention_cycles;
+    wcet;
+    ratio = float_of_int wcet /. float_of_int isolation_cycles;
+  }
+
+let upper_bounds t ~observed_cycles = t.wcet >= observed_cycles
+
+let pp fmt t =
+  Format.fprintf fmt "isolation=%d +contention=%d wcet=%d (x%.2f)"
+    t.isolation_cycles t.contention_cycles t.wcet t.ratio

@@ -1,0 +1,22 @@
+(** Contention-aware WCET estimate assembly.
+
+    MBTA produces an execution-time bound in isolation; a contention model
+    contributes [Δcont], the worst-case extra cycles contenders can
+    inflict. The deliverable is their sum, reported against the isolation
+    time as the paper's Figure 4 does. *)
+
+type t = {
+  isolation_cycles : int;
+  contention_cycles : int;
+  wcet : int;  (** [isolation_cycles + contention_cycles] *)
+  ratio : float;  (** [wcet / isolation_cycles] *)
+}
+
+val make : isolation_cycles:int -> contention_cycles:int -> t
+(** @raise Invalid_argument on non-positive isolation time or negative
+    contention. *)
+
+val upper_bounds : t -> observed_cycles:int -> bool
+(** Does this estimate cover an observed (multicore) execution time? *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/numeric/q.ml: Bigint Format String

@@ -1,0 +1,97 @@
+(** Arbitrary-precision signed integers.
+
+    Implemented as sign-magnitude over base-[2^30] little-endian digit
+    arrays. The ILP layer ({!module:Ilp}) performs exact rational pivoting,
+    whose intermediate values overflow native integers; this module is the
+    in-tree replacement for zarith (not installable in this environment).
+
+    All values are immutable. Two values are structurally equal iff they
+    denote the same integer (the representation is canonical). *)
+
+type t
+
+(** {1 Constants and conversions} *)
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] iff [x] fits a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure if the value does not fit a native [int]. *)
+
+val of_string : string -> t
+(** Parses an optionally-signed decimal literal. Underscores are allowed as
+    digit separators.
+    @raise Invalid_argument on a malformed literal. *)
+
+val to_string : t -> string
+
+val to_float : t -> float
+(** Best-effort conversion; loses precision beyond 53 bits. *)
+
+(** {1 Predicates and comparison} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** Euclidean division: [divmod a b = (q, r)] with [a = q*b + r] and
+    [0 <= r < |b|].
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val tdiv : t -> t -> t
+(** Truncated division (rounds toward zero), matching OCaml's [/]. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor; always non-negative. [gcd zero zero = zero]. *)
+
+val pow : t -> int -> t
+(** [pow x n] for [n >= 0].
+    @raise Invalid_argument on a negative exponent. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Arithmetic shift (floor division by a power of two). *)
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,108 @@
+(* Canonical rationals: den > 0, gcd (num, den) = 1, zero is 0/1. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let bi = Bigint.of_int
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den =
+      if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den)
+      else (num, den)
+    in
+    let g = Bigint.gcd num den in
+    { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let minus_one = { num = Bigint.minus_one; den = Bigint.one }
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (bi n)
+let of_ints a b = make (bi a) (bi b)
+
+let num x = x.num
+let den x = x.den
+let sign x = Bigint.sign x.num
+let is_zero x = Bigint.is_zero x.num
+let is_integer x = Bigint.equal x.den Bigint.one
+
+let equal x y = Bigint.equal x.num y.num && Bigint.equal x.den y.den
+
+let compare x y =
+  (* a/b ? c/d  <=>  a*d ? c*b  (b, d > 0). *)
+  Bigint.compare (Bigint.mul x.num y.den) (Bigint.mul y.num x.den)
+
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+let neg x = { x with num = Bigint.neg x.num }
+let abs x = if sign x < 0 then neg x else x
+
+let inv x =
+  if is_zero x then raise Division_by_zero;
+  if Bigint.sign x.num > 0 then { num = x.den; den = x.num }
+  else { num = Bigint.neg x.den; den = Bigint.neg x.num }
+
+let add x y =
+  make
+    (Bigint.add (Bigint.mul x.num y.den) (Bigint.mul y.num x.den))
+    (Bigint.mul x.den y.den)
+
+let sub x y = add x (neg y)
+let mul x y = make (Bigint.mul x.num y.num) (Bigint.mul x.den y.den)
+
+let div x y =
+  if is_zero y then raise Division_by_zero;
+  mul x (inv y)
+
+let mul_int x n = make (Bigint.mul x.num (bi n)) x.den
+let to_bigint_floor x = Bigint.div x.num x.den
+let to_bigint_ceil x = Bigint.neg (Bigint.div (Bigint.neg x.num) x.den)
+let to_int_floor x = Bigint.to_int_exn (to_bigint_floor x)
+let to_int_ceil x = Bigint.to_int_exn (to_bigint_ceil x)
+let floor x = of_bigint (to_bigint_floor x)
+let ceil x = of_bigint (to_bigint_ceil x)
+let frac x = sub x (floor x)
+let to_float x = Bigint.to_float x.num /. Bigint.to_float x.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let a = Bigint.of_string (String.sub s 0 i) in
+    let b = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make a b
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> of_bigint (Bigint.of_string s)
+     | Some i ->
+       let int_part = String.sub s 0 i in
+       let frac_part = String.sub s (i + 1) (String.length s - i - 1) in
+       if frac_part = "" then invalid_arg "Q.of_string: trailing dot";
+       let negative = String.length int_part > 0 && int_part.[0] = '-' in
+       let ip = if int_part = "" || int_part = "-" || int_part = "+"
+         then Bigint.zero else Bigint.of_string int_part in
+       let fp = Bigint.of_string frac_part in
+       let scale = Bigint.pow (bi 10) (String.length frac_part) in
+       let mag = add (of_bigint (Bigint.abs ip)) (make fp scale) in
+       if negative || Bigint.sign ip < 0 then neg mag else mag)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) x y = compare x y < 0
+  let ( <= ) x y = compare x y <= 0
+  let ( > ) x y = compare x y > 0
+  let ( >= ) x y = compare x y >= 0
+end
+
+let to_string x =
+  if is_integer x then Bigint.to_string x.num
+  else Bigint.to_string x.num ^ "/" ^ Bigint.to_string x.den
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -1,0 +1,91 @@
+(** Exact rational arithmetic over {!Bigint}.
+
+    Values are kept in canonical form: the denominator is strictly positive
+    and coprime with the numerator; zero is represented as [0/1]. Canonical
+    form makes structural equality coincide with numerical equality. *)
+
+type t = private { num : Bigint.t; den : Bigint.t }
+
+(** {1 Construction} *)
+
+val zero : t
+val one : t
+val minus_one : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is the normalised rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints a b] is [a/b].
+    @raise Division_by_zero if [b = 0]. *)
+
+val of_string : string -> t
+(** Accepts ["a"], ["a/b"] and decimal notation ["a.b"] with optional sign.
+    @raise Invalid_argument on malformed input. *)
+
+(** {1 Inspection} *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val to_bigint_floor : t -> Bigint.t
+val to_bigint_ceil : t -> Bigint.t
+
+val to_int_floor : t -> int
+(** @raise Failure when out of native-int range. *)
+
+val to_int_ceil : t -> int
+(** @raise Failure when out of native-int range. *)
+
+val to_float : t -> float
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero when the divisor is zero. *)
+
+val mul_int : t -> int -> t
+val floor : t -> t
+val ceil : t -> t
+
+val frac : t -> t
+(** Fractional part: [x - floor x], in [0, 1). *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

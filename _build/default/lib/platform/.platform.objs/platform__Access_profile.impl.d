@@ -1,0 +1,1 @@
+lib/platform/access_profile.ml: Array Format Latency List Op Printf Target

@@ -1,0 +1,1 @@
+lib/platform/access_profile.mli: Format Latency Op Target

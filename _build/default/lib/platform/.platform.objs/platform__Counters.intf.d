@@ -1,0 +1,1 @@
+lib/platform/counters.mli: Format

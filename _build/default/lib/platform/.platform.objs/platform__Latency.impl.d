@@ -1,0 +1,1 @@
+lib/platform/latency.ml: Format List Map Op Printf Target

@@ -1,0 +1,1 @@
+lib/platform/latency.mli: Format Op Target

@@ -1,0 +1,1 @@
+lib/platform/op.ml: Format Int List Target

@@ -1,0 +1,1 @@
+lib/platform/op.mli: Format Target

@@ -1,0 +1,1 @@
+lib/platform/scenario.ml: Deployment Format List Op String Target

@@ -1,0 +1,1 @@
+lib/platform/scenario.mli: Deployment Format Op Target

@@ -1,0 +1,1 @@
+lib/platform/variants.ml: Format Latency List Op Target

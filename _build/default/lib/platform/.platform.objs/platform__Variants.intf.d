@@ -1,0 +1,1 @@
+lib/platform/variants.mli: Format Latency

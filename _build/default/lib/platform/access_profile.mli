@@ -1,0 +1,43 @@
+(** Per-target access counts (PTAC): the vector [n^{t,o}] of SRI requests a
+    task issues, broken down by target resource and operation type.
+
+    This is the paper's central quantity: the ideal model needs it exactly,
+    the TC27x cannot measure it directly (Section 3.3.3), and the ILP-PTAC
+    model searches over all PTAC vectors consistent with the observed stall
+    counters. The simulator also produces ground-truth instances of this
+    type, which the tests use to validate the models' bounds. *)
+
+type t
+
+val zero : t
+val make : ((Target.t * Op.t) * int) list -> t
+(** Unlisted pairs count 0.
+    @raise Invalid_argument on an inadmissible pair or a negative count. *)
+
+val get : t -> Target.t -> Op.t -> int
+val set : t -> Target.t -> Op.t -> int -> t
+val incr : ?by:int -> t -> Target.t -> Op.t -> t
+
+val total : t -> int
+(** [n_x]: all SRI requests (Eq. 5). *)
+
+val total_op : t -> Op.t -> int
+(** [n^{co}_x] or [n^{da}_x]. *)
+
+val total_target : t -> Target.t -> int
+
+val fold : (Target.t -> Op.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Over admissible pairs in {!Op.valid_pairs} order, including zeros. *)
+
+val map2 : (int -> int -> int) -> t -> t -> t
+
+val stall_cycles : Latency.t -> t -> Op.t -> int
+(** Best-case stall cycles this profile produces on the given interface:
+    [Σ_t n^{t,o} · cs^{t,o}] — the synthesis direction of Eqs. 20–23. *)
+
+val scale : int -> t -> t
+val equal : t -> t -> bool
+val dominates : t -> t -> bool
+(** [dominates a b] iff every component of [a] is [>=] that of [b]. *)
+
+val pp : Format.formatter -> t -> unit

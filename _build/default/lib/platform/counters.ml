@@ -1,0 +1,67 @@
+type t = {
+  ccnt : int;
+  pmem_stall : int;
+  dmem_stall : int;
+  pcache_miss : int;
+  dcache_miss_clean : int;
+  dcache_miss_dirty : int;
+}
+
+let zero =
+  {
+    ccnt = 0;
+    pmem_stall = 0;
+    dmem_stall = 0;
+    pcache_miss = 0;
+    dcache_miss_clean = 0;
+    dcache_miss_dirty = 0;
+  }
+
+let add a b =
+  {
+    ccnt = a.ccnt + b.ccnt;
+    pmem_stall = a.pmem_stall + b.pmem_stall;
+    dmem_stall = a.dmem_stall + b.dmem_stall;
+    pcache_miss = a.pcache_miss + b.pcache_miss;
+    dcache_miss_clean = a.dcache_miss_clean + b.dcache_miss_clean;
+    dcache_miss_dirty = a.dcache_miss_dirty + b.dcache_miss_dirty;
+  }
+
+let sub a b =
+  {
+    ccnt = a.ccnt - b.ccnt;
+    pmem_stall = a.pmem_stall - b.pmem_stall;
+    dmem_stall = a.dmem_stall - b.dmem_stall;
+    pcache_miss = a.pcache_miss - b.pcache_miss;
+    dcache_miss_clean = a.dcache_miss_clean - b.dcache_miss_clean;
+    dcache_miss_dirty = a.dcache_miss_dirty - b.dcache_miss_dirty;
+  }
+
+let scale_div c ~num ~den =
+  if den <= 0 || num < 0 then invalid_arg "Counters.scale_div";
+  let f v = ((v * num) + den - 1) / den in
+  {
+    ccnt = f c.ccnt;
+    pmem_stall = f c.pmem_stall;
+    dmem_stall = f c.dmem_stall;
+    pcache_miss = f c.pcache_miss;
+    dcache_miss_clean = f c.dcache_miss_clean;
+    dcache_miss_dirty = f c.dcache_miss_dirty;
+  }
+
+let equal a b = a = b
+
+let is_valid c =
+  c.ccnt >= 0 && c.pmem_stall >= 0 && c.dmem_stall >= 0 && c.pcache_miss >= 0
+  && c.dcache_miss_clean >= 0 && c.dcache_miss_dirty >= 0
+  && c.pmem_stall <= c.ccnt && c.dmem_stall <= c.ccnt
+
+let pp fmt c =
+  Format.fprintf fmt
+    "@[<v>CCNT        = %d@,PMEM_STALL  = %d@,DMEM_STALL  = %d@,PCACHE_MISS = %d@,D$_MISS_CLN = %d@,D$_MISS_DRT = %d@]"
+    c.ccnt c.pmem_stall c.dmem_stall c.pcache_miss c.dcache_miss_clean
+    c.dcache_miss_dirty
+
+let pp_row fmt c =
+  Format.fprintf fmt "%8d %6d %6d %9d %9d" c.pcache_miss c.dcache_miss_clean
+    c.dcache_miss_dirty c.pmem_stall c.dmem_stall

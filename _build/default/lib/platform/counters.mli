@@ -1,0 +1,43 @@
+(** Debug-counter readings exposed by the TC27x Debug Support Unit.
+
+    The contention models consume exactly the counters of the paper's
+    Table 4, collected per core over one run:
+    - [ccnt]: on-chip cycle counter (execution time);
+    - [pmem_stall] (PS): cycles the pipeline stalled on the program memory
+      interface;
+    - [dmem_stall] (DS): cycles the pipeline stalled on the data memory
+      interface;
+    - [pcache_miss] (PM): instruction-cache miss count;
+    - [dcache_miss_clean] (DMC) / [dcache_miss_dirty] (DMD): data-cache
+      misses without / with a dirty-line write-back. *)
+
+type t = {
+  ccnt : int;
+  pmem_stall : int;
+  dmem_stall : int;
+  pcache_miss : int;
+  dcache_miss_clean : int;
+  dcache_miss_dirty : int;
+}
+
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Pointwise; used to scope readings to a program fragment. *)
+
+val scale_div : t -> num:int -> den:int -> t
+(** Pointwise [ceil (v * num / den)] — scaling counter envelopes (e.g.
+    building contender templates).
+    @raise Invalid_argument on non-positive [den] or negative [num]. *)
+
+val equal : t -> t -> bool
+
+val is_valid : t -> bool
+(** All fields non-negative and no counter exceeds [ccnt] where that would
+    be physically impossible (stall cycles are a subset of cycles). *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_row : Format.formatter -> t -> unit
+(** One-line [PM DMC DMD PS DS] rendering matching the paper's Table 6
+    column order. *)

@@ -1,0 +1,96 @@
+type cacheability = Cacheable | Non_cacheable
+
+type placement = Scratchpad | Shared of Target.t * cacheability
+
+(* Table 3. The only inadmissible combinations are: anything on the data
+   flash except non-cacheable data, and non-cacheable data on program
+   flash. *)
+let admissible op cacheability target =
+  match (op, cacheability, target) with
+  | Op.Code, _, Target.Dfl -> false
+  | Op.Code, _, (Target.Pf0 | Target.Pf1 | Target.Lmu) -> true
+  | Op.Data, Cacheable, Target.Dfl -> false
+  | Op.Data, Cacheable, (Target.Pf0 | Target.Pf1 | Target.Lmu) -> true
+  | Op.Data, Non_cacheable, (Target.Dfl | Target.Lmu) -> true
+  | Op.Data, Non_cacheable, (Target.Pf0 | Target.Pf1) -> false
+
+let check_placement op = function
+  | Scratchpad -> Ok ()
+  | Shared (target, c) ->
+    if admissible op c target then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s %s on %s is not admissible (Table 3)"
+           (match c with Cacheable -> "cacheable" | Non_cacheable -> "non-cacheable")
+           (match op with Op.Code -> "code" | Op.Data -> "data")
+           (Target.to_string target))
+
+type section = { kind : Op.t; place : placement; label : string }
+type t = { name : string; sections : section list }
+
+let make ~name sections =
+  let rec check = function
+    | [] -> Ok { name; sections }
+    | s :: rest ->
+      (match check_placement s.kind s.place with
+       | Ok () -> check rest
+       | Error e -> Error (Printf.sprintf "section %s: %s" s.label e))
+  in
+  check sections
+
+let make_exn ~name sections =
+  match make ~name sections with
+  | Ok d -> d
+  | Error e -> invalid_arg ("Deployment.make_exn: " ^ e)
+
+let sri_pairs d =
+  let present (target, op) =
+    List.exists
+      (fun s ->
+         match s.place with
+         | Scratchpad -> false
+         | Shared (t, _) -> Target.equal t target && Op.equal s.kind op)
+      d.sections
+  in
+  List.filter present Op.valid_pairs
+
+let code_counted_by_pcache_miss d =
+  List.for_all
+    (fun s ->
+       match (s.kind, s.place) with
+       | Op.Code, Shared (_, Non_cacheable) -> false
+       | _ -> true)
+    d.sections
+
+let data_all_cacheable_on d =
+  List.filter
+    (fun target ->
+       let data_sections_on =
+         List.filter
+           (fun s ->
+              match (s.kind, s.place) with
+              | Op.Data, Shared (t, _) -> Target.equal t target
+              | _ -> false)
+           d.sections
+       in
+       data_sections_on <> []
+       && List.for_all
+            (fun s ->
+               match s.place with
+               | Shared (_, Cacheable) -> true
+               | Shared (_, Non_cacheable) | Scratchpad -> false)
+            data_sections_on)
+    Target.all
+
+let pp fmt d =
+  Format.fprintf fmt "@[<v>deployment %s:@," d.name;
+  List.iter
+    (fun s ->
+       Format.fprintf fmt "  %-12s %-4s -> %s@," s.label
+         (Op.to_string s.kind)
+         (match s.place with
+          | Scratchpad -> "scratchpad"
+          | Shared (t, Cacheable) -> Target.to_string t ^ " ($)"
+          | Shared (t, Non_cacheable) -> Target.to_string t ^ " (n$)"))
+    d.sections;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,48 @@
+(** Deployment configurations: where code and data live and with which
+    cacheability — the paper's Table 3 admissibility matrix and the two
+    reference scenarios of Figure 3.
+
+    System software statically maps stack, functions and data onto local
+    scratchpads or the shared memories, in cacheable or non-cacheable mode;
+    the contention model takes this layout as input to restrict the
+    feasible per-target access counts. *)
+
+type cacheability = Cacheable | Non_cacheable
+
+type placement =
+  | Scratchpad  (** core-local PSPR/DSPR: generates no SRI traffic *)
+  | Shared of Target.t * cacheability
+
+val admissible : Op.t -> cacheability -> Target.t -> bool
+(** Table 3: cacheable/non-cacheable code and cacheable data may be placed
+    on pf0, pf1 or the LMU, never the data flash; non-cacheable data may be
+    placed only on the data flash or the LMU. *)
+
+val check_placement : Op.t -> placement -> (unit, string) result
+(** Validates a placement against {!admissible}. Scratchpad placements are
+    always admissible. *)
+
+type section = { kind : Op.t; place : placement; label : string }
+(** A contiguous program section (function group or data block). *)
+
+type t = { name : string; sections : section list }
+(** A full deployment configuration. *)
+
+val make : name:string -> section list -> (t, string) result
+(** Builds a configuration, validating every section. *)
+
+val make_exn : name:string -> section list -> t
+(** @raise Invalid_argument if a section is inadmissible. *)
+
+val sri_pairs : t -> (Target.t * Op.t) list
+(** Distinct (target, op) pairs on which this deployment can generate SRI
+    traffic (scratchpad sections excluded), in {!Op.valid_pairs} order. *)
+
+val code_counted_by_pcache_miss : t -> bool
+(** Whether PCACHE_MISS counts exactly the SRI code requests: true iff every
+    non-scratchpad code section is cacheable (as in both paper scenarios). *)
+
+val data_all_cacheable_on : t -> Target.t list
+(** Targets that receive only cacheable data from this deployment. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+(** SRI transaction timing constants — the paper's Table 2.
+
+    For every admissible (target, operation) pair the table records:
+    - [lmax]: the maximum observable end-to-end latency of a single SRI
+      transaction in isolation — the per-request delay a contender can
+      inflict (Eq. 1, Eq. 9);
+    - [lmin]: the minimum observable end-to-end latency;
+    - [min_stall] ([cs^{t,o}]): the lowest number of pipeline stall cycles a
+      single request of that type can contribute to PMEM_STALL / DMEM_STALL,
+      after prefetching and SRI pipelining — the divisor that turns stall
+      readings into access-count upper bounds (Eq. 4).
+
+    The LMU additionally has a dirty-miss latency ([lmax_dirty]) paid when a
+    cacheable LMU access evicts a dirty line (Table 2 reports it in
+    brackets: 21 vs 11). *)
+
+type entry = { lmax : int; lmin : int; min_stall : int }
+
+type t
+(** A complete timing table. *)
+
+val default : t
+(** Table 2 of the paper:
+    {v
+             lmu      pf0/pf1   dfl
+    lmax     11 (21)  16        43
+    lmin     11       12        43
+    cs co    11       6         -
+    cs da    10       11        42
+    v} *)
+
+val make : (Target.t * Op.t * entry) list -> lmu_dirty_lmax:int -> t
+(** Builds a table from explicit entries; every admissible pair from
+    {!Op.valid_pairs} must be present and satisfy
+    [1 <= min_stall <= lmin <= lmax] (the stall floor is achieved under
+    streaming, and every observable wait is at least [lmin]).
+    @raise Invalid_argument if a pair is missing, duplicated or invalid. *)
+
+val entry : t -> Target.t -> Op.t -> entry
+(** @raise Invalid_argument on an inadmissible pair (code to dfl). *)
+
+val lmax : t -> Target.t -> Op.t -> int
+val lmin : t -> Target.t -> Op.t -> int
+val min_stall : t -> Target.t -> Op.t -> int
+val lmu_dirty_lmax : t -> int
+
+val lmax_op : ?dirty:bool -> t -> Target.t -> Op.t -> int
+(** [lmax] with the LMU dirty-miss latency substituted when [dirty] is set
+    and the pair is (lmu, data). Default [dirty = false]. *)
+
+val cs_min : t -> Op.t -> int
+(** Eqs. 2–3: the minimum stall cycles over all targets admissible for the
+    given operation type — [cs^{co}_{min}] or [cs^{da}_{min}]. *)
+
+val worst_latency : ?dirty:bool -> t -> Op.t -> int
+(** Eqs. 6–7: the largest delay a request of the given type can suffer from
+    a co-runner request on any target it may share — [l^{co}_{max}] or
+    [l^{da}_{max}]. With [dirty] the LMU dirty-miss latency is considered
+    (the fTC assumption the paper calls out for Scenario 2). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,123 @@
+type constraint_spec =
+  | Zero of Target.t * Op.t
+  | Code_sum_equals_pcache_miss of Target.t list
+  | Data_sum_at_least_dcache_misses of Target.t list
+
+type t = {
+  name : string;
+  description : string;
+  deployment : Deployment.t;
+  specs : constraint_spec list;
+}
+
+let section kind label place = { Deployment.kind; place; label }
+let shared t c = Deployment.Shared (t, c)
+
+let scenario1 =
+  {
+    name = "scenario1";
+    description =
+      "code: scratchpad + cacheable pf0/pf1; data: scratchpad + \
+       non-cacheable shared lmu";
+    deployment =
+      Deployment.make_exn ~name:"scenario1"
+        [
+          section Op.Code "code_local" Deployment.Scratchpad;
+          section Op.Code "code_pf0" (shared Target.Pf0 Deployment.Cacheable);
+          section Op.Code "code_pf1" (shared Target.Pf1 Deployment.Cacheable);
+          section Op.Data "data_local" Deployment.Scratchpad;
+          section Op.Data "data_shared"
+            (shared Target.Lmu Deployment.Non_cacheable);
+        ];
+    specs =
+      [
+        Zero (Target.Dfl, Op.Data);
+        Zero (Target.Lmu, Op.Code);
+        Zero (Target.Pf0, Op.Data);
+        Zero (Target.Pf1, Op.Data);
+        Code_sum_equals_pcache_miss [ Target.Pf0; Target.Pf1 ];
+      ];
+  }
+
+let scenario2 =
+  {
+    name = "scenario2";
+    description =
+      "code: scratchpad + cacheable pf0/pf1; data: scratchpad + lmu \
+       ($ and n$) + constant cacheable pf0/pf1";
+    deployment =
+      Deployment.make_exn ~name:"scenario2"
+        [
+          section Op.Code "code_local" Deployment.Scratchpad;
+          section Op.Code "code_pf0" (shared Target.Pf0 Deployment.Cacheable);
+          section Op.Code "code_pf1" (shared Target.Pf1 Deployment.Cacheable);
+          section Op.Data "data_local" Deployment.Scratchpad;
+          section Op.Data "data_lmu_nc"
+            (shared Target.Lmu Deployment.Non_cacheable);
+          section Op.Data "data_lmu_c" (shared Target.Lmu Deployment.Cacheable);
+          section Op.Data "const_pf0" (shared Target.Pf0 Deployment.Cacheable);
+          section Op.Data "const_pf1" (shared Target.Pf1 Deployment.Cacheable);
+        ];
+    specs =
+      [
+        Zero (Target.Dfl, Op.Data);
+        Zero (Target.Lmu, Op.Code);
+        Code_sum_equals_pcache_miss [ Target.Pf0; Target.Pf1 ];
+        Data_sum_at_least_dcache_misses [ Target.Pf0; Target.Pf1; Target.Lmu ];
+      ];
+  }
+
+let unrestricted =
+  {
+    name = "unrestricted";
+    description = "no deployment knowledge; all admissible pairs allowed";
+    deployment =
+      Deployment.make_exn ~name:"unrestricted"
+        [
+          section Op.Code "code_pf0" (shared Target.Pf0 Deployment.Cacheable);
+          section Op.Code "code_pf1" (shared Target.Pf1 Deployment.Cacheable);
+          section Op.Code "code_lmu" (shared Target.Lmu Deployment.Cacheable);
+          section Op.Data "data_pf0" (shared Target.Pf0 Deployment.Cacheable);
+          section Op.Data "data_pf1" (shared Target.Pf1 Deployment.Cacheable);
+          section Op.Data "data_lmu"
+            (shared Target.Lmu Deployment.Non_cacheable);
+          section Op.Data "data_dfl"
+            (shared Target.Dfl Deployment.Non_cacheable);
+        ];
+    specs = [];
+  }
+
+let all = [ scenario1; scenario2; unrestricted ]
+
+let zero_pairs s =
+  List.filter_map (function Zero (t, o) -> Some (t, o) | _ -> None) s.specs
+
+let allowed_pairs s =
+  let zeros = zero_pairs s in
+  List.filter
+    (fun (t, o) ->
+       not
+         (List.exists
+            (fun (zt, zo) -> Target.equal zt t && Op.equal zo o)
+            zeros))
+    Op.valid_pairs
+
+let find name = List.find_opt (fun s -> s.name = name) all
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>%s: %s@,%a@,tailoring:@," s.name s.description
+    Deployment.pp s.deployment;
+  List.iter
+    (fun spec ->
+       match spec with
+       | Zero (t, o) ->
+         Format.fprintf fmt "  n[%s,%s] = 0@," (Target.to_string t)
+           (Op.to_string o)
+       | Code_sum_equals_pcache_miss ts ->
+         Format.fprintf fmt "  sum code over {%s} = PCACHE_MISS@,"
+           (String.concat "," (List.map Target.to_string ts))
+       | Data_sum_at_least_dcache_misses ts ->
+         Format.fprintf fmt "  sum data over {%s} >= DMC+DMD@,"
+           (String.concat "," (List.map Target.to_string ts)))
+    s.specs;
+  Format.fprintf fmt "@]"

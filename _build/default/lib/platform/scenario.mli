@@ -1,0 +1,53 @@
+(** Deployment scenarios and the model-tailoring facts they justify
+    (paper Figure 3 and Table 5).
+
+    A scenario bundles a deployment configuration with the *exact*
+    information that configuration makes derivable from debug counters —
+    e.g. when all SRI code is cacheable, PCACHE_MISS counts SRI code
+    requests exactly. The ILP-PTAC model turns each {!constraint_spec} into
+    additional ILP constraints; the fTC model can only exploit them for the
+    task under analysis (Section 4.1). *)
+
+type constraint_spec =
+  | Zero of Target.t * Op.t
+      (** [n^{t,o}_x = 0]: the deployment generates no such traffic. *)
+  | Code_sum_equals_pcache_miss of Target.t list
+      (** [Σ_{t∈list} n^{t,co}_x = PM_x]: all SRI code is cacheable, so the
+          I-cache miss counter is the exact SRI code request count. *)
+  | Data_sum_at_least_dcache_misses of Target.t list
+      (** [Σ_{t∈list} n^{t,da}_x ≥ DMC_x + DMD_x]: cacheable data misses
+          are SRI data requests to one of the listed targets (which one is
+          unknown — Scenario 2's partial information). *)
+
+type t = {
+  name : string;
+  description : string;
+  deployment : Deployment.t;
+  specs : constraint_spec list;
+}
+
+val scenario1 : t
+(** Figure 3a: code and data partly in scratchpads; remaining (cacheable)
+    code fetched from pf0/pf1; non-cacheable shared data in the LMU.
+    Tailoring (Table 5, left): no dfl data, no lmu code, no pf data;
+    pf0+pf1 code = PCACHE_MISS. *)
+
+val scenario2 : t
+(** Figure 3b: code and data partly in scratchpads; cacheable code on
+    pf0/pf1; data on the LMU (cacheable and non-cacheable) and constant
+    cacheable data on pf0/pf1. Tailoring (Table 5, right): no dfl data, no
+    lmu code; pf0+pf1 code = PCACHE_MISS; pf0+pf1+lmu data ≥ DMC+DMD. *)
+
+val unrestricted : t
+(** No deployment knowledge: every admissible (target, op) pair allowed and
+    no tailoring constraints — the weakest, fully conservative setting. *)
+
+val all : t list
+
+val allowed_pairs : t -> (Target.t * Op.t) list
+(** (target, op) pairs not excluded by a [Zero] spec, in
+    {!Op.valid_pairs} order. *)
+
+val zero_pairs : t -> (Target.t * Op.t) list
+val find : string -> t option
+val pp : Format.formatter -> t -> unit

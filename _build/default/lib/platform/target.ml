@@ -1,0 +1,25 @@
+type t = Dfl | Pf0 | Pf1 | Lmu
+
+let all = [ Dfl; Pf0; Pf1; Lmu ]
+let code_targets = [ Pf0; Pf1; Lmu ]
+let data_targets = [ Dfl; Pf0; Pf1; Lmu ]
+let is_flash = function Dfl | Pf0 | Pf1 -> true | Lmu -> false
+let equal a b = a = b
+
+let rank = function Dfl -> 0 | Pf0 -> 1 | Pf1 -> 2 | Lmu -> 3
+let compare a b = Int.compare (rank a) (rank b)
+
+let to_string = function
+  | Dfl -> "dfl"
+  | Pf0 -> "pf0"
+  | Pf1 -> "pf1"
+  | Lmu -> "lmu"
+
+let of_string = function
+  | "dfl" -> Some Dfl
+  | "pf0" -> Some Pf0
+  | "pf1" -> Some Pf1
+  | "lmu" -> Some Lmu
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,56 @@
+type t = { name : string; description : string; latency : Latency.t }
+
+let entry lmax lmin min_stall = { Latency.lmax; lmin; min_stall }
+
+let tc277 =
+  {
+    name = "tc277";
+    description = "TC27x reference constants (paper Table 2)";
+    latency = Latency.default;
+  }
+
+let tc27x_slow_flash =
+  let pf_co = entry 20 14 8 in
+  let pf_da = entry 20 14 13 in
+  {
+    name = "tc27x-slow-flash";
+    description = "derivative with higher flash wait states";
+    latency =
+      Latency.make
+        [
+          (Target.Lmu, Op.Code, entry 11 11 11);
+          (Target.Lmu, Op.Data, entry 11 11 10);
+          (Target.Pf0, Op.Code, pf_co);
+          (Target.Pf0, Op.Data, pf_da);
+          (Target.Pf1, Op.Code, pf_co);
+          (Target.Pf1, Op.Data, pf_da);
+          (Target.Dfl, Op.Data, entry 50 50 49);
+        ]
+        ~lmu_dirty_lmax:21;
+  }
+
+let tc27x_fast_lmu =
+  let pf_co = entry 16 12 6 in
+  let pf_da = entry 16 12 11 in
+  {
+    name = "tc27x-fast-lmu";
+    description = "derivative with a lower-latency LMU SRAM path";
+    latency =
+      Latency.make
+        [
+          (Target.Lmu, Op.Code, entry 8 8 8);
+          (Target.Lmu, Op.Data, entry 8 8 7);
+          (Target.Pf0, Op.Code, pf_co);
+          (Target.Pf0, Op.Data, pf_da);
+          (Target.Pf1, Op.Code, pf_co);
+          (Target.Pf1, Op.Data, pf_da);
+          (Target.Dfl, Op.Data, entry 43 43 42);
+        ]
+        ~lmu_dirty_lmax:16;
+  }
+
+let all = [ tc277; tc27x_slow_flash; tc27x_fast_lmu ]
+let find name = List.find_opt (fun v -> v.name = name) all
+
+let pp fmt v =
+  Format.fprintf fmt "@[<v>%s: %s@,%a@]" v.name v.description Latency.pp v.latency

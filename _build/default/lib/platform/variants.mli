@@ -1,0 +1,26 @@
+(** TriCore family variants (paper Section 4.3, "Adaptability to other
+    platforms").
+
+    The contention models are parameterised entirely by the latency/stall
+    table and the deployment scenarios, so porting them to another TriCore
+    derivative amounts to re-running the calibration microbenchmarks and
+    swapping the table. This module collects the TC277 reference constants
+    plus illustrative derivative timings (the paper names the family but
+    publishes constants only for the TC27x; the variants here exercise the
+    portability path end to end, they are not datasheet values). *)
+
+type t = { name : string; description : string; latency : Latency.t }
+
+val tc277 : t
+(** The paper's reference platform: Table 2 constants. *)
+
+val tc27x_slow_flash : t
+(** A derivative running the flash interfaces at higher wait states
+    (e.g. a faster core clock against the same flash macro). *)
+
+val tc27x_fast_lmu : t
+(** A derivative with a lower-latency LMU SRAM path. *)
+
+val all : t list
+val find : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/schedule/integration.ml: Contention Counters Format Hashtbl List Mbta Platform Printf Rta Scenario Task Tcsim

@@ -1,0 +1,1 @@
+lib/schedule/integration.mli: Contention Format Platform Rta Scenario Tcsim

@@ -1,0 +1,1 @@
+lib/schedule/rta.ml: Format List Task

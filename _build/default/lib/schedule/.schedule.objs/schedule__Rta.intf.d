@@ -1,0 +1,1 @@
+lib/schedule/rta.mli: Format Task

@@ -1,0 +1,59 @@
+type verdict = { task : Task.t; response : int option }
+type t = { verdicts : verdict list; schedulable : bool }
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Fixed-point iteration for one task given its higher-priority set. *)
+let response_of task hp =
+  let demand r =
+    List.fold_left
+      (fun acc (j : Task.t) -> acc + (ceil_div r j.Task.period * j.Task.wcet))
+      task.Task.wcet hp
+  in
+  let rec iterate r =
+    if r > task.Task.deadline then None
+    else begin
+      let r' = demand r in
+      if r' = r then Some r else iterate r'
+    end
+  in
+  iterate task.Task.wcet
+
+let analyse tasks =
+  let sorted = Task.by_priority tasks in
+  let verdicts =
+    List.mapi
+      (fun i task ->
+         let hp = List.filteri (fun j _ -> j < i) sorted in
+         { task; response = response_of task hp })
+      sorted
+  in
+  {
+    verdicts;
+    schedulable =
+      List.for_all
+        (fun v ->
+           match v.response with
+           | Some r -> r <= v.task.Task.deadline
+           | None -> false)
+        verdicts;
+  }
+
+let response_time tasks task =
+  let r = analyse tasks in
+  let v = List.find (fun v -> v.task.Task.name = task.Task.name) r.verdicts in
+  v.response
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%-14s %10s %10s %10s %s@," "task" "wcet" "deadline"
+    "response" "ok";
+  List.iter
+    (fun v ->
+       Format.fprintf fmt "%-14s %10d %10d %10s %s@," v.task.Task.name
+         v.task.Task.wcet v.task.Task.deadline
+         (match v.response with Some r -> string_of_int r | None -> "-")
+         (match v.response with
+          | Some r when r <= v.task.Task.deadline -> "yes"
+          | _ -> "MISS"))
+    t.verdicts;
+  Format.fprintf fmt "schedulable: %b@]" t.schedulable

@@ -1,0 +1,30 @@
+(** Response-time analysis for fixed-priority preemptive scheduling on one
+    core (Joseph & Pandya / Audsley): the standard V&V step the paper's
+    contention-aware WCETs feed into.
+
+    The worst-case response time of task [i] is the least fixed point of
+
+    [R_i = C_i + Σ_{j ∈ hp(i)} ⌈R_i / T_j⌉ · C_j]
+
+    computed by iteration from [R_i = C_i]; the task set is schedulable
+    iff every response time exists and meets its deadline. *)
+
+type verdict = {
+  task : Task.t;
+  response : int option;
+      (** [None] when the iteration exceeds the deadline (unschedulable) *)
+}
+
+type t = {
+  verdicts : verdict list;  (** most-urgent first *)
+  schedulable : bool;
+}
+
+val analyse : Task.t list -> t
+(** @raise Invalid_argument on duplicate priorities. *)
+
+val response_time : Task.t list -> Task.t -> int option
+(** Response time of one task within its task set (matched by name).
+    @raise Not_found if the task is not in the set. *)
+
+val pp : Format.formatter -> t -> unit

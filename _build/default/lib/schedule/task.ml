@@ -1,0 +1,40 @@
+type t = {
+  name : string;
+  period : int;
+  deadline : int;
+  wcet : int;
+  priority : int;
+}
+
+let make ~name ~period ?deadline ~wcet ~priority () =
+  let deadline = match deadline with Some d -> d | None -> period in
+  if period <= 0 then invalid_arg "Task.make: non-positive period";
+  if wcet <= 0 then invalid_arg "Task.make: non-positive wcet";
+  if deadline <= 0 || deadline > period then
+    invalid_arg "Task.make: deadline outside (0, period]";
+  { name; period; deadline; wcet; priority }
+
+let with_wcet t wcet =
+  if wcet <= 0 then invalid_arg "Task.with_wcet: non-positive wcet";
+  { t with wcet }
+
+let utilization t = float_of_int t.wcet /. float_of_int t.period
+let total_utilization ts = List.fold_left (fun acc t -> acc +. utilization t) 0. ts
+
+let by_priority ts =
+  let sorted = List.sort (fun a b -> compare a.priority b.priority) ts in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      if a.priority = b.priority then
+        invalid_arg
+          (Printf.sprintf "Task.by_priority: %s and %s share priority %d" a.name
+             b.name a.priority);
+      check rest
+    | _ -> ()
+  in
+  check sorted;
+  sorted
+
+let pp fmt t =
+  Format.fprintf fmt "%s(T=%d D=%d C=%d P=%d)" t.name t.period t.deadline t.wcet
+    t.priority

@@ -1,0 +1,33 @@
+(** Periodic real-time tasks.
+
+    The paper's integration setting (Section 1): OEMs hand software
+    providers time budgets; each provider must show its tasks meet them.
+    A task here is the schedulable unit an AUTOSAR runnable maps to:
+    period, relative deadline, a WCET budget in cycles, and a fixed
+    priority (lower number = more urgent, as usual in RTA literature). *)
+
+type t = {
+  name : string;
+  period : int;  (** inter-arrival time, cycles *)
+  deadline : int;  (** relative deadline, cycles; <= period here *)
+  wcet : int;  (** execution budget, cycles *)
+  priority : int;  (** fixed priority, lower = more urgent, unique per core *)
+}
+
+val make :
+  name:string -> period:int -> ?deadline:int -> wcet:int -> priority:int -> unit -> t
+(** [deadline] defaults to the period (implicit deadlines).
+    @raise Invalid_argument on non-positive period/wcet, or a deadline
+    outside (0, period]. *)
+
+val with_wcet : t -> int -> t
+(** Same task with a replaced WCET (e.g. contention-inflated). *)
+
+val utilization : t -> float
+val total_utilization : t list -> float
+
+val by_priority : t list -> t list
+(** Sorted most-urgent first.
+    @raise Invalid_argument on duplicate priorities. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tcsim/cache.ml: Array

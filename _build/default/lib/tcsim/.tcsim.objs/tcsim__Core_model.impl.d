@@ -1,0 +1,1 @@
+lib/tcsim/core_model.ml: Cache Counters Latency Memory_map Op Option Platform Printf Program Sri Target

@@ -1,0 +1,1 @@
+lib/tcsim/core_model.mli: Cache Platform Program Sri

@@ -1,0 +1,1 @@
+lib/tcsim/machine.ml: Access_profile Array Core_model Counters Hashtbl Latency List Platform Printf Program Sri Trace

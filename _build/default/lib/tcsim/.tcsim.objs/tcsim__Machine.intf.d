@@ -1,0 +1,1 @@
+lib/tcsim/machine.mli: Access_profile Core_model Counters Latency Platform Program Trace

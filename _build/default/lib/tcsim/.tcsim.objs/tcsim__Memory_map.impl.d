@@ -1,0 +1,1 @@
+lib/tcsim/memory_map.ml: Format Platform Printf Target

@@ -1,0 +1,1 @@
+lib/tcsim/memory_map.mli: Format Platform

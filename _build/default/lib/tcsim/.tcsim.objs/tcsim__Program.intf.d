@@ -1,0 +1,1 @@
+lib/tcsim/program.mli:

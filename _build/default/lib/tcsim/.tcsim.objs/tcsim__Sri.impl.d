@@ -1,0 +1,1 @@
+lib/tcsim/sri.ml: Access_profile Array Latency List Memory_map Op Platform Printf Target Trace

@@ -1,0 +1,1 @@
+lib/tcsim/sri.mli: Access_profile Latency Op Platform Target Trace

@@ -1,0 +1,1 @@
+lib/tcsim/stats.ml: Access_profile Counters Format List Machine Platform Printf Target Trace

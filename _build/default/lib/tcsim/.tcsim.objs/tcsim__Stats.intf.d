@@ -1,0 +1,1 @@
+lib/tcsim/stats.mli: Format Machine Platform Target

@@ -1,0 +1,1 @@
+lib/tcsim/trace.ml: Access_profile Buffer Format List Op Platform Printf Target

@@ -1,0 +1,1 @@
+lib/tcsim/trace.mli: Access_profile Format Op Platform Target

@@ -1,0 +1,108 @@
+type geometry = { size_bytes : int; ways : int; line_bytes : int }
+
+let tc16p_icache = { size_bytes = 16 * 1024; ways = 2; line_bytes = 32 }
+let tc16p_dcache = { size_bytes = 8 * 1024; ways = 2; line_bytes = 32 }
+let tc16e_icache = { size_bytes = 8 * 1024; ways = 2; line_bytes = 32 }
+
+type line = { mutable tag : int; mutable valid : bool; mutable dirty : bool; mutable stamp : int }
+
+type t = {
+  geom : geometry;
+  sets : line array array;
+  nsets : int;
+  set_shift : int; (* log2 nsets *)
+  mutable clock : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create geom =
+  if not (is_pow2 geom.line_bytes) then
+    invalid_arg "Cache.create: line size must be a power of two";
+  if geom.ways < 1 || geom.size_bytes < 1 then invalid_arg "Cache.create: bad geometry";
+  if geom.size_bytes mod (geom.ways * geom.line_bytes) <> 0 then
+    invalid_arg "Cache.create: size not divisible by ways*line";
+  let nsets = geom.size_bytes / (geom.ways * geom.line_bytes) in
+  if not (is_pow2 nsets) then invalid_arg "Cache.create: set count must be a power of two";
+  let sets =
+    Array.init nsets (fun _ ->
+        Array.init geom.ways (fun _ ->
+            { tag = 0; valid = false; dirty = false; stamp = 0 }))
+  in
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  {
+    geom;
+    sets;
+    nsets;
+    set_shift = log2 nsets 0;
+    clock = 0;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+type outcome = Hit | Miss of { victim : int option }
+
+let locate c addr =
+  let line_addr = addr / c.geom.line_bytes in
+  let set_idx = line_addr land (c.nsets - 1) in
+  let tag = line_addr lsr c.set_shift in
+  (set_idx, tag)
+
+let access c ~addr ~write =
+  c.clock <- c.clock + 1;
+  let set_idx, tag = locate c addr in
+  let set = c.sets.(set_idx) in
+  let found = ref None in
+  Array.iter
+    (fun l -> if l.valid && l.tag = tag && !found = None then found := Some l)
+    set;
+  match !found with
+  | Some l ->
+    l.stamp <- c.clock;
+    if write then l.dirty <- true;
+    c.hit_count <- c.hit_count + 1;
+    Hit
+  | None ->
+    c.miss_count <- c.miss_count + 1;
+    (* choose victim: first invalid way, else least-recently used *)
+    let victim_line = ref set.(0) in
+    Array.iter
+      (fun l ->
+         let v = !victim_line in
+         if not l.valid then begin
+           if v.valid then victim_line := l
+         end
+         else if v.valid && l.stamp < v.stamp then victim_line := l)
+      set;
+    let v = !victim_line in
+    let victim =
+      if v.valid && v.dirty then begin
+        (* reconstruct the victim's line-aligned address *)
+        let line_addr = (v.tag * c.nsets) + set_idx in
+        Some (line_addr * c.geom.line_bytes)
+      end
+      else None
+    in
+    v.tag <- tag;
+    v.valid <- true;
+    v.dirty <- write;
+    v.stamp <- c.clock;
+    Miss { victim }
+
+let probe c ~addr =
+  let set_idx, tag = locate c addr in
+  Array.exists (fun l -> l.valid && l.tag = tag) c.sets.(set_idx)
+
+let flush c =
+  Array.iter
+    (Array.iter (fun l ->
+         l.valid <- false;
+         l.dirty <- false;
+         l.stamp <- 0))
+    c.sets
+
+let geometry c = c.geom
+let hits c = c.hit_count
+let misses c = c.miss_count

@@ -1,0 +1,44 @@
+(** Set-associative cache with true-LRU replacement and write-back,
+    write-allocate policy.
+
+    Models the TC1.6P instruction cache (16 KiB, 2-way) and data cache
+    (8 KiB, 2-way), 32-byte lines. The simulator only needs hit/miss and
+    victim information; no data contents are stored. *)
+
+type geometry = { size_bytes : int; ways : int; line_bytes : int }
+
+val tc16p_icache : geometry
+(** 16 KiB, 2-way, 32-byte lines. *)
+
+val tc16p_dcache : geometry
+(** 8 KiB, 2-way, 32-byte lines. *)
+
+val tc16e_icache : geometry
+(** 8 KiB, 2-way, 32-byte lines (the 1.6E efficiency core). *)
+
+type t
+
+val create : geometry -> t
+(** @raise Invalid_argument unless sizes are positive powers of two and
+    [size_bytes] is divisible by [ways * line_bytes]. *)
+
+type outcome =
+  | Hit
+  | Miss of { victim : int option }
+      (** Allocated after a miss; [victim] is the line-aligned address of
+          the evicted {e dirty} line, if the victim needed a write-back. *)
+
+val access : t -> addr:int -> write:bool -> outcome
+(** Looks up the line containing [addr]; on a miss the line is allocated
+    (write-allocate) and the LRU way evicted. A write marks the line
+    dirty. *)
+
+val probe : t -> addr:int -> bool
+(** Non-destructive lookup: would [addr] hit? *)
+
+val flush : t -> unit
+(** Invalidate everything (drops dirty lines; used between runs). *)
+
+val geometry : t -> geometry
+val hits : t -> int
+val misses : t -> int

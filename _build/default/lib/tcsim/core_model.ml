@@ -1,0 +1,205 @@
+open Platform
+
+type kind = P16 | E16
+
+type config = {
+  kind : kind;
+  icache : Cache.geometry option;
+  dcache : Cache.geometry option;
+}
+
+let p16_config =
+  { kind = P16; icache = Some Cache.tc16p_icache; dcache = Some Cache.tc16p_dcache }
+
+let e16_config = { kind = E16; icache = Some Cache.tc16e_icache; dcache = None }
+
+type phase =
+  | Start
+  | Busy of int (* remaining cycles after the current one *)
+  | Wait_fetch of Sri.ticket * Program.instr
+  | Wait_writeback of Sri.ticket * (Target.t * int * bool) (* pending fill *)
+  | Wait_data of Sri.ticket
+  | Done
+
+type t = {
+  core_id : int;
+  sri : Sri.t;
+  icache : Cache.t option;
+  dcache : Cache.t option;
+  walker : Program.Walker.t;
+  mutable phase : phase;
+  mutable ccnt : int;
+  mutable pmem_stall : int;
+  mutable dmem_stall : int;
+  mutable pcache_miss : int;
+  mutable dcache_miss_clean : int;
+  mutable dcache_miss_dirty : int;
+  mutable finish_at : int;
+  mutable restart_count : int;
+}
+
+let create config ~sri ~core_id program =
+  let dcache = match config.kind with P16 -> config.dcache | E16 -> None in
+  {
+    core_id;
+    sri;
+    icache = Option.map Cache.create config.icache;
+    dcache = Option.map Cache.create dcache;
+    walker = Program.Walker.create program;
+    phase = Start;
+    ccnt = 0;
+    pmem_stall = 0;
+    dmem_stall = 0;
+    pcache_miss = 0;
+    dcache_miss_clean = 0;
+    dcache_miss_dirty = 0;
+    finish_at = -1;
+    restart_count = 0;
+  }
+
+(* Observed wait -> stall cycles: hide the pipelining/prefetch overlap the
+   calibration constants encode (see module doc). *)
+let stall_of t ticket =
+  let lat = Sri.latency_table t.sri in
+  let hide =
+    Latency.lmin lat ticket.Sri.target ticket.Sri.op
+    - Latency.min_stall lat ticket.Sri.target ticket.Sri.op
+  in
+  max 0 (ticket.Sri.done_at - ticket.Sri.issued_at - hide)
+
+let issue t ~target ~op ~addr ~folded ~cycle =
+  Sri.request t.sri ~core:t.core_id ~target ~op ~addr
+    ~folded_dirty_writeback:folded ~cycle
+
+(* Execute phase of an instruction whose fetch has resolved; consumes the
+   current cycle. *)
+let exec t instr ~cycle =
+  match instr.Program.kind with
+  | Program.Compute n -> t.phase <- (if n <= 1 then Start else Busy (n - 1))
+  | Program.Load addr | Program.Store addr ->
+    let write = match instr.Program.kind with Program.Store _ -> true | _ -> false in
+    (match Memory_map.classify addr with
+     | Memory_map.Dspr | Memory_map.Pspr -> t.phase <- Start
+     | Memory_map.Sri (target, cacheable) ->
+       if write && (Target.equal target Target.Pf0 || Target.equal target Target.Pf1)
+       then
+         invalid_arg
+           (Printf.sprintf "Core_model: store to program flash at 0x%x" addr);
+       (match (cacheable, t.dcache) with
+        | true, Some dc ->
+          (match Cache.access dc ~addr ~write with
+           | Cache.Hit -> t.phase <- Start
+           | Cache.Miss { victim = None } ->
+             t.dcache_miss_clean <- t.dcache_miss_clean + 1;
+             let tk = issue t ~target ~op:Op.Data ~addr ~folded:false ~cycle in
+             t.phase <- Wait_data tk
+           | Cache.Miss { victim = Some vaddr } ->
+             t.dcache_miss_dirty <- t.dcache_miss_dirty + 1;
+             let vtarget =
+               match Memory_map.classify vaddr with
+               | Memory_map.Sri (vt, _) -> vt
+               | Memory_map.Dspr | Memory_map.Pspr ->
+                 (* dirty lines only ever hold SRI-cacheable data *)
+                 assert false
+             in
+             if Target.equal vtarget Target.Lmu && Target.equal target Target.Lmu
+             then begin
+               (* folded write-back: single long LMU transaction *)
+               let tk = issue t ~target ~op:Op.Data ~addr ~folded:true ~cycle in
+               t.phase <- Wait_data tk
+             end
+             else begin
+               let wb =
+                 issue t ~target:vtarget ~op:Op.Data ~addr:vaddr ~folded:false
+                   ~cycle
+               in
+               t.phase <- Wait_writeback (wb, (target, addr, false))
+             end)
+        | (false, _ | true, None) ->
+          let tk = issue t ~target ~op:Op.Data ~addr ~folded:false ~cycle in
+          t.phase <- Wait_data tk))
+
+(* Fetch + begin an instruction; consumes the current cycle on the fetch
+   hit path (as the first execute cycle). *)
+let begin_instruction t ~cycle =
+  match Program.Walker.next t.walker with
+  | None ->
+    t.phase <- Done;
+    t.finish_at <- cycle;
+    t.ccnt <- t.ccnt - 1 (* the cycle just counted was not used *)
+  | Some instr ->
+    (match Memory_map.classify instr.Program.pc with
+     | Memory_map.Pspr | Memory_map.Dspr -> exec t instr ~cycle
+     | Memory_map.Sri (target, cacheable) ->
+       (match (cacheable, t.icache) with
+        | true, Some ic ->
+          (match Cache.access ic ~addr:instr.Program.pc ~write:false with
+           | Cache.Hit -> exec t instr ~cycle
+           | Cache.Miss _ ->
+             (* I-cache lines are never dirty: victims drop silently. *)
+             t.pcache_miss <- t.pcache_miss + 1;
+             let tk =
+               issue t ~target ~op:Op.Code ~addr:instr.Program.pc ~folded:false
+                 ~cycle
+             in
+             t.phase <- Wait_fetch (tk, instr))
+        | (false, _ | true, None) ->
+          let tk =
+            issue t ~target ~op:Op.Code ~addr:instr.Program.pc ~folded:false
+              ~cycle
+          in
+          t.phase <- Wait_fetch (tk, instr)))
+
+let step t ~cycle =
+  match t.phase with
+  | Done -> ()
+  | _ ->
+    t.ccnt <- t.ccnt + 1;
+    (match t.phase with
+     | Done -> ()
+     | Start -> begin_instruction t ~cycle
+     | Busy n -> t.phase <- (if n <= 1 then Start else Busy (n - 1))
+     | Wait_fetch (tk, instr) ->
+       if tk.Sri.granted && tk.Sri.done_at <= cycle then begin
+         t.pmem_stall <- t.pmem_stall + stall_of t tk;
+         exec t instr ~cycle
+       end
+     | Wait_writeback (tk, (target, addr, folded)) ->
+       if tk.Sri.granted && tk.Sri.done_at <= cycle then begin
+         t.dmem_stall <- t.dmem_stall + stall_of t tk;
+         let fill = issue t ~target ~op:Op.Data ~addr ~folded ~cycle in
+         t.phase <- Wait_data fill
+       end
+     | Wait_data tk ->
+       if tk.Sri.granted && tk.Sri.done_at <= cycle then begin
+         t.dmem_stall <- t.dmem_stall + stall_of t tk;
+         t.phase <- Start
+       end)
+
+let finished t = match t.phase with Done -> true | _ -> false
+
+let finish_cycle t =
+  if t.finish_at < 0 then failwith "Core_model.finish_cycle: not finished";
+  t.finish_at
+
+let counters t =
+  {
+    Counters.ccnt = t.ccnt;
+    pmem_stall = t.pmem_stall;
+    dmem_stall = t.dmem_stall;
+    pcache_miss = t.pcache_miss;
+    dcache_miss_clean = t.dcache_miss_clean;
+    dcache_miss_dirty = t.dcache_miss_dirty;
+  }
+
+let restart t =
+  (match t.phase with
+   | Done -> ()
+   | _ -> invalid_arg "Core_model.restart: program still running");
+  Program.Walker.reset t.walker;
+  t.phase <- Start;
+  t.finish_at <- -1;
+  t.restart_count <- t.restart_count + 1
+
+let restarts t = t.restart_count
+let core_id t = t.core_id

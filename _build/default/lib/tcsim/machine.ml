@@ -1,0 +1,74 @@
+open Platform
+
+type config = { latency : Latency.t; cores : Core_model.config array }
+
+let default_config =
+  {
+    latency = Latency.default;
+    cores =
+      [| Core_model.p16_config; Core_model.p16_config; Core_model.e16_config |];
+  }
+
+type task = { program : Program.t; core : int }
+
+type core_result = {
+  counters : Counters.t;
+  profile : Access_profile.t;
+  restarts : int;
+}
+
+type run_result = {
+  cycles : int;
+  analysis : core_result;
+  contenders : (int * core_result) list;
+  trace : Trace.t;
+}
+
+exception Cycle_limit_exceeded of int
+
+let run ?(config = default_config) ?(max_cycles = 200_000_000)
+    ?(restart_contenders = true) ?priorities ?(trace = false) ~analysis
+    ?(contenders = []) () =
+  let ncores = Array.length config.cores in
+  let all_tasks = analysis :: contenders in
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun t ->
+       if t.core < 0 || t.core >= ncores then
+         invalid_arg (Printf.sprintf "Machine.run: core %d out of range" t.core);
+       if Hashtbl.mem seen t.core then
+         invalid_arg (Printf.sprintf "Machine.run: core %d assigned twice" t.core);
+       Hashtbl.add seen t.core ())
+    all_tasks;
+  let sri = Sri.create ~latency:config.latency ?priorities ~trace ~ncores () in
+  let make_core t = Core_model.create config.cores.(t.core) ~sri ~core_id:t.core t.program in
+  let analysis_core = make_core analysis in
+  let contender_cores = List.map (fun t -> (t.core, make_core t)) contenders in
+  let cycle = ref 0 in
+  while not (Core_model.finished analysis_core) do
+    if !cycle > max_cycles then raise (Cycle_limit_exceeded !cycle);
+    Sri.step sri ~cycle:!cycle;
+    Core_model.step analysis_core ~cycle:!cycle;
+    List.iter
+      (fun (_, c) ->
+         Core_model.step c ~cycle:!cycle;
+         if Core_model.finished c && restart_contenders then Core_model.restart c)
+      contender_cores;
+    incr cycle
+  done;
+  let result_of core =
+    {
+      counters = Core_model.counters core;
+      profile = Sri.profile sri ~core:(Core_model.core_id core);
+      restarts = Core_model.restarts core;
+    }
+  in
+  {
+    cycles = Core_model.finish_cycle analysis_core;
+    analysis = result_of analysis_core;
+    contenders = List.map (fun (id, c) -> (id, result_of c)) contender_cores;
+    trace = Sri.trace sri;
+  }
+
+let run_isolation ?config ?max_cycles ?(core = 0) program =
+  run ?config ?max_cycles ~analysis:{ program; core } ()

@@ -1,0 +1,57 @@
+(** Whole-platform harness: three TriCore masters sharing one SRI.
+
+    Replicates the paper's measurement protocol: run a task in isolation to
+    collect its debug counters (Section 4.2 "we first executed the
+    application and each contender in isolation"), or co-run the task under
+    analysis against contenders — periodic co-runners restart when they
+    finish — to observe actual multicore slowdown. *)
+
+open Platform
+
+type config = {
+  latency : Latency.t;
+  cores : Core_model.config array;  (** one entry per core *)
+}
+
+val default_config : config
+(** TC277: cores 0 and 1 are TC1.6P, core 2 is the TC1.6E. *)
+
+type task = { program : Program.t; core : int }
+
+type core_result = {
+  counters : Counters.t;
+  profile : Access_profile.t;  (** ground-truth SRI requests served *)
+  restarts : int;
+}
+
+type run_result = {
+  cycles : int;  (** cycles until the analysis task completed *)
+  analysis : core_result;
+  contenders : (int * core_result) list;  (** per contender core *)
+  trace : Trace.t;  (** SRI transactions; empty unless tracing was on *)
+}
+
+exception Cycle_limit_exceeded of int
+
+val run :
+  ?config:config ->
+  ?max_cycles:int ->
+  ?restart_contenders:bool ->
+  ?priorities:int array ->
+  ?trace:bool ->
+  analysis:task ->
+  ?contenders:task list ->
+  unit ->
+  run_result
+(** Simulates until the analysis task finishes. Contenders that finish
+    earlier restart immediately when [restart_contenders] (default [true]).
+    [priorities] assigns each core an SRI priority class (lower = more
+    urgent; default: one class, the paper's configuration); [trace]
+    records every SRI transaction. [max_cycles] (default [200_000_000])
+    guards against runaway programs.
+    @raise Cycle_limit_exceeded when the budget is exhausted.
+    @raise Invalid_argument on core-index clashes or out-of-range cores. *)
+
+val run_isolation :
+  ?config:config -> ?max_cycles:int -> ?core:int -> Program.t -> run_result
+(** The task alone on the platform ([core] defaults to 0). *)

@@ -1,0 +1,50 @@
+(** TC27x address-space model.
+
+    Address segments follow the TC27x layout: segment 0x7 holds the
+    core-local scratchpads (no SRI traffic), segment 0x8 is cached program
+    flash, 0xA its non-cached alias, 0x9/0xB the cached/non-cached LMU
+    views, and the data flash sits in segment 0xAF (non-cacheable only).
+    Cacheability is selected by the address segment used, exactly as system
+    software does on the real part (paper, Section 2). *)
+
+type region =
+  | Dspr  (** core-local data scratchpad: no SRI traffic *)
+  | Pspr  (** core-local program scratchpad: no SRI traffic *)
+  | Sri of Platform.Target.t * bool  (** shared target, [true] = cacheable *)
+
+val dspr_base : int
+val dspr_size : int
+val pspr_base : int
+val pspr_size : int
+
+val pf0_cached_base : int
+val pf1_cached_base : int
+val pf_bank_size : int
+val pf0_uncached_base : int
+val pf1_uncached_base : int
+
+val lmu_cached_base : int
+val lmu_uncached_base : int
+val lmu_size : int
+
+val dfl_base : int
+val dfl_size : int
+
+val classify : int -> region
+(** @raise Invalid_argument for an unmapped address. *)
+
+val classify_opt : int -> region option
+
+val base_of : Platform.Target.t -> cacheable:bool -> int
+(** Base address of a target's window with the requested cacheability.
+    @raise Invalid_argument for cacheable dfl (no cached view exists). *)
+
+val size_of : Platform.Target.t -> int
+val line_bytes : int
+(** SRI transfer granule: 32-byte lines (256-bit flash prefetch buffer /
+    cache line). *)
+
+val line_of : int -> int
+(** Line-aligned address. *)
+
+val pp_region : Format.formatter -> region -> unit

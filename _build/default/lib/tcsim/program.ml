@@ -1,0 +1,123 @@
+type kind = Compute of int | Load of int | Store of int
+
+type instr = { pc : int; kind : kind }
+type item = I of instr | Loop of { count : int; body : item list }
+
+(* Compiled form: loops flattened to arrays for a fast cursor. *)
+type citem = CI of instr | CLoop of int * citem array
+
+type t = { name : string; items : item list; compiled : citem array }
+
+let rec compile items =
+  items
+  |> List.map (function
+      | I i -> CI i
+      | Loop { count; body } -> CLoop (count, compile body))
+  |> Array.of_list
+
+let rec validate items =
+  List.iter
+    (function
+      | I { kind = Compute n; _ } when n < 1 ->
+        invalid_arg "Program.make: Compute below 1 cycle"
+      | I _ -> ()
+      | Loop { count; body } ->
+        if count < 0 then invalid_arg "Program.make: negative loop count";
+        validate body)
+    items
+
+let make ~name items =
+  validate items;
+  { name; items; compiled = compile items }
+
+let name p = p.name
+let items p = p.items
+
+let seq ~pc_base ?(pc_stride = 4) kinds =
+  List.mapi (fun i k -> I { pc = pc_base + (i * pc_stride); kind = k }) kinds
+
+let loop count body = Loop { count; body }
+
+let static_size p =
+  let rec go items =
+    List.fold_left
+      (fun acc -> function I _ -> acc + 1 | Loop { body; _ } -> acc + go body)
+      0 items
+  in
+  go p.items
+
+let dynamic_length p =
+  let rec go items =
+    List.fold_left
+      (fun acc -> function
+         | I _ -> acc + 1
+         | Loop { count; body } -> acc + (count * go body))
+      0 items
+  in
+  go p.items
+
+let code_footprint p =
+  let min_pc = ref max_int and max_pc = ref min_int in
+  let rec go items =
+    List.iter
+      (function
+        | I { pc; _ } ->
+          if pc < !min_pc then min_pc := pc;
+          if pc > !max_pc then max_pc := pc
+        | Loop { body; _ } -> go body)
+      items
+  in
+  go p.items;
+  if !min_pc > !max_pc then [] else [ (!min_pc, !max_pc) ]
+
+module Walker = struct
+  type program = t
+
+  type frame = { body : citem array; mutable idx : int; mutable remaining : int }
+  (* [remaining] counts loop iterations left for this frame *)
+
+  type t = {
+    prog : program;
+    mutable stack : frame list;
+    mutable count : int;
+  }
+
+  let fresh_stack prog = [ { body = prog.compiled; idx = 0; remaining = 1 } ]
+  let create prog = { prog; stack = fresh_stack prog; count = 0 }
+
+  let reset w =
+    w.stack <- fresh_stack w.prog;
+    w.count <- 0
+
+  let rec next w =
+    match w.stack with
+    | [] -> None
+    | frame :: rest ->
+      if frame.idx >= Array.length frame.body then begin
+        frame.remaining <- frame.remaining - 1;
+        if frame.remaining > 0 then begin
+          frame.idx <- 0;
+          next w
+        end
+        else begin
+          w.stack <- rest;
+          next w
+        end
+      end
+      else begin
+        let item = frame.body.(frame.idx) in
+        frame.idx <- frame.idx + 1;
+        match item with
+        | CI i ->
+          w.count <- w.count + 1;
+          Some i
+        | CLoop (count, body) ->
+          if count = 0 || Array.length body = 0 then next w
+          else begin
+            w.stack <- { body; idx = 0; remaining = count } :: w.stack;
+            next w
+          end
+      end
+
+  let executed w = w.count
+end

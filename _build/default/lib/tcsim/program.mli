@@ -1,0 +1,57 @@
+(** Task programs: the abstract instruction stream a simulated core
+    executes.
+
+    A program is a static structure of instructions and counted loops; each
+    instruction carries the code address it is fetched from, so instruction
+    caches and flash prefetch buffers behave as they would for real code
+    laid out at those addresses. Loop bodies keep their addresses across
+    iterations, giving realistic temporal reuse. *)
+
+type kind =
+  | Compute of int  (** busy in the pipeline for [n >= 1] cycles *)
+  | Load of int  (** data read at the address *)
+  | Store of int  (** data write at the address *)
+
+type instr = { pc : int; kind : kind }
+
+type item = I of instr | Loop of { count : int; body : item list }
+
+type t
+
+val make : name:string -> item list -> t
+(** @raise Invalid_argument on a negative loop count or on [Compute n]
+    with [n < 1]. *)
+
+val name : t -> string
+val items : t -> item list
+
+val seq : pc_base:int -> ?pc_stride:int -> kind list -> item list
+(** Lays instruction kinds out at consecutive addresses starting at
+    [pc_base] with the given stride (default 4 bytes). *)
+
+val loop : int -> item list -> item
+val static_size : t -> int
+(** Number of instructions in the program text. *)
+
+val dynamic_length : t -> int
+(** Number of instructions executed (loops expanded). *)
+
+val code_footprint : t -> (int * int) list
+(** Minimal and maximal pc per contiguous usage; as [(min_pc, max_pc)]
+    over all instructions — a single pair list for simple programs. *)
+
+(** {1 Execution cursor} *)
+
+module Walker : sig
+  type program := t
+  type t
+
+  val create : program -> t
+  val next : t -> instr option
+  (** [None] once the program is exhausted. *)
+
+  val reset : t -> unit
+  val executed : t -> int
+  (** Instructions returned since creation / last reset that returned
+      [Some]. *)
+end

@@ -1,0 +1,167 @@
+open Platform
+
+type ticket = {
+  mutable done_at : int;
+  mutable granted : bool;
+  issued_at : int;
+  target : Target.t;
+  op : Op.t;
+}
+
+type pending = { p_core : int; p_line : int; p_folded : bool; p_ticket : ticket }
+
+type iface = {
+  target : Target.t;
+  mutable busy_until : int;
+  mutable last_line : int; (* line-aligned addr of the last served transaction *)
+  mutable has_line : bool;
+  mutable last_served_core : int;
+  mutable queue : pending list; (* insertion order *)
+}
+
+type t = {
+  latency : Latency.t;
+  ncores : int;
+  priorities : int array;
+  ifaces : iface array;
+  profiles : Access_profile.t array;
+  served_counts : int array;
+  tracing : bool;
+  mutable events : Trace.event list; (* newest first *)
+}
+
+let iface_index = function
+  | Target.Dfl -> 0
+  | Target.Pf0 -> 1
+  | Target.Pf1 -> 2
+  | Target.Lmu -> 3
+
+let create ?(latency = Latency.default) ?priorities ?(trace = false) ~ncores () =
+  let priorities =
+    match priorities with
+    | None -> Array.make ncores 0
+    | Some p ->
+      if Array.length p <> ncores then
+        invalid_arg "Sri.create: priority array length mismatch";
+      Array.copy p
+  in
+  {
+    latency;
+    ncores;
+    priorities;
+    ifaces =
+      Array.of_list
+        (List.map
+           (fun target ->
+              {
+                target;
+                busy_until = 0;
+                last_line = 0;
+                has_line = false;
+                last_served_core = ncores - 1;
+                queue = [];
+              })
+           Target.all);
+    profiles = Array.make ncores Access_profile.zero;
+    served_counts = Array.make ncores 0;
+    tracing = trace;
+    events = [];
+  }
+
+(* Streaming (line-buffer) hits only exist on the flash interfaces; the
+   LMU SRAM has lmin = lmax anyway. The 256-bit buffer serves repeats of
+   the current line and — thanks to next-line prefetch — the immediately
+   following line of a sequential stream. *)
+let service_time t iface ~op ~line ~folded =
+  if folded && Target.equal iface.target Target.Lmu then
+    Latency.lmu_dirty_lmax t.latency
+  else if
+    Target.is_flash iface.target && iface.has_line
+    && (iface.last_line = line || iface.last_line + Memory_map.line_bytes = line)
+  then Latency.lmin t.latency iface.target op
+  else Latency.lmax t.latency iface.target op
+
+(* Arbitration: most urgent priority class first (lower value wins), then
+   round-robin within the class — smallest positive distance from the last
+   served master. *)
+let rr_pick t iface =
+  match iface.queue with
+  | [] -> None
+  | q ->
+    let best_class =
+      List.fold_left (fun acc p -> min acc t.priorities.(p.p_core)) max_int q
+    in
+    let dist core =
+      let d = (core - iface.last_served_core + t.ncores) mod t.ncores in
+      if d = 0 then t.ncores else d
+    in
+    List.fold_left
+      (fun acc p ->
+         if t.priorities.(p.p_core) <> best_class then acc
+         else
+           match acc with
+           | None -> Some p
+           | Some b -> if dist p.p_core < dist b.p_core then Some p else acc)
+      None q
+
+let grant t iface cycle p =
+  let svc = service_time t iface ~op:p.p_ticket.op ~line:p.p_line ~folded:p.p_folded in
+  p.p_ticket.granted <- true;
+  p.p_ticket.done_at <- cycle + svc;
+  iface.busy_until <- cycle + svc;
+  iface.last_line <- p.p_line;
+  iface.has_line <- true;
+  iface.last_served_core <- p.p_core;
+  iface.queue <- List.filter (fun q -> q != p) iface.queue;
+  t.profiles.(p.p_core) <-
+    Access_profile.incr t.profiles.(p.p_core) iface.target p.p_ticket.op;
+  t.served_counts.(p.p_core) <- t.served_counts.(p.p_core) + 1;
+  if t.tracing then
+    t.events <-
+      {
+        Trace.issue_cycle = p.p_ticket.issued_at;
+        grant_cycle = cycle;
+        complete_cycle = cycle + svc;
+        core = p.p_core;
+        target = iface.target;
+        op = p.p_ticket.op;
+        service = svc;
+        waited = cycle - p.p_ticket.issued_at;
+      }
+      :: t.events
+
+let try_grant t iface ~cycle =
+  if iface.busy_until <= cycle then
+    match rr_pick t iface with None -> () | Some p -> grant t iface cycle p
+
+let request t ~core ~target ~op ~addr ~folded_dirty_writeback ~cycle =
+  if not (Op.valid target op) then
+    invalid_arg
+      (Printf.sprintf "Sri.request: inadmissible (%s, %s)"
+         (Target.to_string target) (Op.to_string op));
+  if core < 0 || core >= t.ncores then invalid_arg "Sri.request: bad core id";
+  let ticket = { done_at = max_int; granted = false; issued_at = cycle; target; op } in
+  let p =
+    {
+      p_core = core;
+      p_line = Memory_map.line_of addr;
+      p_folded = folded_dirty_writeback;
+      p_ticket = ticket;
+    }
+  in
+  let iface = t.ifaces.(iface_index target) in
+  iface.queue <- iface.queue @ [ p ];
+  try_grant t iface ~cycle;
+  ticket
+
+let step t ~cycle = Array.iter (fun iface -> try_grant t iface ~cycle) t.ifaces
+let busy t target ~at = t.ifaces.(iface_index target).busy_until > at
+let profile t ~core = t.profiles.(core)
+let served t ~core = t.served_counts.(core)
+
+let reset_profiles t =
+  Array.fill t.profiles 0 t.ncores Access_profile.zero;
+  Array.fill t.served_counts 0 t.ncores 0
+
+let latency_table t = t.latency
+let trace t = List.rev t.events

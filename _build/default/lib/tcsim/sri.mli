@@ -1,0 +1,73 @@
+(** The Shared Resource Interconnect (SRI) crossbar.
+
+    Each slave interface (dfl, pf0, pf1, lmu) arbitrates independently:
+    transactions to distinct targets proceed in parallel; same-target
+    requests are serialised by priority class and, within a class, by
+    round-robin over the masters — so in the paper's same-class setting a
+    request waits for at most one in-flight request per contending master
+    (Section 2). Arbitration is non-preemptive: a higher-priority request
+    still waits for the transaction in service.
+
+    Service time: a transaction occupies its target for [lmax(t,o)]
+    cycles, or [lmin(t,o)] when it streams from the flash interface's
+    256-bit prefetch line buffer (same or sequential-next line), or the
+    LMU dirty-miss latency when a cacheable LMU fill carries a folded
+    dirty write-back. The constants come from the {!Platform.Latency}
+    table, so the simulator and the analytical models share one timing
+    source. *)
+
+open Platform
+
+type ticket = private {
+  mutable done_at : int;  (** cycle at which the transaction completes *)
+  mutable granted : bool;
+  issued_at : int;
+  target : Target.t;
+  op : Op.t;
+}
+
+type t
+
+val create :
+  ?latency:Latency.t ->
+  ?priorities:int array ->
+  ?trace:bool ->
+  ncores:int ->
+  unit ->
+  t
+(** [priorities] maps each master to its SRI priority class — {e lower is
+    more urgent}; default: all masters in one class (the paper's
+    configuration). [trace] records every transaction (default off).
+    @raise Invalid_argument on a priority array length mismatch. *)
+
+val request :
+  t ->
+  core:int ->
+  target:Target.t ->
+  op:Op.t ->
+  addr:int ->
+  folded_dirty_writeback:bool ->
+  cycle:int ->
+  ticket
+(** Enqueues a transaction; it may be granted within the same cycle if the
+    target is idle. [folded_dirty_writeback] marks a cacheable LMU fill
+    whose victim write-back is folded into the same transaction (the
+    bracketed 21-cycle latency of Table 2).
+    @raise Invalid_argument on an inadmissible (target, op) pair. *)
+
+val step : t -> cycle:int -> unit
+(** Grants pending requests on every target that is idle at [cycle]. Call
+    once per simulated cycle, before stepping the cores. *)
+
+val busy : t -> Target.t -> at:int -> bool
+
+val profile : t -> core:int -> Access_profile.t
+(** Ground-truth per-target access counts served so far for a master. *)
+
+val served : t -> core:int -> int
+val reset_profiles : t -> unit
+val latency_table : t -> Latency.t
+
+val trace : t -> Trace.t
+(** Recorded transactions in completion order; empty when tracing is
+    disabled. *)

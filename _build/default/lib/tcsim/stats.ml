@@ -1,0 +1,49 @@
+open Platform
+
+type t = {
+  cycles : int;
+  pmem_stall : int;
+  dmem_stall : int;
+  stall_fraction : float;
+  sri_requests : int;
+  per_target : (Target.t * int) list;
+  utilization : (Target.t * float) list;
+}
+
+let of_run (r : Machine.run_result) =
+  let c = r.Machine.analysis.Machine.counters in
+  let profile = r.Machine.analysis.Machine.profile in
+  let cycles = r.Machine.cycles in
+  {
+    cycles;
+    pmem_stall = c.Counters.pmem_stall;
+    dmem_stall = c.Counters.dmem_stall;
+    stall_fraction =
+      (if cycles = 0 then 0.
+       else
+         float_of_int (c.Counters.pmem_stall + c.Counters.dmem_stall)
+         /. float_of_int cycles);
+    sri_requests = Access_profile.total profile;
+    per_target =
+      List.map (fun t -> (t, Access_profile.total_target profile t)) Target.all;
+    utilization =
+      List.map
+        (fun t ->
+           let busy = Trace.busy_cycles r.Machine.trace t in
+           (t, if cycles = 0 then 0. else float_of_int busy /. float_of_int cycles))
+        Target.all;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>cycles %d, stalls %d+%d (%.1f%%), SRI requests %d@," s.cycles
+    s.pmem_stall s.dmem_stall (100. *. s.stall_fraction) s.sri_requests;
+  List.iter
+    (fun (t, n) ->
+       if n > 0 then begin
+         let u = List.assoc t s.utilization in
+         Format.fprintf fmt "  %-4s %7d requests%s@," (Target.to_string t) n
+           (if u > 0. then Printf.sprintf ", %.1f%% busy" (100. *. u) else "")
+       end)
+    s.per_target;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,23 @@
+(** Execution statistics digests over simulation results.
+
+    Summarises what the counters and (optionally) the transaction trace
+    say about a run: how much of the execution was memory-interface
+    stalling, how much traffic reached each SRI slave and how busy the
+    slaves were — the characterisation data Section 4.2's workload
+    discussion is based on. *)
+
+open Platform
+
+type t = {
+  cycles : int;
+  pmem_stall : int;
+  dmem_stall : int;
+  stall_fraction : float;  (** (PS + DS) / cycles *)
+  sri_requests : int;  (** ground-truth SRI request count *)
+  per_target : (Target.t * int) list;  (** requests per slave *)
+  utilization : (Target.t * float) list;
+      (** slave busy cycles / run cycles; all zero without a trace *)
+}
+
+val of_run : Machine.run_result -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+open Platform
+
+type event = {
+  issue_cycle : int;
+  grant_cycle : int;
+  complete_cycle : int;
+  core : int;
+  target : Target.t;
+  op : Op.t;
+  service : int;
+  waited : int;
+}
+
+type t = event list
+
+let of_core t core = List.filter (fun e -> e.core = core) t
+let of_target t target = List.filter (fun e -> Target.equal e.target target) t
+let count = List.length
+let max_wait t = List.fold_left (fun acc e -> max acc e.waited) 0 t
+let total_wait t = List.fold_left (fun acc e -> acc + e.waited) 0 t
+let max_service t = List.fold_left (fun acc e -> max acc e.service) 0 t
+
+let busy_cycles t target =
+  List.fold_left (fun acc e -> acc + e.service) 0 (of_target t target)
+
+let profile t ~core =
+  List.fold_left
+    (fun acc e -> Access_profile.incr acc e.target e.op)
+    Access_profile.zero (of_core t core)
+
+let pp_event fmt e =
+  Format.fprintf fmt "@[cycle %d: core%d %s.%s wait=%d svc=%d done=%d@]"
+    e.issue_cycle e.core (Target.to_string e.target) (Op.to_string e.op)
+    e.waited e.service e.complete_cycle
+
+let pp_summary fmt t =
+  Format.fprintf fmt "@[<v>%d transactions@," (count t);
+  List.iter
+    (fun target ->
+       let per = of_target t target in
+       if per <> [] then
+         Format.fprintf fmt "  %-4s %6d txns, busy %7d cycles, max wait %4d@,"
+           (Target.to_string target) (count per) (busy_cycles t target)
+           (max_wait per))
+    Target.all;
+  Format.fprintf fmt "@]"
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "issue,grant,complete,core,target,op,service,waited\n";
+  List.iter
+    (fun e ->
+       Buffer.add_string buf
+         (Printf.sprintf "%d,%d,%d,%d,%s,%s,%d,%d\n" e.issue_cycle e.grant_cycle
+            e.complete_cycle e.core (Target.to_string e.target)
+            (Op.to_string e.op) e.service e.waited))
+    t;
+  Buffer.contents buf

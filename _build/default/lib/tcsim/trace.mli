@@ -1,0 +1,46 @@
+(** SRI transaction traces: per-request observability the real TC27x does
+    not offer, used to validate the contention models' per-request
+    assumptions (each request of the task under analysis waits at most one
+    service per same-priority contender) and to characterise workloads.
+
+    Tracing is off by default; it is enabled per run and the buffer grows
+    with the run, so reserve it for analysis-sized workloads. *)
+
+open Platform
+
+type event = {
+  issue_cycle : int;  (** request enqueued on the SRI *)
+  grant_cycle : int;  (** arbitration winner *)
+  complete_cycle : int;  (** transaction done; [grant + service] *)
+  core : int;
+  target : Target.t;
+  op : Op.t;
+  service : int;  (** occupancy of the slave interface *)
+  waited : int;  (** [grant_cycle - issue_cycle]: arbitration delay *)
+}
+
+type t = event list
+(** In completion order. *)
+
+val of_core : t -> int -> t
+val of_target : t -> Target.t -> t
+val count : t -> int
+val max_wait : t -> int
+(** 0 on an empty trace. *)
+
+val total_wait : t -> int
+
+val max_service : t -> int
+(** 0 on an empty trace. *)
+
+val busy_cycles : t -> Target.t -> int
+(** Cycles the given slave interface spent serving traced transactions. *)
+
+val profile : t -> core:int -> Access_profile.t
+(** Reconstruction of the per-target access counts from the trace. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_summary : Format.formatter -> t -> unit
+val to_csv : t -> string
+(** Header + one line per event (issue, grant, complete, core, target, op,
+    service, waited). *)

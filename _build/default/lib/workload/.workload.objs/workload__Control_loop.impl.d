@@ -1,0 +1,1 @@
+lib/workload/control_loop.ml: Array Format List Memory_map Platform Printf Program Rng Scenario Tcsim

@@ -1,0 +1,1 @@
+lib/workload/control_loop.mli: Format Platform Tcsim

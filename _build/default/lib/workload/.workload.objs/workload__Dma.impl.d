@@ -1,0 +1,1 @@
+lib/workload/dma.ml: Access_profile Counters List Memory_map Op Platform Program Target Tcsim

@@ -1,0 +1,1 @@
+lib/workload/dma.mli: Access_profile Counters Latency Platform Target Tcsim

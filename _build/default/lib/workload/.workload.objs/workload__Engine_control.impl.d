@@ -1,0 +1,1 @@
+lib/workload/engine_control.ml: List Memory_map Program Rng Tcsim

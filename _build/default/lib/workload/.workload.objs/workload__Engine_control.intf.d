@@ -1,0 +1,1 @@
+lib/workload/engine_control.mli: Tcsim

@@ -1,0 +1,1 @@
+lib/workload/load_gen.ml: Control_loop

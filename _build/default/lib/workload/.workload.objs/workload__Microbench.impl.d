@@ -1,0 +1,1 @@
+lib/workload/microbench.ml: List Memory_map Op Platform Printf Program Target Tcsim

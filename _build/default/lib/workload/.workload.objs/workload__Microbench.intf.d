@@ -1,0 +1,1 @@
+lib/workload/microbench.mli: Op Platform Target Tcsim

@@ -1,0 +1,76 @@
+open Platform
+open Tcsim
+
+type schedule = {
+  bursts : int;
+  words_per_burst : int;
+  src : Target.t;
+  dst : Target.t;
+  gap_cycles : int;
+  region_offset : int;
+}
+
+let default_schedule =
+  {
+    bursts = 200;
+    words_per_burst = 8;
+    src = Target.Dfl;
+    dst = Target.Lmu;
+    gap_cycles = 2_000;
+    region_offset = 0;
+  }
+
+let check s =
+  if s.bursts < 0 || s.words_per_burst <= 0 || s.gap_cycles < 0 then
+    invalid_arg "Dma: malformed schedule";
+  if not (Op.valid s.src Op.Data && Op.valid s.dst Op.Data) then
+    invalid_arg "Dma: src/dst must carry data traffic";
+  match s.dst with
+  | Target.Pf0 | Target.Pf1 -> invalid_arg "Dma: cannot write program flash"
+  | Target.Dfl | Target.Lmu -> ()
+
+let addr_of target off =
+  (* non-cacheable windows: a DMA master bypasses the caches *)
+  Memory_map.base_of target ~cacheable:false + off
+
+let program ?(schedule = default_schedule) () =
+  check schedule;
+  let s = schedule in
+  let pspr = Memory_map.pspr_base in
+  let line = Memory_map.line_bytes in
+  let burst =
+    List.concat
+      (List.init s.words_per_burst (fun i ->
+           (* distinct lines per word: every access is an SRI request even
+              if the schedule is later run on a cached master *)
+           let off = s.region_offset + (i * line) in
+           [
+             Program.I { Program.pc = pspr; kind = Program.Load (addr_of s.src off) };
+             Program.I { Program.pc = pspr + 4; kind = Program.Store (addr_of s.dst off) };
+           ]))
+    @
+    if s.gap_cycles > 0 then
+      [ Program.I { Program.pc = pspr + 8; kind = Program.Compute s.gap_cycles } ]
+    else []
+  in
+  Program.make ~name:"dma" [ Program.loop s.bursts burst ]
+
+let access_profile s =
+  check s;
+  let per_burst =
+    Access_profile.make
+      [ ((s.src, Op.Data), s.words_per_burst); ((s.dst, Op.Data), s.words_per_burst) ]
+  in
+  Access_profile.scale s.bursts per_burst
+
+let synthesized_counters latency s =
+  let profile = access_profile s in
+  let dmem_stall = Access_profile.stall_cycles latency profile Op.Data in
+  {
+    Counters.ccnt = dmem_stall + (s.bursts * s.gap_cycles);
+    pmem_stall = 0;
+    dmem_stall;
+    pcache_miss = 0;
+    dcache_miss_clean = 0;
+    dcache_miss_dirty = 0;
+  }

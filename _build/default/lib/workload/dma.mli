@@ -1,0 +1,42 @@
+(** DMA-style background traffic.
+
+    On the real TC27x the SRI also serves non-CPU masters (DMA channels
+    moving ADC samples, communication buffers, flash data). A DMA channel
+    is modelled as a cache-less master executing a transfer schedule —
+    which makes it a contender whose per-target access counts are known
+    {e by specification} rather than by measurement: integrators configure
+    DMA transfer sizes and rates explicitly.
+
+    {!synthesized_counters} turns the specified schedule into the
+    counter readings the contention models consume, using the minimal
+    stall per request — exactly the conservative reading direction the
+    models assume (their access-count bounds then dominate the true
+    counts). *)
+
+open Platform
+
+type schedule = {
+  bursts : int;  (** number of transfer bursts *)
+  words_per_burst : int;  (** words moved per burst *)
+  src : Target.t;  (** read side; [Dfl] or [Lmu] *)
+  dst : Target.t;  (** write side; [Lmu] or [Dfl] *)
+  gap_cycles : int;  (** idle cycles between bursts (transfer rate) *)
+  region_offset : int;
+}
+
+val default_schedule : schedule
+(** 200 bursts of 8 words, dfl -> lmu, mimicking a periodic ADC drain. *)
+
+val program : ?schedule:schedule -> unit -> Tcsim.Program.t
+(** The transfer schedule as a master program (to run on a cache-less
+    core).
+    @raise Invalid_argument when src or dst cannot carry data traffic in
+    the required direction (e.g. writes to program flash). *)
+
+val access_profile : schedule -> Access_profile.t
+(** The exact per-target SRI requests the schedule performs. *)
+
+val synthesized_counters : Latency.t -> schedule -> Counters.t
+(** Specification-derived counter readings: stall counters synthesized
+    from the schedule at the minimal per-request stall, cache counters
+    zero (a DMA master has no caches). *)

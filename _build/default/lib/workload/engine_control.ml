@@ -1,0 +1,72 @@
+open Tcsim
+
+type params = {
+  frames : int;
+  io_words : int;
+  calib_lookups : int;
+  resident_code_lines : int;
+  frame_compute : int;
+  lmu_region : int;
+  pf_region : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    frames = 50;
+    io_words = 48;
+    calib_lookups = 24;
+    (* 384 lines = 12 KiB: fits the 16 KiB I-cache, so after the first
+       frame only the calibration lookups and I/O reach the SRI *)
+    resident_code_lines = 384;
+    frame_compute = 14_000;
+    lmu_region = 0;
+    pf_region = 0x100000 - 0x40000; (* away from the stress benchmarks *)
+    seed = 7;
+  }
+
+let line = Memory_map.line_bytes
+let pspr = Memory_map.pspr_base
+
+let task ?(params = default_params) () =
+  let p = params in
+  if p.pf_region + ((p.resident_code_lines + p.calib_lookups * 8) * line)
+     > Memory_map.pf_bank_size
+  then invalid_arg "Engine_control: flash window overflow";
+  let rng = Rng.create ~seed:p.seed in
+  let lmu_nc off = Memory_map.lmu_uncached_base + p.lmu_region + off in
+  let pf_code i = Memory_map.pf0_cached_base + p.pf_region + (i * line) in
+  let pf_calib i =
+    Memory_map.pf1_cached_base + p.pf_region + ((p.resident_code_lines + i) * line)
+  in
+  let acquisition =
+    List.init p.io_words (fun i ->
+        Program.I { Program.pc = pspr + (4 * i); kind = Program.Load (lmu_nc (4 * i)) })
+  in
+  let resident_code =
+    List.init p.resident_code_lines (fun i ->
+        Program.I { Program.pc = pf_code i; kind = Program.Compute 2 })
+  in
+  let calibration =
+    List.init p.calib_lookups (fun i ->
+        Program.I
+          {
+            Program.pc = pspr + 0x400 + (4 * i);
+            (* a sparse, data-dependent table: most lookups miss the D$ *)
+            kind = Program.Load (pf_calib (Rng.int rng 64 * 8 mod 512));
+          })
+  in
+  let publication =
+    List.init p.io_words (fun i ->
+        Program.I
+          { Program.pc = pspr + 0x800 + (4 * i); kind = Program.Store (lmu_nc (1024 + (4 * i))) })
+  in
+  let crunch =
+    let chunk = 1 + (p.frame_compute / 2) in
+    [
+      Program.I { Program.pc = pspr + 0xC00; kind = Program.Compute chunk };
+      Program.I { Program.pc = pspr + 0xC04; kind = Program.Compute chunk };
+    ]
+  in
+  let frame = acquisition @ resident_code @ calibration @ crunch @ publication in
+  Program.make ~name:"engine_control" [ Program.loop p.frames frame ]

@@ -1,0 +1,31 @@
+(** A realistic automotive task profile (paper Section 4.2, closing
+    remark: "preliminary results on real-world automotive use cases show
+    much lower contention bounds (~10%) than those of our benchmark
+    (30-40%)").
+
+    Unlike the stress benchmark, production AUTOSAR runnables keep hot
+    code and state in the core-local scratchpads and touch shared memory
+    only at frame boundaries: a short burst of sensor/actuator I/O plus an
+    occasional calibration-table lookup, surrounded by long
+    scratchpad-resident computation. The resulting SRI traffic — and hence
+    any contention bound — is an order of magnitude below the stress
+    application's. *)
+
+type params = {
+  frames : int;  (** control frames to execute *)
+  io_words : int;  (** shared LMU words exchanged per frame *)
+  calib_lookups : int;  (** flash calibration-table reads per frame *)
+  resident_code_lines : int;
+      (** flash code touched per frame; sized to fit the I-cache so only
+          cold misses reach the SRI *)
+  frame_compute : int;  (** scratchpad-resident cycles per frame *)
+  lmu_region : int;
+  pf_region : int;
+  seed : int;
+}
+
+val default_params : params
+
+val task : ?params:params -> unit -> Tcsim.Program.t
+(** The engine-control style task, deployed per Scenario 1 conventions
+    (cacheable flash code, non-cacheable LMU I/O). *)

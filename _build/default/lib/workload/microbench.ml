@@ -1,0 +1,126 @@
+open Platform
+open Tcsim
+
+let pspr = Memory_map.pspr_base
+let dspr = Memory_map.dspr_base
+let line = Memory_map.line_bytes
+
+let check_valid target op =
+  if not (Op.valid target op) then
+    invalid_arg
+      (Printf.sprintf "Microbench: inadmissible (%s, %s)"
+         (Target.to_string target) (Op.to_string op))
+
+let default_cacheable target op =
+  match (op, target) with
+  | Op.Code, _ -> true
+  | Op.Data, _ -> false
+
+let window target ~cacheable ~region_offset =
+  let base = Memory_map.base_of target ~cacheable in
+  let size = Memory_map.size_of target in
+  let offset = region_offset land lnot (line - 1) in
+  if offset < 0 || offset >= size then
+    invalid_arg "Microbench: region_offset outside the target window";
+  (base + offset, size - offset)
+
+let repeated ~target ~op ~n ?cacheable ?(region_offset = 0) () =
+  check_valid target op;
+  if n < 0 then invalid_arg "Microbench.repeated: negative count";
+  let cacheable =
+    match cacheable with Some c -> c | None -> default_cacheable target op
+  in
+  if cacheable && Target.equal target Target.Dfl then
+    invalid_arg "Microbench.repeated: data flash is never cacheable";
+  let base, avail = window target ~cacheable ~region_offset in
+  let nlines = avail / line in
+  let addr i = base + (i mod nlines * line) in
+  let name =
+    Printf.sprintf "ub_%s_%s_%d" (Target.to_string target) (Op.to_string op) n
+  in
+  match op with
+  | Op.Data ->
+    (* n loads at line stride: every access is a distinct-line SRI request
+       (non-cacheable window, or cacheable with a thrashing footprint). *)
+    let kinds = List.init n (fun i -> Program.Load (addr i)) in
+    Program.make ~name (Program.seq ~pc_base:pspr kinds)
+  | Op.Code ->
+    (* n one-cycle instructions, one per flash/SRAM line: each fetch is an
+       I$ miss served sequentially (streaming on flash). *)
+    let items =
+      List.init n (fun i -> Program.I { Program.pc = addr i; kind = Program.Compute 1 })
+    in
+    Program.make ~name items
+
+let single_probe ~target ~op ?cacheable () =
+  check_valid target op;
+  let cacheable =
+    match cacheable with Some c -> c | None -> default_cacheable target op
+  in
+  let base, _ = window target ~cacheable ~region_offset:0 in
+  let warmup = Program.seq ~pc_base:pspr [ Program.Compute 5 ] in
+  let tname = Target.to_string target and oname = Op.to_string op in
+  match op with
+  | Op.Data ->
+    let probe =
+      Program.make
+        ~name:(Printf.sprintf "probe_%s_%s" tname oname)
+        (warmup @ [ Program.I { Program.pc = pspr + 64; kind = Program.Load base } ])
+    in
+    let baseline =
+      Program.make
+        ~name:(Printf.sprintf "probe_base_%s_%s" tname oname)
+        (warmup @ [ Program.I { Program.pc = pspr + 64; kind = Program.Load dspr } ])
+    in
+    (probe, baseline)
+  | Op.Code ->
+    let probe =
+      Program.make
+        ~name:(Printf.sprintf "probe_%s_%s" tname oname)
+        (warmup @ [ Program.I { Program.pc = base; kind = Program.Compute 1 } ])
+    in
+    let baseline =
+      Program.make
+        ~name:(Printf.sprintf "probe_base_%s_%s" tname oname)
+        (warmup @ [ Program.I { Program.pc = pspr + 64; kind = Program.Compute 1 } ])
+    in
+    (probe, baseline)
+
+let streaming_pair_probe ~target ~op () =
+  check_valid target op;
+  let cacheable = default_cacheable target op in
+  let base, _ = window target ~cacheable ~region_offset:0 in
+  let tname = Target.to_string target and oname = Op.to_string op in
+  match op with
+  | Op.Data ->
+    (* warm the line buffer with one access, then measure a same-line
+       access *)
+    let common = Program.seq ~pc_base:pspr [ Program.Compute 5; Program.Load base ] in
+    let probe =
+      Program.make
+        ~name:(Printf.sprintf "stream_%s_%s" tname oname)
+        (common @ [ Program.I { Program.pc = pspr + 64; kind = Program.Load (base + 4) } ])
+    in
+    let baseline =
+      Program.make
+        ~name:(Printf.sprintf "stream_base_%s_%s" tname oname)
+        (common @ [ Program.I { Program.pc = pspr + 64; kind = Program.Load dspr } ])
+    in
+    (probe, baseline)
+  | Op.Code ->
+    (* warm with the first line, measure the sequential next-line fetch *)
+    let common =
+      Program.seq ~pc_base:pspr [ Program.Compute 5 ]
+      @ [ Program.I { Program.pc = base; kind = Program.Compute 1 } ]
+    in
+    let probe =
+      Program.make
+        ~name:(Printf.sprintf "stream_%s_%s" tname oname)
+        (common @ [ Program.I { Program.pc = base + line; kind = Program.Compute 1 } ])
+    in
+    let baseline =
+      Program.make
+        ~name:(Printf.sprintf "stream_base_%s_%s" tname oname)
+        (common @ [ Program.I { Program.pc = pspr + 64; kind = Program.Compute 1 } ])
+    in
+    (probe, baseline)

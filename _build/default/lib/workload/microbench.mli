@@ -1,0 +1,46 @@
+(** Calibration microbenchmarks (paper Section 3.3, citing [10]):
+    programs issuing a known number of SRI requests of a chosen type to a
+    chosen target, used to measure the Table 2 latency and stall constants
+    on the platform.
+
+    Two families:
+    - {!repeated}: [n] streaming requests — dividing the observed stall
+      delta by [n] yields the best-case stall per request [cs^{t,o}];
+    - {!single_probe}: exactly one cold request plus a matched baseline —
+      the cycle delta is the maximum end-to-end latency [lmax^{t,o}]. *)
+
+open Platform
+
+val repeated :
+  target:Target.t ->
+  op:Op.t ->
+  n:int ->
+  ?cacheable:bool ->
+  ?region_offset:int ->
+  unit ->
+  Tcsim.Program.t
+(** A program performing exactly [n] SRI requests of type [op] to [target],
+    laid out to stream (sequential lines) so per-request stalls bottom out
+    at the calibration floor. [cacheable] (default: [true] for code — the
+    only mode both paper scenarios use — and [false] for data) selects the
+    address window; with a cacheable window the request count is still
+    exact because every line is touched once per pass and passes thrash the
+    cache. [region_offset] displaces the address window (to keep concurrent
+    tasks' lines distinct).
+    @raise Invalid_argument for (dfl, code) or cacheable dfl. *)
+
+val single_probe :
+  target:Target.t ->
+  op:Op.t ->
+  ?cacheable:bool ->
+  unit ->
+  Tcsim.Program.t * Tcsim.Program.t
+(** [(probe, baseline)]: identical programs except the probe performs one
+    cold SRI request where the baseline performs a core-local one. The
+    isolation cycle difference is exactly [lmax^{t,o}]. *)
+
+val streaming_pair_probe :
+  target:Target.t -> op:Op.t -> unit -> Tcsim.Program.t * Tcsim.Program.t
+(** [(probe, baseline)] whose cycle delta is the {e streaming} latency
+    [lmin^{t,o}]: the probe's measured request reuses the line of an
+    immediately preceding warm-up request. *)

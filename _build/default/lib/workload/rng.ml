@@ -1,0 +1,21 @@
+(* The 48-bit java.util.Random LCG; ample quality for address shuffling. *)
+
+let mask48 = (1 lsl 48) - 1
+
+type t = { mutable state : int }
+
+let create ~seed = { state = (seed lxor 0x5DEECE66D) land mask48 }
+
+let next t =
+  t.state <- ((t.state * 0x5DEECE66D) + 0xB) land mask48;
+  t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (next t lsr 17) mod bound
+
+let bool t = next t land 0x10000 <> 0
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))

@@ -1,0 +1,15 @@
+(** Deterministic pseudo-random numbers for workload generation.
+
+    A self-contained LCG keeps generated programs bit-identical across runs
+    and independent of any global [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on an empty list. *)

@@ -1,0 +1,1 @@
+test/test_contention.ml: Access_profile Alcotest Contention Counters Ilp Latency List Mbta Memory_map Op Option Platform Printf Program QCheck QCheck_alcotest Scenario String Target Tcsim Workload

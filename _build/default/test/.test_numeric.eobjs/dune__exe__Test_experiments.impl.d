@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Contention Counters Experiments Format Latency Lazy List Mbta Platform Printf Scenario String Workload

@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Ilp List Numeric Printf Q QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mbta.ml: Access_profile Alcotest Contention Counters Latency List Mbta Op Platform Printf Scenario Target Workload

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Bigint List Numeric Printf Q QCheck QCheck_alcotest

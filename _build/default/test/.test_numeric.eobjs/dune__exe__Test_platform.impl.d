@@ -1,0 +1,1 @@
+test/test_platform.ml: Access_profile Alcotest Counters Deployment Latency List Op Platform Printf Scenario Target Variants

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Experiments Lazy List Platform Schedule Workload

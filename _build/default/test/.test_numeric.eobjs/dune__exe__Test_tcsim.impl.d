@@ -1,0 +1,1 @@
+test/test_tcsim.ml: Access_profile Alcotest Cache Counters Format Latency List Machine Memory_map Op Platform Printf Program QCheck QCheck_alcotest Sri Stats String Target Tcsim Trace

@@ -1,0 +1,1 @@
+test/test_workload.ml: Access_profile Alcotest Control_loop Counters Dma Engine_control Experiments Latency List Load_gen Mbta Microbench Op Platform Printf Rng Scenario Target Workload

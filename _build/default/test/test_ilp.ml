@@ -1,0 +1,605 @@
+(* Tests for the exact LP/ILP solver.
+
+   Coverage: textbook LPs with known optima, infeasible/unbounded detection,
+   degenerate and equality-constrained problems, branch & bound on small
+   ILPs, and property tests that cross-check branch & bound against brute
+   force on random bounded instances. *)
+
+open Numeric
+
+let q = Q.of_int
+let qr = Q.of_ints
+
+let le terms rhs m = Ilp.Model.add_constraint m (Ilp.Linexpr.of_terms terms) Ilp.Model.Le rhs
+let ge terms rhs m = Ilp.Model.add_constraint m (Ilp.Linexpr.of_terms terms) Ilp.Model.Ge rhs
+let eq terms rhs m = Ilp.Model.add_constraint m (Ilp.Linexpr.of_terms terms) Ilp.Model.Eq rhs
+
+let check_opt msg expected solution =
+  match solution with
+  | Ilp.Solution.Optimal { objective; _ } ->
+    Alcotest.(check string) msg (Q.to_string expected) (Q.to_string objective)
+  | Ilp.Solution.Infeasible -> Alcotest.failf "%s: unexpectedly infeasible" msg
+  | Ilp.Solution.Unbounded -> Alcotest.failf "%s: unexpectedly unbounded" msg
+
+(* --- LP unit tests ----------------------------------------------------------- *)
+
+let test_lp_basic () =
+  (* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18  -> 36 at (2,6) *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m "x" in
+  let y = Ilp.Model.add_var m "y" in
+  le [ (Q.one, x) ] (q 4) m;
+  le [ (q 2, y) ] (q 12) m;
+  le [ (q 3, x); (q 2, y) ] (q 18) m;
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linexpr.of_terms [ (q 3, x); (q 5, y) ]);
+  let s = Ilp.Simplex.solve m in
+  check_opt "wyndor glass" (q 36) s;
+  Alcotest.(check string) "x = 2" "2" (Q.to_string (Ilp.Solution.value_exn s x));
+  Alcotest.(check string) "y = 6" "6" (Q.to_string (Ilp.Solution.value_exn s y))
+
+let test_lp_fractional_optimum () =
+  (* max x + y st 2x + y <= 3, x + 2y <= 3 -> 2 at (1,1); then perturb *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m "x" in
+  let y = Ilp.Model.add_var m "y" in
+  le [ (q 2, x); (Q.one, y) ] (q 3) m;
+  le [ (Q.one, x); (q 2, y) ] (q 4) m;
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linexpr.of_terms [ (Q.one, x); (Q.one, y) ]);
+  let s = Ilp.Simplex.solve m in
+  (* intersection: x = 2/3, y = 5/3, objective 7/3 *)
+  check_opt "fractional optimum" (qr 7 3) s
+
+let test_lp_minimize () =
+  (* min 2x + 3y st x + y >= 4, x >= 1 -> at (4,0): 8?  x+y>=4, minimize:
+     pick all x: 2*4 = 8; but y cheaper per unit of constraint? 3 > 2 so x. *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m "x" in
+  let y = Ilp.Model.add_var m "y" in
+  ge [ (Q.one, x); (Q.one, y) ] (q 4) m;
+  ge [ (Q.one, x) ] Q.one m;
+  Ilp.Model.set_objective m Ilp.Model.Minimize
+    (Ilp.Linexpr.of_terms [ (q 2, x); (q 3, y) ]);
+  check_opt "minimisation" (q 8) (Ilp.Simplex.solve m)
+
+let test_lp_equality () =
+  (* max x st x + y = 5, y >= 2 -> x = 3 *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m "x" in
+  let y = Ilp.Model.add_var m "y" in
+  eq [ (Q.one, x); (Q.one, y) ] (q 5) m;
+  ge [ (Q.one, y) ] (q 2) m;
+  Ilp.Model.set_objective m Ilp.Model.Maximize (Ilp.Linexpr.var x);
+  check_opt "equality constraint" (q 3) (Ilp.Simplex.solve m)
+
+let test_lp_infeasible () =
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m "x" in
+  le [ (Q.one, x) ] Q.one m;
+  ge [ (Q.one, x) ] (q 2) m;
+  Ilp.Model.set_objective m Ilp.Model.Maximize (Ilp.Linexpr.var x);
+  (match Ilp.Simplex.solve m with
+   | Ilp.Solution.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible")
+
+let test_lp_unbounded () =
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m "x" in
+  let y = Ilp.Model.add_var m "y" in
+  ge [ (Q.one, x); (Q.neg Q.one, y) ] Q.zero m;
+  Ilp.Model.set_objective m Ilp.Model.Maximize (Ilp.Linexpr.var x);
+  (match Ilp.Simplex.solve m with
+   | Ilp.Solution.Unbounded -> ()
+   | _ -> Alcotest.fail "expected unbounded")
+
+let test_lp_upper_bounds () =
+  (* max x + y, x in [0,3], y in [1,2], x + y <= 4 -> 4 *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m ~ub:(q 3) "x" in
+  let y = Ilp.Model.add_var m ~lb:Q.one ~ub:(q 2) "y" in
+  le [ (Q.one, x); (Q.one, y) ] (q 4) m;
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linexpr.of_terms [ (Q.one, x); (Q.one, y) ]);
+  check_opt "boxed vars" (q 4) (Ilp.Simplex.solve m)
+
+let test_lp_free_variable () =
+  (* min x st x >= -10 via constraint on a free var *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_free_var m "x" in
+  ge [ (Q.one, x) ] (q (-10)) m;
+  Ilp.Model.set_objective m Ilp.Model.Minimize (Ilp.Linexpr.var x);
+  let s = Ilp.Simplex.solve m in
+  check_opt "free variable minimum" (q (-10)) s;
+  Alcotest.(check string) "x = -10" "-10" (Q.to_string (Ilp.Solution.value_exn s x))
+
+let test_lp_negative_rhs () =
+  (* -x - y <= -4 is x + y >= 4. *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m "x" in
+  let y = Ilp.Model.add_var m "y" in
+  le [ (Q.neg Q.one, x); (Q.neg Q.one, y) ] (q (-4)) m;
+  le [ (Q.one, x) ] (q 10) m;
+  le [ (Q.one, y) ] (q 10) m;
+  Ilp.Model.set_objective m Ilp.Model.Minimize
+    (Ilp.Linexpr.of_terms [ (Q.one, x); (Q.one, y) ]);
+  check_opt "negative rhs normalisation" (q 4) (Ilp.Simplex.solve m)
+
+let test_lp_degenerate () =
+  (* Classic degenerate LP; Bland's rule must terminate. *)
+  let m = Ilp.Model.create () in
+  let x1 = Ilp.Model.add_var m "x1" in
+  let x2 = Ilp.Model.add_var m "x2" in
+  let x3 = Ilp.Model.add_var m "x3" in
+  le [ (qr 1 4, x1); (q (-8), x2); (Q.neg Q.one, x3) ] Q.zero m;
+  le [ (qr 1 2, x1); (q (-12), x2); (qr (-1) 2, x3) ] Q.zero m;
+  le [ (Q.zero, x1); (Q.zero, x2); (Q.one, x3) ] Q.one m;
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linexpr.of_terms [ (qr 3 4, x1); (q (-20), x2); (qr 1 2, x3) ]);
+  (* Beale's cycling example has optimum 1/20... with this variant the
+     optimum value is 1.25 at x=(1,0,1)/...; just require termination +
+     feasibility of the answer. *)
+  match Ilp.Simplex.solve m with
+  | Ilp.Solution.Optimal { values; _ } ->
+    let lookup v = values.(v) in
+    (match Ilp.Model.check_feasible m lookup with
+     | Ok _ -> ()
+     | Error e -> Alcotest.failf "infeasible answer: %s" e)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_constant_in_expr () =
+  (* Constant terms inside constraint expressions fold into rhs. *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m "x" in
+  let e = Ilp.Linexpr.add_const (Ilp.Linexpr.var x) (q 2) in
+  Ilp.Model.add_constraint m e Ilp.Model.Le (q 5);
+  (* x + 2 <= 5 -> x <= 3 *)
+  Ilp.Model.set_objective m Ilp.Model.Maximize (Ilp.Linexpr.var x);
+  check_opt "constant folding" (q 3) (Ilp.Simplex.solve m)
+
+let test_lp_objective_constant () =
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m ~ub:(q 7) "x" in
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linexpr.add_const (Ilp.Linexpr.var x) (q 100));
+  check_opt "objective constant offset" (q 107) (Ilp.Simplex.solve m)
+
+(* --- ILP unit tests ----------------------------------------------------------- *)
+
+let test_ilp_rounding_matters () =
+  (* max y st -2x + 2y <= 1, 2x + 2y <= 9; LP optimum y = 2.5, ILP y = 2 *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m ~integer:true "x" in
+  let y = Ilp.Model.add_var m ~integer:true "y" in
+  le [ (q (-2), x); (q 2, y) ] Q.one m;
+  le [ (q 2, x); (q 2, y) ] (q 9) m;
+  Ilp.Model.set_objective m Ilp.Model.Maximize (Ilp.Linexpr.var y);
+  let lp = Ilp.Branch_bound.solve_lp_relaxation m in
+  check_opt "LP relaxation" (qr 5 2) lp;
+  let ilp = Ilp.Branch_bound.solve m in
+  check_opt "ILP optimum" (q 2) ilp
+
+let test_ilp_knapsack () =
+  (* knapsack: values 60,100,120; weights 10,20,30; capacity 50 -> 220 *)
+  let m = Ilp.Model.create () in
+  let xs =
+    List.map
+      (fun i -> Ilp.Model.add_var m ~integer:true ~ub:Q.one (Printf.sprintf "item%d" i))
+      [ 1; 2; 3 ]
+  in
+  (match xs with
+   | [ a; b; c ] ->
+     le [ (q 10, a); (q 20, b); (q 30, c) ] (q 50) m;
+     Ilp.Model.set_objective m Ilp.Model.Maximize
+       (Ilp.Linexpr.of_terms [ (q 60, a); (q 100, b); (q 120, c) ])
+   | _ -> assert false);
+  check_opt "knapsack" (q 220) (Ilp.Branch_bound.solve m)
+
+let test_ilp_infeasible () =
+  (* 2x = 3 has no integer solution with x in [0,5] *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m ~integer:true ~ub:(q 5) "x" in
+  eq [ (q 2, x) ] (q 3) m;
+  Ilp.Model.set_objective m Ilp.Model.Maximize (Ilp.Linexpr.var x);
+  (match Ilp.Branch_bound.solve m with
+   | Ilp.Solution.Infeasible -> ()
+   | _ -> Alcotest.fail "expected ILP infeasible")
+
+let test_ilp_equality_feasible () =
+  (* 3x + 5y = 14, x,y >= 0 integer: x=3,y=1. Maximize x. *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m ~integer:true "x" in
+  let y = Ilp.Model.add_var m ~integer:true "y" in
+  eq [ (q 3, x); (q 5, y) ] (q 14) m;
+  Ilp.Model.set_objective m Ilp.Model.Maximize (Ilp.Linexpr.var x);
+  let s = Ilp.Branch_bound.solve m in
+  check_opt "diophantine" (q 3) s;
+  Alcotest.(check string) "y = 1" "1" (Q.to_string (Ilp.Solution.value_exn s y))
+
+let test_ilp_mixed () =
+  (* Mixed integer: y continuous. max 2x + y st x + y <= 7/2, x integer. *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m ~integer:true "x" in
+  let y = Ilp.Model.add_var m "y" in
+  le [ (Q.one, x); (Q.one, y) ] (qr 7 2) m;
+  le [ (Q.one, x) ] (q 3) m;
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linexpr.of_terms [ (q 2, x); (Q.one, y) ]);
+  (* x = 3, y = 1/2 -> 13/2 *)
+  check_opt "mixed integer" (qr 13 2) (Ilp.Branch_bound.solve m)
+
+let test_ilp_solution_feasibility () =
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m ~integer:true ~ub:(q 10) "x" in
+  let y = Ilp.Model.add_var m ~integer:true ~ub:(q 10) "y" in
+  le [ (q 7, x); (q 3, y) ] (q 40) m;
+  ge [ (Q.one, x); (Q.one, y) ] (q 2) m;
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linexpr.of_terms [ (q 5, x); (q 4, y) ]);
+  match Ilp.Branch_bound.solve m with
+  | Ilp.Solution.Optimal { values; _ } ->
+    (match Ilp.Model.check_feasible m (fun v -> values.(v)) with
+     | Ok _ -> ()
+     | Error e -> Alcotest.failf "solution infeasible: %s" e)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* --- property tests: branch & bound vs brute force --------------------------- *)
+
+(* Random bounded 2-3 variable ILPs, maximisation, coefficients in [-5,5],
+   variable range [0,6]: brute-force enumeration is the ground truth. *)
+
+type rand_ilp = {
+  nvars : int;
+  ubounds : int array;
+  rows : (int array * int) list; (* coeffs <= rhs *)
+  obj : int array;
+}
+
+let gen_rand_ilp =
+  let open QCheck.Gen in
+  let* nvars = int_range 2 3 in
+  let* ubounds = array_repeat nvars (int_range 1 6) in
+  let* nrows = int_range 1 4 in
+  let* rows =
+    list_repeat nrows
+      (pair (array_repeat nvars (int_range (-5) 5)) (int_range (-10) 30))
+  in
+  let* obj = array_repeat nvars (int_range (-5) 8) in
+  return { nvars; ubounds; rows; obj }
+
+let brute_force r =
+  (* Maximise over the integer box; None if infeasible. *)
+  let best = ref None in
+  let x = Array.make r.nvars 0 in
+  let rec go i =
+    if i = r.nvars then begin
+      let feasible =
+        List.for_all
+          (fun (coeffs, rhs) ->
+             let lhs = ref 0 in
+             Array.iteri (fun j c -> lhs := !lhs + (c * x.(j))) coeffs;
+             !lhs <= rhs)
+          r.rows
+      in
+      if feasible then begin
+        let v = ref 0 in
+        Array.iteri (fun j c -> v := !v + (c * x.(j))) r.obj;
+        match !best with
+        | Some b when b >= !v -> ()
+        | _ -> best := Some !v
+      end
+    end
+    else
+      for value = 0 to r.ubounds.(i) do
+        x.(i) <- value;
+        go (i + 1)
+      done
+  in
+  go 0;
+  !best
+
+let to_model r =
+  let m = Ilp.Model.create () in
+  let vars =
+    Array.init r.nvars (fun i ->
+        Ilp.Model.add_var m ~integer:true ~ub:(q r.ubounds.(i))
+          (Printf.sprintf "x%d" i))
+  in
+  List.iter
+    (fun (coeffs, rhs) ->
+       let terms =
+         Array.to_list (Array.mapi (fun j c -> (q c, vars.(j))) coeffs)
+       in
+       le terms (q rhs) m)
+    r.rows;
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linexpr.of_terms
+       (Array.to_list (Array.mapi (fun j c -> (q c, vars.(j))) r.obj)));
+  m
+
+let prop_bb_matches_brute_force =
+  QCheck.Test.make ~name:"branch&bound matches brute force" ~count:200
+    (QCheck.make gen_rand_ilp) (fun r ->
+        let m = to_model r in
+        match (Ilp.Branch_bound.solve m, brute_force r) with
+        | Ilp.Solution.Optimal { objective; _ }, Some bf ->
+          Q.equal objective (q bf)
+        | Ilp.Solution.Infeasible, None -> true
+        | Ilp.Solution.Optimal _, None -> false
+        | Ilp.Solution.Infeasible, Some _ -> false
+        | Ilp.Solution.Unbounded, _ -> false)
+
+let prop_bb_solution_feasible =
+  QCheck.Test.make ~name:"branch&bound solutions are feasible+integral"
+    ~count:200 (QCheck.make gen_rand_ilp) (fun r ->
+        let m = to_model r in
+        match Ilp.Branch_bound.solve m with
+        | Ilp.Solution.Optimal { values; _ } ->
+          (match Ilp.Model.check_feasible m (fun v -> values.(v)) with
+           | Ok _ -> true
+           | Error _ -> false)
+        | Ilp.Solution.Infeasible -> true
+        | Ilp.Solution.Unbounded -> false)
+
+let prop_lp_bounds_ilp =
+  QCheck.Test.make ~name:"LP relaxation upper-bounds ILP (maximise)"
+    ~count:200 (QCheck.make gen_rand_ilp) (fun r ->
+        let m = to_model r in
+        match (Ilp.Branch_bound.solve m, Ilp.Simplex.solve m) with
+        | Ilp.Solution.Optimal { objective = i; _ },
+          Ilp.Solution.Optimal { objective = l; _ } ->
+          Q.compare i l <= 0
+        | Ilp.Solution.Infeasible, _ -> true
+        | _, Ilp.Solution.Infeasible -> false
+        | _ -> true)
+
+let prop_lp_feasible_answers =
+  QCheck.Test.make ~name:"simplex answers satisfy constraints" ~count:200
+    (QCheck.make gen_rand_ilp) (fun r ->
+        let m = to_model r in
+        match Ilp.Simplex.solve m with
+        | Ilp.Solution.Optimal { values; _ } ->
+          (match
+             Ilp.Model.check_feasible ~tol_integrality:false m (fun v ->
+                 values.(v))
+           with
+           | Ok _ -> true
+           | Error _ -> false)
+        | Ilp.Solution.Infeasible -> true
+        | Ilp.Solution.Unbounded -> false)
+
+(* --- presolve ----------------------------------------------------------------- *)
+
+let bounds_of m =
+  let nv = Ilp.Model.num_vars m in
+  ( Array.init nv (fun v -> (Ilp.Model.var_info m v).Ilp.Model.lb),
+    Array.init nv (fun v -> (Ilp.Model.var_info m v).Ilp.Model.ub) )
+
+let test_presolve_tightens () =
+  (* x + y <= 5, x >= 0, y >= 0 (integers): both get ub 5; with 2x <= 7,
+     integer x gets ub 3 *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m ~integer:true "x" in
+  let y = Ilp.Model.add_var m ~integer:true "y" in
+  le [ (Q.one, x); (Q.one, y) ] (q 5) m;
+  le [ (q 2, x) ] (q 7) m;
+  let lb, ub = bounds_of m in
+  (match Ilp.Presolve.tighten m ~lb ~ub with
+   | Ilp.Presolve.Tightened (_, ub') ->
+     Alcotest.(check string) "x <= 3" "3"
+       (match ub'.(x) with Some u -> Q.to_string u | None -> "inf");
+     Alcotest.(check string) "y <= 5" "5"
+       (match ub'.(y) with Some u -> Q.to_string u | None -> "inf")
+   | Ilp.Presolve.Infeasible -> Alcotest.fail "unexpected infeasibility")
+
+let test_presolve_detects_infeasible () =
+  (* x >= 4 and x <= 2 via constraints *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m "x" in
+  ge [ (Q.one, x) ] (q 4) m;
+  le [ (Q.one, x) ] (q 2) m;
+  let lb, ub = bounds_of m in
+  (match Ilp.Presolve.tighten m ~lb ~ub with
+   | Ilp.Presolve.Infeasible -> ()
+   | Ilp.Presolve.Tightened _ -> Alcotest.fail "expected infeasibility")
+
+let test_presolve_equality_fixes () =
+  (* 2x = 6 with x in [0, 10] pins x to 3 *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m ~ub:(q 10) "x" in
+  eq [ (q 2, x) ] (q 6) m;
+  let lb, ub = bounds_of m in
+  (match Ilp.Presolve.tighten m ~lb ~ub with
+   | Ilp.Presolve.Tightened (lb', ub') ->
+     Alcotest.(check string) "lb 3" "3"
+       (match lb'.(x) with Some l -> Q.to_string l | None -> "-inf");
+     Alcotest.(check string) "ub 3" "3"
+       (match ub'.(x) with Some u -> Q.to_string u | None -> "inf")
+   | Ilp.Presolve.Infeasible -> Alcotest.fail "unexpected infeasibility")
+
+let prop_presolve_preserves_solutions =
+  QCheck.Test.make ~name:"presolve preserves every feasible integer point"
+    ~count:200 (QCheck.make gen_rand_ilp) (fun r ->
+        let m = to_model r in
+        let lb, ub = bounds_of m in
+        match Ilp.Presolve.tighten m ~lb ~ub with
+        | Ilp.Presolve.Infeasible -> brute_force r = None
+        | Ilp.Presolve.Tightened (lb', ub') ->
+          (* every brute-force feasible point stays inside the new box *)
+          let x = Array.make r.nvars 0 in
+          let ok = ref true in
+          let rec go i =
+            if i = r.nvars then begin
+              let feasible =
+                List.for_all
+                  (fun (coeffs, rhs) ->
+                     let lhs = ref 0 in
+                     Array.iteri (fun j c -> lhs := !lhs + (c * x.(j))) coeffs;
+                     !lhs <= rhs)
+                  r.rows
+              in
+              if feasible then
+                Array.iteri
+                  (fun v xv ->
+                     let inside_l =
+                       match lb'.(v) with Some l -> Q.compare l (q xv) <= 0 | None -> true
+                     in
+                     let inside_u =
+                       match ub'.(v) with Some u -> Q.compare (q xv) u <= 0 | None -> true
+                     in
+                     if not (inside_l && inside_u) then ok := false)
+                  x
+            end
+            else
+              for value = 0 to r.ubounds.(i) do
+                x.(i) <- value;
+                go (i + 1)
+              done
+          in
+          go 0;
+          !ok)
+
+let prop_presolve_same_optimum =
+  QCheck.Test.make ~name:"branch&bound optimum unchanged by presolve" ~count:100
+    (QCheck.make gen_rand_ilp) (fun r ->
+        let m = to_model r in
+        let with_p = Ilp.Branch_bound.solve ~presolve:true m in
+        let without = Ilp.Branch_bound.solve ~presolve:false m in
+        match (with_p, without) with
+        | Ilp.Solution.Optimal { objective = a; _ }, Ilp.Solution.Optimal { objective = b; _ }
+          -> Q.equal a b
+        | Ilp.Solution.Infeasible, Ilp.Solution.Infeasible -> true
+        | _ -> false)
+
+(* --- LP text format -------------------------------------------------------- *)
+
+let sample_model () =
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m ~integer:true ~ub:(q 10) "x" in
+  let y = Ilp.Model.add_var m ~lb:(qr (-5) 2) ~ub:(q 4) "y" in
+  let z = Ilp.Model.add_free_var m "z" in
+  le [ (qr 3 4, x); (Q.one, y) ] (q 7) m;
+  ge [ (Q.one, x); (Q.neg Q.one, z) ] (q (-2)) m;
+  eq [ (Q.one, y); (Q.one, z) ] (q 3) m;
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linexpr.of_terms [ (q 2, x); (Q.one, y); (qr 1 2, z) ]);
+  m
+
+let solve_both m =
+  (Ilp.Simplex.solve m, Ilp.Branch_bound.solve m)
+
+let test_lp_format_roundtrip () =
+  let m = sample_model () in
+  let text = Ilp.Lp_format.to_string m in
+  let m' = Ilp.Lp_format.of_string text in
+  Alcotest.(check int) "same variable count" (Ilp.Model.num_vars m) (Ilp.Model.num_vars m');
+  Alcotest.(check int) "same constraint count"
+    (List.length (Ilp.Model.constraints m))
+    (List.length (Ilp.Model.constraints m'));
+  let check_same msg s s' =
+    match (s, s') with
+    | Ilp.Solution.Optimal { objective = a; _ }, Ilp.Solution.Optimal { objective = b; _ } ->
+      Alcotest.(check string) msg (Q.to_string a) (Q.to_string b)
+    | _ -> Alcotest.fail (msg ^ ": statuses differ")
+  in
+  let lp, ilp = solve_both m and lp', ilp' = solve_both m' in
+  check_same "LP optimum preserved" lp lp';
+  check_same "ILP optimum preserved" ilp ilp'
+
+let test_lp_format_emits_sections () =
+  let text = Ilp.Lp_format.to_string (sample_model ()) in
+  List.iter
+    (fun needle ->
+       let found =
+         let nh = String.length text and nn = String.length needle in
+         let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+         go 0
+       in
+       Alcotest.(check bool) ("contains " ^ needle) true found)
+    [ "Maximize"; "Subject To"; "Bounds"; "Generals"; "End"; "0.75 x"; "z free"; "-2.5" ]
+
+let test_lp_format_rejects_nondecimal () =
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m "x" in
+  le [ (qr 1 3, x) ] Q.one m;
+  Ilp.Model.set_objective m Ilp.Model.Maximize (Ilp.Linexpr.var x);
+  (try
+     ignore (Ilp.Lp_format.to_string m);
+     Alcotest.fail "1/3 must be rejected"
+   with Invalid_argument _ -> ())
+
+let test_lp_format_parse_errors () =
+  let expect_error text =
+    try
+      ignore (Ilp.Lp_format.of_string text);
+      Alcotest.failf "expected Parse_error on %S" text
+    with Ilp.Lp_format.Parse_error _ -> ()
+  in
+  expect_error "Subject To\n c1: x <= 1\nEnd\n";
+  (* missing objective *)
+  expect_error "Maximize\n obj: x\nSubject To\n c1: x ? 1\nEnd\n";
+  expect_error "Maximize\n obj: x\nSubject To\n c1: x 1\nEnd\n"
+
+let test_lp_format_parse_variants () =
+  (* alternative spellings we tolerate *)
+  let m =
+    Ilp.Lp_format.of_string
+      "min\n obj: x + y\nst\n c: x + y >= 3\nBounds\n x >= 1\nIntegers\n y\nEnd\n"
+  in
+  match Ilp.Branch_bound.solve m with
+  | Ilp.Solution.Optimal { objective; _ } ->
+    Alcotest.(check string) "min x+y st x+y>=3" "3" (Q.to_string objective)
+  | _ -> Alcotest.fail "expected optimal"
+
+let () =
+  Alcotest.run "ilp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "basic maximisation" `Quick test_lp_basic;
+          Alcotest.test_case "fractional optimum" `Quick test_lp_fractional_optimum;
+          Alcotest.test_case "minimisation" `Quick test_lp_minimize;
+          Alcotest.test_case "equality constraints" `Quick test_lp_equality;
+          Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_lp_unbounded;
+          Alcotest.test_case "boxed variables" `Quick test_lp_upper_bounds;
+          Alcotest.test_case "free variables" `Quick test_lp_free_variable;
+          Alcotest.test_case "negative rhs" `Quick test_lp_negative_rhs;
+          Alcotest.test_case "degenerate (Bland)" `Quick test_lp_degenerate;
+          Alcotest.test_case "constant folding" `Quick test_lp_constant_in_expr;
+          Alcotest.test_case "objective constant" `Quick test_lp_objective_constant;
+        ] );
+      ( "branch-bound",
+        [
+          Alcotest.test_case "LP vs ILP gap" `Quick test_ilp_rounding_matters;
+          Alcotest.test_case "knapsack" `Quick test_ilp_knapsack;
+          Alcotest.test_case "infeasible ILP" `Quick test_ilp_infeasible;
+          Alcotest.test_case "diophantine equality" `Quick test_ilp_equality_feasible;
+          Alcotest.test_case "mixed integer" `Quick test_ilp_mixed;
+          Alcotest.test_case "solution feasibility" `Quick test_ilp_solution_feasibility;
+        ] );
+      ( "presolve",
+        [
+          Alcotest.test_case "tightens bounds" `Quick test_presolve_tightens;
+          Alcotest.test_case "detects infeasibility" `Quick test_presolve_detects_infeasible;
+          Alcotest.test_case "equality fixes variables" `Quick test_presolve_equality_fixes;
+          QCheck_alcotest.to_alcotest prop_presolve_preserves_solutions;
+          QCheck_alcotest.to_alcotest prop_presolve_same_optimum;
+        ] );
+      ( "lp-format",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_lp_format_roundtrip;
+          Alcotest.test_case "sections" `Quick test_lp_format_emits_sections;
+          Alcotest.test_case "rejects 1/3" `Quick test_lp_format_rejects_nondecimal;
+          Alcotest.test_case "parse errors" `Quick test_lp_format_parse_errors;
+          Alcotest.test_case "spelling variants" `Quick test_lp_format_parse_variants;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_bb_matches_brute_force;
+            prop_bb_solution_feasible;
+            prop_lp_bounds_ilp;
+            prop_lp_feasible_answers;
+          ] );
+    ]

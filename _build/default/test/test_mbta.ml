@@ -1,0 +1,216 @@
+(* Tests for the MBTA layer: access-count bounding (Eqs. 2-4), the
+   calibration harness (Table 2 regeneration) and WCET assembly. *)
+
+open Platform
+
+let lat = Latency.default
+
+(* --- access bounds --------------------------------------------------------- *)
+
+let counters ?(ps = 0) ?(ds = 0) ?(pm = 0) ?(dmc = 0) ?(dmd = 0) () =
+  {
+    Counters.ccnt = ps + ds + 1000;
+    pmem_stall = ps;
+    dmem_stall = ds;
+    pcache_miss = pm;
+    dcache_miss_clean = dmc;
+    dcache_miss_dirty = dmd;
+  }
+
+let test_cs_minima () =
+  (* Eq. 2: min(cs_pf0_co, cs_pf1_co, cs_lmu_co) = min(6, 6, 11) = 6
+     Eq. 3: min(cs_pf_da, cs_lmu_da, cs_dfl_da) = min(11, 10, 42) = 10 *)
+  Alcotest.(check int) "cs_co_min" 6 (Mbta.Access_bounds.cs_co_min lat);
+  Alcotest.(check int) "cs_da_min" 10 (Mbta.Access_bounds.cs_da_min lat)
+
+let test_ceiling_bound () =
+  (* Eq. 4 uses ceilings *)
+  let b = Mbta.Access_bounds.of_counters lat (counters ~ps:100 ~ds:100 ()) in
+  Alcotest.(check int) "ceil(100/6)" 17 b.Mbta.Access_bounds.n_co;
+  Alcotest.(check int) "ceil(100/10)" 10 b.Mbta.Access_bounds.n_da;
+  let z = Mbta.Access_bounds.of_counters lat (counters ()) in
+  Alcotest.(check int) "zero stalls, zero accesses (co)" 0 z.Mbta.Access_bounds.n_co;
+  Alcotest.(check int) "zero stalls, zero accesses (da)" 0 z.Mbta.Access_bounds.n_da
+
+let test_scenario_bound_tighter () =
+  (* Scenario 1 allows data only on the LMU, whose cs (10) equals the
+     architectural minimum, but code still only on pf: same cs. Scenario
+     restriction must never loosen the bound. *)
+  let c = counters ~ps:1000 ~ds:1000 () in
+  let arch = Mbta.Access_bounds.of_counters lat c in
+  List.iter
+    (fun s ->
+       let sc = Mbta.Access_bounds.of_counters_scenario lat s c in
+       Alcotest.(check bool) (s.Scenario.name ^ " co not looser") true
+         (sc.Mbta.Access_bounds.n_co <= arch.Mbta.Access_bounds.n_co);
+       Alcotest.(check bool) (s.Scenario.name ^ " da not looser") true
+         (sc.Mbta.Access_bounds.n_da <= arch.Mbta.Access_bounds.n_da))
+    Scenario.all
+
+let test_bounds_sound_on_workloads () =
+  (* The paper's key measurement-side assumption: stall-derived access
+     bounds dominate ground truth. Checked across apps and contenders. *)
+  let check name (o : Mbta.Measurement.observation) scenario =
+    let b = Mbta.Access_bounds.of_counters lat o.Mbta.Measurement.counters in
+    Alcotest.(check bool) (name ^ " architectural bound sound") true
+      (Mbta.Access_bounds.sound_for b o.Mbta.Measurement.ground_truth);
+    let bs = Mbta.Access_bounds.of_counters_scenario lat scenario o.Mbta.Measurement.counters in
+    Alcotest.(check bool) (name ^ " scenario bound sound") true
+      (Mbta.Access_bounds.sound_for bs o.Mbta.Measurement.ground_truth)
+  in
+  List.iter
+    (fun (variant, scenario) ->
+       check
+         (scenario.Scenario.name ^ " app")
+         (Mbta.Measurement.isolation (Workload.Control_loop.app variant))
+         scenario;
+       List.iter
+         (fun level ->
+            check
+              (Printf.sprintf "%s %s" scenario.Scenario.name
+                 (Workload.Load_gen.level_to_string level))
+              (Mbta.Measurement.isolation ~core:1
+                 (Workload.Load_gen.make ~variant ~level ()))
+              scenario)
+         Workload.Load_gen.all_levels)
+    [
+      (Workload.Control_loop.S1, Scenario.scenario1);
+      (Workload.Control_loop.S2, Scenario.scenario2);
+    ]
+
+(* --- calibration ------------------------------------------------------------- *)
+
+let test_calibration_matches_table2 () =
+  let results = Mbta.Calibration.run () in
+  List.iter
+    (fun (t, o, m) ->
+       let name = Printf.sprintf "(%s,%s)" (Target.to_string t) (Op.to_string o) in
+       Alcotest.(check int) (name ^ " lmax") (Latency.lmax lat t o) m.Mbta.Calibration.lmax;
+       Alcotest.(check int) (name ^ " lmin") (Latency.lmin lat t o) m.Mbta.Calibration.lmin;
+       Alcotest.(check int) (name ^ " cs") (Latency.min_stall lat t o) m.Mbta.Calibration.cs)
+    results
+
+let test_calibration_roundtrip () =
+  let table =
+    Mbta.Calibration.to_latency_table (Mbta.Calibration.run ())
+      ~lmu_dirty_lmax:(Latency.lmu_dirty_lmax lat)
+  in
+  List.iter
+    (fun (t, o) ->
+       Alcotest.(check int) "lmax roundtrip" (Latency.lmax lat t o) (Latency.lmax table t o);
+       Alcotest.(check int) "cs roundtrip" (Latency.min_stall lat t o)
+         (Latency.min_stall table t o))
+    Op.valid_pairs
+
+(* --- wcet ---------------------------------------------------------------------- *)
+
+let test_wcet_assembly () =
+  let w = Mbta.Wcet.make ~isolation_cycles:1000 ~contention_cycles:500 in
+  Alcotest.(check int) "wcet" 1500 w.Mbta.Wcet.wcet;
+  Alcotest.(check (float 1e-9)) "ratio" 1.5 w.Mbta.Wcet.ratio;
+  Alcotest.(check bool) "covers smaller" true (Mbta.Wcet.upper_bounds w ~observed_cycles:1400);
+  Alcotest.(check bool) "misses larger" false (Mbta.Wcet.upper_bounds w ~observed_cycles:1501)
+
+let test_wcet_validation () =
+  Alcotest.check_raises "zero isolation"
+    (Invalid_argument "Wcet.make: non-positive isolation time") (fun () ->
+        ignore (Mbta.Wcet.make ~isolation_cycles:0 ~contention_cycles:1));
+  Alcotest.check_raises "negative contention"
+    (Invalid_argument "Wcet.make: negative contention") (fun () ->
+        ignore (Mbta.Wcet.make ~isolation_cycles:1 ~contention_cycles:(-1)))
+
+(* --- measurement ----------------------------------------------------------------- *)
+
+let test_corun_slower_than_isolation () =
+  let variant = Workload.Control_loop.S1 in
+  let app = Workload.Control_loop.app variant in
+  let con = Workload.Load_gen.make ~variant ~level:Workload.Load_gen.High () in
+  let iso = Mbta.Measurement.isolation app in
+  let co = Mbta.Measurement.corun ~analysis:(app, 0) ~contenders:[ (con, 1) ] () in
+  Alcotest.(check bool) "contention slows the app" true
+    (co.Mbta.Measurement.cycles > iso.Mbta.Measurement.cycles);
+  (* the analysis task's own counter signature is unchanged by co-running
+     except for stalls *)
+  Alcotest.(check int) "same PM under contention"
+    iso.Mbta.Measurement.counters.Counters.pcache_miss
+    co.Mbta.Measurement.counters.Counters.pcache_miss;
+  Alcotest.(check bool) "more stalls under contention" true
+    (co.Mbta.Measurement.counters.Counters.dmem_stall
+     >= iso.Mbta.Measurement.counters.Counters.dmem_stall)
+
+let test_sweep_and_high_water_mark () =
+  let variants =
+    Workload.Control_loop.app_input_variants Workload.Control_loop.S1 ~n:4
+  in
+  Alcotest.(check int) "4 variants" 4 (List.length variants);
+  let sweep = Mbta.Measurement.isolation_sweep variants in
+  let hwm = Mbta.Measurement.high_water_mark sweep in
+  (* the mark dominates every run, pointwise *)
+  List.iter
+    (fun (o : Mbta.Measurement.observation) ->
+       Alcotest.(check bool) "cycles dominated" true
+         (hwm.Mbta.Measurement.cycles >= o.Mbta.Measurement.cycles);
+       Alcotest.(check bool) "ps dominated" true
+         (hwm.Mbta.Measurement.counters.Counters.pmem_stall
+          >= o.Mbta.Measurement.counters.Counters.pmem_stall);
+       Alcotest.(check bool) "ds dominated" true
+         (hwm.Mbta.Measurement.counters.Counters.dmem_stall
+          >= o.Mbta.Measurement.counters.Counters.dmem_stall);
+       Alcotest.(check bool) "ground truth dominated" true
+         (Access_profile.dominates hwm.Mbta.Measurement.ground_truth
+            o.Mbta.Measurement.ground_truth))
+    sweep;
+  (* estimates from the mark dominate estimates from any single run *)
+  let ftc_of (c : Counters.t) =
+    (Contention.Ftc.contention_bound ~latency:lat ~a:c ()).Contention.Ftc.delta
+  in
+  List.iter
+    (fun (o : Mbta.Measurement.observation) ->
+       Alcotest.(check bool) "hwm fTC dominates per-run fTC" true
+         (ftc_of hwm.Mbta.Measurement.counters >= ftc_of o.Mbta.Measurement.counters))
+    sweep;
+  (* the input variants genuinely differ *)
+  let cycles = List.map (fun o -> o.Mbta.Measurement.cycles) sweep in
+  Alcotest.(check bool) "variants differ" true
+    (List.exists (fun c -> c <> List.hd cycles) (List.tl cycles))
+
+let test_high_water_mark_empty () =
+  Alcotest.check_raises "empty sweep"
+    (Invalid_argument "Measurement.high_water_mark: empty sweep") (fun () ->
+        ignore (Mbta.Measurement.high_water_mark []))
+
+let test_isolation_deterministic () =
+  let app = Workload.Control_loop.app Workload.Control_loop.S1 in
+  let a = Mbta.Measurement.isolation app and b = Mbta.Measurement.isolation app in
+  Alcotest.(check int) "same cycles" a.Mbta.Measurement.cycles b.Mbta.Measurement.cycles;
+  Alcotest.(check bool) "same counters" true
+    (Counters.equal a.Mbta.Measurement.counters b.Mbta.Measurement.counters)
+
+let () =
+  Alcotest.run "mbta"
+    [
+      ( "access-bounds",
+        [
+          Alcotest.test_case "cs minima (Eqs. 2-3)" `Quick test_cs_minima;
+          Alcotest.test_case "ceiling bound (Eq. 4)" `Quick test_ceiling_bound;
+          Alcotest.test_case "scenario restriction tighter" `Quick test_scenario_bound_tighter;
+          Alcotest.test_case "sound on all workloads" `Slow test_bounds_sound_on_workloads;
+        ] );
+      ( "calibration",
+        [
+          Alcotest.test_case "matches Table 2" `Quick test_calibration_matches_table2;
+          Alcotest.test_case "latency-table roundtrip" `Quick test_calibration_roundtrip;
+        ] );
+      ( "wcet",
+        [
+          Alcotest.test_case "assembly" `Quick test_wcet_assembly;
+          Alcotest.test_case "validation" `Quick test_wcet_validation;
+        ] );
+      ( "measurement",
+        [
+          Alcotest.test_case "corun slower" `Quick test_corun_slower_than_isolation;
+          Alcotest.test_case "deterministic" `Quick test_isolation_deterministic;
+          Alcotest.test_case "sweep + high-water mark" `Quick test_sweep_and_high_water_mark;
+          Alcotest.test_case "hwm empty rejected" `Quick test_high_water_mark_empty;
+        ] );
+    ]

@@ -1,0 +1,292 @@
+(* Tests for the static platform model: target/op algebra, the Table 2
+   latency table and its derived quantities (Eqs. 2-3, 6-7), the Table 3
+   deployment matrix, scenario definitions (Fig. 3 / Table 5 inputs),
+   access profiles and counters. *)
+
+open Platform
+
+let lat = Latency.default
+
+(* --- targets and operations -------------------------------------------------- *)
+
+let test_target_sets () =
+  Alcotest.(check int) "4 targets" 4 (List.length Target.all);
+  Alcotest.(check int) "3 code targets" 3 (List.length Target.code_targets);
+  Alcotest.(check int) "4 data targets" 4 (List.length Target.data_targets);
+  Alcotest.(check bool) "dfl not code-reachable" false
+    (List.mem Target.Dfl Target.code_targets)
+
+let test_target_string_roundtrip () =
+  List.iter
+    (fun t ->
+       Alcotest.(check bool) "roundtrip" true
+         (Target.of_string (Target.to_string t) = Some t))
+    Target.all;
+  Alcotest.(check bool) "unknown" true (Target.of_string "rom" = None)
+
+let test_valid_pairs () =
+  Alcotest.(check int) "7 admissible pairs" 7 (List.length Op.valid_pairs);
+  Alcotest.(check bool) "(dfl, code) inadmissible" false (Op.valid Target.Dfl Op.Code);
+  List.iter
+    (fun t -> Alcotest.(check bool) "data everywhere" true (Op.valid t Op.Data))
+    Target.all
+
+(* --- latency table ------------------------------------------------------------ *)
+
+let test_table2_constants () =
+  let check t o (lmax, lmin, cs) =
+    Alcotest.(check int) "lmax" lmax (Latency.lmax lat t o);
+    Alcotest.(check int) "lmin" lmin (Latency.lmin lat t o);
+    Alcotest.(check int) "cs" cs (Latency.min_stall lat t o)
+  in
+  check Target.Lmu Op.Code (11, 11, 11);
+  check Target.Lmu Op.Data (11, 11, 10);
+  check Target.Pf0 Op.Code (16, 12, 6);
+  check Target.Pf1 Op.Data (16, 12, 11);
+  check Target.Dfl Op.Data (43, 43, 42);
+  Alcotest.(check int) "dirty lmu" 21 (Latency.lmu_dirty_lmax lat)
+
+let test_latency_derived () =
+  (* Eqs. 2-3 *)
+  Alcotest.(check int) "cs_co_min" 6 (Latency.cs_min lat Op.Code);
+  Alcotest.(check int) "cs_da_min" 10 (Latency.cs_min lat Op.Data);
+  (* Eqs. 6-7 *)
+  Alcotest.(check int) "l_co_max" 16 (Latency.worst_latency lat Op.Code);
+  Alcotest.(check int) "l_da_max" 43 (Latency.worst_latency lat Op.Data);
+  Alcotest.(check int) "l_co_max dirty" 21 (Latency.worst_latency ~dirty:true lat Op.Code);
+  Alcotest.(check int) "lmax_op dirty applies to lmu data only" 21
+    (Latency.lmax_op ~dirty:true lat Target.Lmu Op.Data);
+  Alcotest.(check int) "lmax_op dirty leaves pf alone" 16
+    (Latency.lmax_op ~dirty:true lat Target.Pf0 Op.Data)
+
+let test_latency_validation () =
+  let entry lmax lmin min_stall = { Latency.lmax; lmin; min_stall } in
+  let base =
+    [
+      (Target.Lmu, Op.Code, entry 11 11 11);
+      (Target.Lmu, Op.Data, entry 11 11 10);
+      (Target.Pf0, Op.Code, entry 16 12 6);
+      (Target.Pf0, Op.Data, entry 16 12 11);
+      (Target.Pf1, Op.Code, entry 16 12 6);
+      (Target.Pf1, Op.Data, entry 16 12 11);
+      (Target.Dfl, Op.Data, entry 43 43 42);
+    ]
+  in
+  ignore (Latency.make base ~lmu_dirty_lmax:21);
+  let expect_invalid entries =
+    try
+      ignore (Latency.make entries ~lmu_dirty_lmax:21);
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  (* missing pair *)
+  expect_invalid (List.tl base);
+  (* duplicate pair *)
+  expect_invalid (List.hd base :: base);
+  (* cs > lmin *)
+  expect_invalid
+    ((Target.Lmu, Op.Code, entry 11 11 12) :: List.tl base);
+  (* lmin > lmax *)
+  expect_invalid
+    ((Target.Lmu, Op.Code, entry 11 12 11) :: List.tl base);
+  (* code to dfl *)
+  expect_invalid ((Target.Dfl, Op.Code, entry 43 43 42) :: base)
+
+(* --- deployment (Table 3) ------------------------------------------------------ *)
+
+let test_table3_matrix () =
+  let open Deployment in
+  (* exactly the paper's matrix *)
+  let expect = function
+    | Op.Code, _, Target.Dfl -> false
+    | Op.Code, _, _ -> true
+    | Op.Data, Cacheable, Target.Dfl -> false
+    | Op.Data, Cacheable, _ -> true
+    | Op.Data, Non_cacheable, (Target.Dfl | Target.Lmu) -> true
+    | Op.Data, Non_cacheable, (Target.Pf0 | Target.Pf1) -> false
+  in
+  List.iter
+    (fun op ->
+       List.iter
+         (fun c ->
+            List.iter
+              (fun t ->
+                 Alcotest.(check bool)
+                   (Printf.sprintf "%s/%s/%s" (Op.to_string op)
+                      (match c with Cacheable -> "$" | Non_cacheable -> "n$")
+                      (Target.to_string t))
+                   (expect (op, c, t))
+                   (admissible op c t))
+              Target.all)
+         [ Cacheable; Non_cacheable ])
+    Op.all
+
+let test_deployment_validation () =
+  let bad =
+    Deployment.make ~name:"bad"
+      [
+        {
+          Deployment.kind = Op.Data;
+          place = Deployment.Shared (Target.Pf0, Deployment.Non_cacheable);
+          label = "illegal";
+        };
+      ]
+  in
+  (match bad with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "non-cacheable data on pf must be rejected");
+  (try
+     ignore
+       (Deployment.make_exn ~name:"bad"
+          [
+            {
+              Deployment.kind = Op.Code;
+              place = Deployment.Shared (Target.Dfl, Deployment.Cacheable);
+              label = "illegal";
+            };
+          ]);
+     Alcotest.fail "code on dfl must be rejected"
+   with Invalid_argument _ -> ())
+
+let test_deployment_queries () =
+  let d = Scenario.scenario1.Scenario.deployment in
+  Alcotest.(check bool) "code counted by PM" true
+    (Deployment.code_counted_by_pcache_miss d);
+  let pairs = Deployment.sri_pairs d in
+  Alcotest.(check bool) "pf0 code present" true
+    (List.exists (fun (t, o) -> t = Target.Pf0 && o = Op.Code) pairs);
+  Alcotest.(check bool) "no dfl traffic" false
+    (List.exists (fun (t, _) -> t = Target.Dfl) pairs)
+
+(* --- scenarios ------------------------------------------------------------------ *)
+
+let test_scenario_zero_pairs () =
+  let z1 = Scenario.zero_pairs Scenario.scenario1 in
+  Alcotest.(check int) "sc1 zeroes 4 pairs" 4 (List.length z1);
+  let z2 = Scenario.zero_pairs Scenario.scenario2 in
+  Alcotest.(check int) "sc2 zeroes 2 pairs" 2 (List.length z2);
+  Alcotest.(check int) "unrestricted zeroes none" 0
+    (List.length (Scenario.zero_pairs Scenario.unrestricted))
+
+let test_scenario_allowed_pairs () =
+  let allowed = Scenario.allowed_pairs Scenario.scenario1 in
+  Alcotest.(check int) "sc1 allows 3 pairs" 3 (List.length allowed);
+  Alcotest.(check int) "unrestricted allows all 7" 7
+    (List.length (Scenario.allowed_pairs Scenario.unrestricted))
+
+let test_scenario_find () =
+  Alcotest.(check bool) "find scenario2" true
+    (match Scenario.find "scenario2" with Some s -> s.Scenario.name = "scenario2" | None -> false);
+  Alcotest.(check bool) "unknown" true (Scenario.find "nope" = None)
+
+(* --- variants -------------------------------------------------------------------- *)
+
+let test_variants_wellformed () =
+  List.iter
+    (fun (v : Variants.t) ->
+       (* constructing the table already validated the cs<=lmin<=lmax
+          relations; sanity-check a few invariants across variants *)
+       List.iter
+         (fun (t, o) ->
+            Alcotest.(check bool)
+              (v.Variants.name ^ " cs >= 1")
+              true
+              (Latency.min_stall v.Variants.latency t o >= 1))
+         Op.valid_pairs)
+    Variants.all;
+  Alcotest.(check bool) "tc277 is the reference" true
+    (Latency.lmax Variants.tc277.Variants.latency Target.Pf0 Op.Code
+     = Latency.lmax Latency.default Target.Pf0 Op.Code);
+  Alcotest.(check bool) "find works" true
+    (Variants.find "tc27x-slow-flash" <> None);
+  Alcotest.(check bool) "unknown variant" true (Variants.find "tc999" = None)
+
+(* --- access profiles --------------------------------------------------------------- *)
+
+let test_profile_basics () =
+  let p =
+    Access_profile.make
+      [ ((Target.Pf0, Op.Code), 5); ((Target.Lmu, Op.Data), 3); ((Target.Pf0, Op.Code), 2) ]
+  in
+  Alcotest.(check int) "summed duplicates" 7 (Access_profile.get p Target.Pf0 Op.Code);
+  Alcotest.(check int) "total" 10 (Access_profile.total p);
+  Alcotest.(check int) "total code" 7 (Access_profile.total_op p Op.Code);
+  Alcotest.(check int) "total lmu" 3 (Access_profile.total_target p Target.Lmu);
+  Alcotest.(check bool) "dominates itself" true (Access_profile.dominates p p);
+  let bigger = Access_profile.incr p Target.Dfl Op.Data in
+  Alcotest.(check bool) "bigger dominates" true (Access_profile.dominates bigger p);
+  Alcotest.(check bool) "smaller does not" false (Access_profile.dominates p bigger)
+
+let test_profile_validation () =
+  (try
+     ignore (Access_profile.make [ ((Target.Dfl, Op.Code), 1) ]);
+     Alcotest.fail "inadmissible pair must be rejected"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Access_profile.make [ ((Target.Lmu, Op.Data), -1) ]);
+     Alcotest.fail "negative count must be rejected"
+   with Invalid_argument _ -> ())
+
+let test_profile_stall_cycles () =
+  let p = Access_profile.make [ ((Target.Pf0, Op.Code), 10); ((Target.Lmu, Op.Data), 4) ] in
+  Alcotest.(check int) "code stalls 10*6" 60 (Access_profile.stall_cycles lat p Op.Code);
+  Alcotest.(check int) "data stalls 4*10" 40 (Access_profile.stall_cycles lat p Op.Data)
+
+(* --- counters --------------------------------------------------------------------- *)
+
+let test_counters_algebra () =
+  let a =
+    {
+      Counters.ccnt = 100;
+      pmem_stall = 10;
+      dmem_stall = 20;
+      pcache_miss = 3;
+      dcache_miss_clean = 2;
+      dcache_miss_dirty = 1;
+    }
+  in
+  let two = Counters.add a a in
+  Alcotest.(check int) "add ccnt" 200 two.Counters.ccnt;
+  Alcotest.(check bool) "sub roundtrip" true (Counters.equal a (Counters.sub two a));
+  Alcotest.(check bool) "valid" true (Counters.is_valid a);
+  Alcotest.(check bool) "stalls beyond ccnt invalid" false
+    (Counters.is_valid { a with Counters.pmem_stall = 200 })
+
+let () =
+  Alcotest.run "platform"
+    [
+      ( "targets-ops",
+        [
+          Alcotest.test_case "target sets" `Quick test_target_sets;
+          Alcotest.test_case "string roundtrip" `Quick test_target_string_roundtrip;
+          Alcotest.test_case "valid pairs" `Quick test_valid_pairs;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "Table 2 constants" `Quick test_table2_constants;
+          Alcotest.test_case "derived quantities" `Quick test_latency_derived;
+          Alcotest.test_case "validation" `Quick test_latency_validation;
+        ] );
+      ( "deployment",
+        [
+          Alcotest.test_case "Table 3 matrix" `Quick test_table3_matrix;
+          Alcotest.test_case "validation" `Quick test_deployment_validation;
+          Alcotest.test_case "queries" `Quick test_deployment_queries;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "zero pairs" `Quick test_scenario_zero_pairs;
+          Alcotest.test_case "allowed pairs" `Quick test_scenario_allowed_pairs;
+          Alcotest.test_case "find" `Quick test_scenario_find;
+        ] );
+      ( "variants",
+        [ Alcotest.test_case "well-formed" `Quick test_variants_wellformed ] );
+      ( "access-profile",
+        [
+          Alcotest.test_case "basics" `Quick test_profile_basics;
+          Alcotest.test_case "validation" `Quick test_profile_validation;
+          Alcotest.test_case "stall synthesis" `Quick test_profile_stall_cycles;
+        ] );
+      ( "counters",
+        [ Alcotest.test_case "algebra" `Quick test_counters_algebra ] );
+    ]

@@ -1,0 +1,204 @@
+(* Tests for the scheduling layer: task validation, textbook
+   response-time analysis, and the contention-aware integration study. *)
+
+let task = Schedule.Task.make
+
+(* --- tasks ------------------------------------------------------------------- *)
+
+let test_task_validation () =
+  let expect_invalid f =
+    try
+      ignore (f ());
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid (fun () -> task ~name:"t" ~period:0 ~wcet:1 ~priority:1 ());
+  expect_invalid (fun () -> task ~name:"t" ~period:10 ~wcet:0 ~priority:1 ());
+  expect_invalid (fun () -> task ~name:"t" ~period:10 ~deadline:11 ~wcet:1 ~priority:1 ());
+  expect_invalid (fun () -> task ~name:"t" ~period:10 ~deadline:0 ~wcet:1 ~priority:1 ());
+  expect_invalid (fun () ->
+      ignore (Schedule.Task.with_wcet (task ~name:"t" ~period:10 ~wcet:1 ~priority:1 ()) 0))
+
+let test_task_utilization () =
+  let t1 = task ~name:"a" ~period:10 ~wcet:2 ~priority:1 () in
+  let t2 = task ~name:"b" ~period:20 ~wcet:5 ~priority:2 () in
+  Alcotest.(check (float 1e-9)) "u(a)" 0.2 (Schedule.Task.utilization t1);
+  Alcotest.(check (float 1e-9)) "total" 0.45 (Schedule.Task.total_utilization [ t1; t2 ])
+
+let test_task_priority_order () =
+  let t1 = task ~name:"a" ~period:10 ~wcet:1 ~priority:3 () in
+  let t2 = task ~name:"b" ~period:10 ~wcet:1 ~priority:1 () in
+  (match Schedule.Task.by_priority [ t1; t2 ] with
+   | [ first; _ ] -> Alcotest.(check string) "most urgent first" "b" first.Schedule.Task.name
+   | _ -> Alcotest.fail "two tasks expected");
+  let dup = task ~name:"c" ~period:10 ~wcet:1 ~priority:3 () in
+  (try
+     ignore (Schedule.Task.by_priority [ t1; dup ]);
+     Alcotest.fail "duplicate priorities must be rejected"
+   with Invalid_argument _ -> ())
+
+(* --- response-time analysis ----------------------------------------------------- *)
+
+let classic_set =
+  (* Textbook example: C/T = 3/10, 3/15, 5/30.
+     R1 = 3; R2 = 3 + 3 = 6; R3 = 5 + 2*3 + 1*3 = 14. *)
+  [
+    task ~name:"t1" ~period:10 ~wcet:3 ~priority:1 ();
+    task ~name:"t2" ~period:15 ~wcet:3 ~priority:2 ();
+    task ~name:"t3" ~period:30 ~wcet:5 ~priority:3 ();
+  ]
+
+let test_rta_textbook () =
+  let r = Schedule.Rta.analyse classic_set in
+  Alcotest.(check bool) "schedulable" true r.Schedule.Rta.schedulable;
+  let resp name =
+    let v =
+      List.find (fun v -> v.Schedule.Rta.task.Schedule.Task.name = name) r.Schedule.Rta.verdicts
+    in
+    v.Schedule.Rta.response
+  in
+  Alcotest.(check (option int)) "R1" (Some 3) (resp "t1");
+  Alcotest.(check (option int)) "R2" (Some 6) (resp "t2");
+  Alcotest.(check (option int)) "R3" (Some 14) (resp "t3")
+
+let test_rta_unschedulable () =
+  let tasks =
+    [
+      task ~name:"hog" ~period:10 ~wcet:8 ~priority:1 ();
+      task ~name:"victim" ~period:20 ~wcet:5 ~priority:2 ();
+    ]
+  in
+  let r = Schedule.Rta.analyse tasks in
+  Alcotest.(check bool) "not schedulable" false r.Schedule.Rta.schedulable;
+  Alcotest.(check (option int)) "victim misses"
+    None
+    (Schedule.Rta.response_time tasks (List.nth tasks 1))
+
+let test_rta_deadline_constrained () =
+  (* same set as classic but t3's deadline tightened below its response *)
+  let tasks =
+    [
+      task ~name:"t1" ~period:10 ~wcet:3 ~priority:1 ();
+      task ~name:"t2" ~period:15 ~wcet:3 ~priority:2 ();
+      task ~name:"t3" ~period:30 ~deadline:13 ~wcet:5 ~priority:3 ();
+    ]
+  in
+  let r = Schedule.Rta.analyse tasks in
+  Alcotest.(check bool) "deadline miss detected" false r.Schedule.Rta.schedulable
+
+let test_rta_single_task () =
+  let r = Schedule.Rta.analyse [ task ~name:"solo" ~period:100 ~wcet:40 ~priority:1 () ] in
+  Alcotest.(check bool) "solo schedulable" true r.Schedule.Rta.schedulable;
+  (match r.Schedule.Rta.verdicts with
+   | [ v ] -> Alcotest.(check (option int)) "R = C" (Some 40) v.Schedule.Rta.response
+   | _ -> Alcotest.fail "one verdict expected")
+
+let test_rta_exact_fit () =
+  (* two tasks exactly saturating the deadline *)
+  let tasks =
+    [
+      task ~name:"a" ~period:4 ~wcet:2 ~priority:1 ();
+      task ~name:"b" ~period:8 ~wcet:4 ~priority:2 ();
+    ]
+  in
+  (* R_b: 4 + ceil(R/4)*2: R=4+2=6 -> ceil(6/4)=2 -> 4+4=8 -> ceil(8/4)=2 -> 8. *)
+  Alcotest.(check (option int)) "boundary response" (Some 8)
+    (Schedule.Rta.response_time tasks (List.nth tasks 1));
+  Alcotest.(check bool) "fits exactly" true
+    (Schedule.Rta.analyse tasks).Schedule.Rta.schedulable
+
+(* --- integration ------------------------------------------------------------------ *)
+
+let study = lazy (Experiments.Integration_study.run ())
+
+let test_integration_verdicts () =
+  let r = Lazy.force study in
+  Alcotest.(check bool) "schedulable ignoring contention" true
+    (Schedule.Integration.schedulable_under r `Isolation);
+  Alcotest.(check bool) "fTC inflation rejects" false
+    (Schedule.Integration.schedulable_under r `Ftc);
+  Alcotest.(check bool) "ILP-PTAC inflation accepts" true
+    (Schedule.Integration.schedulable_under r `Ilp)
+
+let test_integration_inflations_ordered () =
+  let r = Lazy.force study in
+  List.iter
+    (fun i ->
+       Alcotest.(check bool) "iso <= ilp" true
+         (i.Schedule.Integration.isolation_cycles <= i.Schedule.Integration.ilp_wcet);
+       Alcotest.(check bool) "ilp <= ftc" true
+         (i.Schedule.Integration.ilp_wcet <= i.Schedule.Integration.ftc_wcet))
+    r.Schedule.Integration.inflations
+
+let test_integration_validation () =
+  let p = Workload.Engine_control.task () in
+  let app priority core =
+    {
+      Schedule.Integration.name = "x";
+      program = p;
+      period = 1_000_000;
+      deadline = None;
+      priority;
+      core;
+    }
+  in
+  (try
+     ignore
+       (Schedule.Integration.integrate ~scenario:Platform.Scenario.scenario1
+          [ app 1 0; app 1 0 ]);
+     Alcotest.fail "duplicate (core, priority) must be rejected"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Schedule.Integration.integrate ~scenario:Platform.Scenario.scenario1 []);
+     Alcotest.fail "empty system must be rejected"
+   with Invalid_argument _ -> ())
+
+let test_integration_single_core_no_inflation () =
+  (* with every task on one core there is no SRI contention to add *)
+  let p = Workload.Engine_control.task () in
+  let r =
+    Schedule.Integration.integrate ~scenario:Platform.Scenario.scenario1
+      [
+        {
+          Schedule.Integration.name = "only";
+          program = p;
+          period = 4_000_000;
+          deadline = None;
+          priority = 1;
+          core = 0;
+        };
+      ]
+  in
+  (match r.Schedule.Integration.inflations with
+   | [ i ] ->
+     Alcotest.(check int) "ftc = isolation" i.Schedule.Integration.isolation_cycles
+       i.Schedule.Integration.ftc_wcet;
+     Alcotest.(check int) "ilp = isolation" i.Schedule.Integration.isolation_cycles
+       i.Schedule.Integration.ilp_wcet
+   | _ -> Alcotest.fail "one inflation expected")
+
+let () =
+  Alcotest.run "schedule"
+    [
+      ( "tasks",
+        [
+          Alcotest.test_case "validation" `Quick test_task_validation;
+          Alcotest.test_case "utilization" `Quick test_task_utilization;
+          Alcotest.test_case "priority order" `Quick test_task_priority_order;
+        ] );
+      ( "rta",
+        [
+          Alcotest.test_case "textbook responses" `Quick test_rta_textbook;
+          Alcotest.test_case "unschedulable" `Quick test_rta_unschedulable;
+          Alcotest.test_case "deadline constrained" `Quick test_rta_deadline_constrained;
+          Alcotest.test_case "single task" `Quick test_rta_single_task;
+          Alcotest.test_case "exact fit" `Quick test_rta_exact_fit;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "paper verdicts" `Slow test_integration_verdicts;
+          Alcotest.test_case "inflation ordering" `Slow test_integration_inflations_ordered;
+          Alcotest.test_case "validation" `Quick test_integration_validation;
+          Alcotest.test_case "single core" `Quick test_integration_single_core_no_inflation;
+        ] );
+    ]

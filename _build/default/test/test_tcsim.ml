@@ -1,0 +1,736 @@
+(* Tests for the TC27x simulator: caches, programs, memory map, SRI timing
+   (Table 2 reproduction at single-access granularity), arbitration and
+   counter semantics. *)
+
+open Platform
+open Tcsim
+
+let lat = Latency.default
+
+(* Handy addresses *)
+let pspr = Memory_map.pspr_base
+let dspr = Memory_map.dspr_base
+let lmu_nc = Memory_map.lmu_uncached_base
+let lmu_c = Memory_map.lmu_cached_base
+let pf0_c = Memory_map.pf0_cached_base
+let pf1_c = Memory_map.pf1_cached_base
+let dfl = Memory_map.dfl_base
+
+let prog name items = Program.make ~name items
+let compute ?(pc = pspr) n = Program.I { pc; kind = Program.Compute n }
+let load ?(pc = pspr) addr = Program.I { pc; kind = Program.Load addr }
+let store ?(pc = pspr) addr = Program.I { pc; kind = Program.Store addr }
+
+let run ?(core = 0) p = Machine.run_isolation ~core p
+let cycles p = (run p).cycles
+
+(* --- memory map -------------------------------------------------------------- *)
+
+let test_memory_map_classify () =
+  let check msg addr expected =
+    Alcotest.(check string) msg expected
+      (Format.asprintf "%a" Memory_map.pp_region (Memory_map.classify addr))
+  in
+  check "dspr" dspr "dspr";
+  check "pspr" pspr "pspr";
+  check "pf0 cached" pf0_c "sri:pf0($)";
+  check "pf1 cached" pf1_c "sri:pf1($)";
+  check "pf0 uncached" Memory_map.pf0_uncached_base "sri:pf0(n$)";
+  check "lmu cached" lmu_c "sri:lmu($)";
+  check "lmu uncached" lmu_nc "sri:lmu(n$)";
+  check "dfl" dfl "sri:dfl(n$)";
+  Alcotest.(check bool) "unmapped" true (Memory_map.classify_opt 0x1234 = None);
+  Alcotest.check_raises "classify unmapped raises"
+    (Invalid_argument "Memory_map.classify: 0x1234 unmapped") (fun () ->
+        ignore (Memory_map.classify 0x1234))
+
+let test_memory_map_windows () =
+  List.iter
+    (fun target ->
+       let base = Memory_map.base_of target ~cacheable:false in
+       (match Memory_map.classify base with
+        | Memory_map.Sri (t, false) ->
+          Alcotest.(check string) "uncached window target"
+            (Target.to_string target) (Target.to_string t)
+        | _ -> Alcotest.fail "expected uncached SRI region");
+       if not (Target.equal target Target.Dfl) then
+         match Memory_map.classify (Memory_map.base_of target ~cacheable:true) with
+         | Memory_map.Sri (t, true) ->
+           Alcotest.(check string) "cached window target"
+             (Target.to_string target) (Target.to_string t)
+         | _ -> Alcotest.fail "expected cached SRI region")
+    [ Target.Pf0; Target.Pf1; Target.Lmu; Target.Dfl ];
+  Alcotest.check_raises "no cacheable dfl window"
+    (Invalid_argument "Memory_map.base_of: data flash has no cacheable view")
+    (fun () -> ignore (Memory_map.base_of Target.Dfl ~cacheable:true))
+
+let test_line_of () =
+  Alcotest.(check int) "aligns down" 0x80000020 (Memory_map.line_of 0x8000003F);
+  Alcotest.(check int) "aligned stays" 0x80000020 (Memory_map.line_of 0x80000020)
+
+(* --- cache ------------------------------------------------------------------- *)
+
+let test_cache_hit_miss () =
+  let c = Cache.create { Cache.size_bytes = 256; ways = 2; line_bytes = 32 } in
+  (match Cache.access c ~addr:0x1000 ~write:false with
+   | Cache.Miss { victim = None } -> ()
+   | _ -> Alcotest.fail "cold access should miss cleanly");
+  (match Cache.access c ~addr:0x1004 ~write:false with
+   | Cache.Hit -> ()
+   | _ -> Alcotest.fail "same line should hit");
+  Alcotest.(check int) "1 hit" 1 (Cache.hits c);
+  Alcotest.(check int) "1 miss" 1 (Cache.misses c)
+
+let test_cache_lru_eviction () =
+  (* 256 B, 2 ways, 32 B lines -> 4 sets; set = (addr/32) mod 4 *)
+  let c = Cache.create { Cache.size_bytes = 256; ways = 2; line_bytes = 32 } in
+  let a0 = 0x0000 (* set 0 *) in
+  let a1 = 0x0080 (* set 0 (128 = 4*32) *) in
+  let a2 = 0x0100 (* set 0 *) in
+  ignore (Cache.access c ~addr:a0 ~write:false);
+  ignore (Cache.access c ~addr:a1 ~write:false);
+  (* touch a0 so a1 is LRU *)
+  ignore (Cache.access c ~addr:a0 ~write:false);
+  ignore (Cache.access c ~addr:a2 ~write:false);
+  Alcotest.(check bool) "a0 survives" true (Cache.probe c ~addr:a0);
+  Alcotest.(check bool) "a1 evicted" false (Cache.probe c ~addr:a1);
+  Alcotest.(check bool) "a2 present" true (Cache.probe c ~addr:a2)
+
+let test_cache_dirty_victim () =
+  let c = Cache.create { Cache.size_bytes = 256; ways = 2; line_bytes = 32 } in
+  ignore (Cache.access c ~addr:0x0000 ~write:true);
+  ignore (Cache.access c ~addr:0x0080 ~write:false);
+  (* both ways of set 0 full; 0x0000 dirty and LRU *)
+  (match Cache.access c ~addr:0x0100 ~write:false with
+   | Cache.Miss { victim = Some v } -> Alcotest.(check int) "victim addr" 0x0000 v
+   | Cache.Miss { victim = None } -> Alcotest.fail "expected dirty victim"
+   | Cache.Hit -> Alcotest.fail "expected miss")
+
+let test_cache_clean_victim_silent () =
+  let c = Cache.create { Cache.size_bytes = 256; ways = 2; line_bytes = 32 } in
+  ignore (Cache.access c ~addr:0x0000 ~write:false);
+  ignore (Cache.access c ~addr:0x0080 ~write:false);
+  (match Cache.access c ~addr:0x0100 ~write:false with
+   | Cache.Miss { victim = None } -> ()
+   | _ -> Alcotest.fail "clean victims drop silently")
+
+let test_cache_write_hit_dirties () =
+  let c = Cache.create { Cache.size_bytes = 256; ways = 2; line_bytes = 32 } in
+  ignore (Cache.access c ~addr:0x0000 ~write:false);
+  ignore (Cache.access c ~addr:0x0004 ~write:true);
+  ignore (Cache.access c ~addr:0x0080 ~write:false);
+  (match Cache.access c ~addr:0x0100 ~write:false with
+   | Cache.Miss { victim = Some v } ->
+     Alcotest.(check int) "write-hit marked line dirty" 0x0000 v
+   | _ -> Alcotest.fail "expected dirty victim after write hit")
+
+let test_cache_flush () =
+  let c = Cache.create Cache.tc16p_dcache in
+  ignore (Cache.access c ~addr:0x9000_0000 ~write:true);
+  Cache.flush c;
+  Alcotest.(check bool) "flushed" false (Cache.probe c ~addr:0x9000_0000)
+
+let test_cache_bad_geometry () =
+  Alcotest.check_raises "line not power of 2"
+    (Invalid_argument "Cache.create: line size must be a power of two")
+    (fun () -> ignore (Cache.create { Cache.size_bytes = 256; ways = 2; line_bytes = 24 }))
+
+(* --- program & walker ---------------------------------------------------------- *)
+
+let test_walker_flat () =
+  let p = prog "flat" [ compute 1; compute 2; compute 3 ] in
+  Alcotest.(check int) "static" 3 (Program.static_size p);
+  Alcotest.(check int) "dynamic" 3 (Program.dynamic_length p);
+  let w = Program.Walker.create p in
+  let rec drain acc =
+    match Program.Walker.next w with
+    | Some i -> drain (i.Program.kind :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check int) "3 instrs" 3 (List.length (drain []));
+  Alcotest.(check int) "executed" 3 (Program.Walker.executed w)
+
+let test_walker_loops () =
+  let p =
+    prog "loops"
+      [
+        compute 1;
+        Program.loop 3 [ compute 1; Program.loop 2 [ compute 1 ] ];
+        compute 1;
+      ]
+  in
+  (* 1 + 3*(1 + 2*1) + 1 = 11 *)
+  Alcotest.(check int) "dynamic length" 11 (Program.dynamic_length p);
+  let w = Program.Walker.create p in
+  let n = ref 0 in
+  while Program.Walker.next w <> None do incr n done;
+  Alcotest.(check int) "walker count" 11 !n;
+  Program.Walker.reset w;
+  let n2 = ref 0 in
+  while Program.Walker.next w <> None do incr n2 done;
+  Alcotest.(check int) "after reset" 11 !n2
+
+let test_walker_zero_loop () =
+  let p = prog "z" [ Program.loop 0 [ compute 1 ]; compute 1 ] in
+  Alcotest.(check int) "zero loop skipped" 1 (Program.dynamic_length p);
+  let w = Program.Walker.create p in
+  let n = ref 0 in
+  while Program.Walker.next w <> None do incr n done;
+  Alcotest.(check int) "executes 1" 1 !n
+
+let test_program_validation () =
+  Alcotest.check_raises "Compute 0 rejected"
+    (Invalid_argument "Program.make: Compute below 1 cycle") (fun () ->
+        ignore (prog "bad" [ compute 0 ]));
+  Alcotest.check_raises "negative loop"
+    (Invalid_argument "Program.make: negative loop count") (fun () ->
+        ignore (prog "bad" [ Program.loop (-1) [ compute 1 ] ]))
+
+let test_seq_layout () =
+  let items = Program.seq ~pc_base:0x100 ~pc_stride:4 [ Program.Compute 1; Program.Compute 1 ] in
+  match items with
+  | [ Program.I a; Program.I b ] ->
+    Alcotest.(check int) "pc0" 0x100 a.Program.pc;
+    Alcotest.(check int) "pc1" 0x104 b.Program.pc
+  | _ -> Alcotest.fail "expected two instrs"
+
+(* --- single-access SRI timing (Table 2) --------------------------------------- *)
+
+(* Baseline-vs-access cycle delta: the access adds (end-to-end latency + 1
+   commit cycle). *)
+let single_access_delta kind_addr =
+  let base = prog "base" [ compute 5 ] in
+  let with_access = prog "acc" [ compute 5; kind_addr ] in
+  cycles with_access - cycles base
+
+let test_single_load_latencies () =
+  let check msg addr target =
+    Alcotest.(check int) msg
+      (Latency.lmax lat target Op.Data + 1)
+      (single_access_delta (load addr))
+  in
+  check "lmu data = 11+1" lmu_nc Target.Lmu;
+  check "dfl data = 43+1" dfl Target.Dfl
+
+let test_single_store_latency () =
+  Alcotest.(check int) "lmu store = 11+1"
+    (Latency.lmax lat Target.Lmu Op.Data + 1)
+    (single_access_delta (store lmu_nc))
+
+let test_single_fetch_latency () =
+  (* One instruction fetched cold from cached pf0: one I$ miss. *)
+  let p = prog "fetch" [ compute ~pc:pf0_c 5 ] in
+  let r = run p in
+  Alcotest.(check int) "pcache_miss" 1 r.Machine.analysis.Machine.counters.Counters.pcache_miss;
+  Alcotest.(check int) "cycles = lmax(pf,co) + 5"
+    (Latency.lmax lat Target.Pf0 Op.Code + 5)
+    r.Machine.cycles
+
+let test_store_to_pflash_rejected () =
+  let p = prog "bad" [ store pf0_c ] in
+  (try
+     ignore (run p);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* --- stall counters ------------------------------------------------------------ *)
+
+let test_stall_floor_lmu () =
+  (* A single uncached LMU load stalls exactly cs(lmu,da) = 10 cycles. *)
+  let p = prog "lmu" [ compute 5; load lmu_nc ] in
+  let r = run p in
+  Alcotest.(check int) "DMEM_STALL = cs(lmu,da)"
+    (Latency.min_stall lat Target.Lmu Op.Data)
+    r.Machine.analysis.Machine.counters.Counters.dmem_stall
+
+let test_streaming_code_stall () =
+  (* Long sequential cacheable code run from pf0: after warm-up, line
+     fetches stream at lmin and the per-miss stall bottoms out at
+     cs(pf,co). *)
+  let n = 512 in
+  let kinds = List.init n (fun _ -> Program.Compute 1) in
+  let p = prog "stream" (Program.seq ~pc_base:pf0_c kinds) in
+  let r = run p in
+  let c = r.Machine.analysis.Machine.counters in
+  let misses = c.Counters.pcache_miss in
+  Alcotest.(check int) "one miss per 32B line (8 instrs)" (n / 8) misses;
+  (* first miss is cold (stall 10), the rest stream (stall 6 each) *)
+  let expected =
+    (Latency.lmax lat Target.Pf0 Op.Code - Latency.lmin lat Target.Pf0 Op.Code
+     + Latency.min_stall lat Target.Pf0 Op.Code)
+    + ((misses - 1) * Latency.min_stall lat Target.Pf0 Op.Code)
+  in
+  Alcotest.(check int) "PMEM_STALL = cold + streaming misses" expected
+    c.Counters.pmem_stall
+
+let test_scratchpad_silent () =
+  (* Pure scratchpad execution: no SRI traffic, no stalls, no misses. *)
+  let kinds = List.init 64 (fun i -> if i mod 2 = 0 then Program.Load (dspr + (i * 4)) else Program.Compute 2) in
+  let p = prog "local" (Program.seq ~pc_base:pspr kinds) in
+  let r = run p in
+  let c = r.Machine.analysis.Machine.counters in
+  Alcotest.(check int) "no pmem stall" 0 c.Counters.pmem_stall;
+  Alcotest.(check int) "no dmem stall" 0 c.Counters.dmem_stall;
+  Alcotest.(check int) "no pcache miss" 0 c.Counters.pcache_miss;
+  Alcotest.(check int) "no SRI traffic" 0
+    (Access_profile.total r.Machine.analysis.Machine.profile)
+
+let test_counters_valid () =
+  let kinds =
+    List.init 128 (fun i ->
+        if i mod 3 = 0 then Program.Load (lmu_nc + (i * 4) mod Memory_map.lmu_size)
+        else Program.Compute 1)
+  in
+  let p = prog "mixed" (Program.seq ~pc_base:pf0_c kinds) in
+  let r = run p in
+  Alcotest.(check bool) "counters valid" true
+    (Counters.is_valid r.Machine.analysis.Machine.counters)
+
+(* --- dcache behaviour ----------------------------------------------------------- *)
+
+let test_dcache_hits_no_sri () =
+  (* Repeatedly touching one cacheable LMU line: 1 miss then hits. *)
+  let p =
+    prog "dc"
+      [
+        compute 1;
+        load lmu_c;
+        Program.loop 50 [ load (lmu_c + 4) ];
+      ]
+  in
+  let r = run p in
+  let c = r.Machine.analysis.Machine.counters in
+  Alcotest.(check int) "one clean miss" 1 c.Counters.dcache_miss_clean;
+  Alcotest.(check int) "no dirty miss" 0 c.Counters.dcache_miss_dirty;
+  Alcotest.(check int) "one SRI data access" 1
+    (Access_profile.get r.Machine.analysis.Machine.profile Target.Lmu Op.Data)
+
+let test_dcache_dirty_writeback () =
+  (* Write a region larger than the 8 KiB D$, twice: second pass evicts
+     dirty lines -> DMD > 0 and extra (folded) LMU transactions. *)
+  let span = 16 * 1024 in
+  let stores =
+    List.init (span / 32) (fun i -> Program.Store (lmu_c + (i * 32) mod Memory_map.lmu_size))
+  in
+  let p = prog "dirty" [ Program.loop 2 (Program.seq ~pc_base:pspr stores) ] in
+  let r = run p in
+  let c = r.Machine.analysis.Machine.counters in
+  Alcotest.(check bool) "dirty misses occurred" true (c.Counters.dcache_miss_dirty > 0);
+  Alcotest.(check int) "every miss is a single folded SRI access"
+    (c.Counters.dcache_miss_clean + c.Counters.dcache_miss_dirty)
+    (Access_profile.get r.Machine.analysis.Machine.profile Target.Lmu Op.Data)
+
+let test_e16_has_no_dcache () =
+  let p = prog "e16" [ compute 1; Program.loop 20 [ load lmu_c ] ] in
+  let r = Machine.run_isolation ~core:2 p in
+  let c = r.Machine.analysis.Machine.counters in
+  (* without a D$ every load goes to the SRI *)
+  Alcotest.(check int) "no d$ miss counters" 0
+    (c.Counters.dcache_miss_clean + c.Counters.dcache_miss_dirty);
+  Alcotest.(check int) "20+ SRI accesses" 20
+    (Access_profile.get r.Machine.analysis.Machine.profile Target.Lmu Op.Data)
+
+(* --- contention --------------------------------------------------------------- *)
+
+let contender_hammer target_addr n =
+  prog "hammer" [ Program.loop n [ load target_addr ] ]
+
+let test_parallel_targets_no_contention () =
+  (* Analysis on LMU, contender on DFL: distinct SRI slaves, no slowdown. *)
+  let p = prog "a" [ compute 1; Program.loop 40 [ load lmu_nc ] ] in
+  let iso = (Machine.run_isolation ~core:0 p).Machine.cycles in
+  let co =
+    Machine.run ~analysis:{ Machine.program = p; core = 0 }
+      ~contenders:[ { Machine.program = contender_hammer dfl 10_000; core = 1 } ]
+      ()
+  in
+  Alcotest.(check int) "no slowdown on disjoint targets" iso co.Machine.cycles
+
+let test_same_target_bounded_delay () =
+  (* Same LMU target: each of the n requests can wait at most one co-runner
+     service (round-robin, one contender). *)
+  let n = 40 in
+  let p = prog "a" [ compute 1; Program.loop n [ load lmu_nc ] ] in
+  let iso = (Machine.run_isolation ~core:0 p).Machine.cycles in
+  let co =
+    Machine.run ~analysis:{ Machine.program = p; core = 0 }
+      ~contenders:[ { Machine.program = contender_hammer (lmu_nc + 64) 100_000; core = 1 } ]
+      ()
+  in
+  let slowdown = co.Machine.cycles - iso in
+  Alcotest.(check bool) "some contention" true (slowdown > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "delay %d <= n * lmax (%d)" slowdown
+       (n * Latency.lmax lat Target.Lmu Op.Data))
+    true
+    (slowdown <= n * Latency.lmax lat Target.Lmu Op.Data)
+
+let test_round_robin_fairness () =
+  (* Two identical hammer tasks on one target finish within ~one service
+     time of each other per request. *)
+  let n = 200 in
+  let mk core = { Machine.program = contender_hammer (lmu_nc + (core * 128)) n; core } in
+  let r =
+    Machine.run ~restart_contenders:false ~analysis:(mk 0)
+      ~contenders:[ mk 1 ] ()
+  in
+  let served0 = Access_profile.total r.Machine.analysis.Machine.profile in
+  let served1 =
+    match r.Machine.contenders with
+    | [ (_, c) ] -> Access_profile.total c.Machine.profile
+    | _ -> Alcotest.fail "one contender expected"
+  in
+  Alcotest.(check int) "analysis all served" n served0;
+  (* by the time the analysis task finished, the symmetric contender must
+     have been served a comparable amount *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fair service (%d vs %d)" served0 served1)
+    true
+    (abs (served0 - served1) <= n / 10 + 2)
+
+let test_contender_restarts () =
+  let short = prog "short" [ Program.loop 5 [ load lmu_nc ] ] in
+  let long_ = prog "long" [ compute 1; Program.loop 2000 [ load (lmu_nc + 64) ] ] in
+  let r =
+    Machine.run ~analysis:{ Machine.program = long_; core = 0 }
+      ~contenders:[ { Machine.program = short; core = 1 } ]
+      ()
+  in
+  (match r.Machine.contenders with
+   | [ (_, c) ] -> Alcotest.(check bool) "restarted" true (c.Machine.restarts > 1)
+   | _ -> Alcotest.fail "one contender expected")
+
+let test_machine_validation () =
+  let p = prog "p" [ compute 1 ] in
+  (try
+     ignore
+       (Machine.run ~analysis:{ Machine.program = p; core = 0 }
+          ~contenders:[ { Machine.program = p; core = 0 } ]
+          ());
+     Alcotest.fail "expected clash rejection"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Machine.run_isolation ~core:7 p);
+     Alcotest.fail "expected range rejection"
+   with Invalid_argument _ -> ())
+
+let test_cycle_limit () =
+  let p = prog "p" [ Program.loop 1_000_000 [ compute 10 ] ] in
+  (try
+     ignore (Machine.run ~max_cycles:1000 ~analysis:{ Machine.program = p; core = 0 } ());
+     Alcotest.fail "expected cycle limit"
+   with Machine.Cycle_limit_exceeded _ -> ())
+
+(* --- priorities and traces ------------------------------------------------------ *)
+
+let test_priority_limits_waits () =
+  (* With the analysis task alone in the urgent class, no request waits
+     longer than one lower-priority service; in the shared class, waits
+     can stack one service per contender. *)
+  let n = 100 in
+  let task = prog "a" [ compute 1; Program.loop n [ load lmu_nc ] ] in
+  let hammer core addr =
+    { Machine.program = contender_hammer addr 100_000; core }
+  in
+  let run priorities =
+    Machine.run ~priorities ~trace:true
+      ~analysis:{ Machine.program = task; core = 0 }
+      ~contenders:[ hammer 1 (lmu_nc + 64); hammer 2 (lmu_nc + 128) ]
+      ()
+  in
+  let same = run [| 0; 0; 0 |] in
+  let prio = run [| 0; 1; 1 |] in
+  let wait_of r = Trace.max_wait (Trace.of_core r.Machine.trace 0) in
+  let svc = Latency.lmax lat Target.Lmu Op.Data in
+  Alcotest.(check bool)
+    (Printf.sprintf "same class can stack two services (%d)" (wait_of same))
+    true
+    (wait_of same > svc);
+  Alcotest.(check bool)
+    (Printf.sprintf "prioritised waits at most one service (%d <= %d)"
+       (wait_of prio) svc)
+    true
+    (wait_of prio <= svc);
+  Alcotest.(check bool) "priority speeds the task up" true
+    (prio.Machine.cycles <= same.Machine.cycles)
+
+let test_priority_validation () =
+  (try
+     ignore (Sri.create ~priorities:[| 0; 1 |] ~ncores:3 ());
+     Alcotest.fail "length mismatch must be rejected"
+   with Invalid_argument _ -> ())
+
+let test_trace_records_transactions () =
+  let n = 25 in
+  let p = prog "t" [ compute 1; Program.loop n [ load lmu_nc ] ] in
+  let r =
+    Machine.run ~trace:true ~analysis:{ Machine.program = p; core = 0 } ()
+  in
+  let t = r.Machine.trace in
+  Alcotest.(check int) "one event per SRI access" n (Trace.count t);
+  Alcotest.(check int) "all on core 0" n (Trace.count (Trace.of_core t 0));
+  Alcotest.(check int) "all on lmu" n (Trace.count (Trace.of_target t Target.Lmu));
+  Alcotest.(check int) "no waits in isolation" 0 (Trace.max_wait t);
+  Alcotest.(check int) "service is the lmu latency"
+    (Latency.lmax lat Target.Lmu Op.Data)
+    (Trace.max_service t);
+  Alcotest.(check bool) "profile reconstruction matches ground truth" true
+    (Access_profile.equal (Trace.profile t ~core:0) r.Machine.analysis.Machine.profile)
+
+let test_trace_disabled_is_empty () =
+  let p = prog "t" [ compute 1; load lmu_nc ] in
+  let r = Machine.run ~analysis:{ Machine.program = p; core = 0 } () in
+  Alcotest.(check int) "no events" 0 (Trace.count r.Machine.trace)
+
+let test_trace_csv () =
+  let p = prog "t" [ compute 1; load lmu_nc ] in
+  let r = Machine.run ~trace:true ~analysis:{ Machine.program = p; core = 0 } () in
+  let csv = Trace.to_csv r.Machine.trace in
+  Alcotest.(check int) "header + one line" 2
+    (List.length (List.filter (fun s -> s <> "") (String.split_on_char '\n' csv)))
+
+let test_trace_waits_bounded_by_corunner_service () =
+  (* The per-request assumption behind Eq. 1/Eq. 9: with one same-class
+     contender, every analysis request waits at most one contender
+     service on its target. *)
+  let task =
+    prog "a" [ compute 1; Program.loop 60 [ load lmu_nc; load dfl ] ]
+  in
+  let con =
+    prog "b"
+      [ Program.loop 5_000 [ Program.I { Program.pc = pspr; kind = Program.Load (lmu_nc + 256) };
+                             Program.I { Program.pc = pspr + 4; kind = Program.Load (dfl + 4096) } ] ]
+  in
+  let r =
+    Machine.run ~trace:true
+      ~analysis:{ Machine.program = task; core = 0 }
+      ~contenders:[ { Machine.program = con; core = 1 } ]
+      ()
+  in
+  let trace = r.Machine.trace in
+  let con_events = Trace.of_core trace 1 in
+  List.iter
+    (fun (e : Trace.event) ->
+       if e.Trace.core = 0 then begin
+         let cap = Trace.max_service (Trace.of_target con_events e.Trace.target) in
+         Alcotest.(check bool)
+           (Printf.sprintf "wait %d <= contender service %d on %s" e.Trace.waited
+              cap (Target.to_string e.Trace.target))
+           true
+           (e.Trace.waited <= cap)
+       end)
+    trace
+
+(* --- ground-truth profile vs counters ------------------------------------------ *)
+
+let test_profile_matches_pcache_miss () =
+  (* All SRI code cacheable: PCACHE_MISS = SRI code requests (the Scenario 1
+     exactness assumption). *)
+  let kinds = List.init 300 (fun _ -> Program.Compute 1) in
+  let p =
+    prog "codes"
+      (Program.seq ~pc_base:pf0_c kinds
+       @ Program.seq ~pc_base:pf1_c kinds)
+  in
+  let r = run p in
+  let c = r.Machine.analysis.Machine.counters in
+  let profile = r.Machine.analysis.Machine.profile in
+  Alcotest.(check int) "PM = SRI code requests" c.Counters.pcache_miss
+    (Access_profile.total_op profile Op.Code)
+
+(* --- property tests --------------------------------------------------------------- *)
+
+(* Reference cache model: plain association list per set, LRU order. *)
+module Ref_cache = struct
+  type t = {
+    nsets : int;
+    ways : int;
+    line : int;
+    mutable sets : (int * int list) list; (* set -> tags, MRU first *)
+    mutable dirty : (int * int) list; (* (set, tag) of dirty lines *)
+  }
+
+  let create nsets ways line = { nsets; ways; line; sets = []; dirty = [] }
+
+  let access c addr ~write =
+    let la = addr / c.line in
+    let set = la mod c.nsets in
+    let tag = la / c.nsets in
+    let tags = try List.assoc set c.sets with Not_found -> [] in
+    let hit = List.mem tag tags in
+    let tags' = tag :: List.filter (fun t -> t <> tag) tags in
+    let evicted = if List.length tags' > c.ways then Some (List.nth tags' c.ways) else None in
+    let tags' = if List.length tags' > c.ways then List.filteri (fun i _ -> i < c.ways) tags' else tags' in
+    c.sets <- (set, tags') :: List.remove_assoc set c.sets;
+    let victim_dirty =
+      match evicted with
+      | Some v when List.mem (set, v) c.dirty -> true
+      | _ -> false
+    in
+    (match evicted with
+     | Some v -> c.dirty <- List.filter (fun p -> p <> (set, v)) c.dirty
+     | None -> ());
+    if write then
+      if not (List.mem (set, tag) c.dirty) then c.dirty <- (set, tag) :: c.dirty;
+    (hit, victim_dirty)
+end
+
+let prop_cache_matches_reference =
+  QCheck.Test.make ~name:"cache agrees with a reference LRU model" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 200)
+       (QCheck.pair (QCheck.int_range 0 1023) QCheck.bool))
+    (fun accesses ->
+       (* 8 sets x 2 ways x 32B lines over a 32KB address space *)
+       let c = Cache.create { Cache.size_bytes = 512; ways = 2; line_bytes = 32 } in
+       let r = Ref_cache.create 8 2 32 in
+       List.for_all
+         (fun (slot, write) ->
+            let addr = slot * 32 in
+            let got = Cache.access c ~addr ~write in
+            let hit, victim_dirty = Ref_cache.access r addr ~write in
+            match got with
+            | Cache.Hit -> hit
+            | Cache.Miss { victim } ->
+              (not hit) && victim_dirty = (victim <> None))
+         accesses)
+
+let gen_items =
+  (* random nested programs *)
+  let open QCheck.Gen in
+  let leaf = map (fun n -> Program.I { Program.pc = pspr; kind = Program.Compute (1 + n) }) (int_range 0 3) in
+  fix
+    (fun self depth ->
+       if depth = 0 then map (fun i -> [ i ]) leaf
+       else
+         frequency
+           [
+             (3, map (fun i -> [ i ]) leaf);
+             (1,
+              map2
+                (fun count body -> [ Program.loop count (List.concat body) ])
+                (int_range 0 4)
+                (list_size (int_range 1 3) (self (depth - 1))));
+             (2, map2 (fun a b -> a @ b) (self (depth - 1)) (self (depth - 1)));
+           ])
+    3
+
+let prop_walker_visits_dynamic_length =
+  QCheck.Test.make ~name:"walker emits exactly dynamic_length instructions"
+    ~count:300 (QCheck.make gen_items) (fun items ->
+        let p = Program.make ~name:"rand" items in
+        let w = Program.Walker.create p in
+        let n = ref 0 in
+        while Program.Walker.next w <> None do incr n done;
+        !n = Program.dynamic_length p
+        &&
+        ((* reset replays identically *)
+          Program.Walker.reset w;
+          let m = ref 0 in
+          while Program.Walker.next w <> None do incr m done;
+          !m = !n))
+
+let prop_simulation_deterministic =
+  QCheck.Test.make ~name:"simulation is deterministic" ~count:30
+    (QCheck.make gen_items) (fun items ->
+        let body =
+          items
+          @ [ Program.I { Program.pc = pspr + 0x100; kind = Program.Load lmu_nc } ]
+        in
+        let p = Program.make ~name:"det" body in
+        let r1 = Machine.run_isolation p and r2 = Machine.run_isolation p in
+        r1.Machine.cycles = r2.Machine.cycles
+        && Platform.Counters.equal r1.Machine.analysis.Machine.counters
+             r2.Machine.analysis.Machine.counters)
+
+let () =
+  Alcotest.run "tcsim"
+    [
+      ( "memory-map",
+        [
+          Alcotest.test_case "classify" `Quick test_memory_map_classify;
+          Alcotest.test_case "windows" `Quick test_memory_map_windows;
+          Alcotest.test_case "line_of" `Quick test_line_of;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "dirty victim" `Quick test_cache_dirty_victim;
+          Alcotest.test_case "clean victim silent" `Quick test_cache_clean_victim_silent;
+          Alcotest.test_case "write hit dirties" `Quick test_cache_write_hit_dirties;
+          Alcotest.test_case "flush" `Quick test_cache_flush;
+          Alcotest.test_case "bad geometry" `Quick test_cache_bad_geometry;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "flat walker" `Quick test_walker_flat;
+          Alcotest.test_case "nested loops" `Quick test_walker_loops;
+          Alcotest.test_case "zero loop" `Quick test_walker_zero_loop;
+          Alcotest.test_case "validation" `Quick test_program_validation;
+          Alcotest.test_case "seq layout" `Quick test_seq_layout;
+        ] );
+      ( "sri-timing",
+        [
+          Alcotest.test_case "single load latencies" `Quick test_single_load_latencies;
+          Alcotest.test_case "single store latency" `Quick test_single_store_latency;
+          Alcotest.test_case "single fetch latency" `Quick test_single_fetch_latency;
+          Alcotest.test_case "pflash store rejected" `Quick test_store_to_pflash_rejected;
+          Alcotest.test_case "stall floor (lmu)" `Quick test_stall_floor_lmu;
+          Alcotest.test_case "streaming code stall" `Quick test_streaming_code_stall;
+          Alcotest.test_case "scratchpad silent" `Quick test_scratchpad_silent;
+          Alcotest.test_case "counters valid" `Quick test_counters_valid;
+        ] );
+      ( "dcache",
+        [
+          Alcotest.test_case "hits avoid SRI" `Quick test_dcache_hits_no_sri;
+          Alcotest.test_case "dirty write-back" `Quick test_dcache_dirty_writeback;
+          Alcotest.test_case "1.6E has no dcache" `Quick test_e16_has_no_dcache;
+        ] );
+      ( "contention",
+        [
+          Alcotest.test_case "parallel targets" `Quick test_parallel_targets_no_contention;
+          Alcotest.test_case "bounded same-target delay" `Quick test_same_target_bounded_delay;
+          Alcotest.test_case "round-robin fairness" `Quick test_round_robin_fairness;
+          Alcotest.test_case "contender restarts" `Quick test_contender_restarts;
+          Alcotest.test_case "machine validation" `Quick test_machine_validation;
+          Alcotest.test_case "cycle limit" `Quick test_cycle_limit;
+        ] );
+      ( "priorities-traces",
+        [
+          Alcotest.test_case "priority limits waits" `Quick test_priority_limits_waits;
+          Alcotest.test_case "priority validation" `Quick test_priority_validation;
+          Alcotest.test_case "trace records transactions" `Quick test_trace_records_transactions;
+          Alcotest.test_case "trace disabled empty" `Quick test_trace_disabled_is_empty;
+          Alcotest.test_case "trace csv" `Quick test_trace_csv;
+          Alcotest.test_case "waits bounded by co-runner service" `Quick
+            test_trace_waits_bounded_by_corunner_service;
+        ] );
+      ( "ground-truth",
+        [
+          Alcotest.test_case "PM = SRI code count" `Quick test_profile_matches_pcache_miss;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "digest" `Quick (fun () ->
+              let p =
+                prog "s" [ compute 10; Program.loop 20 [ load lmu_nc ] ]
+              in
+              let r =
+                Machine.run ~trace:true ~analysis:{ Machine.program = p; core = 0 } ()
+              in
+              let s = Stats.of_run r in
+              Alcotest.(check int) "requests" 20 s.Stats.sri_requests;
+              Alcotest.(check int) "lmu share" 20 (List.assoc Target.Lmu s.Stats.per_target);
+              Alcotest.(check bool) "stall fraction in (0,1)" true
+                (s.Stats.stall_fraction > 0. && s.Stats.stall_fraction < 1.);
+              Alcotest.(check bool) "lmu utilization positive" true
+                (List.assoc Target.Lmu s.Stats.utilization > 0.));
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_cache_matches_reference;
+            prop_walker_visits_dynamic_length;
+            prop_simulation_deterministic;
+          ] );
+    ]
