@@ -160,7 +160,27 @@ let tests () =
       (Staged.stage (fun () -> ignore (Numeric.Bigint.mul big_x big_x)));
   ]
 
+(* Parallel sweep: the Figure-4 grid through the domain pool, sequential
+   vs parallel, with the solve cache cold on both sides so the wall-time
+   comparison is fair. *)
+let run_parallel_sweep () =
+  section "Parallel sweep: Figure 4 grid, pool vs sequential";
+  let sweep jobs =
+    Runtime.Solve_cache.clear ();
+    Runtime.Telemetry.measure ~jobs (fun () ->
+        Experiments.Figure4.run_all ~jobs ())
+  in
+  let seq_rows, seq_t = sweep 1 in
+  let jobs = Runtime.Pool.default_jobs () in
+  let par_rows, par_t = sweep jobs in
+  Format.printf "sequential: %a@." Runtime.Telemetry.pp seq_t;
+  Format.printf "parallel:   %a@." Runtime.Telemetry.pp par_t;
+  Format.printf "speedup: %.2fx (jobs=%d); rows identical: %b@."
+    (Runtime.Telemetry.speedup ~baseline:seq_t par_t)
+    jobs (seq_rows = par_rows)
+
 let run_timings () =
+  run_parallel_sweep ();
   section "Bechamel timings (ns/run, OLS estimate)";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
   let instances = Instance.[ monotonic_clock ] in

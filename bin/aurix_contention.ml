@@ -50,6 +50,25 @@ let level_arg =
     & opt level_conv Workload.Load_gen.High
     & info [ "l"; "load" ] ~docv:"LEVEL" ~doc:"Contender load level: high, medium or low.")
 
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "JOBS must be >= 1, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some jobs_conv) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Degree of parallelism for independent experiment cells (default: \
+           $(b,AURIX_JOBS) or the machine's domain count). Results are \
+           identical for every value.")
+
 (* --- calibrate -------------------------------------------------------------- *)
 
 let calibrate_cmd =
@@ -66,10 +85,12 @@ let calibrate_cmd =
 (* --- counters ---------------------------------------------------------------- *)
 
 let counters_cmd =
-  let run () = Format.printf "%a@." Experiments.Table6.pp (Experiments.Table6.run ()) in
+  let run jobs =
+    Format.printf "%a@." Experiments.Table6.pp (Experiments.Table6.run ?jobs ())
+  in
   Cmd.v
     (Cmd.info "counters" ~doc:"Collect the Table 6 counter readings in isolation.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 (* --- tables ------------------------------------------------------------------- *)
 
@@ -86,10 +107,10 @@ let tables_cmd =
 (* --- figure4 ------------------------------------------------------------------ *)
 
 let figure4_cmd =
-  let run all scenario =
+  let run all scenario jobs =
     let rows =
-      if all then Experiments.Figure4.run_all ()
-      else Experiments.Figure4.run_scenario scenario
+      if all then Experiments.Figure4.run_all ?jobs ()
+      else Experiments.Figure4.run_scenario ?jobs scenario
     in
     Format.printf "%a@." Experiments.Figure4.pp_rows rows
   in
@@ -98,7 +119,7 @@ let figure4_cmd =
   in
   Cmd.v
     (Cmd.info "figure4" ~doc:"Reproduce Figure 4: model predictions vs isolation.")
-    Term.(const run $ all_arg $ scenario_arg)
+    Term.(const run $ all_arg $ scenario_arg $ jobs_arg)
 
 (* --- estimate ------------------------------------------------------------------ *)
 
@@ -167,56 +188,60 @@ let estimate_cmd =
 (* --- ablations ------------------------------------------------------------------- *)
 
 let ablations_cmd =
-  let run () =
+  let run jobs =
     Format.printf "--- A1: contender information ---@.%a@."
-      Experiments.Ablations.pp_a1 (Experiments.Ablations.a1_contender_info ());
+      Experiments.Ablations.pp_a1 (Experiments.Ablations.a1_contender_info ?jobs ());
     Format.printf "--- A2: stall-equality encodings ---@.%a@."
-      Experiments.Ablations.pp_a2 (Experiments.Ablations.a2_equality_modes ());
+      Experiments.Ablations.pp_a2 (Experiments.Ablations.a2_equality_modes ?jobs ());
     Format.printf "--- A3: two contenders ---@.%a@.%a@."
       Experiments.Ablations.pp_a3
-      (Experiments.Ablations.a3_multi_contender Platform.Scenario.scenario1)
+      (Experiments.Ablations.a3_multi_contender ?jobs Platform.Scenario.scenario1)
       Experiments.Ablations.pp_a3
-      (Experiments.Ablations.a3_multi_contender Platform.Scenario.scenario2);
+      (Experiments.Ablations.a3_multi_contender ?jobs Platform.Scenario.scenario2);
     Format.printf "--- A4: FSB reduction ---@.%a@."
-      Experiments.Ablations.pp_a4 (Experiments.Ablations.a4_fsb ())
+      Experiments.Ablations.pp_a4 (Experiments.Ablations.a4_fsb ?jobs ())
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Run the A1-A4 ablation studies.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 (* --- portability ----------------------------------------------------------------- *)
 
 let portability_cmd =
-  let run () = Format.printf "%a@." Experiments.Portability.pp (Experiments.Portability.run ()) in
+  let run jobs =
+    Format.printf "%a@." Experiments.Portability.pp
+      (Experiments.Portability.run ?jobs ())
+  in
   Cmd.v
     (Cmd.info "portability"
        ~doc:"Re-target the analysis at other TriCore-family timings (Sec. 4.3).")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 (* --- priority ---------------------------------------------------------------------- *)
 
 let priority_cmd =
-  let run scenario =
+  let run scenario jobs =
     Format.printf "%a@." Experiments.Priority_study.pp
-      (Experiments.Priority_study.run ~scenario ())
+      (Experiments.Priority_study.run ~scenario ?jobs ())
   in
   Cmd.v
     (Cmd.info "priority"
        ~doc:"Compare same-class round-robin against a prioritised application.")
-    Term.(const run $ scenario_arg)
+    Term.(const run $ scenario_arg $ jobs_arg)
 
 (* --- realistic -------------------------------------------------------------------- *)
 
 let realistic_cmd =
-  let run () =
-    Format.printf "%a@." Experiments.Realistic.pp (Experiments.Realistic.run ())
+  let run jobs =
+    Format.printf "%a@." Experiments.Realistic.pp
+      (Experiments.Realistic.run ?jobs ())
   in
   Cmd.v
     (Cmd.info "realistic"
        ~doc:
          "Bound a production-style engine-control task (the paper's ~10% \
           use-case remark).")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 (* --- signatures ----------------------------------------------------------------------- *)
 
@@ -271,11 +296,13 @@ let signatures_cmd =
 (* --- dma ---------------------------------------------------------------------------- *)
 
 let dma_cmd =
-  let run () = Format.printf "%a@." Experiments.Dma_study.pp (Experiments.Dma_study.run ()) in
+  let run jobs =
+    Format.printf "%a@." Experiments.Dma_study.pp (Experiments.Dma_study.run ?jobs ())
+  in
   Cmd.v
     (Cmd.info "dma"
        ~doc:"Bound interference from a specification-driven DMA channel.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 (* --- report ------------------------------------------------------------------------- *)
 
@@ -317,16 +344,16 @@ let report_cmd =
 (* --- integrate ---------------------------------------------------------------------- *)
 
 let integrate_cmd =
-  let run () =
+  let run jobs =
     Format.printf "%a@." Experiments.Integration_study.pp
-      (Experiments.Integration_study.run ())
+      (Experiments.Integration_study.run ?jobs ())
   in
   Cmd.v
     (Cmd.info "integrate"
        ~doc:
          "Run the system-integration study: contention-aware response-time \
           analysis over a two-core task set.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 (* --- sweep --------------------------------------------------------------------- *)
 

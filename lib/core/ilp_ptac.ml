@@ -183,14 +183,14 @@ let contention_bound ?(options = default_options) ~latency ~scenario ~a ~b () =
       profile "a",
       profile "b" )
   in
-  let lp = Ilp.Simplex.solve model in
+  let lp = Runtime.Solve_cache.solve_lp model in
   let lp_cap =
     match lp with
     | Ilp.Solution.Optimal { objective; _ } -> Q.to_int_floor objective
     | Ilp.Solution.Infeasible | Ilp.Solution.Unbounded -> max_int
   in
   match
-    Ilp.Branch_bound.solve ~node_limit:options.node_limit
+    Runtime.Solve_cache.solve_ilp ~node_limit:options.node_limit
       ~slack:(q options.mip_slack) model
   with
   | Ilp.Solution.Infeasible -> None

@@ -23,12 +23,16 @@ type a1_row = {
   ftc_delta : int;
 }
 
-let a1_contender_info ?config () =
-  let latency = latency_of config in
+let scenario_load_cells =
   List.concat_map
     (fun scenario ->
-       List.map
-         (fun load ->
+       List.map (fun load -> (scenario, load)) Workload.Load_gen.all_levels)
+    [ Scenario.scenario1; Scenario.scenario2 ]
+
+let a1_contender_info ?config ?jobs () =
+  let latency = latency_of config in
+  Runtime.Pool.map ?jobs
+    (fun (scenario, load) ->
             let a, b = readings ?config ~scenario ~load () in
             let bound options =
               (Contention.Ilp_ptac.contention_bound_exn ~options ~latency
@@ -50,8 +54,7 @@ let a1_contender_info ?config () =
                 .Contention.Ftc.delta
             in
             { a1_scenario = scenario.Scenario.name; a1_load = load; with_info; without_info; ftc_delta })
-         Workload.Load_gen.all_levels)
-    [ Scenario.scenario1; Scenario.scenario2 ]
+    scenario_load_cells
 
 (* --- A2: stall-equality encodings ----------------------------------------- *)
 
@@ -61,10 +64,11 @@ type a2_row = {
   delta : int option;
 }
 
-let a2_equality_modes ?config () =
+let a2_equality_modes ?config ?jobs () =
   let latency = latency_of config in
-  List.concat_map
-    (fun scenario ->
+  List.concat
+    (Runtime.Pool.map ?jobs
+       (fun scenario ->
        let a, b = readings ?config ~scenario ~load:Workload.Load_gen.High () in
        List.map
          (fun mode ->
@@ -79,7 +83,7 @@ let a2_equality_modes ?config () =
             in
             { a2_scenario = scenario.Scenario.name; mode; delta })
          [ Contention.Ilp_ptac.Exact; Contention.Ilp_ptac.Window; Contention.Ilp_ptac.Upper ])
-    [ Scenario.scenario1; Scenario.scenario2 ]
+       [ Scenario.scenario1; Scenario.scenario2 ])
 
 (* --- A3: two simultaneous contenders --------------------------------------- *)
 
@@ -91,18 +95,28 @@ type a3_result = {
   per_contender : int list;
 }
 
-let a3_multi_contender ?config scenario =
+let a3_multi_contender ?config ?jobs scenario =
   let latency = latency_of config in
   let variant = Workload.Control_loop.variant_of_scenario scenario in
   let app = Workload.Control_loop.app variant in
   let c1 = Workload.Load_gen.make ~variant ~level:Workload.Load_gen.Medium ~region_slot:1 () in
   let c2 = Workload.Load_gen.make ~variant ~level:Workload.Load_gen.Low ~region_slot:2 () in
-  let iso = Mbta.Measurement.isolation ?config ~core:0 app in
-  let b1 = (Mbta.Measurement.isolation ?config ~core:1 c1).Mbta.Measurement.counters in
-  let b2 = (Mbta.Measurement.isolation ?config ~core:2 c2).Mbta.Measurement.counters in
-  let corun =
-    Mbta.Measurement.corun ?config ~analysis:(app, 0)
-      ~contenders:[ (c1, 1); (c2, 2) ] ()
+  (* the three isolation runs and the co-run are independent simulations *)
+  let iso, b1, b2, corun =
+    match
+      Runtime.Pool.run_all ?jobs
+        [
+          (fun () -> Mbta.Measurement.isolation ?config ~core:0 app);
+          (fun () -> Mbta.Measurement.isolation ?config ~core:1 c1);
+          (fun () -> Mbta.Measurement.isolation ?config ~core:2 c2);
+          (fun () ->
+             Mbta.Measurement.corun ?config ~analysis:(app, 0)
+               ~contenders:[ (c1, 1); (c2, 2) ] ());
+        ]
+    with
+    | [ iso; ob1; ob2; corun ] ->
+      (iso, ob1.Mbta.Measurement.counters, ob2.Mbta.Measurement.counters, corun)
+    | _ -> assert false
   in
   let bound =
     Contention.Multi.contention_bound ~latency ~scenario
@@ -128,12 +142,10 @@ type a4_row = {
   fsb_delta : int;
 }
 
-let a4_fsb ?config () =
+let a4_fsb ?config ?jobs () =
   let latency = latency_of config in
-  List.concat_map
-    (fun scenario ->
-       List.map
-         (fun load ->
+  Runtime.Pool.map ?jobs
+    (fun (scenario, load) ->
             let a, b = readings ?config ~scenario ~load () in
             let crossbar =
               (Contention.Ilp_ptac.contention_bound_exn ~latency ~scenario ~a ~b ())
@@ -141,8 +153,7 @@ let a4_fsb ?config () =
             in
             let fsb = (Contention.Fsb.contention_bound ~latency ~a ~b ()).Contention.Fsb.delta in
             { a4_scenario = scenario.Scenario.name; a4_load = load; crossbar_delta = crossbar; fsb_delta = fsb })
-         Workload.Load_gen.all_levels)
-    [ Scenario.scenario1; Scenario.scenario2 ]
+    scenario_load_cells
 
 (* --- printers ---------------------------------------------------------------- *)
 

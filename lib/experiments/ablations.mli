@@ -25,7 +25,11 @@ type a1_row = {
   ftc_delta : int;  (** the closed-form fTC bound, for reference *)
 }
 
-val a1_contender_info : ?config:Tcsim.Machine.config -> unit -> a1_row list
+val a1_contender_info :
+  ?config:Tcsim.Machine.config -> ?jobs:int -> unit -> a1_row list
+(** One pool cell per (scenario, load); [jobs] defaults to
+    {!Runtime.Pool.default_jobs}, row order is independent of it (as for
+    every study below). *)
 
 type a2_row = {
   a2_scenario : string;
@@ -33,8 +37,10 @@ type a2_row = {
   delta : int option;  (** [None] = infeasible *)
 }
 
-val a2_equality_modes : ?config:Tcsim.Machine.config -> unit -> a2_row list
-(** Both scenarios, H-Load, the three encodings. *)
+val a2_equality_modes :
+  ?config:Tcsim.Machine.config -> ?jobs:int -> unit -> a2_row list
+(** Both scenarios, H-Load, the three encodings; scenarios are pool
+    cells (the three modes share one cell's counter readings). *)
 
 type a3_result = {
   a3_scenario : string;
@@ -44,7 +50,8 @@ type a3_result = {
   per_contender : int list;
 }
 
-val a3_multi_contender : ?config:Tcsim.Machine.config -> Scenario.t -> a3_result
+val a3_multi_contender :
+  ?config:Tcsim.Machine.config -> ?jobs:int -> Scenario.t -> a3_result
 (** Application on core 0, M-Load on core 1, L-Load on core 2 (the 1.6E
     efficiency core). *)
 
@@ -55,7 +62,7 @@ type a4_row = {
   fsb_delta : int;
 }
 
-val a4_fsb : ?config:Tcsim.Machine.config -> unit -> a4_row list
+val a4_fsb : ?config:Tcsim.Machine.config -> ?jobs:int -> unit -> a4_row list
 
 val pp_a1 : Format.formatter -> a1_row list -> unit
 val pp_a2 : Format.formatter -> a2_row list -> unit

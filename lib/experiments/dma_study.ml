@@ -19,7 +19,7 @@ let machine_config_with_dma =
       Array.append Tcsim.Machine.default_config.Tcsim.Machine.cores [| dma_master |];
   }
 
-let run ?(config = machine_config_with_dma) () =
+let run ?(config = machine_config_with_dma) ?jobs () =
   let latency = config.Tcsim.Machine.latency in
   let scenario = Scenario.scenario1 in
   let app = Workload.Control_loop.app Workload.Control_loop.S1 in
@@ -31,9 +31,23 @@ let run ?(config = machine_config_with_dma) () =
     { Workload.Dma.default_schedule with Workload.Dma.region_offset = 20 * 1024 }
   in
   let dma = Workload.Dma.program ~schedule () in
-  let iso = Mbta.Measurement.isolation ~config ~core:0 app in
+  (* two isolation runs and the three-master co-run are independent *)
+  let iso, b_cpu, corun =
+    match
+      Runtime.Pool.run_all ?jobs
+        [
+          (fun () -> Mbta.Measurement.isolation ~config ~core:0 app);
+          (fun () -> Mbta.Measurement.isolation ~config ~core:1 cpu);
+          (fun () ->
+            Mbta.Measurement.corun ~config ~analysis:(app, 0)
+              ~contenders:[ (cpu, 1); (dma, 3) ]
+              ());
+        ]
+    with
+    | [ iso; b_obs; corun ] -> (iso, b_obs.Mbta.Measurement.counters, corun)
+    | _ -> assert false
+  in
   let a = iso.Mbta.Measurement.counters in
-  let b_cpu = (Mbta.Measurement.isolation ~config ~core:1 cpu).Mbta.Measurement.counters in
   let b_dma = Workload.Dma.synthesized_counters latency schedule in
   let cpu_delta =
     (Contention.Ilp_ptac.contention_bound_exn ~latency ~scenario ~a ~b:b_cpu ())
@@ -48,11 +62,6 @@ let run ?(config = machine_config_with_dma) () =
     (Contention.Ilp_ptac.contention_bound_exn ~options:dma_options ~latency
        ~scenario ~a ~b:b_dma ())
       .Contention.Ilp_ptac.delta
-  in
-  let corun =
-    Mbta.Measurement.corun ~config ~analysis:(app, 0)
-      ~contenders:[ (cpu, 1); (dma, 3) ]
-      ()
   in
   {
     isolation_cycles = iso.Mbta.Measurement.cycles;

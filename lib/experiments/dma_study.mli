@@ -22,7 +22,10 @@ type result = {
   dma_requests : int;  (** specified SRI requests of the DMA schedule *)
 }
 
-val run : ?config:Tcsim.Machine.config -> unit -> result
+val run : ?config:Tcsim.Machine.config -> ?jobs:int -> unit -> result
+(** The two isolation runs and the three-master co-run are independent
+    pool cells ([jobs] defaults to {!Runtime.Pool.default_jobs}). *)
+
 val sound : result -> bool
 val pp : Format.formatter -> result -> unit
 

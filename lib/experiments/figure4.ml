@@ -61,13 +61,21 @@ let run_row ?config ~scenario ~load () =
     ideal_delta;
   }
 
-let run_scenario ?config scenario =
-  List.map
+(* Each (scenario, load) cell is an independent simulate-then-solve job;
+   the pool merges rows back in input order, so the parallel sweep is
+   row-for-row the sequential one. *)
+let run_scenario ?config ?jobs scenario =
+  Runtime.Pool.map ?jobs
     (fun load -> run_row ?config ~scenario ~load ())
     Workload.Load_gen.all_levels
 
-let run_all ?config () =
-  List.concat_map (run_scenario ?config) [ Scenario.scenario1; Scenario.scenario2 ]
+let run_all ?config ?jobs () =
+  Runtime.Pool.map ?jobs
+    (fun (scenario, load) -> run_row ?config ~scenario ~load ())
+    (List.concat_map
+       (fun scenario ->
+          List.map (fun load -> (scenario, load)) Workload.Load_gen.all_levels)
+       [ Scenario.scenario1; Scenario.scenario2 ])
 
 let sound row =
   Mbta.Wcet.upper_bounds row.ftc ~observed_cycles:row.observed_cycles

@@ -29,11 +29,15 @@ val run_row :
   row
 
 val run_scenario :
-  ?config:Tcsim.Machine.config -> Platform.Scenario.t -> row list
-(** H-, M-, L-Load rows for one scenario. *)
+  ?config:Tcsim.Machine.config -> ?jobs:int -> Platform.Scenario.t -> row list
+(** H-, M-, L-Load rows for one scenario. [jobs] (default
+    {!Runtime.Pool.default_jobs}) runs the load cells on a domain pool;
+    rows come back in load order regardless. *)
 
-val run_all : ?config:Tcsim.Machine.config -> unit -> row list
-(** Both paper scenarios, all three loads. *)
+val run_all : ?config:Tcsim.Machine.config -> ?jobs:int -> unit -> row list
+(** Both paper scenarios, all three loads. Cells run on a [jobs]-wide
+    pool; the row order (scenario-major, then H/M/L) is independent of
+    [jobs]. *)
 
 val sound : row -> bool
 (** Do both model estimates cover the observed co-run time? *)

@@ -34,8 +34,8 @@ let build_system () =
     };
   ]
 
-let run ?config () =
-  Schedule.Integration.integrate ?config ~scenario:Platform.Scenario.scenario1
+let run ?config ?jobs () =
+  Schedule.Integration.integrate ?config ?jobs ~scenario:Platform.Scenario.scenario1
     (build_system ())
 
 let pp = Schedule.Integration.pp

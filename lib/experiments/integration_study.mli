@@ -16,5 +16,10 @@
 val build_system : unit -> Schedule.Integration.app list
 (** The study's task set (Scenario-1 deployment programs). *)
 
-val run : ?config:Tcsim.Machine.config -> unit -> Schedule.Integration.t
+val run :
+  ?config:Tcsim.Machine.config -> ?jobs:int -> unit -> Schedule.Integration.t
+(** [jobs] (default {!Runtime.Pool.default_jobs}) parallelises the
+    per-application isolation measurements inside
+    {!Schedule.Integration.integrate}. *)
+
 val pp : Format.formatter -> Schedule.Integration.t -> unit

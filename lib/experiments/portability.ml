@@ -18,7 +18,7 @@ let run_variant v =
         ~load:Workload.Load_gen.High ();
   }
 
-let run () = List.map run_variant Platform.Variants.all
+let run ?jobs () = Runtime.Pool.map ?jobs run_variant Platform.Variants.all
 
 let pp fmt rows =
   Format.fprintf fmt "@[<v>%-18s %-12s %10s %10s(x)   %10s(x)   %s@,"

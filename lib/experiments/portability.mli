@@ -14,5 +14,10 @@ type row = {
 }
 
 val run_variant : Platform.Variants.t -> row
-val run : unit -> row list
+
+val run : ?jobs:int -> unit -> row list
+(** One pool cell per TriCore variant (default degree
+    {!Runtime.Pool.default_jobs}); rows in {!Platform.Variants.all}
+    order. *)
+
 val pp : Format.formatter -> row list -> unit

@@ -11,16 +11,12 @@ type result = {
   max_wait_prioritised : int;
 }
 
-let run ?(scenario = Scenario.scenario1) () =
+let run ?(scenario = Scenario.scenario1) ?jobs () =
   let latency = Latency.default in
   let variant = Workload.Control_loop.variant_of_scenario scenario in
   let app = Workload.Control_loop.app variant in
   let c1 = Workload.Load_gen.make ~variant ~level:Workload.Load_gen.Medium ~region_slot:1 () in
   let c2 = Workload.Load_gen.make ~variant ~level:Workload.Load_gen.Low ~region_slot:2 () in
-  let iso = Mbta.Measurement.isolation ~core:0 app in
-  let a = iso.Mbta.Measurement.counters in
-  let b1 = (Mbta.Measurement.isolation ~core:1 c1).Mbta.Measurement.counters in
-  let b2 = (Mbta.Measurement.isolation ~core:2 c2).Mbta.Measurement.counters in
   let corun priorities =
     Tcsim.Machine.run ~restart_contenders:false ~priorities ~trace:true
       ~analysis:{ Tcsim.Machine.program = app; core = 0 }
@@ -31,8 +27,28 @@ let run ?(scenario = Scenario.scenario1) () =
         ]
       ()
   in
-  let same = corun [| 0; 0; 0 |] in
-  let prio = corun [| 0; 1; 1 |] in
+  (* three isolation runs and two arbitration co-runs: five independent
+     simulation jobs *)
+  let iso, b1, b2, same, prio =
+    match
+      Runtime.Pool.run_all ?jobs
+        [
+          (fun () -> `Obs (Mbta.Measurement.isolation ~core:0 app));
+          (fun () -> `Obs (Mbta.Measurement.isolation ~core:1 c1));
+          (fun () -> `Obs (Mbta.Measurement.isolation ~core:2 c2));
+          (fun () -> `Run (corun [| 0; 0; 0 |]));
+          (fun () -> `Run (corun [| 0; 1; 1 |]));
+        ]
+    with
+    | [ `Obs iso; `Obs o1; `Obs o2; `Run same; `Run prio ] ->
+      ( iso,
+        o1.Mbta.Measurement.counters,
+        o2.Mbta.Measurement.counters,
+        same,
+        prio )
+    | _ -> assert false
+  in
+  let a = iso.Mbta.Measurement.counters in
   let max_wait (r : Tcsim.Machine.run_result) =
     Tcsim.Trace.max_wait (Tcsim.Trace.of_core r.Tcsim.Machine.trace 0)
   in

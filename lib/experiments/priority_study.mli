@@ -20,6 +20,10 @@ type result = {
   max_wait_prioritised : int;
 }
 
-val run : ?scenario:Platform.Scenario.t -> unit -> result
+val run : ?scenario:Platform.Scenario.t -> ?jobs:int -> unit -> result
+(** The three isolation runs and the two arbitration co-runs are
+    independent pool cells ([jobs] defaults to
+    {!Runtime.Pool.default_jobs}). *)
+
 val sound : result -> bool
 val pp : Format.formatter -> result -> unit

@@ -8,7 +8,7 @@ type result = {
   stress_ilp_ratio : float;
 }
 
-let run ?config () =
+let run ?config ?jobs () =
   let latency =
     match config with
     | Some c -> c.Tcsim.Machine.latency
@@ -20,18 +20,33 @@ let run ?config () =
     Workload.Load_gen.make ~variant:Workload.Control_loop.S1
       ~level:Workload.Load_gen.High ()
   in
-  let iso = Mbta.Measurement.isolation ?config ~core:0 task in
+  (* the two isolation runs, the co-run and the stress reference row are
+     four independent simulate-then-solve jobs *)
+  let iso, b, corun, stress =
+    match
+      Runtime.Pool.run_all ?jobs
+        [
+          (fun () -> `Obs (Mbta.Measurement.isolation ?config ~core:0 task));
+          (fun () -> `Obs (Mbta.Measurement.isolation ?config ~core:1 contender));
+          (fun () ->
+             `Obs
+               (Mbta.Measurement.corun ?config ~analysis:(task, 0)
+                  ~contenders:[ (contender, 1) ] ()));
+          (fun () ->
+             `Row
+               (Figure4.run_row ?config ~scenario ~load:Workload.Load_gen.High ()));
+        ]
+    with
+    | [ `Obs iso; `Obs b_obs; `Obs corun; `Row stress ] ->
+      (iso, b_obs.Mbta.Measurement.counters, corun, stress)
+    | _ -> assert false
+  in
   let a = iso.Mbta.Measurement.counters in
-  let b = (Mbta.Measurement.isolation ?config ~core:1 contender).Mbta.Measurement.counters in
   let ftc_delta = (Contention.Ftc.contention_bound ~latency ~a ()).Contention.Ftc.delta in
   let ilp_delta =
     (Contention.Ilp_ptac.contention_bound_exn ~latency ~scenario ~a ~b ())
       .Contention.Ilp_ptac.delta
   in
-  let corun =
-    Mbta.Measurement.corun ?config ~analysis:(task, 0) ~contenders:[ (contender, 1) ] ()
-  in
-  let stress = Figure4.run_row ?config ~scenario ~load:Workload.Load_gen.High () in
   let isolation_cycles = iso.Mbta.Measurement.cycles in
   {
     isolation_cycles;

@@ -17,6 +17,10 @@ type result = {
       (** the stress application's H-Load ILP ratio, for comparison *)
 }
 
-val run : ?config:Tcsim.Machine.config -> unit -> result
+val run : ?config:Tcsim.Machine.config -> ?jobs:int -> unit -> result
+(** The two isolation runs, the co-run and the stress reference row are
+    independent pool cells ([jobs] defaults to
+    {!Runtime.Pool.default_jobs}). *)
+
 val sound : result -> bool
 val pp : Format.formatter -> result -> unit

@@ -1,19 +1,32 @@
 type entry = { scenario : string; core : int; counters : Platform.Counters.t }
 
-let run ?config () =
-  List.concat_map
-    (fun scenario ->
+let run ?config ?jobs () =
+  (* one isolation simulation per (scenario, role) cell, merged back in
+     the paper's row order by the pool *)
+  Runtime.Pool.map ?jobs
+    (fun (scenario, role) ->
        let variant = Workload.Control_loop.variant_of_scenario scenario in
-       let app = Workload.Control_loop.app variant in
-       let hload =
-         Workload.Load_gen.make ~variant ~level:Workload.Load_gen.High ()
+       let obs core p =
+         (Mbta.Measurement.isolation ?config ~core p).Mbta.Measurement.counters
        in
-       let obs core p = (Mbta.Measurement.isolation ?config ~core p).Mbta.Measurement.counters in
-       [
-         { scenario = scenario.Platform.Scenario.name; core = 1; counters = obs 0 app };
-         { scenario = scenario.Platform.Scenario.name; core = 2; counters = obs 1 hload };
-       ])
-    [ Platform.Scenario.scenario1; Platform.Scenario.scenario2 ]
+       match role with
+       | `App ->
+         {
+           scenario = scenario.Platform.Scenario.name;
+           core = 1;
+           counters = obs 0 (Workload.Control_loop.app variant);
+         }
+       | `HLoad ->
+         {
+           scenario = scenario.Platform.Scenario.name;
+           core = 2;
+           counters =
+             obs 1
+               (Workload.Load_gen.make ~variant ~level:Workload.Load_gen.High ());
+         })
+    (List.concat_map
+       (fun scenario -> [ (scenario, `App); (scenario, `HLoad) ])
+       [ Platform.Scenario.scenario1; Platform.Scenario.scenario2 ])
 
 let pp fmt entries =
   Format.fprintf fmt "@[<v>%-12s %-6s %8s %6s %6s %9s %9s@," "scenario" "core"

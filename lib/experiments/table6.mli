@@ -9,8 +9,10 @@
 
 type entry = { scenario : string; core : int; counters : Platform.Counters.t }
 
-val run : ?config:Tcsim.Machine.config -> unit -> entry list
-(** Four rows: (scenario1, scenario2) x (application, H-Load). *)
+val run : ?config:Tcsim.Machine.config -> ?jobs:int -> unit -> entry list
+(** Four rows: (scenario1, scenario2) x (application, H-Load). Each row's
+    isolation simulation is an independent cell on a [jobs]-wide pool
+    (default {!Runtime.Pool.default_jobs}); row order is fixed. *)
 
 val pp : Format.formatter -> entry list -> unit
 (** Rendered in the paper's column order: PM DMC DMD PS DS. *)

@@ -147,6 +147,47 @@ let check_feasible ?(tol_integrality = true) m value =
   | [] -> Ok "feasible"
   | es -> Error (String.concat "; " (List.rev es))
 
+let canonical m =
+  let b = Buffer.create 512 in
+  let addq x = Buffer.add_string b (Q.to_string x) in
+  let add_bound = function
+    | None -> Buffer.add_char b '*'
+    | Some x -> addq x
+  in
+  let add_terms e =
+    List.iter
+      (fun (v, c) ->
+         Buffer.add_string b (string_of_int v);
+         Buffer.add_char b ':';
+         addq c;
+         Buffer.add_char b ' ')
+      (Linexpr.terms e);
+    Buffer.add_char b '+';
+    addq (Linexpr.constant e)
+  in
+  Array.iter
+    (fun info ->
+       Buffer.add_char b (if info.integer then 'i' else 'c');
+       add_bound info.lb;
+       Buffer.add_char b ',';
+       add_bound info.ub;
+       Buffer.add_char b ';')
+    (vars_array m);
+  Buffer.add_char b '|';
+  List.iter
+    (fun c ->
+       add_terms c.expr;
+       Buffer.add_string b
+         (match c.csense with Le -> "<=" | Ge -> ">=" | Eq -> "=");
+       addq c.rhs;
+       Buffer.add_char b ';')
+    (constraints m);
+  Buffer.add_char b '|';
+  Buffer.add_string b
+    (match m.obj_dir with Maximize -> "max" | Minimize -> "min");
+  add_terms m.obj;
+  Buffer.contents b
+
 let pp fmt m =
   let open Format in
   let names v = var_name m v in

@@ -71,4 +71,13 @@ val check_feasible :
     [~tol_integrality:false] (default [true]) integrality of integer
     variables is not checked. *)
 
+val canonical : t -> string
+(** A canonical textual encoding of the model's {e mathematical} content:
+    variable kinds and bounds (in creation order), constraints (in
+    insertion order: exact rational coefficients, sense, right-hand
+    side) and the objective. Variable and constraint {e names} are
+    excluded — two models differing only in naming denote the same
+    program and encode identically. Content-addressed caches
+    ({!Runtime.Solve_cache}) hash this string. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,168 @@
+(* Work-stealing-free domain pool: a single FIFO queue guarded by one
+   mutex/condvar pair, drained by [jobs - 1] worker domains plus the
+   caller. Determinism comes from batches indexing a results array by
+   input position — scheduling can permute execution, never results. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  wake : Condition.t;
+      (* signals workers (new task / shutdown) and the batch caller
+         (batch completion) *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let tasks_counter = Atomic.make 0
+let tasks_run () = Atomic.get tasks_counter
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Some (min n 128)
+  | _ -> None
+
+let default_jobs () =
+  match Option.bind (Sys.getenv_opt "AURIX_JOBS") parse_jobs with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
+
+let resolve_jobs = function
+  | None -> default_jobs ()
+  | Some j ->
+    if j < 1 then invalid_arg "Pool: jobs must be >= 1";
+    j
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stop do
+      Condition.wait t.wake t.mutex
+    done;
+    match Queue.take_opt t.queue with
+    | None -> Mutex.unlock t.mutex (* stopped with a drained queue *)
+    | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = resolve_jobs jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run_inline thunks =
+  List.map
+    (fun f ->
+       Atomic.incr tasks_counter;
+       f ())
+    thunks
+
+let run_all_in t thunks =
+  if thunks = [] then []
+  else if t.workers = [] then run_inline thunks
+  else begin
+    let arr = Array.of_list thunks in
+    let n = Array.length arr in
+    let results = Array.make n None in
+    let remaining = Atomic.make n in
+    let run i =
+      let r = try Ok (arr.(i) ()) with e -> Error e in
+      Atomic.incr tasks_counter;
+      results.(i) <- Some r;
+      (* The release store below publishes [results.(i)]; the caller's
+         matching acquire load is its [Atomic.get remaining]. *)
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock t.mutex;
+        Condition.broadcast t.wake;
+        Mutex.unlock t.mutex
+      end
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (fun () -> run i) t.queue
+    done;
+    Condition.broadcast t.wake;
+    (* The caller is an executor too: drain the queue, then sleep until
+       the stragglers running on workers finish. *)
+    let rec drive () =
+      match Queue.take_opt t.queue with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        drive ()
+      | None ->
+        if Atomic.get remaining > 0 then begin
+          Condition.wait t.wake t.mutex;
+          drive ()
+        end
+    in
+    drive ();
+    Mutex.unlock t.mutex;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+  end
+
+let map_in t f xs = run_all_in t (List.map (fun x () -> f x) xs)
+
+let run_all ?jobs thunks =
+  let j = resolve_jobs jobs in
+  if j = 1 then run_inline thunks
+  else with_pool ~jobs:j (fun t -> run_all_in t thunks)
+
+let map ?jobs f xs = run_all ?jobs (List.map (fun x () -> f x) xs)
+
+let both ?jobs f g =
+  let j = resolve_jobs jobs in
+  if j = 1 then begin
+    match run_inline [ (fun () -> `L (f ())); (fun () -> `R (g ())) ] with
+    | [ `L a; `R b ] -> (a, b)
+    | _ -> assert false
+  end
+  else begin
+    let d =
+      Domain.spawn (fun () ->
+          let r = try Ok (f ()) with e -> Error e in
+          Atomic.incr tasks_counter;
+          r)
+    in
+    let b = (try Ok (g ()) with e -> Error e) in
+    Atomic.incr tasks_counter;
+    let a = Domain.join d in
+    match (a, b) with
+    | Ok a, Ok b -> (a, b)
+    | Error e, _ -> raise e
+    | _, Error e -> raise e
+  end

@@ -1,0 +1,68 @@
+(** Deterministic domain pool for embarrassingly-parallel experiment cells.
+
+    A pool owns a fixed set of OCaml 5 domains fed from a mutex/condvar
+    task queue — no work stealing, no speculative execution. Submission
+    order is the only scheduling input, and {!map}/{!run_all} always
+    return results in input order, so a parallel run is structurally
+    indistinguishable from the sequential one (the experiment suites
+    assert this).
+
+    Concurrency degree resolution, in decreasing priority:
+    + the [?jobs] argument of the entry points below;
+    + the [AURIX_JOBS] environment variable (a positive integer);
+    + [Domain.recommended_domain_count ()].
+
+    With an effective degree of 1 no domain is spawned at all: tasks run
+    inline on the caller, which is byte-for-byte the sequential path.
+
+    Tasks must not themselves block on the pool they run in (no nested
+    {!run_all} on the same pool): with all workers busy this deadlocks.
+    The experiment pipelines only ever submit leaf jobs. *)
+
+type t
+(** A running pool. *)
+
+val default_jobs : unit -> int
+(** [AURIX_JOBS] when set to a positive integer (clamped to [1..128]),
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawns [jobs - 1 >= 0] worker domains plus the caller-inline path for
+    [jobs = 1]. Default [jobs]: {!default_jobs}.
+    @raise Invalid_argument on [jobs < 1]. *)
+
+val jobs : t -> int
+(** The configured concurrency degree. *)
+
+val shutdown : t -> unit
+(** Stops the workers and joins their domains. Must only be called when no
+    {!run_all_in}/{!map_in} is in flight; idempotent. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)
+
+val run_all_in : t -> (unit -> 'a) list -> 'a list
+(** Runs every thunk exactly once and returns their results in input
+    order. If tasks raise, the first exception in {e input} order (not
+    completion order) is re-raised — deterministic regardless of
+    interleaving. Under a parallel pool every task still runs to
+    completion first; inline ([jobs = 1]) execution stops at the raising
+    task, exactly like the sequential code it replaces. *)
+
+val map_in : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_in pool f xs] = [run_all_in pool (List.map (fun x () -> f x) xs)]. *)
+
+val run_all : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** One-shot: [with_pool ?jobs (fun p -> run_all_in p thunks)]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot parallel map preserving input order. *)
+
+val both : ?jobs:int -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** Runs the two thunks concurrently (one spawned domain) unless the
+    effective degree is 1, where they run inline left-to-right. If both
+    raise, the left exception wins. *)
+
+val tasks_run : unit -> int
+(** Process-wide count of pool tasks executed (inline or on a worker);
+    monotonic, read by {!Telemetry}. *)

@@ -1,0 +1,73 @@
+open Numeric
+
+type outcome = Solved of Ilp.Solution.t | Node_limit
+
+type stats = { hits : int; misses : int }
+
+let table : (string, outcome) Hashtbl.t = Hashtbl.create 256
+let lock = Mutex.create ()
+let hit_count = Atomic.make 0
+let miss_count = Atomic.make 0
+
+let key ~tag model =
+  Digest.to_hex (Digest.string (tag ^ "\n" ^ Ilp.Model.canonical model))
+
+let find k =
+  Mutex.lock lock;
+  let r = Hashtbl.find_opt table k in
+  Mutex.unlock lock;
+  r
+
+let store k outcome =
+  Mutex.lock lock;
+  if not (Hashtbl.mem table k) then Hashtbl.add table k outcome;
+  Mutex.unlock lock
+
+let solve_cached ~tag solve model =
+  let k = key ~tag model in
+  match find k with
+  | Some (Solved s) ->
+    Atomic.incr hit_count;
+    s
+  | Some Node_limit ->
+    Atomic.incr hit_count;
+    raise Ilp.Branch_bound.Node_limit_exceeded
+  | None ->
+    Atomic.incr miss_count;
+    (match solve model with
+     | s ->
+       store k (Solved s);
+       s
+     | exception Ilp.Branch_bound.Node_limit_exceeded ->
+       store k Node_limit;
+       raise Ilp.Branch_bound.Node_limit_exceeded)
+
+let solve_lp model = solve_cached ~tag:"lp" Ilp.Simplex.solve model
+
+let solve_ilp ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model
+  =
+  let tag =
+    Printf.sprintf "ilp|nodes=%d|slack=%s|presolve=%b" node_limit
+      (Q.to_string slack) presolve
+  in
+  solve_cached ~tag
+    (Ilp.Branch_bound.solve ~node_limit ~slack ~presolve)
+    model
+
+let stats () = { hits = Atomic.get hit_count; misses = Atomic.get miss_count }
+
+let reset_stats () =
+  Atomic.set hit_count 0;
+  Atomic.set miss_count 0
+
+let clear () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  Mutex.unlock lock;
+  reset_stats ()
+
+let size () =
+  Mutex.lock lock;
+  let n = Hashtbl.length table in
+  Mutex.unlock lock;
+  n

@@ -1,0 +1,52 @@
+(** Content-addressed memoisation of LP/ILP solves.
+
+    Sweep pipelines tailor one ILP per (scenario, contender, deployment)
+    cell; many cells produce {e mathematically identical} models (same
+    counters, same tailoring), so each distinct model needs solving only
+    once per process. The cache keys on an MD5 digest of
+    {!Ilp.Model.canonical} — the model's mathematical content, not its
+    identity or variable names — concatenated with the solver kind and
+    its parameters, so [solve_lp] and [solve_ilp] (and different
+    node-limit/slack/presolve settings) never collide.
+
+    Both solvers are deterministic, hence a cached solution is bitwise
+    the solution a fresh solve would produce: routing solves through the
+    cache cannot change any experiment output.
+
+    The cache is shared by every domain in the process and is safe to use
+    from {!Pool} workers. Two domains racing on the same key may both
+    solve it (wasted work, not wrong results); one result is kept.
+
+    {!Ilp.Branch_bound.Node_limit_exceeded} outcomes are cached too and
+    re-raised on hits. *)
+
+open Numeric
+
+val solve_lp : Ilp.Model.t -> Ilp.Solution.t
+(** Cached {!Ilp.Simplex.solve} (the model's continuous relaxation). *)
+
+val solve_ilp :
+  ?node_limit:int -> ?slack:Q.t -> ?presolve:bool -> Ilp.Model.t -> Ilp.Solution.t
+(** Cached {!Ilp.Branch_bound.solve}; defaults match it
+    ([node_limit = 200_000], [slack = 0], [presolve = true]).
+    @raise Ilp.Branch_bound.Node_limit_exceeded as the underlying solver
+    would, including on a cache hit of such an outcome. *)
+
+type stats = { hits : int; misses : int }
+
+val stats : unit -> stats
+(** Process-wide counters since start or the last {!reset_stats}. *)
+
+val reset_stats : unit -> unit
+(** Zeroes the hit/miss counters; cached solutions are kept. *)
+
+val clear : unit -> unit
+(** Drops every cached solution (the benchmark harness uses this to time
+    cold runs); also zeroes the counters. *)
+
+val size : unit -> int
+(** Number of distinct cached solves. *)
+
+val key : tag:string -> Ilp.Model.t -> string
+(** The content address used internally (exposed for tests): MD5 of
+    [tag] + {!Ilp.Model.canonical}. *)

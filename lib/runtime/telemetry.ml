@@ -1,0 +1,34 @@
+type t = {
+  jobs : int;
+  tasks : int;
+  wall_s : float;
+  cpu_s : float;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let measure ~jobs f =
+  let tasks0 = Pool.tasks_run () in
+  let stats0 = Solve_cache.stats () in
+  let cpu0 = Sys.time () in
+  let wall0 = Unix.gettimeofday () in
+  let result = f () in
+  let wall_s = Unix.gettimeofday () -. wall0 in
+  let cpu_s = Sys.time () -. cpu0 in
+  let stats1 = Solve_cache.stats () in
+  ( result,
+    {
+      jobs;
+      tasks = Pool.tasks_run () - tasks0;
+      wall_s;
+      cpu_s;
+      cache_hits = stats1.Solve_cache.hits - stats0.Solve_cache.hits;
+      cache_misses = stats1.Solve_cache.misses - stats0.Solve_cache.misses;
+    } )
+
+let speedup ~baseline t = baseline.wall_s /. t.wall_s
+
+let pp fmt t =
+  Format.fprintf fmt
+    "jobs=%d tasks=%d wall=%.3fs cpu=%.3fs cache=%d hit/%d miss" t.jobs t.tasks
+    t.wall_s t.cpu_s t.cache_hits t.cache_misses

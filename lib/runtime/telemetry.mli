@@ -1,0 +1,24 @@
+(** Per-run execution statistics for the parallel pipelines.
+
+    A record of what one timed region did: how many pool tasks ran, how
+    the ILP solve cache behaved, and wall-clock vs. process CPU time.
+    [cpu_s / wall_s] approaches the effective parallel speedup on an
+    otherwise idle machine; [cache_hits] counts solves the cache elided. *)
+
+type t = {
+  jobs : int;  (** configured concurrency degree of the run *)
+  tasks : int;  (** pool tasks executed inside the region *)
+  wall_s : float;  (** elapsed wall-clock seconds *)
+  cpu_s : float;  (** process CPU seconds, all domains *)
+  cache_hits : int;
+  cache_misses : int;  (** {!Solve_cache} activity inside the region *)
+}
+
+val measure : jobs:int -> (unit -> 'a) -> 'a * t
+(** [measure ~jobs f] runs [f ()] and reports what happened around it.
+    [jobs] is only recorded, not enforced — pass what the region used. *)
+
+val speedup : baseline:t -> t -> float
+(** [baseline.wall_s /. t.wall_s]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -43,7 +43,7 @@ let counter_envelope (observations : Counters.t list) =
             })
          first rest)
 
-let integrate ?config ?options ~scenario apps =
+let integrate ?config ?options ?jobs ~scenario apps =
   if apps = [] then invalid_arg "Integration.integrate: empty system";
   let seen = Hashtbl.create 8 in
   List.iter
@@ -61,7 +61,7 @@ let integrate ?config ?options ~scenario apps =
     | None -> Tcsim.Machine.default_config.Tcsim.Machine.latency
   in
   let measured =
-    List.map
+    Runtime.Pool.map ?jobs
       (fun a -> (a, Mbta.Measurement.isolation ?config ~core:a.core a.program))
       apps
   in

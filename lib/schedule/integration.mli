@@ -44,10 +44,14 @@ type t = {
 val integrate :
   ?config:Tcsim.Machine.config ->
   ?options:Contention.Ilp_ptac.options ->
+  ?jobs:int ->
   scenario:Scenario.t ->
   app list ->
   t
-(** @raise Invalid_argument on an empty system, duplicate (core, priority)
+(** [jobs] (default {!Runtime.Pool.default_jobs}) parallelises the
+    per-application isolation measurements.
+
+    @raise Invalid_argument on an empty system, duplicate (core, priority)
     pairs, or infeasible contention models. *)
 
 val schedulable_under : t -> [ `Isolation | `Ftc | `Ilp ] -> bool

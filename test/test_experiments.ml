@@ -180,6 +180,17 @@ let test_ablation_fsb () =
          (r.Experiments.Ablations.fsb_delta >= r.Experiments.Ablations.crossbar_delta))
     (Experiments.Ablations.a4_fsb ())
 
+let test_parallel_determinism () =
+  (* the domain pool must not change any result: jobs=4 rows are
+     structurally equal to the sequential jobs=1 rows *)
+  let seq = Experiments.Figure4.run_all ~jobs:1 () in
+  let par = Experiments.Figure4.run_all ~jobs:4 () in
+  Alcotest.(check bool) "figure4 rows identical across jobs" true (seq = par);
+  let a1_seq = Experiments.Ablations.a1_contender_info ~jobs:1 () in
+  let a1_par = Experiments.Ablations.a1_contender_info ~jobs:4 () in
+  Alcotest.(check bool) "ablation A1 rows identical across jobs" true
+    (a1_seq = a1_par)
+
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
@@ -256,6 +267,7 @@ let () =
           Alcotest.test_case "ILP tighter than fTC" `Slow test_figure4_ilp_tighter_than_ftc;
           Alcotest.test_case "ILP adapts to load" `Slow test_figure4_ilp_adapts_to_load;
           Alcotest.test_case "ideal below ILP" `Slow test_figure4_ideal_below_ilp;
+          Alcotest.test_case "parallel determinism" `Slow test_parallel_determinism;
         ] );
       ( "tables",
         [

@@ -368,6 +368,45 @@ let prop_lp_feasible_answers =
         | Ilp.Solution.Infeasible -> true
         | Ilp.Solution.Unbounded -> false)
 
+(* Wider instances: up to 4 variables and 5 constraints. Bounds stay small
+   (<= 5) so brute force remains an affordable oracle (<= 6^4 points). *)
+
+let gen_rand_ilp_wide =
+  let open QCheck.Gen in
+  let* nvars = int_range 2 4 in
+  let* ubounds = array_repeat nvars (int_range 1 5) in
+  let* nrows = int_range 1 5 in
+  let* rows =
+    list_repeat nrows
+      (pair (array_repeat nvars (int_range (-5) 5)) (int_range (-10) 30))
+  in
+  let* obj = array_repeat nvars (int_range (-5) 8) in
+  return { nvars; ubounds; rows; obj }
+
+let prop_wide_lp_bounds_ilp =
+  QCheck.Test.make ~name:"4-var: ILP objective never exceeds LP relaxation"
+    ~count:150 (QCheck.make gen_rand_ilp_wide) (fun r ->
+        let m = to_model r in
+        match (Ilp.Branch_bound.solve m, Ilp.Simplex.solve m) with
+        | Ilp.Solution.Optimal { objective = i; _ },
+          Ilp.Solution.Optimal { objective = l; _ } ->
+          Q.compare i l <= 0
+        | Ilp.Solution.Infeasible, _ -> true
+        | _, Ilp.Solution.Infeasible -> false
+        | _ -> true)
+
+let prop_wide_bb_matches_brute_force =
+  QCheck.Test.make ~name:"4-var: bounded boxes match brute force" ~count:150
+    (QCheck.make gen_rand_ilp_wide) (fun r ->
+        let m = to_model r in
+        match (Ilp.Branch_bound.solve m, brute_force r) with
+        | Ilp.Solution.Optimal { objective; _ }, Some bf ->
+          Q.equal objective (q bf)
+        | Ilp.Solution.Infeasible, None -> true
+        | Ilp.Solution.Optimal _, None -> false
+        | Ilp.Solution.Infeasible, Some _ -> false
+        | Ilp.Solution.Unbounded, _ -> false)
+
 (* --- presolve ----------------------------------------------------------------- *)
 
 let bounds_of m =
@@ -601,5 +640,7 @@ let () =
             prop_bb_solution_feasible;
             prop_lp_bounds_ilp;
             prop_lp_feasible_answers;
+            prop_wide_lp_bounds_ilp;
+            prop_wide_bb_matches_brute_force;
           ] );
     ]

@@ -1,0 +1,266 @@
+(* Tests for the deterministic domain pool and the content-addressed solve
+   cache.
+
+   Pool coverage: every task runs exactly once, results come back in input
+   order regardless of the parallel degree, the first (input-order)
+   exception propagates after the batch drains, and AURIX_JOBS parsing.
+   Solve_cache coverage: hit/miss accounting, key sensitivity to the model
+   and the solver parameters, and caching of the node-limit outcome. *)
+
+open Numeric
+
+let q = Q.of_int
+
+exception Boom of int
+
+(* --- pool -------------------------------------------------------------------- *)
+
+let test_map_preserves_order () =
+  List.iter
+    (fun jobs ->
+       let n = 50 in
+       let input = List.init n (fun i -> i) in
+       let out = Runtime.Pool.map ~jobs (fun i -> (i * 2) + 1) input in
+       Alcotest.(check (list int))
+         (Printf.sprintf "jobs=%d" jobs)
+         (List.map (fun i -> (i * 2) + 1) input)
+         out)
+    [ 1; 2; 4; 7 ]
+
+let test_tasks_run_exactly_once () =
+  let n = 40 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  let tasks =
+    List.init n (fun i () ->
+        Atomic.incr hits.(i);
+        i)
+  in
+  let out = Runtime.Pool.run_all ~jobs:4 tasks in
+  Alcotest.(check (list int)) "results in input order" (List.init n Fun.id) out;
+  Array.iteri
+    (fun i a ->
+       Alcotest.(check int) (Printf.sprintf "task %d ran once" i) 1 (Atomic.get a))
+    hits
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+       match
+         Runtime.Pool.run_all ~jobs
+           [ (fun () -> 1); (fun () -> raise (Boom 1)); (fun () -> 2) ]
+       with
+       | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
+       | exception Boom 1 -> ())
+    [ 1; 4 ]
+
+let test_first_exception_in_input_order () =
+  (* parallel path: make the later-listed failure finish first; the batch
+     still reports the earliest failing task *)
+  let tasks =
+    [
+      (fun () ->
+         Unix.sleepf 0.05;
+         raise (Boom 0));
+      (fun () -> raise (Boom 1));
+    ]
+  in
+  (match Runtime.Pool.run_all ~jobs:2 tasks with
+   | _ -> Alcotest.fail "expected Boom"
+   | exception Boom i -> Alcotest.(check int) "earliest task wins" 0 i)
+
+let test_all_tasks_complete_despite_exception () =
+  let ran = Atomic.make 0 in
+  let tasks =
+    List.init 10 (fun i () ->
+        Atomic.incr ran;
+        if i = 3 then raise (Boom i))
+  in
+  (match Runtime.Pool.run_all ~jobs:4 tasks with
+   | _ -> Alcotest.fail "expected Boom"
+   | exception Boom _ -> ());
+  Alcotest.(check int) "parallel batch drains fully" 10 (Atomic.get ran)
+
+let test_both () =
+  List.iter
+    (fun jobs ->
+       let a, b = Runtime.Pool.both ~jobs (fun () -> "l") (fun () -> 42) in
+       Alcotest.(check string) "left" "l" a;
+       Alcotest.(check int) "right" 42 b)
+    [ 1; 2 ]
+
+let test_tasks_counter () =
+  let before = Runtime.Pool.tasks_run () in
+  ignore (Runtime.Pool.map ~jobs:2 Fun.id [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check int) "five tasks accounted" 5 (Runtime.Pool.tasks_run () - before)
+
+let test_default_jobs_env () =
+  let check expect v =
+    Unix.putenv "AURIX_JOBS" v;
+    Alcotest.(check int) (Printf.sprintf "AURIX_JOBS=%s" v) expect
+      (Runtime.Pool.default_jobs ())
+  in
+  check 3 "3";
+  check 1 "1";
+  check 128 "9999" (* clamped *);
+  Unix.putenv "AURIX_JOBS" "nonsense";
+  Alcotest.(check bool) "unparsable falls back to domain count" true
+    (Runtime.Pool.default_jobs () >= 1);
+  Unix.putenv "AURIX_JOBS" ""
+
+let test_with_pool_reuse () =
+  Runtime.Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check int) "degree" 3 (Runtime.Pool.jobs pool);
+      let a = Runtime.Pool.map_in pool (fun i -> i + 1) [ 1; 2; 3 ] in
+      let b = Runtime.Pool.map_in pool (fun i -> i * 10) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "first batch" [ 2; 3; 4 ] a;
+      Alcotest.(check (list int)) "second batch" [ 10; 20; 30 ] b)
+
+(* --- solve cache -------------------------------------------------------------- *)
+
+let knapsack_model ?(capacity = 50) () =
+  let m = Ilp.Model.create () in
+  let add v w name =
+    let x = Ilp.Model.add_var m ~integer:true ~ub:Q.one name in
+    ((q v, x), (q w, x))
+  in
+  let (v1, w1) = add 60 10 "item1" in
+  let (v2, w2) = add 100 20 "item2" in
+  let (v3, w3) = add 120 30 "item3" in
+  Ilp.Model.add_constraint m
+    (Ilp.Linexpr.of_terms [ w1; w2; w3 ])
+    Ilp.Model.Le (q capacity);
+  Ilp.Model.set_objective m Ilp.Model.Maximize (Ilp.Linexpr.of_terms [ v1; v2; v3 ]);
+  m
+
+let objective_exn = function
+  | Ilp.Solution.Optimal { objective; _ } -> objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_cache_hit_on_identical_model () =
+  Runtime.Solve_cache.clear ();
+  Runtime.Solve_cache.reset_stats ();
+  let s1 = Runtime.Solve_cache.solve_ilp (knapsack_model ()) in
+  let s2 = Runtime.Solve_cache.solve_ilp (knapsack_model ()) in
+  Alcotest.(check string) "same optimum" "220"
+    (Q.to_string (objective_exn s1));
+  Alcotest.(check string) "cached result identical" "220"
+    (Q.to_string (objective_exn s2));
+  let { Runtime.Solve_cache.hits; misses } = Runtime.Solve_cache.stats () in
+  Alcotest.(check int) "one miss" 1 misses;
+  Alcotest.(check int) "one hit" 1 hits;
+  Alcotest.(check int) "one entry" 1 (Runtime.Solve_cache.size ())
+
+let test_cache_miss_on_perturbed_model () =
+  Runtime.Solve_cache.clear ();
+  Runtime.Solve_cache.reset_stats ();
+  ignore (Runtime.Solve_cache.solve_ilp (knapsack_model ()));
+  ignore (Runtime.Solve_cache.solve_ilp (knapsack_model ~capacity:40 ()));
+  let { Runtime.Solve_cache.hits; misses } = Runtime.Solve_cache.stats () in
+  Alcotest.(check int) "two misses" 2 misses;
+  Alcotest.(check int) "no hits" 0 hits
+
+let test_cache_distinguishes_solvers_and_params () =
+  let m = knapsack_model () in
+  let k = Runtime.Solve_cache.key ~tag:"x" m in
+  Alcotest.(check bool) "tag enters the key" false
+    (String.equal k (Runtime.Solve_cache.key ~tag:"y" m));
+  Runtime.Solve_cache.clear ();
+  Runtime.Solve_cache.reset_stats ();
+  ignore (Runtime.Solve_cache.solve_lp m);
+  ignore (Runtime.Solve_cache.solve_ilp m);
+  ignore (Runtime.Solve_cache.solve_ilp ~slack:(q 5) m);
+  let { Runtime.Solve_cache.hits; misses } = Runtime.Solve_cache.stats () in
+  Alcotest.(check int) "lp / ilp / ilp+slack are distinct entries" 3 misses;
+  Alcotest.(check int) "no spurious hits" 0 hits
+
+let test_cache_key_ignores_names () =
+  (* content addressing is semantic: variable names don't enter the key *)
+  let build name =
+    let m = Ilp.Model.create () in
+    let x = Ilp.Model.add_var m ~integer:true ~ub:(q 7) name in
+    Ilp.Model.set_objective m Ilp.Model.Maximize (Ilp.Linexpr.var x);
+    m
+  in
+  Alcotest.(check string) "renamed model, same key"
+    (Runtime.Solve_cache.key ~tag:"t" (build "x"))
+    (Runtime.Solve_cache.key ~tag:"t" (build "renamed"))
+
+let test_cache_replays_node_limit () =
+  (* a model the budget cannot finish: the exceptional outcome is cached
+     and replayed as the same exception *)
+  let hard () =
+    (* LP optimum y = 5/2 is fractional and the fractional objective
+       coefficient defeats the integral-bound pruning, so the search must
+       branch — which a single-node budget forbids *)
+    let m = Ilp.Model.create () in
+    let x = Ilp.Model.add_var m ~integer:true "x" in
+    let y = Ilp.Model.add_var m ~integer:true "y" in
+    Ilp.Model.add_constraint m
+      (Ilp.Linexpr.of_terms [ (q (-2), x); (q 2, y) ])
+      Ilp.Model.Le Q.one;
+    Ilp.Model.add_constraint m
+      (Ilp.Linexpr.of_terms [ (q 2, x); (q 2, y) ])
+      Ilp.Model.Le (q 9);
+    Ilp.Model.set_objective m Ilp.Model.Maximize
+      (Ilp.Linexpr.of_terms [ (Q.of_ints 1 2, y) ]);
+    m
+  in
+  Runtime.Solve_cache.clear ();
+  Runtime.Solve_cache.reset_stats ();
+  let solve () = Runtime.Solve_cache.solve_ilp ~node_limit:1 ~presolve:false (hard ()) in
+  (match solve () with
+   | _ -> Alcotest.fail "expected Node_limit_exceeded"
+   | exception Ilp.Branch_bound.Node_limit_exceeded -> ());
+  (match solve () with
+   | _ -> Alcotest.fail "expected cached Node_limit_exceeded"
+   | exception Ilp.Branch_bound.Node_limit_exceeded -> ());
+  let { Runtime.Solve_cache.hits; misses } = Runtime.Solve_cache.stats () in
+  Alcotest.(check int) "solved once" 1 misses;
+  Alcotest.(check int) "replayed once" 1 hits
+
+(* --- telemetry ---------------------------------------------------------------- *)
+
+let test_telemetry_measure () =
+  Runtime.Solve_cache.clear ();
+  Runtime.Solve_cache.reset_stats ();
+  let v, t =
+    Runtime.Telemetry.measure ~jobs:2 (fun () ->
+        ignore (Runtime.Solve_cache.solve_ilp (knapsack_model ()));
+        Runtime.Pool.map ~jobs:2 Fun.id [ 1; 2; 3 ])
+  in
+  Alcotest.(check (list int)) "value passed through" [ 1; 2; 3 ] v;
+  Alcotest.(check int) "jobs recorded" 2 t.Runtime.Telemetry.jobs;
+  Alcotest.(check int) "tasks recorded" 3 t.Runtime.Telemetry.tasks;
+  Alcotest.(check int) "cache misses recorded" 1 t.Runtime.Telemetry.cache_misses;
+  Alcotest.(check bool) "wall time non-negative" true
+    (t.Runtime.Telemetry.wall_s >= 0.)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves input order" `Quick test_map_preserves_order;
+          Alcotest.test_case "tasks run exactly once" `Quick test_tasks_run_exactly_once;
+          Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+          Alcotest.test_case "first input-order exception wins" `Quick
+            test_first_exception_in_input_order;
+          Alcotest.test_case "batch drains despite exception" `Quick
+            test_all_tasks_complete_despite_exception;
+          Alcotest.test_case "both" `Quick test_both;
+          Alcotest.test_case "task counter" `Quick test_tasks_counter;
+          Alcotest.test_case "AURIX_JOBS parsing" `Quick test_default_jobs_env;
+          Alcotest.test_case "pool reuse across batches" `Quick test_with_pool_reuse;
+        ] );
+      ( "solve-cache",
+        [
+          Alcotest.test_case "hit on identical model" `Quick test_cache_hit_on_identical_model;
+          Alcotest.test_case "miss on perturbed model" `Quick test_cache_miss_on_perturbed_model;
+          Alcotest.test_case "solver kind and params keyed" `Quick
+            test_cache_distinguishes_solvers_and_params;
+          Alcotest.test_case "names excluded from key" `Quick test_cache_key_ignores_names;
+          Alcotest.test_case "node-limit outcome replayed" `Quick test_cache_replays_node_limit;
+        ] );
+      ( "telemetry",
+        [ Alcotest.test_case "measure" `Quick test_telemetry_measure ] );
+    ]
