@@ -6,6 +6,7 @@
      tables      print the static Tables 3, 4 and 5
      figure4     reproduce Figure 4 (model predictions vs isolation)
      estimate    one contention-aware WCET estimate, with model details
+     lint        static analyses over models, counters, scenarios, programs
      ablations   run the A1-A4 ablation studies
      sweep       contender-load sweep of the ILP bound *)
 
@@ -355,6 +356,97 @@ let integrate_cmd =
           analysis over a two-core task set.")
     Term.(const run $ jobs_arg)
 
+(* --- lint ---------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run json fixtures jobs =
+    let diags =
+      if fixtures then
+        List.concat_map (fun f -> f.Analysis.Fixtures.diags ()) Analysis.Fixtures.all
+      else begin
+        let latency = Platform.Latency.default in
+        (* scenario/deployment consistency of every bundled scenario *)
+        let scenario_diags =
+          List.concat_map (Analysis.Scenario_lint.check ~latency) Platform.Scenario.all
+        in
+        (* per (scenario, load) cell: program layout, isolation counters and
+           the tailored ILP itself — each cell is independent, so the sweep
+           parallelises like the experiments do *)
+        let cells =
+          List.concat_map
+            (fun scenario ->
+               List.map (fun load -> (scenario, load)) Workload.Load_gen.all_levels)
+            [ Platform.Scenario.scenario1; Platform.Scenario.scenario2 ]
+        in
+        let cell_diags =
+          Runtime.Pool.map ?jobs
+            (fun (scenario, load) ->
+               let cell =
+                 Printf.sprintf "%s/%s" scenario.Platform.Scenario.name
+                   (Workload.Load_gen.level_to_string load)
+               in
+               let variant = Workload.Control_loop.variant_of_scenario scenario in
+               let app = Workload.Control_loop.app variant in
+               let con = Workload.Load_gen.make ~variant ~level:load () in
+               let program_diags =
+                 Analysis.Program_lint.check ~scenario
+                   [
+                     { Analysis.Program_lint.label = "app"; core = 0; program = app };
+                     { Analysis.Program_lint.label = "contender"; core = 1; program = con };
+                   ]
+               in
+               let a =
+                 (Mbta.Measurement.isolation ~core:0 app).Mbta.Measurement.counters
+               in
+               let b =
+                 (Mbta.Measurement.isolation ~core:1 con).Mbta.Measurement.counters
+               in
+               let counter_diags =
+                 Analysis.Counter_lint.check ~latency ~scenario ~path:[ "app" ] a
+                 @ Analysis.Counter_lint.check ~latency ~scenario
+                     ~path:[ "contender" ] b
+               in
+               let model, _ =
+                 Contention.Ilp_ptac.build_model ~latency ~scenario ~a ~b ()
+               in
+               let model_diags =
+                 Analysis.Model_lint.check ~path:[ "ilp-ptac" ] model
+               in
+               Analysis.Diag.prefix [ cell ]
+                 (program_diags @ counter_diags @ model_diags))
+            cells
+          |> List.concat
+        in
+        scenario_diags @ cell_diags
+      end
+    in
+    if json then print_endline (Analysis.Diag.report_to_json diags)
+    else Format.printf "%a@." Analysis.Diag.pp_report diags;
+    if Analysis.Diag.has_errors diags then exit 1
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as a machine-readable JSON document.")
+  in
+  let fixtures_arg =
+    Arg.(
+      value & flag
+      & info [ "fixtures" ]
+          ~doc:
+            "Lint the bundled seeded-defect fixtures instead of the real \
+             configurations; exits non-zero because every fixture contains a \
+             defect (self-test of the analyses).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static analyses (ILP model lint, counter consistency, \
+          scenario validation, program/memory-map lint) over the bundled \
+          configurations without solving anything. Exits non-zero if any \
+          error-severity diagnostic is found.")
+    Term.(const run $ json_arg $ fixtures_arg $ jobs_arg)
+
 (* --- sweep --------------------------------------------------------------------- *)
 
 let sweep_cmd =
@@ -406,6 +498,7 @@ let () =
             realistic_cmd;
             integrate_cmd;
             dma_cmd;
+            lint_cmd;
             signatures_cmd;
             report_cmd;
             sweep_cmd;

@@ -1,0 +1,112 @@
+open Platform
+
+(* cs^o_{min} over the targets the scenario leaves open for [op]
+   (Eqs. 2-3 restricted by deployment; the tailored ILP uses the same
+   restriction). Architectural minimum without a scenario. *)
+let cs_min_for latency scenario op =
+  let zeros = match scenario with Some s -> Scenario.zero_pairs s | None -> [] in
+  let allowed (t, o) =
+    Op.equal o op
+    && not (List.exists (fun (zt, zo) -> Target.equal zt t && Op.equal zo o) zeros)
+  in
+  match List.filter allowed Op.valid_pairs with
+  | [] -> Latency.cs_min latency op
+  | pairs ->
+    List.fold_left
+      (fun acc (t, o) -> min acc (Latency.min_stall latency t o))
+      max_int pairs
+
+let has_code_spec = function
+  | None -> false
+  | Some s ->
+    List.exists
+      (function Scenario.Code_sum_equals_pcache_miss _ -> true | _ -> false)
+      s.Scenario.specs
+
+let has_data_spec = function
+  | None -> false
+  | Some s ->
+    List.exists
+      (function Scenario.Data_sum_at_least_dcache_misses _ -> true | _ -> false)
+      s.Scenario.specs
+
+let check ?(latency = Latency.default) ?scenario ~path (c : Counters.t) =
+  let diags = ref [] in
+  let emit ?equation severity rule sub message =
+    diags := Diag.make ?equation severity ~rule ~path:(path @ sub) message :: !diags
+  in
+  let fields =
+    [
+      ("CCNT", c.Counters.ccnt);
+      ("PMEM_STALL", c.Counters.pmem_stall);
+      ("DMEM_STALL", c.Counters.dmem_stall);
+      ("PCACHE_MISS", c.Counters.pcache_miss);
+      ("DCACHE_MISS_CLEAN", c.Counters.dcache_miss_clean);
+      ("DCACHE_MISS_DIRTY", c.Counters.dcache_miss_dirty);
+    ]
+  in
+  List.iter
+    (fun (name, v) ->
+       if v < 0 then
+         emit ~equation:"Table 4" Diag.Error "counter-negative" [ name ]
+           (Printf.sprintf "cumulative counter read back negative (%d)" v))
+    fields;
+  let stall name v =
+    if v > c.Counters.ccnt && c.Counters.ccnt >= 0 && v >= 0 then
+      emit ~equation:(Printf.sprintf "%s <= CCNT" name) Diag.Error
+        "stall-exceeds-ccnt" [ name ]
+        (Printf.sprintf
+           "%d stall cycles exceed the %d execution cycles they are a subset of"
+           v c.Counters.ccnt)
+  in
+  stall "PMEM_STALL" c.Counters.pmem_stall;
+  stall "DMEM_STALL" c.Counters.dmem_stall;
+  let misses =
+    c.Counters.pcache_miss + c.Counters.dcache_miss_clean
+    + c.Counters.dcache_miss_dirty
+  in
+  if misses > c.Counters.ccnt && c.Counters.ccnt >= 0 then
+    emit Diag.Warning "miss-rate-implausible" []
+      (Printf.sprintf
+         "%d cache misses in %d cycles (at most one miss completes per cycle)"
+         misses c.Counters.ccnt);
+  (* Eq. 4 in the synthesis direction: the miss counters lower-bound the
+     SRI request counts the stall readings must accommodate. *)
+  let miss_stall_bound ~rule ~equation ~hard ~misses ~miss_desc ~stall_name ~stall
+      ~cs =
+    if misses >= 0 && stall >= 0 && cs >= 1 && (misses * cs) > stall + cs - 1
+    then
+      emit ~equation
+        (if hard then Diag.Error else Diag.Warning)
+        rule []
+        (Printf.sprintf
+           "%s imply at least %d * cs_min(%d) = %d stall cycles, but %s = %d \
+            admits at most %d"
+           miss_desc misses cs (misses * cs) stall_name stall (stall + cs - 1))
+  in
+  miss_stall_bound ~rule:"pm-stall-inconsistent"
+    ~equation:"Eqs. 4, 20 + Table 5 (PM * cs_co_min <= PS + cs_co_min - 1)"
+    ~hard:(has_code_spec scenario) ~misses:c.Counters.pcache_miss
+    ~miss_desc:(Printf.sprintf "%d I-cache misses (PM)" c.Counters.pcache_miss)
+    ~stall_name:"PMEM_STALL" ~stall:c.Counters.pmem_stall
+    ~cs:(cs_min_for latency scenario Op.Code);
+  let dm = c.Counters.dcache_miss_clean + c.Counters.dcache_miss_dirty in
+  miss_stall_bound ~rule:"dm-stall-inconsistent"
+    ~equation:"Eqs. 4, 21 + Table 5 ((DMC+DMD) * cs_da_min <= DS + cs_da_min - 1)"
+    ~hard:(has_data_spec scenario) ~misses:dm
+    ~miss_desc:(Printf.sprintf "%d D-cache misses (DMC+DMD)" dm)
+    ~stall_name:"DMEM_STALL" ~stall:c.Counters.dmem_stall
+    ~cs:(cs_min_for latency scenario Op.Data);
+  List.rev !diags
+
+let check_window ~path ~before ~after =
+  match Counters.sub_exn after before with
+  | _ -> []
+  | exception Invalid_argument msg ->
+    [
+      Diag.error ~equation:"Table 4" ~rule:"counter-window-negative" ~path
+        (Printf.sprintf
+           "later reading does not dominate the earlier one (%s): the window \
+            mixes readings from different runs or a corrupted read-out"
+           msg);
+    ]

@@ -1,0 +1,49 @@
+(** Consistency checker for Table 4 debug-counter readings.
+
+    Each rule is named after the hardware invariant it enforces and cites
+    the paper equation the ILP-PTAC model derives from it — a reading that
+    violates a rule cannot have come from one clean run of the TC27x, and
+    feeding it to the models silently produces a plausible-looking but
+    meaningless WCET bound.
+
+    Rules:
+    - [counter-negative] (error): counters are cumulative, every field is
+      non-negative (Table 4);
+    - [stall-exceeds-ccnt] (error): stall cycles are a subset of execution
+      cycles, so PMEM_STALL <= CCNT and DMEM_STALL <= CCNT;
+    - [miss-rate-implausible] (warning): more cache misses than elapsed
+      cycles (at most one miss can complete per cycle);
+    - [pm-stall-inconsistent]: every I-cache miss is one SRI code request
+      when the deployment makes all shared code cacheable, and each such
+      request contributes at least [cs^{co}] stall cycles — so
+      [PM * cs^{co}_min <= PS + cs^{co}_min - 1] (Eqs. 4 and 20 with the
+      Table 5 tailoring). Error severity when the scenario carries the
+      PCACHE_MISS equality, warning otherwise;
+    - [dm-stall-inconsistent]: the same bound for data,
+      [(DMC + DMD) * cs^{da}_min <= DS + cs^{da}_min - 1] (Eqs. 4 and 21).
+      Error when the scenario ties data misses to SRI data requests,
+      warning otherwise;
+    - [counter-window-negative] (error, {!check_window}): a later reading
+      of the same run dominates an earlier one pointwise
+      ({!Platform.Counters.sub_exn}). *)
+
+val check :
+  ?latency:Platform.Latency.t ->
+  ?scenario:Platform.Scenario.t ->
+  path:string list ->
+  Platform.Counters.t ->
+  Diag.t list
+(** [latency] defaults to {!Platform.Latency.default}. With [scenario] the
+    minimum per-request stall constants are restricted to the targets the
+    deployment leaves open (as the tailored ILP does), and the miss/stall
+    rules harden to error severity where the scenario's Table 5 specs make
+    them exact. *)
+
+val check_window :
+  path:string list ->
+  before:Platform.Counters.t ->
+  after:Platform.Counters.t ->
+  Diag.t list
+(** Validates that [after] dominates [before] pointwise — the precondition
+    for scoping a reading to a program fragment with
+    {!Platform.Counters.sub_exn}. *)

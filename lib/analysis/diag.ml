@@ -1,0 +1,84 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  rule : string;
+  path : string list;
+  message : string;
+  equation : string option;
+}
+
+let make ?equation severity ~rule ~path message =
+  { severity; rule; path; message; equation }
+
+let error ?equation = make ?equation Error
+let warning ?equation = make ?equation Warning
+let info ?equation = make ?equation Info
+let prefix p = List.map (fun d -> { d with path = p @ d.path })
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let compare_severity a b = compare (severity_rank a) (severity_rank b)
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let count ds s = List.length (List.filter (fun d -> d.severity = s) ds)
+
+let sort ds =
+  List.stable_sort (fun a b -> compare_severity a.severity b.severity) ds
+
+let by_rule ds rule = List.filter (fun d -> d.rule = rule) ds
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s] %s: %s"
+    (severity_to_string d.severity)
+    d.rule
+    (String.concat "." d.path)
+    d.message;
+  match d.equation with
+  | Some e -> Format.fprintf fmt " (cites %s)" e
+  | None -> ()
+
+let pp_report fmt ds =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun d -> Format.fprintf fmt "%a@," pp d) (sort ds);
+  Format.fprintf fmt "%d error(s), %d warning(s), %d info(s)@]" (count ds Error)
+    (count ds Warning) (count ds Info)
+
+(* Minimal JSON encoder: only strings, arrays and the fixed object shapes
+   below are ever emitted, so a dependency-free printer suffices. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    "{\"severity\": %s, \"rule\": %s, \"path\": [%s], \"message\": %s, \"equation\": %s}"
+    (json_string (severity_to_string d.severity))
+    (json_string d.rule)
+    (String.concat ", " (List.map json_string d.path))
+    (json_string d.message)
+    (match d.equation with Some e -> json_string e | None -> "null")
+
+let report_to_json ds =
+  Printf.sprintf
+    "{\"errors\": %d, \"warnings\": %d, \"infos\": %d, \"diagnostics\": [%s]}"
+    (count ds Error) (count ds Warning) (count ds Info)
+    (String.concat ", " (List.map to_json (sort ds)))

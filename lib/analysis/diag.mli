@@ -1,0 +1,58 @@
+(** Diagnostics for the static-analysis passes.
+
+    A diagnostic carries a severity, a stable machine-readable rule
+    identifier, a source location expressed as a module/field path (e.g.
+    [["scenario2"; "deployment"; "const_pf0"]]), a human-readable message
+    and, where the rule enforces a paper invariant, the equation or table
+    it cites. Reports render as text or as a stable JSON document — the
+    [aurix_contention lint] [--json] output. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  rule : string;  (** stable kebab-case identifier, e.g. ["row-contradiction"] *)
+  path : string list;  (** module + field path locating the subject *)
+  message : string;
+  equation : string option;  (** paper equation / table the rule enforces *)
+}
+
+val make :
+  ?equation:string -> severity -> rule:string -> path:string list -> string -> t
+
+val error : ?equation:string -> rule:string -> path:string list -> string -> t
+val warning : ?equation:string -> rule:string -> path:string list -> string -> t
+val info : ?equation:string -> rule:string -> path:string list -> string -> t
+
+val prefix : string list -> t list -> t list
+(** Prepends a path prefix to every diagnostic. *)
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val compare_severity : severity -> severity -> int
+(** Orders [Error < Warning < Info] (most severe first). *)
+
+val errors : t list -> t list
+val has_errors : t list -> bool
+val count : t list -> severity -> int
+
+val sort : t list -> t list
+(** Stable sort by severity, most severe first; original order preserved
+    within one severity class. *)
+
+val by_rule : t list -> string -> t list
+
+val pp : Format.formatter -> t -> unit
+(** One line: [severity[rule] path: message (cites ...)]. *)
+
+val pp_report : Format.formatter -> t list -> unit
+(** All diagnostics in {!sort} order followed by a count summary. *)
+
+val to_json : t -> string
+(** One diagnostic as a JSON object with fields [severity], [rule],
+    [path] (array), [message] and [equation] (string or [null]). *)
+
+val report_to_json : t list -> string
+(** [{"errors": e, "warnings": w, "infos": i, "diagnostics": [...]}] with
+    diagnostics in {!sort} order. *)

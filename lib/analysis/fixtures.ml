@@ -1,0 +1,87 @@
+open Numeric
+open Platform
+
+type fixture = {
+  fname : string;
+  expected_rule : string;
+  diags : unit -> Diag.t list;
+}
+
+let infeasible_model =
+  let diags () =
+    let m = Ilp.Model.create () in
+    let x = Ilp.Model.add_var m ~lb:Q.zero ~ub:(Q.of_int 2) "x" in
+    Ilp.Model.add_constraint m ~name:"demand" (Ilp.Linexpr.var x)
+      Ilp.Model.Ge (Q.of_int 4);
+    Ilp.Model.set_objective m Ilp.Model.Maximize (Ilp.Linexpr.var x);
+    Model_lint.check ~path:[ "fixture:infeasible_model" ] m
+  in
+  { fname = "infeasible_model"; expected_rule = "row-contradiction"; diags }
+
+let corrupt_counters =
+  let diags () =
+    let c =
+      {
+        Counters.ccnt = 1_000;
+        pmem_stall = 1_200;
+        dmem_stall = 40;
+        pcache_miss = 25;
+        dcache_miss_clean = 8;
+        dcache_miss_dirty = 2;
+      }
+    in
+    Counter_lint.check ~path:[ "fixture:corrupt_counters" ] c
+  in
+  { fname = "corrupt_counters"; expected_rule = "stall-exceeds-ccnt"; diags }
+
+let illegal_scenario =
+  let diags () =
+    (* Built as a raw record on purpose: Deployment.make would reject it.
+       The lint must catch configurations that arrive from outside that
+       constructor (e.g. parsed from a config file). *)
+    let deployment =
+      {
+        Deployment.name = "illegal";
+        sections =
+          [
+            {
+              Deployment.kind = Op.Data;
+              place = Deployment.Shared (Target.Pf0, Deployment.Non_cacheable);
+              label = "calib-data";
+            };
+          ];
+      }
+    in
+    let scenario =
+      {
+        Scenario.name = "fixture:illegal_scenario";
+        description = "non-cacheable data on program flash";
+        deployment;
+        specs = [];
+      }
+    in
+    Scenario_lint.check scenario
+  in
+  { fname = "illegal_scenario"; expected_rule = "placement-inadmissible"; diags }
+
+let overlapping_tasks =
+  let diags () =
+    let clash = Tcsim.Memory_map.lmu_uncached_base in
+    let prog ~core =
+      Tcsim.Program.make
+        ~name:(Printf.sprintf "clasher%d" core)
+        (Tcsim.Program.seq ~pc_base:Tcsim.Memory_map.pspr_base
+           [ Tcsim.Program.Load clash; Tcsim.Program.Compute 1 ])
+    in
+    Diag.prefix
+      [ "fixture:overlapping_tasks" ]
+      (Program_lint.check
+         [
+           { Program_lint.label = "task-a"; core = 0; program = prog ~core:0 };
+           { Program_lint.label = "task-b"; core = 1; program = prog ~core:1 };
+         ])
+  in
+  { fname = "overlapping_tasks"; expected_rule = "map-overlap"; diags }
+
+let all =
+  [ infeasible_model; corrupt_counters; illegal_scenario; overlapping_tasks ]

@@ -1,0 +1,29 @@
+(** Seeded defect fixtures: one deliberately broken input per analysis
+    pass, used by [aurix_contention lint --fixtures] and the test suite to
+    prove each pass actually fires. Each fixture names the rule it must
+    trigger; a fixture whose lint comes back clean is itself a bug. *)
+
+type fixture = {
+  fname : string;
+  expected_rule : string;  (** rule an [Error] diagnostic must carry *)
+  diags : unit -> Diag.t list;  (** runs the relevant pass on the defect *)
+}
+
+val infeasible_model : fixture
+(** A maximisation whose only row contradicts a variable bound
+    ([x <= 2] vs [x >= 4]) — caught by [row-contradiction]. *)
+
+val corrupt_counters : fixture
+(** A reading whose stall count exceeds CCNT — caught by
+    [stall-exceeds-ccnt]. *)
+
+val illegal_scenario : fixture
+(** A deployment with non-cacheable data on program flash, violating
+    Table 3 (constructed around {!Platform.Deployment.make}'s validation)
+    — caught by [placement-inadmissible]. *)
+
+val overlapping_tasks : fixture
+(** Two tasks on different cores loading the same LMU line — caught by
+    [map-overlap]. *)
+
+val all : fixture list

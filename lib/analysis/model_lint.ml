@@ -1,0 +1,209 @@
+open Numeric
+
+(* Interval comparison helpers: None = the corresponding infinity. *)
+let lt_opt_min a b =
+  (* min activity [a] (None = -inf) strictly greater than [b]? *)
+  match a with Some x -> Q.compare x b > 0 | None -> false
+
+let gt_opt_max a b =
+  (* max activity [a] (None = +inf) strictly smaller than [b]? *)
+  match a with Some x -> Q.compare x b < 0 | None -> false
+
+let le_opt_max a b =
+  match a with Some x -> Q.compare x b <= 0 | None -> false
+
+let ge_opt_min a b =
+  match a with Some x -> Q.compare x b >= 0 | None -> false
+
+let expr_key expr =
+  String.concat ";"
+    (List.map
+       (fun (v, c) -> Printf.sprintf "%d*%s" v (Q.to_string c))
+       (Ilp.Linexpr.terms expr))
+
+let sense_str = function
+  | Ilp.Model.Le -> "<="
+  | Ilp.Model.Ge -> ">="
+  | Ilp.Model.Eq -> "="
+
+let check ?(path = [ "model" ]) m =
+  let diags = ref [] in
+  let emit ?equation severity rule sub message =
+    diags := Diag.make ?equation severity ~rule ~path:(path @ sub) message :: !diags
+  in
+  let nv = Ilp.Model.num_vars m in
+  let lb = Array.init nv (fun v -> (Ilp.Model.var_info m v).Ilp.Model.lb) in
+  let ub = Array.init nv (fun v -> (Ilp.Model.var_info m v).Ilp.Model.ub) in
+  let vname v = Ilp.Model.var_name m v in
+  let constraints = Ilp.Model.constraints m in
+  let direction, objective = Ilp.Model.objective m in
+  (* --- variable bounds -------------------------------------------------- *)
+  for v = 0 to nv - 1 do
+    match (lb.(v), ub.(v)) with
+    | Some l, Some u when Q.compare l u > 0 ->
+      emit Diag.Error "var-bound-contradiction"
+        [ "var:" ^ vname v ]
+        (Printf.sprintf "lower bound %s exceeds upper bound %s" (Q.to_string l)
+           (Q.to_string u))
+    | _ -> ()
+  done;
+  (* --- unused variables ------------------------------------------------- *)
+  let used = Array.make nv false in
+  let mark expr =
+    List.iter (fun (v, _) -> used.(v) <- true) (Ilp.Linexpr.terms expr)
+  in
+  List.iter (fun (c : Ilp.Model.constr) -> mark c.Ilp.Model.expr) constraints;
+  mark objective;
+  for v = 0 to nv - 1 do
+    if not used.(v) then
+      emit Diag.Warning "var-unused"
+        [ "var:" ^ vname v ]
+        "occurs in no constraint and not in the objective"
+  done;
+  (* --- duplicate / dominated / conflicting rows ------------------------- *)
+  let row_loc i (c : Ilp.Model.constr) =
+    if c.Ilp.Model.cname = "" then Printf.sprintf "row:%d" i
+    else "row:" ^ c.Ilp.Model.cname
+  in
+  let seen : (string, (int * Ilp.Model.constr) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iteri
+    (fun i (c : Ilp.Model.constr) ->
+       let key = expr_key c.Ilp.Model.expr in
+       let earlier = try Hashtbl.find seen key with Not_found -> [] in
+       List.iter
+         (fun (j, (c' : Ilp.Model.constr)) ->
+            let rhs = c.Ilp.Model.rhs and rhs' = c'.Ilp.Model.rhs in
+            let same_rhs = Q.equal rhs rhs' in
+            match (c.Ilp.Model.csense, c'.Ilp.Model.csense) with
+            | s, s' when s = s' && same_rhs ->
+              emit Diag.Warning "row-duplicate" [ row_loc i c ]
+                (Printf.sprintf "repeats %s" (row_loc j c'))
+            | Ilp.Model.Le, Ilp.Model.Le ->
+              let weak, strong =
+                if Q.compare rhs rhs' > 0 then ((i, c), (j, c'))
+                else ((j, c'), (i, c))
+              in
+              emit Diag.Warning "row-dominated"
+                [ row_loc (fst weak) (snd weak) ]
+                (Printf.sprintf "implied by the tighter %s"
+                   (row_loc (fst strong) (snd strong)))
+            | Ilp.Model.Ge, Ilp.Model.Ge ->
+              let weak, strong =
+                if Q.compare rhs rhs' < 0 then ((i, c), (j, c'))
+                else ((j, c'), (i, c))
+              in
+              emit Diag.Warning "row-dominated"
+                [ row_loc (fst weak) (snd weak) ]
+                (Printf.sprintf "implied by the tighter %s"
+                   (row_loc (fst strong) (snd strong)))
+            | Ilp.Model.Eq, Ilp.Model.Eq ->
+              (* distinct right-hand sides over identical terms: the rows
+                 cannot hold together *)
+              emit Diag.Error "row-contradiction" [ row_loc i c ]
+                (Printf.sprintf "equality conflicts with %s (%s vs %s)"
+                   (row_loc j c') (Q.to_string rhs) (Q.to_string rhs'))
+            | _ -> ())
+         earlier;
+       Hashtbl.replace seen key ((i, c) :: earlier))
+    constraints;
+  (* --- activity-bound contradiction / redundancy ------------------------ *)
+  List.iteri
+    (fun i (c : Ilp.Model.constr) ->
+       let mn, mx = Ilp.Presolve.activity ~lb ~ub c.Ilp.Model.expr in
+       let rhs = c.Ilp.Model.rhs in
+       let loc = [ row_loc i c ] in
+       let describe verdict =
+         Printf.sprintf "%s: activity in [%s, %s] vs %s %s" verdict
+           (match mn with Some q -> Q.to_string q | None -> "-inf")
+           (match mx with Some q -> Q.to_string q | None -> "+inf")
+           (sense_str c.Ilp.Model.csense)
+           (Q.to_string rhs)
+       in
+       match c.Ilp.Model.csense with
+       | Ilp.Model.Le ->
+         if lt_opt_min mn rhs then
+           emit Diag.Error "row-contradiction" loc
+             (describe "unsatisfiable on the variable box")
+         else if le_opt_max mx rhs then
+           emit Diag.Info "row-redundant" loc
+             (describe "holds everywhere on the variable box")
+       | Ilp.Model.Ge ->
+         if gt_opt_max mx rhs then
+           emit Diag.Error "row-contradiction" loc
+             (describe "unsatisfiable on the variable box")
+         else if ge_opt_min mn rhs then
+           emit Diag.Info "row-redundant" loc
+             (describe "holds everywhere on the variable box")
+       | Ilp.Model.Eq ->
+         if lt_opt_min mn rhs || gt_opt_max mx rhs then
+           emit Diag.Error "row-contradiction" loc
+             (describe "unsatisfiable on the variable box")
+         else if
+           (match (mn, mx) with
+            | Some a, Some b -> Q.equal a b && Q.equal a rhs
+            | _ -> false)
+         then
+           emit Diag.Info "row-redundant" loc
+             (describe "holds everywhere on the variable box"))
+    constraints;
+  (* --- unbounded objective ---------------------------------------------- *)
+  let mn_obj, mx_obj = Ilp.Presolve.activity ~lb ~ub objective in
+  let improving_infinite =
+    match direction with
+    | Ilp.Model.Maximize -> mx_obj = None
+    | Ilp.Model.Minimize -> mn_obj = None
+  in
+  if improving_infinite then begin
+    (* Variables along which the objective escapes: positive coefficient
+       with no upper bound (maximise) etc. A row caps the escape direction
+       iff its sense/coefficient pair bounds the variable on that side. *)
+    let escapes_up c v = Q.sign c > 0 && ub.(v) = None in
+    let escapes_down c v = Q.sign c < 0 && lb.(v) = None in
+    let offending =
+      List.filter
+        (fun (v, c) ->
+           match direction with
+           | Ilp.Model.Maximize -> escapes_up c v || escapes_down c v
+           | Ilp.Model.Minimize ->
+             (Q.sign c > 0 && lb.(v) = None) || (Q.sign c < 0 && ub.(v) = None))
+        (Ilp.Linexpr.terms objective)
+    in
+    let row_caps v ~upward =
+      List.exists
+        (fun (c : Ilp.Model.constr) ->
+           let coeff = Ilp.Linexpr.coeff c.Ilp.Model.expr v in
+           (not (Q.is_zero coeff))
+           &&
+           match c.Ilp.Model.csense with
+           | Ilp.Model.Eq -> true
+           | Ilp.Model.Le -> if upward then Q.sign coeff > 0 else Q.sign coeff < 0
+           | Ilp.Model.Ge -> if upward then Q.sign coeff < 0 else Q.sign coeff > 0)
+        constraints
+    in
+    List.iter
+      (fun (v, c) ->
+         let upward =
+           match direction with
+           | Ilp.Model.Maximize -> Q.sign c > 0
+           | Ilp.Model.Minimize -> Q.sign c < 0
+         in
+         let dir_str = if upward then "above" else "below" in
+         if row_caps v ~upward then
+           emit Diag.Warning "objective-possibly-unbounded"
+             [ "var:" ^ vname v ]
+             (Printf.sprintf
+                "objective escapes along this variable (unbounded %s); only \
+                 constraint interaction can cap it"
+                dir_str)
+         else
+           emit Diag.Error "objective-unbounded"
+             [ "var:" ^ vname v ]
+             (Printf.sprintf
+                "objective improves without limit: no bound or constraint \
+                 restricts this variable from %s"
+                dir_str))
+      offending
+  end;
+  List.rev !diags

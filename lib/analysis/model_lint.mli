@@ -1,0 +1,35 @@
+(** Pre-solve lint over {!Ilp.Model}.
+
+    Every check is syntactic comparison or single-row interval (activity)
+    arithmetic over the variable box — the exact analysis
+    {!Ilp.Presolve.activity} exposes — so the lint never pivots, never
+    branches, and is safe to run on untrusted models before they reach
+    {!Ilp.Simplex}, {!Ilp.Branch_bound} or [Runtime.Solve_cache].
+
+    Rules:
+    - [var-bound-contradiction] (error): a finite lower bound exceeds the
+      upper bound;
+    - [var-unused] (warning): the variable occurs in no constraint and not
+      in the objective;
+    - [row-duplicate] (warning): a constraint repeats an earlier row
+      (same terms, sense and right-hand side);
+    - [row-dominated] (warning): same left-hand side and sense as another
+      row with a strictly weaker right-hand side — the weaker row can be
+      dropped;
+    - [row-contradiction] (error): activity bounds prove the row cannot be
+      satisfied by any point of the box (also fired by two equality rows
+      over the same terms with different right-hand sides);
+    - [row-redundant] (info): activity bounds prove the row holds
+      everywhere on the box;
+    - [objective-unbounded] (error): the objective improves without limit
+      along a variable that no bound and no constraint restricts in the
+      improving direction — the solver would report [Unbounded];
+    - [objective-possibly-unbounded] (warning): the objective's activity
+      bound is infinite, but some row may still restrict the offending
+      variable (interval arithmetic cannot decide). *)
+
+val check : ?path:string list -> Ilp.Model.t -> Diag.t list
+(** [path] prefixes every diagnostic location (default [["model"]]).
+    Diagnostics locate variables as [var:<name>] and constraints as
+    [row:<name>] (falling back to the creation index for anonymous
+    rows). *)

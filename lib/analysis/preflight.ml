@@ -1,0 +1,13 @@
+exception Preflight_failed of string list
+
+let check_run ?latency ~scenario ~tasks () =
+  Scenario_lint.check ?latency scenario @ Program_lint.check ~scenario tasks
+
+let guard diags =
+  match Diag.errors diags with
+  | [] -> ()
+  | errors ->
+    raise (Preflight_failed (List.map (Fmt.str "%a" Diag.pp) errors))
+
+let run ?latency ~scenario ~tasks () =
+  guard (check_run ?latency ~scenario ~tasks ())

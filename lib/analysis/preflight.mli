@@ -1,0 +1,30 @@
+(** Pre-flight guards: run the static passes before an experiment spends
+    time simulating or solving, and abort on error-severity findings.
+
+    Warnings and infos never abort — some bundled workloads legitimately
+    trigger warning-level rules (e.g. the engine-control task touches a
+    pair Scenario 1's tailoring declares zero, which is exactly why that
+    scenario is a mismatch for it). *)
+
+exception Preflight_failed of string list
+(** Rendered error diagnostics, one per line. *)
+
+val check_run :
+  ?latency:Platform.Latency.t ->
+  scenario:Platform.Scenario.t ->
+  tasks:Program_lint.task list ->
+  unit ->
+  Diag.t list
+(** Scenario/deployment validation plus program lint over the co-running
+    task set. *)
+
+val guard : Diag.t list -> unit
+(** @raise Preflight_failed if any diagnostic has [Error] severity. *)
+
+val run :
+  ?latency:Platform.Latency.t ->
+  scenario:Platform.Scenario.t ->
+  tasks:Program_lint.task list ->
+  unit ->
+  unit
+(** [guard] composed over [check_run]. *)

@@ -1,0 +1,116 @@
+open Platform
+
+let check ?(latency = Latency.default) (s : Scenario.t) =
+  let diags = ref [] in
+  let emit ?equation severity rule sub message =
+    diags :=
+      Diag.make ?equation severity ~rule
+        ~path:(s.Scenario.name :: sub)
+        message
+      :: !diags
+  in
+  let d = s.Scenario.deployment in
+  (* --- Table 3 placement legality --------------------------------------- *)
+  List.iter
+    (fun (sec : Deployment.section) ->
+       match Deployment.check_placement sec.Deployment.kind sec.Deployment.place with
+       | Ok () -> ()
+       | Error e ->
+         emit ~equation:"Table 3" Diag.Error "placement-inadmissible"
+           [ "deployment"; sec.Deployment.label ]
+           e)
+    d.Deployment.sections;
+  (* --- timing-table completeness over the open pairs --------------------- *)
+  List.iter
+    (fun (t, o) ->
+       let pair = Printf.sprintf "%s.%s" (Target.to_string t) (Op.to_string o) in
+       match Latency.entry latency t o with
+       | entry ->
+         if
+           not
+             (1 <= entry.Latency.min_stall
+              && entry.Latency.min_stall <= entry.Latency.lmin
+              && entry.Latency.lmin <= entry.Latency.lmax)
+         then
+           emit ~equation:"Table 2" Diag.Error "latency-invalid"
+             [ "latency"; pair ]
+             (Printf.sprintf
+                "entry violates 1 <= min_stall(%d) <= lmin(%d) <= lmax(%d)"
+                entry.Latency.min_stall entry.Latency.lmin entry.Latency.lmax)
+       | exception Invalid_argument _ ->
+         emit ~equation:"Table 2" Diag.Error "latency-incomplete"
+           [ "latency"; pair ]
+           "the scenario leaves this pair open but the timing table has no \
+            entry for it")
+    (Scenario.allowed_pairs s);
+  (* --- Zero specs vs the deployment's own traffic ------------------------ *)
+  let sri = Deployment.sri_pairs d in
+  List.iter
+    (fun (t, o) ->
+       if List.exists (fun (t', o') -> Target.equal t t' && Op.equal o o') sri
+       then
+         emit ~equation:"Table 5" Diag.Error "zero-spec-contradicted"
+           [ "specs"; Printf.sprintf "zero_%s_%s" (Target.to_string t) (Op.to_string o) ]
+           (Printf.sprintf
+              "spec claims no (%s, %s) traffic, but the deployment maps a \
+               section generating exactly that traffic"
+              (Target.to_string t) (Op.to_string o)))
+    (Scenario.zero_pairs s);
+  (* --- Table 5 tailoring applicability ----------------------------------- *)
+  let code_targets =
+    List.filter_map
+      (fun (t, o) -> if Op.equal o Op.Code then Some t else None)
+      sri
+  in
+  let cacheable_data_targets =
+    List.filter_map
+      (fun (sec : Deployment.section) ->
+         match (sec.Deployment.kind, sec.Deployment.place) with
+         | Op.Data, Deployment.Shared (t, Deployment.Cacheable) -> Some t
+         | _ -> None)
+      d.Deployment.sections
+    |> List.sort_uniq Target.compare
+  in
+  List.iter
+    (function
+      | Scenario.Zero _ -> ()
+      | Scenario.Code_sum_equals_pcache_miss ts ->
+        if not (Deployment.code_counted_by_pcache_miss d) then
+          emit ~equation:"Table 5" Diag.Error "tailoring-inapplicable"
+            [ "specs"; "code_sum" ]
+            "PCACHE_MISS equality requires every shared code section to be \
+             cacheable; a non-cacheable code section fetches past the I-cache \
+             and is not counted";
+        List.iter
+          (fun t ->
+             if not (List.exists (Target.equal t) ts) then
+               emit ~equation:"Table 5" Diag.Error "tailoring-incomplete"
+                 [ "specs"; "code_sum" ]
+                 (Printf.sprintf
+                    "deployment fetches code from %s but the PCACHE_MISS \
+                     equality omits it, excluding the ground-truth counts"
+                    (Target.to_string t)))
+          code_targets
+      | Scenario.Data_sum_at_least_dcache_misses ts ->
+        List.iter
+          (fun t ->
+             if not (Deployment.admissible Op.Data Deployment.Cacheable t) then
+               emit ~equation:"Tables 3, 5" Diag.Error "tailoring-inapplicable"
+                 [ "specs"; "data_sum" ]
+                 (Printf.sprintf
+                    "%s cannot hold cacheable data, so D-cache misses can \
+                     never be served there"
+                    (Target.to_string t)))
+          ts;
+        List.iter
+          (fun t ->
+             if not (List.exists (Target.equal t) ts) then
+               emit ~equation:"Table 5" Diag.Error "tailoring-incomplete"
+                 [ "specs"; "data_sum" ]
+                 (Printf.sprintf
+                    "deployment maps cacheable data on %s but the DMC+DMD \
+                     lower bound omits it"
+                    (Target.to_string t)))
+          cacheable_data_targets)
+    s.Scenario.specs;
+  List.rev !diags

@@ -1,0 +1,29 @@
+(** Scenario / deployment validator.
+
+    Checks that a {!Platform.Scenario} is internally consistent: its
+    deployment respects the Table 3 admissibility matrix, the timing table
+    covers every (target, op) pair the scenario leaves open, and each
+    Table 5 tailoring constraint is actually justified by the deployment
+    it ships with — the ILP turns those specs into hard constraints, so an
+    unjustified spec silently corrupts the bound.
+
+    Rules:
+    - [placement-inadmissible] (error): a section's placement violates
+      Table 3 (e.g. non-cacheable data on program flash);
+    - [latency-incomplete] (error): no Table 2 entry for an allowed
+      (target, op) pair;
+    - [latency-invalid] (error): a Table 2 entry violates
+      [1 <= min_stall <= lmin <= lmax];
+    - [zero-spec-contradicted] (error): a [Zero (t, o)] spec while the
+      deployment maps a section that generates exactly that traffic;
+    - [tailoring-inapplicable] (error): the PCACHE_MISS equality claimed
+      while some shared code section is non-cacheable (the counter then
+      under-counts code requests), or a data spec lists a target that
+      cannot hold cacheable data;
+    - [tailoring-incomplete] (error): a code- or data-sum spec omits a
+      target the deployment sends that traffic class to — the equality /
+      lower bound would then exclude the ground-truth assignment. *)
+
+val check : ?latency:Platform.Latency.t -> Platform.Scenario.t -> Diag.t list
+(** [latency] defaults to {!Platform.Latency.default}. Diagnostic paths
+    are rooted at the scenario name. *)

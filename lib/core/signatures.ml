@@ -10,7 +10,9 @@ let grid ~steps ~max:m =
       let k = i + 1 in
       {
         label = Printf.sprintf "load-%d/%d" k steps;
-        counters = Counters.scale_div m ~num:k ~den:steps;
+        (* ~require_positive: a zero template would classify every
+           co-runner and nullify the ladder *)
+        counters = Counters.scale_div ~require_positive:true m ~num:k ~den:steps;
       })
 
 let precompute ?options ~latency ~scenario ~a ~templates () =

@@ -9,8 +9,20 @@ let readings ?config ~scenario ~load () =
   let variant = Workload.Control_loop.variant_of_scenario scenario in
   let app = Workload.Control_loop.app variant in
   let contender = Workload.Load_gen.make ~variant ~level:load () in
+  Analysis.Preflight.run ~latency:(latency_of config) ~scenario
+    ~tasks:
+      [
+        { Analysis.Program_lint.label = "app"; core = 0; program = app };
+        { Analysis.Program_lint.label = "contender"; core = 1; program = contender };
+      ]
+    ();
   let a = (Mbta.Measurement.isolation ?config ~core:0 app).Mbta.Measurement.counters in
   let b = (Mbta.Measurement.isolation ?config ~core:1 contender).Mbta.Measurement.counters in
+  Analysis.Preflight.guard
+    (Analysis.Counter_lint.check ~latency:(latency_of config) ~scenario
+       ~path:[ "isolation"; "app" ] a
+     @ Analysis.Counter_lint.check ~latency:(latency_of config) ~scenario
+         ~path:[ "isolation"; "contender" ] b);
   (a, b)
 
 (* --- A1: value of contender information ---------------------------------- *)
@@ -101,6 +113,14 @@ let a3_multi_contender ?config ?jobs scenario =
   let app = Workload.Control_loop.app variant in
   let c1 = Workload.Load_gen.make ~variant ~level:Workload.Load_gen.Medium ~region_slot:1 () in
   let c2 = Workload.Load_gen.make ~variant ~level:Workload.Load_gen.Low ~region_slot:2 () in
+  Analysis.Preflight.run ~latency ~scenario
+    ~tasks:
+      [
+        { Analysis.Program_lint.label = "app"; core = 0; program = app };
+        { Analysis.Program_lint.label = "contender1"; core = 1; program = c1 };
+        { Analysis.Program_lint.label = "contender2"; core = 2; program = c2 };
+      ]
+    ();
   (* the three isolation runs and the co-run are independent simulations *)
   let iso, b1, b2, corun =
     match

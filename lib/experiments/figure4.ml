@@ -20,11 +20,26 @@ let run_row ?config ~scenario ~load () =
   let latency = latency_of config in
   let app = Workload.Control_loop.app variant in
   let contender = Workload.Load_gen.make ~variant ~level:load () in
+  (* pre-flight: scenario consistency and SRI-line disjointness of the
+     co-running programs, before any simulation time is spent *)
+  Analysis.Preflight.run ~latency ~scenario
+    ~tasks:
+      [
+        { Analysis.Program_lint.label = "app"; core = 0; program = app };
+        { Analysis.Program_lint.label = "contender"; core = 1; program = contender };
+      ]
+    ();
   (* isolation measurements: all the models may consume *)
   let iso_a = Mbta.Measurement.isolation ?config ~core:0 app in
   let iso_b = Mbta.Measurement.isolation ?config ~core:1 contender in
   let a = iso_a.Mbta.Measurement.counters in
   let b = iso_b.Mbta.Measurement.counters in
+  (* isolation readings feed the models as ground truth: reject corrupted
+     read-outs (Table 4 invariants) rather than solving over them *)
+  Analysis.Preflight.guard
+    (Analysis.Counter_lint.check ~latency ~scenario ~path:[ "isolation"; "app" ] a
+     @ Analysis.Counter_lint.check ~latency ~scenario
+         ~path:[ "isolation"; "contender" ] b);
   (* Scenario 2 has cacheable data everywhere, so the fTC model must assume
      dirty-miss delays (paper Section 4.1); the ILP charges the dirty LMU
      latency only when the contender can actually produce dirty misses. *)
@@ -36,6 +51,14 @@ let run_row ?config ~scenario ~load () =
       Contention.Ilp_ptac.dirty_lmu = b.Counters.dcache_miss_dirty > 0;
     }
   in
+  (* lint the ILP before handing it to the solver: a modelling bug should
+     surface as a named diagnostic, not as a mysterious Infeasible *)
+  let model, _ =
+    Contention.Ilp_ptac.build_model ~options:ilp_options ~latency ~scenario ~a
+      ~b ()
+  in
+  Analysis.Preflight.guard
+    (Analysis.Model_lint.check ~path:[ "ilp-ptac"; scenario.Scenario.name ] model);
   let ilp_r =
     Contention.Ilp_ptac.contention_bound_exn ~options:ilp_options ~latency
       ~scenario ~a ~b ()

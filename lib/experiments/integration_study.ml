@@ -35,7 +35,21 @@ let build_system () =
   ]
 
 let run ?config ?jobs () =
+  let system = build_system () in
+  (* the integration study co-schedules three tasks across two cores:
+     validate the scenario and the cross-core memory layout up front *)
+  Analysis.Preflight.run ~scenario:Platform.Scenario.scenario1
+    ~tasks:
+      (List.map
+         (fun (app : Schedule.Integration.app) ->
+            {
+              Analysis.Program_lint.label = app.Schedule.Integration.name;
+              core = app.Schedule.Integration.core;
+              program = app.Schedule.Integration.program;
+            })
+         system)
+    ();
   Schedule.Integration.integrate ?config ?jobs ~scenario:Platform.Scenario.scenario1
-    (build_system ())
+    system
 
 let pp = Schedule.Integration.pp

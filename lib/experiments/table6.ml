@@ -7,7 +7,18 @@ let run ?config ?jobs () =
     (fun (scenario, role) ->
        let variant = Workload.Control_loop.variant_of_scenario scenario in
        let obs core p =
-         (Mbta.Measurement.isolation ?config ~core p).Mbta.Measurement.counters
+         Analysis.Preflight.run ~scenario
+           ~tasks:
+             [ { Analysis.Program_lint.label = Tcsim.Program.name p; core; program = p } ]
+           ();
+         let c =
+           (Mbta.Measurement.isolation ?config ~core p).Mbta.Measurement.counters
+         in
+         Analysis.Preflight.guard
+           (Analysis.Counter_lint.check ~scenario
+              ~path:[ scenario.Platform.Scenario.name; Tcsim.Program.name p ]
+              c);
+         c
        in
        match role with
        | `App ->

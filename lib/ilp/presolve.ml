@@ -8,8 +8,22 @@ let term_min coeff lb ub =
   if Q.sign coeff >= 0 then Option.map (Q.mul coeff) lb
   else Option.map (Q.mul coeff) ub
 
+let term_max coeff lb ub =
+  if Q.sign coeff >= 0 then Option.map (Q.mul coeff) ub
+  else Option.map (Q.mul coeff) lb
+
 let add_opt a b =
   match (a, b) with Some x, Some y -> Some (Q.add x y) | _ -> None
+
+let activity ~lb ~ub expr =
+  let terms = Linexpr.terms expr in
+  let const = Linexpr.constant expr in
+  ( List.fold_left
+      (fun acc (v, c) -> add_opt acc (term_min c lb.(v) ub.(v)))
+      (Some const) terms,
+    List.fold_left
+      (fun acc (v, c) -> add_opt acc (term_max c lb.(v) ub.(v)))
+      (Some const) terms )
 
 exception Empty_box
 

@@ -25,3 +25,15 @@ val tighten :
   outcome
 (** [rounds] caps the propagation sweeps (default 3).
     @raise Invalid_argument on a bound-array length mismatch. *)
+
+val activity :
+  lb:Q.t option array ->
+  ub:Q.t option array ->
+  Linexpr.t ->
+  Q.t option * Q.t option
+(** Minimum and maximum activity of a linear expression (constant term
+    included) over the box: the single-row interval arithmetic {!tighten}
+    propagates, exposed so static checks (redundancy / contradiction
+    detection) share the exact same bounds. [None] encodes the
+    corresponding infinity. Variable indices in the expression must be
+    within the bound arrays. *)

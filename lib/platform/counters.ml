@@ -37,8 +37,28 @@ let sub a b =
     dcache_miss_dirty = a.dcache_miss_dirty - b.dcache_miss_dirty;
   }
 
-let scale_div c ~num ~den =
+let sub_exn a b =
+  let field name v =
+    if v < 0 then
+      invalid_arg
+        (Printf.sprintf "Counters.sub_exn: negative %s delta (%d)" name v)
+    else v
+  in
+  {
+    ccnt = field "CCNT" (a.ccnt - b.ccnt);
+    pmem_stall = field "PMEM_STALL" (a.pmem_stall - b.pmem_stall);
+    dmem_stall = field "DMEM_STALL" (a.dmem_stall - b.dmem_stall);
+    pcache_miss = field "PCACHE_MISS" (a.pcache_miss - b.pcache_miss);
+    dcache_miss_clean =
+      field "DCACHE_MISS_CLEAN" (a.dcache_miss_clean - b.dcache_miss_clean);
+    dcache_miss_dirty =
+      field "DCACHE_MISS_DIRTY" (a.dcache_miss_dirty - b.dcache_miss_dirty);
+  }
+
+let scale_div ?(require_positive = false) c ~num ~den =
   if den <= 0 || num < 0 then invalid_arg "Counters.scale_div";
+  if require_positive && num = 0 then
+    invalid_arg "Counters.scale_div: zero scaling";
   let f v = ((v * num) + den - 1) / den in
   {
     ccnt = f c.ccnt;

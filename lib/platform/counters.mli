@@ -23,12 +23,31 @@ type t = {
 val zero : t
 val add : t -> t -> t
 val sub : t -> t -> t
-(** Pointwise; used to scope readings to a program fragment. *)
+(** Pointwise; used to scope readings to a program fragment. Components may
+    go negative — use {!sub_exn} when a negative delta is impossible. *)
 
-val scale_div : t -> num:int -> den:int -> t
-(** Pointwise [ceil (v * num / den)] — scaling counter envelopes (e.g.
-    building contender templates).
-    @raise Invalid_argument on non-positive [den] or negative [num]. *)
+val sub_exn : t -> t -> t
+(** [sub_exn after before] is {!sub}[ after before], checked: every
+    component must be non-negative. The debug counters are cumulative
+    within a run, so a negative delta between a later and an earlier
+    reading of the same run can only indicate measurement corruption
+    (torn read-out, counter wrap, readings from different runs).
+    @raise Invalid_argument naming the first offending counter. Keep
+    {!sub} for deliberate signed deltas. *)
+
+val scale_div : ?require_positive:bool -> t -> num:int -> den:int -> t
+(** Pointwise ceiling division: each component [v] becomes
+    [ceil (v * num / den)], computed exactly as [(v * num + den - 1) / den].
+    The contract is {e upward} rounding: scaled counter envelopes (e.g.
+    contender templates built from a measured signature) always dominate
+    the exact rational scaling, so they stay sound over-approximations;
+    in particular [scale_div c ~num:k ~den:k] is [c] itself and
+    [scale_div c ~num:1 ~den:n] never rounds a non-zero component to 0.
+    [num = 0] (the all-zero envelope) is accepted by default; pass
+    [~require_positive:true] where a zero scaling indicates a caller bug,
+    e.g. a degenerate template ladder.
+    @raise Invalid_argument on [den <= 0], [num < 0], or [num = 0] with
+    [require_positive]. *)
 
 val equal : t -> t -> bool
 
