@@ -18,60 +18,126 @@ let section title =
 (* Regeneration: print the paper's tables and figures                  *)
 (* ------------------------------------------------------------------ *)
 
+(* Each regeneration stage is named so its wall/cpu time and solver
+   metric deltas can be reported per artifact in BENCH_results.json. *)
+let stages =
+  [
+    ( "table2",
+      fun () ->
+        section "Table 2: SRI latencies and minimum stall cycles (measured)";
+        let t2 = Experiments.Table2.run () in
+        Format.printf "%a@." Experiments.Table2.pp t2;
+        Format.printf "matches the model's reference constants: %b@."
+          (Experiments.Table2.matches_reference t2 Platform.Latency.default) );
+    ( "table3",
+      fun () ->
+        section "Table 3: constraints on code/data wrt SRI slaves";
+        Format.printf "%a@." Experiments.Static_tables.pp_table3 () );
+    ( "table4",
+      fun () ->
+        section "Table 4: debug counters used by the models";
+        Format.printf "%a@." Experiments.Static_tables.pp_table4 () );
+    ( "table5",
+      fun () ->
+        section "Table 5: ILP-PTAC tailoring per deployment scenario";
+        Format.printf "%a@." Experiments.Static_tables.pp_table5 () );
+    ( "table6",
+      fun () ->
+        section "Table 6: counter readings (application + H-Load, isolation)";
+        Format.printf "%a@." Experiments.Table6.pp (Experiments.Table6.run ()) );
+    ( "figure4",
+      fun () ->
+        section "Figure 4: model predictions w.r.t. execution in isolation";
+        Format.printf "%a@." Experiments.Figure4.pp_rows
+          (Experiments.Figure4.run_all ()) );
+    ( "ablation-a1",
+      fun () ->
+        section "Ablation A1: value of contender information (Eqs. 22-23)";
+        Format.printf "%a@." Experiments.Ablations.pp_a1
+          (Experiments.Ablations.a1_contender_info ()) );
+    ( "ablation-a2",
+      fun () ->
+        section "Ablation A2: stall-equality encodings (Eqs. 20-23)";
+        Format.printf "%a@." Experiments.Ablations.pp_a2
+          (Experiments.Ablations.a2_equality_modes ()) );
+    ( "ablation-a3",
+      fun () ->
+        section "Ablation A3: two simultaneous contenders";
+        Format.printf "%a@." Experiments.Ablations.pp_a3
+          (Experiments.Ablations.a3_multi_contender Platform.Scenario.scenario1);
+        Format.printf "%a@." Experiments.Ablations.pp_a3
+          (Experiments.Ablations.a3_multi_contender Platform.Scenario.scenario2) );
+    ( "ablation-a4",
+      fun () ->
+        section "Ablation A4: FSB reduction vs crossbar model (Sec. 4.3)";
+        Format.printf "%a@." Experiments.Ablations.pp_a4
+          (Experiments.Ablations.a4_fsb ()) );
+    ( "portability",
+      fun () ->
+        section "Extension E1: portability across TriCore variants (Sec. 4.3)";
+        Format.printf "%a@." Experiments.Portability.pp
+          (Experiments.Portability.run ()) );
+    ( "priority",
+      fun () ->
+        section "Extension E2: SRI priority classes vs the same-class setting";
+        Format.printf "%a@." Experiments.Priority_study.pp
+          (Experiments.Priority_study.run ());
+        Format.printf "%a@." Experiments.Priority_study.pp
+          (Experiments.Priority_study.run ~scenario:Platform.Scenario.scenario2 ()) );
+    ( "realistic",
+      fun () ->
+        section "Extension E3: realistic automotive use case (~10% remark)";
+        Format.printf "%a@." Experiments.Realistic.pp (Experiments.Realistic.run ()) );
+    ( "integration",
+      fun () ->
+        section "Extension E4: system integration (contention-aware RTA)";
+        Format.printf "%a@." Experiments.Integration_study.pp
+          (Experiments.Integration_study.run ()) );
+    ( "dma",
+      fun () ->
+        section "Extension E5: specification-driven DMA background traffic";
+        Format.printf "%a@." Experiments.Dma_study.pp (Experiments.Dma_study.run ()) );
+  ]
+
+let results_file = "BENCH_results.json"
+
+let json_of_stage (name, (t : Runtime.Telemetry.t), deltas) =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str name);
+      ("wall_s", Obs.Json.Float t.Runtime.Telemetry.wall_s);
+      ("cpu_s", Obs.Json.Float t.Runtime.Telemetry.cpu_s);
+      ("cache_hits", Obs.Json.Int t.Runtime.Telemetry.cache_hits);
+      ("cache_misses", Obs.Json.Int t.Runtime.Telemetry.cache_misses);
+      ( "counters",
+        Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) deltas) );
+    ]
+
 let regenerate () =
-  section "Table 2: SRI latencies and minimum stall cycles (measured)";
-  let t2 = Experiments.Table2.run () in
-  Format.printf "%a@." Experiments.Table2.pp t2;
-  Format.printf "matches the model's reference constants: %b@."
-    (Experiments.Table2.matches_reference t2 Platform.Latency.default);
-
-  section "Table 3: constraints on code/data wrt SRI slaves";
-  Format.printf "%a@." Experiments.Static_tables.pp_table3 ();
-
-  section "Table 4: debug counters used by the models";
-  Format.printf "%a@." Experiments.Static_tables.pp_table4 ();
-
-  section "Table 5: ILP-PTAC tailoring per deployment scenario";
-  Format.printf "%a@." Experiments.Static_tables.pp_table5 ();
-
-  section "Table 6: counter readings (application + H-Load, isolation)";
-  Format.printf "%a@." Experiments.Table6.pp (Experiments.Table6.run ());
-
-  section "Figure 4: model predictions w.r.t. execution in isolation";
-  Format.printf "%a@." Experiments.Figure4.pp_rows (Experiments.Figure4.run_all ());
-
-  section "Ablation A1: value of contender information (Eqs. 22-23)";
-  Format.printf "%a@." Experiments.Ablations.pp_a1 (Experiments.Ablations.a1_contender_info ());
-
-  section "Ablation A2: stall-equality encodings (Eqs. 20-23)";
-  Format.printf "%a@." Experiments.Ablations.pp_a2 (Experiments.Ablations.a2_equality_modes ());
-
-  section "Ablation A3: two simultaneous contenders";
-  Format.printf "%a@." Experiments.Ablations.pp_a3
-    (Experiments.Ablations.a3_multi_contender Platform.Scenario.scenario1);
-  Format.printf "%a@." Experiments.Ablations.pp_a3
-    (Experiments.Ablations.a3_multi_contender Platform.Scenario.scenario2);
-
-  section "Ablation A4: FSB reduction vs crossbar model (Sec. 4.3)";
-  Format.printf "%a@." Experiments.Ablations.pp_a4 (Experiments.Ablations.a4_fsb ());
-
-  section "Extension E1: portability across TriCore variants (Sec. 4.3)";
-  Format.printf "%a@." Experiments.Portability.pp (Experiments.Portability.run ());
-
-  section "Extension E2: SRI priority classes vs the same-class setting";
-  Format.printf "%a@." Experiments.Priority_study.pp (Experiments.Priority_study.run ());
-  Format.printf "%a@." Experiments.Priority_study.pp
-    (Experiments.Priority_study.run ~scenario:Platform.Scenario.scenario2 ());
-
-  section "Extension E3: realistic automotive use case (~10% remark)";
-  Format.printf "%a@." Experiments.Realistic.pp (Experiments.Realistic.run ());
-
-  section "Extension E4: system integration (contention-aware RTA)";
-  Format.printf "%a@." Experiments.Integration_study.pp
-    (Experiments.Integration_study.run ());
-
-  section "Extension E5: specification-driven DMA background traffic";
-  Format.printf "%a@." Experiments.Dma_study.pp (Experiments.Dma_study.run ())
+  let records =
+    List.map
+      (fun (name, f) ->
+         let before = Obs.Metrics.deterministic_snapshot () in
+         let (), t = Runtime.Telemetry.measure ~jobs:1 f in
+         let after = Obs.Metrics.deterministic_snapshot () in
+         (* per-stage deltas of the jobs-invariant counters: what this
+            artifact simulated and solved, not what ran before it *)
+         let deltas =
+           List.filter_map
+             (fun (k, v) ->
+                let v0 = Option.value ~default:0 (List.assoc_opt k before) in
+                if v <> v0 then Some (k, v - v0) else None)
+             after
+         in
+         (name, t, deltas))
+      stages
+  in
+  let oc = open_out results_file in
+  output_string oc
+    (Obs.Json.to_string (Obs.Json.List (List.map json_of_stage records)));
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.per-stage results written to %s@." results_file
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timings                                                     *)

@@ -70,10 +70,55 @@ let jobs_arg =
            $(b,AURIX_JOBS) or the machine's domain count). Results are \
            identical for every value.")
 
+(* --- observability ---------------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the run and write it to $(docv) as Chrome \
+           trace_event JSON (open in chrome://tracing or Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON snapshot of the metrics registry (solver, simulator, \
+           cache and lint counters) to $(docv) after the run.")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let dump_obs trace metrics =
+  (match trace with
+   | None -> ()
+   | Some path ->
+     write_file path (Obs.Tracer.to_chrome_json ());
+     Format.eprintf "trace written to %s@." path);
+  match metrics with
+  | None -> ()
+  | Some path ->
+    write_file path (Obs.Metrics.to_json ());
+    Format.eprintf "metrics written to %s@." path
+
+(* Wraps a subcommand body: enables the tracer when a trace file was
+   requested and dumps the requested files afterwards — also when the
+   body raises, so a crashed run still leaves its trace behind. *)
+let with_obs trace metrics f =
+  if trace <> None then Obs.Tracer.enable ();
+  Fun.protect ~finally:(fun () -> dump_obs trace metrics) f
+
 (* --- calibrate -------------------------------------------------------------- *)
 
 let calibrate_cmd =
-  let run () =
+  let run trace metrics =
+    with_obs trace metrics @@ fun () ->
     let t2 = Experiments.Table2.run () in
     Format.printf "%a@." Experiments.Table2.pp t2;
     Format.printf "matches reference constants: %b@."
@@ -81,17 +126,18 @@ let calibrate_cmd =
   in
   Cmd.v
     (Cmd.info "calibrate" ~doc:"Measure the Table 2 latency/stall constants.")
-    Term.(const run $ const ())
+    Term.(const run $ trace_arg $ metrics_arg)
 
 (* --- counters ---------------------------------------------------------------- *)
 
 let counters_cmd =
-  let run jobs =
+  let run jobs trace metrics =
+    with_obs trace metrics @@ fun () ->
     Format.printf "%a@." Experiments.Table6.pp (Experiments.Table6.run ?jobs ())
   in
   Cmd.v
     (Cmd.info "counters" ~doc:"Collect the Table 6 counter readings in isolation.")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- tables ------------------------------------------------------------------- *)
 
@@ -108,7 +154,8 @@ let tables_cmd =
 (* --- figure4 ------------------------------------------------------------------ *)
 
 let figure4_cmd =
-  let run all scenario jobs =
+  let run all scenario jobs trace metrics =
+    with_obs trace metrics @@ fun () ->
     let rows =
       if all then Experiments.Figure4.run_all ?jobs ()
       else Experiments.Figure4.run_scenario ?jobs scenario
@@ -120,12 +167,13 @@ let figure4_cmd =
   in
   Cmd.v
     (Cmd.info "figure4" ~doc:"Reproduce Figure 4: model predictions vs isolation.")
-    Term.(const run $ all_arg $ scenario_arg $ jobs_arg)
+    Term.(const run $ all_arg $ scenario_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- estimate ------------------------------------------------------------------ *)
 
 let estimate_cmd =
-  let run scenario level no_contender_info dump_lp =
+  let run scenario level no_contender_info dump_lp trace metrics =
+    with_obs trace metrics @@ fun () ->
     let variant = Workload.Control_loop.variant_of_scenario scenario in
     let app = Workload.Control_loop.app variant in
     let con = Workload.Load_gen.make ~variant ~level ()
@@ -184,12 +232,15 @@ let estimate_cmd =
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Compute one contention-aware WCET estimate with model details.")
-    Term.(const run $ scenario_arg $ level_arg $ no_info_arg $ dump_lp_arg)
+    Term.(
+      const run $ scenario_arg $ level_arg $ no_info_arg $ dump_lp_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- ablations ------------------------------------------------------------------- *)
 
 let ablations_cmd =
-  let run jobs =
+  let run jobs trace metrics =
+    with_obs trace metrics @@ fun () ->
     Format.printf "--- A1: contender information ---@.%a@."
       Experiments.Ablations.pp_a1 (Experiments.Ablations.a1_contender_info ?jobs ());
     Format.printf "--- A2: stall-equality encodings ---@.%a@."
@@ -204,36 +255,39 @@ let ablations_cmd =
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Run the A1-A4 ablation studies.")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- portability ----------------------------------------------------------------- *)
 
 let portability_cmd =
-  let run jobs =
+  let run jobs trace metrics =
+    with_obs trace metrics @@ fun () ->
     Format.printf "%a@." Experiments.Portability.pp
       (Experiments.Portability.run ?jobs ())
   in
   Cmd.v
     (Cmd.info "portability"
        ~doc:"Re-target the analysis at other TriCore-family timings (Sec. 4.3).")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- priority ---------------------------------------------------------------------- *)
 
 let priority_cmd =
-  let run scenario jobs =
+  let run scenario jobs trace metrics =
+    with_obs trace metrics @@ fun () ->
     Format.printf "%a@." Experiments.Priority_study.pp
       (Experiments.Priority_study.run ~scenario ?jobs ())
   in
   Cmd.v
     (Cmd.info "priority"
        ~doc:"Compare same-class round-robin against a prioritised application.")
-    Term.(const run $ scenario_arg $ jobs_arg)
+    Term.(const run $ scenario_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- realistic -------------------------------------------------------------------- *)
 
 let realistic_cmd =
-  let run jobs =
+  let run jobs trace metrics =
+    with_obs trace metrics @@ fun () ->
     Format.printf "%a@." Experiments.Realistic.pp
       (Experiments.Realistic.run ?jobs ())
   in
@@ -242,12 +296,13 @@ let realistic_cmd =
        ~doc:
          "Bound a production-style engine-control task (the paper's ~10% \
           use-case remark).")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- signatures ----------------------------------------------------------------------- *)
 
 let signatures_cmd =
-  let run scenario steps =
+  let run scenario steps trace metrics =
+    with_obs trace metrics @@ fun () ->
     let variant = Workload.Control_loop.variant_of_scenario scenario in
     let latency = Platform.Latency.default in
     let app = Workload.Control_loop.app variant in
@@ -292,18 +347,19 @@ let signatures_cmd =
        ~doc:
          "Precompute contention budgets against a ladder of contender \
           templates and classify the measured co-runners.")
-    Term.(const run $ scenario_arg $ steps_arg)
+    Term.(const run $ scenario_arg $ steps_arg $ trace_arg $ metrics_arg)
 
 (* --- dma ---------------------------------------------------------------------------- *)
 
 let dma_cmd =
-  let run jobs =
+  let run jobs trace metrics =
+    with_obs trace metrics @@ fun () ->
     Format.printf "%a@." Experiments.Dma_study.pp (Experiments.Dma_study.run ?jobs ())
   in
   Cmd.v
     (Cmd.info "dma"
        ~doc:"Bound interference from a specification-driven DMA channel.")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- report ------------------------------------------------------------------------- *)
 
@@ -345,7 +401,8 @@ let report_cmd =
 (* --- integrate ---------------------------------------------------------------------- *)
 
 let integrate_cmd =
-  let run jobs =
+  let run jobs trace metrics =
+    with_obs trace metrics @@ fun () ->
     Format.printf "%a@." Experiments.Integration_study.pp
       (Experiments.Integration_study.run ?jobs ())
   in
@@ -354,14 +411,18 @@ let integrate_cmd =
        ~doc:
          "Run the system-integration study: contention-aware response-time \
           analysis over a two-core task set.")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- lint ---------------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run json fixtures jobs =
+  let run json fixtures jobs trace metrics =
+    (* exit happens outside [with_obs] so the requested files are written
+       even when the lint fails *)
     let diags =
-      if fixtures then
+      with_obs trace metrics @@ fun () ->
+      let diags =
+        if fixtures then
         List.concat_map (fun f -> f.Analysis.Fixtures.diags ()) Analysis.Fixtures.all
       else begin
         let latency = Platform.Latency.default in
@@ -412,16 +473,22 @@ let lint_cmd =
                let model_diags =
                  Analysis.Model_lint.check ~path:[ "ilp-ptac" ] model
                in
+               Analysis.Diag.record_metrics ~pass:"program" program_diags;
+               Analysis.Diag.record_metrics ~pass:"counter" counter_diags;
+               Analysis.Diag.record_metrics ~pass:"model" model_diags;
                Analysis.Diag.prefix [ cell ]
                  (program_diags @ counter_diags @ model_diags))
             cells
           |> List.concat
         in
+        Analysis.Diag.record_metrics ~pass:"scenario" scenario_diags;
         scenario_diags @ cell_diags
       end
+      in
+      if json then print_endline (Analysis.Diag.report_to_json diags)
+      else Format.printf "%a@." Analysis.Diag.pp_report diags;
+      diags
     in
-    if json then print_endline (Analysis.Diag.report_to_json diags)
-    else Format.printf "%a@." Analysis.Diag.pp_report diags;
     if Analysis.Diag.has_errors diags then exit 1
   in
   let json_arg =
@@ -445,12 +512,13 @@ let lint_cmd =
           scenario validation, program/memory-map lint) over the bundled \
           configurations without solving anything. Exits non-zero if any \
           error-severity diagnostic is found.")
-    Term.(const run $ json_arg $ fixtures_arg $ jobs_arg)
+    Term.(const run $ json_arg $ fixtures_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- sweep --------------------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run scenario =
+  let run scenario trace metrics =
+    with_obs trace metrics @@ fun () ->
     let variant = Workload.Control_loop.variant_of_scenario scenario in
     let app = Workload.Control_loop.app variant in
     let iso = Mbta.Measurement.isolation ~core:0 app in
@@ -478,7 +546,79 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep the ILP bound over contender load levels.")
-    Term.(const run $ scenario_arg)
+    Term.(const run $ scenario_arg $ trace_arg $ metrics_arg)
+
+(* --- profile ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let experiments : (string * (?jobs:int -> unit -> unit)) list =
+    [
+      ("figure4", fun ?jobs () -> ignore (Experiments.Figure4.run_all ?jobs ()));
+      ("table6", fun ?jobs () -> ignore (Experiments.Table6.run ?jobs ()));
+      ( "ablations",
+        fun ?jobs () ->
+          ignore (Experiments.Ablations.a1_contender_info ?jobs ());
+          ignore (Experiments.Ablations.a2_equality_modes ?jobs ());
+          ignore
+            (Experiments.Ablations.a3_multi_contender ?jobs
+               Platform.Scenario.scenario1);
+          ignore (Experiments.Ablations.a4_fsb ?jobs ()) );
+      ("portability", fun ?jobs () -> ignore (Experiments.Portability.run ?jobs ()));
+      ( "priority",
+        fun ?jobs () ->
+          ignore
+            (Experiments.Priority_study.run ~scenario:Platform.Scenario.scenario1
+               ?jobs ()) );
+      ("realistic", fun ?jobs () -> ignore (Experiments.Realistic.run ?jobs ()));
+      ( "integrate",
+        fun ?jobs () -> ignore (Experiments.Integration_study.run ?jobs ()) );
+      ("dma", fun ?jobs () -> ignore (Experiments.Dma_study.run ?jobs ()));
+    ]
+  in
+  let run name runs jobs trace metrics =
+    match List.assoc_opt name experiments with
+    | None ->
+      Format.eprintf "unknown experiment %S (expected one of: %s)@." name
+        (String.concat ", " (List.map fst experiments));
+      exit 2
+    | Some f ->
+      (* profiling always wants the span aggregates, so the tracer is on
+         even when no --trace file was requested *)
+      Obs.Tracer.enable ();
+      Fun.protect ~finally:(fun () -> dump_obs trace metrics) @@ fun () ->
+      let recorded_jobs =
+        match jobs with Some j -> j | None -> Runtime.Pool.default_jobs ()
+      in
+      for i = 1 to runs do
+        (* a cold cache each round, so every run solves the same work *)
+        Runtime.Solve_cache.clear ();
+        let (), t =
+          Runtime.Telemetry.measure ~jobs:recorded_jobs (fun () -> f ?jobs ())
+        in
+        Format.printf "run %d/%d: %a@." i runs Runtime.Telemetry.pp t
+      done;
+      Format.printf "@.%a@." Obs.Tracer.pp_hot_paths ()
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "Experiment to profile: figure4, table6, ablations, portability, \
+             priority, realistic, integrate or dma.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of repetitions (default 3).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one named experiment repeatedly under the span tracer and print \
+          per-run telemetry plus the aggregated hot-path table.")
+    Term.(const run $ name_arg $ runs_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "Multicore contention models for the AURIX TC27x (DAC 2018 reproduction)" in
@@ -502,4 +642,5 @@ let () =
             signatures_cmd;
             report_cmd;
             sweep_cmd;
+            profile_cmd;
           ]))

@@ -32,6 +32,18 @@ let sort ds =
 
 let by_rule ds rule = List.filter (fun d -> d.rule = rule) ds
 
+(* Feed a pass's diagnostic counts into the metrics registry under
+   [lint.<pass>.{errors,warnings,infos}]. Counts depend only on the
+   inputs linted, so the resulting counters are jobs-invariant. *)
+let record_metrics ~pass ds =
+  let bump kind n =
+    if n > 0 then
+      Obs.Metrics.add (Obs.Metrics.counter (Printf.sprintf "lint.%s.%s" pass kind)) n
+  in
+  bump "errors" (count ds Error);
+  bump "warnings" (count ds Warning);
+  bump "infos" (count ds Info)
+
 let pp fmt d =
   Format.fprintf fmt "%s[%s] %s: %s"
     (severity_to_string d.severity)

@@ -43,6 +43,12 @@ val sort : t list -> t list
 
 val by_rule : t list -> string -> t list
 
+val record_metrics : pass:string -> t list -> unit
+(** Adds the pass's per-severity diagnostic counts to the
+    {!Obs.Metrics} registry as counters
+    [lint.<pass>.errors], [lint.<pass>.warnings] and [lint.<pass>.infos].
+    Counters are only created once a pass actually reports something. *)
+
 val pp : Format.formatter -> t -> unit
 (** One line: [severity[rule] path: message (cites ...)]. *)
 

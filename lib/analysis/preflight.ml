@@ -1,7 +1,11 @@
 exception Preflight_failed of string list
 
 let check_run ?latency ~scenario ~tasks () =
-  Scenario_lint.check ?latency scenario @ Program_lint.check ~scenario tasks
+  let scenario_diags = Scenario_lint.check ?latency scenario in
+  let program_diags = Program_lint.check ~scenario tasks in
+  Diag.record_metrics ~pass:"scenario" scenario_diags;
+  Diag.record_metrics ~pass:"program" program_diags;
+  scenario_diags @ program_diags
 
 let guard diags =
   match Diag.errors diags with

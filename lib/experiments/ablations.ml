@@ -45,6 +45,13 @@ let a1_contender_info ?config ?jobs () =
   let latency = latency_of config in
   Runtime.Pool.map ?jobs
     (fun (scenario, load) ->
+            Obs.Tracer.with_span "ablations.a1"
+              ~attrs:(fun () ->
+                  [
+                    ("scenario", scenario.Scenario.name);
+                    ("load", Workload.Load_gen.level_to_string load);
+                  ])
+            @@ fun () ->
             let a, b = readings ?config ~scenario ~load () in
             let bound options =
               (Contention.Ilp_ptac.contention_bound_exn ~options ~latency
@@ -81,6 +88,9 @@ let a2_equality_modes ?config ?jobs () =
   List.concat
     (Runtime.Pool.map ?jobs
        (fun scenario ->
+       Obs.Tracer.with_span "ablations.a2"
+         ~attrs:(fun () -> [ ("scenario", scenario.Scenario.name) ])
+       @@ fun () ->
        let a, b = readings ?config ~scenario ~load:Workload.Load_gen.High () in
        List.map
          (fun mode ->
@@ -108,6 +118,9 @@ type a3_result = {
 }
 
 let a3_multi_contender ?config ?jobs scenario =
+  Obs.Tracer.with_span "ablations.a3"
+    ~attrs:(fun () -> [ ("scenario", scenario.Scenario.name) ])
+  @@ fun () ->
   let latency = latency_of config in
   let variant = Workload.Control_loop.variant_of_scenario scenario in
   let app = Workload.Control_loop.app variant in
@@ -166,6 +179,13 @@ let a4_fsb ?config ?jobs () =
   let latency = latency_of config in
   Runtime.Pool.map ?jobs
     (fun (scenario, load) ->
+            Obs.Tracer.with_span "ablations.a4"
+              ~attrs:(fun () ->
+                  [
+                    ("scenario", scenario.Scenario.name);
+                    ("load", Workload.Load_gen.level_to_string load);
+                  ])
+            @@ fun () ->
             let a, b = readings ?config ~scenario ~load () in
             let crossbar =
               (Contention.Ilp_ptac.contention_bound_exn ~latency ~scenario ~a ~b ())

@@ -16,6 +16,13 @@ let latency_of (config : Tcsim.Machine.config option) =
   | None -> Tcsim.Machine.default_config.Tcsim.Machine.latency
 
 let run_row ?config ~scenario ~load () =
+  Obs.Tracer.with_span "figure4.row"
+    ~attrs:(fun () ->
+        [
+          ("scenario", scenario.Scenario.name);
+          ("load", Workload.Load_gen.level_to_string load);
+        ])
+  @@ fun () ->
   let variant = Workload.Control_loop.variant_of_scenario scenario in
   let latency = latency_of config in
   let app = Workload.Control_loop.app variant in

@@ -35,6 +35,7 @@ let build_system () =
   ]
 
 let run ?config ?jobs () =
+  Obs.Tracer.with_span "integration.run" @@ fun () ->
   let system = build_system () in
   (* the integration study co-schedules three tasks across two cores:
      validate the scenario and the cross-core memory layout up front *)

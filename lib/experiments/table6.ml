@@ -5,6 +5,13 @@ let run ?config ?jobs () =
      the paper's row order by the pool *)
   Runtime.Pool.map ?jobs
     (fun (scenario, role) ->
+       Obs.Tracer.with_span "table6.cell"
+         ~attrs:(fun () ->
+             [
+               ("scenario", scenario.Platform.Scenario.name);
+               ("role", match role with `App -> "app" | `HLoad -> "hload");
+             ])
+       @@ fun () ->
        let variant = Workload.Control_loop.variant_of_scenario scenario in
        let obs core p =
          Analysis.Preflight.run ~scenario

@@ -2,6 +2,16 @@ open Numeric
 
 exception Node_limit_exceeded
 
+(* Search observability (Obs.Metrics): totals are per-process and, with
+   the single-flight solve cache, independent of the parallel degree —
+   every distinct model is searched exactly once either way. *)
+let m_solves = Obs.Metrics.counter "ilp.bb.solves"
+let m_nodes = Obs.Metrics.counter "ilp.bb.nodes"
+let m_pruned = Obs.Metrics.counter "ilp.bb.pruned"
+let m_incumbents = Obs.Metrics.counter "ilp.bb.incumbents"
+let m_node_limit = Obs.Metrics.counter "ilp.bb.node_limit_hits"
+let m_max_depth = Obs.Metrics.gauge "ilp.bb.max_depth"
+
 let branching_value x = (Q.floor x, Q.ceil x)
 
 (* Depth-first branch & bound, most-fractional branching, down-branch
@@ -51,6 +61,10 @@ let solve ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model =
   let better_than_best objective =
     match !best with Some (bobj, _) -> better objective bobj | None -> true
   in
+  let set_incumbent objective values =
+    Obs.Metrics.incr m_incumbents;
+    best := Some (objective, values)
+  in
   (* Rounding heuristic: flooring a relaxation point keeps every
      non-negative <=-constraint satisfied, so it often yields a feasible
      integer incumbent for free; we verify feasibility exactly before
@@ -66,7 +80,7 @@ let solve ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model =
     | Error _ -> ()
     | Ok _ ->
       let objective = Linexpr.eval obj_expr lookup in
-      if better_than_best objective then best := Some (objective, floored)
+      if better_than_best objective then set_incumbent objective floored
   in
   (* Branch on the fractional variable closest to half-integral,
      preferring variables with a non-zero objective coefficient: ties in
@@ -91,17 +105,22 @@ let solve ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model =
     | Some _ as r -> r
     | None -> pick int_vars
   in
-  let rec explore lb0 ub0 =
+  let rec explore ~depth lb0 ub0 =
     incr nodes;
-    if !nodes > node_limit then raise Node_limit_exceeded;
+    Obs.Metrics.incr m_nodes;
+    Obs.Metrics.set_max m_max_depth depth;
+    if !nodes > node_limit then begin
+      Obs.Metrics.incr m_node_limit;
+      raise Node_limit_exceeded
+    end;
     match
       if presolve then Presolve.tighten model ~lb:lb0 ~ub:ub0
       else Presolve.Tightened (lb0, ub0)
     with
     | Presolve.Infeasible -> ()
-    | Presolve.Tightened (lb, ub) -> explore_box lb ub
+    | Presolve.Tightened (lb, ub) -> explore_box ~depth lb ub
 
-  and explore_box lb ub =
+  and explore_box ~depth lb ub =
     match Simplex.solve_with_bounds model ~lb ~ub with
     | Solution.Infeasible -> ()
     | Solution.Unbounded ->
@@ -117,10 +136,11 @@ let solve ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model =
         | Some (bobj, _) -> not (worth_exploring objective bobj)
         | None -> false
       in
-      if not prune then begin
+      if prune then Obs.Metrics.incr m_pruned
+      else begin
         match most_fractional values with
         | None ->
-          if better_than_best objective then best := Some (objective, values)
+          if better_than_best objective then set_incumbent objective values
         | Some (v, _) ->
           let fl, cl = branching_value values.(v) in
           let ub' = Array.copy ub in
@@ -128,22 +148,27 @@ let solve ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model =
             (match ub.(v) with
              | Some u -> Some (Q.min u fl)
              | None -> Some fl);
-          explore lb ub';
+          explore ~depth:(depth + 1) lb ub';
           let lb' = Array.copy lb in
           lb'.(v) <-
             (match lb.(v) with
              | Some l -> Some (Q.max l cl)
              | None -> Some cl);
-          explore lb' ub
+          explore ~depth:(depth + 1) lb' ub
       end
   in
   let lb0 = Array.init nv (fun v -> (Model.var_info model v).lb) in
   let ub0 = Array.init nv (fun v -> (Model.var_info model v).ub) in
-  match explore lb0 ub0 with
-  | () ->
-    (match !best with
-     | Some (objective, values) -> Solution.Optimal { objective; values }
-     | None -> Solution.Infeasible)
-  | exception Exit -> Solution.Unbounded
+  Obs.Metrics.incr m_solves;
+  Obs.Tracer.with_span "ilp.branch_bound"
+    ~attrs:(fun () ->
+        [ ("vars", string_of_int nv); ("nodes", string_of_int !nodes) ])
+    (fun () ->
+       match explore ~depth:0 lb0 ub0 with
+       | () ->
+         (match !best with
+          | Some (objective, values) -> Solution.Optimal { objective; values }
+          | None -> Solution.Infeasible)
+       | exception Exit -> Solution.Unbounded)
 
 let solve_lp_relaxation = Simplex.solve

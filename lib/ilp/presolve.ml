@@ -2,6 +2,12 @@ open Numeric
 
 type outcome = Tightened of Q.t option array * Q.t option array | Infeasible
 
+(* One tighten call per branch-and-bound node: totals are deterministic
+   per solve and, through the single-flight cache, per process. *)
+let m_calls = Obs.Metrics.counter "ilp.presolve.calls"
+let m_tightened = Obs.Metrics.counter "ilp.presolve.bounds_tightened"
+let m_infeasible = Obs.Metrics.counter "ilp.presolve.infeasible"
+
 (* Minimum/maximum activity of [coeff * x] over the box [lb, ub]:
    None encodes the corresponding infinity. *)
 let term_min coeff lb ub =
@@ -31,6 +37,8 @@ let tighten ?(rounds = 3) model ~lb ~ub =
   let nv = Model.num_vars model in
   if Array.length lb <> nv || Array.length ub <> nv then
     invalid_arg "Presolve.tighten: bound array length mismatch";
+  Obs.Metrics.incr m_calls;
+  Obs.Tracer.with_span "ilp.presolve" (fun () ->
   let lb = Array.copy lb and ub = Array.copy ub in
   let integer = Array.init nv (fun v -> (Model.var_info model v).Model.integer) in
   let raise_lb v x =
@@ -42,6 +50,7 @@ let tighten ?(rounds = 3) model ~lb ~ub =
       (match ub.(v) with
        | Some u when Q.compare x u > 0 -> raise Empty_box
        | _ -> ());
+      Obs.Metrics.incr m_tightened;
       true
   in
   let lower_ub v x =
@@ -53,6 +62,7 @@ let tighten ?(rounds = 3) model ~lb ~ub =
       (match lb.(v) with
        | Some l when Q.compare l x > 0 -> raise Empty_box
        | _ -> ());
+      Obs.Metrics.incr m_tightened;
       true
   in
   (* Propagates [expr <= rhs]; equality is handled by also propagating the
@@ -113,4 +123,6 @@ let tighten ?(rounds = 3) model ~lb ~ub =
     done
   with
   | () -> Tightened (lb, ub)
-  | exception Empty_box -> Infeasible
+  | exception Empty_box ->
+    Obs.Metrics.incr m_infeasible;
+    Infeasible)

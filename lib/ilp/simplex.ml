@@ -14,13 +14,21 @@ open Numeric
 
 type row = { coeffs : Q.t array; rhs : Q.t; sense : Model.sense }
 
+(* Pivot/solve totals are deterministic: Bland's rule is a function of
+   the tableau alone, and the single-flight cache runs each distinct
+   model through here the same number of times at any parallel degree. *)
+let m_solves = Obs.Metrics.counter "ilp.simplex.solves"
+let m_pivots = Obs.Metrics.counter "ilp.simplex.pivots"
+let m_infeasible = Obs.Metrics.counter "ilp.simplex.infeasible"
+let m_unbounded = Obs.Metrics.counter "ilp.simplex.unbounded"
+
 (* How a model variable maps onto non-negative tableau columns. *)
 type colmap =
   | Shifted of int * Q.t (* x = shift + col,  col >= 0 *)
   | Mirrored of int * Q.t (* x = shift - col,  col >= 0 *)
   | Split of int * int (* x = col_pos - col_neg *)
 
-let solve_with_bounds model ~lb ~ub =
+let solve_with_bounds_impl model ~lb ~ub =
   let nv = Model.num_vars model in
   if Array.length lb <> nv || Array.length ub <> nv then
     invalid_arg "Simplex.solve_with_bounds: bound array length mismatch";
@@ -162,6 +170,7 @@ let solve_with_bounds model ~lb ~ub =
     let cost = Array.make n_total Q.zero in
     let costv = ref Q.zero in
     let pivot r c =
+      Obs.Metrics.incr m_pivots;
       let prow = tab.(r) in
       let p = prow.(c) in
       if not (Q.equal p Q.one) then begin
@@ -319,6 +328,16 @@ let solve_with_bounds model ~lb ~ub =
         else phase2_and_extract ()
     end
   end
+
+let solve_with_bounds model ~lb ~ub =
+  Obs.Metrics.incr m_solves;
+  Obs.Tracer.with_span "ilp.simplex" (fun () ->
+      let r = solve_with_bounds_impl model ~lb ~ub in
+      (match r with
+       | Solution.Infeasible -> Obs.Metrics.incr m_infeasible
+       | Solution.Unbounded -> Obs.Metrics.incr m_unbounded
+       | Solution.Optimal _ -> ());
+      r)
 
 let solve model =
   let nv = Model.num_vars model in

@@ -14,7 +14,13 @@ let of_result (r : Tcsim.Machine.run_result) =
   }
 
 let isolation ?config ?(core = 0) program =
-  of_result (Tcsim.Machine.run_isolation ?config ~core program)
+  Obs.Tracer.with_span "measure.isolation"
+    ~attrs:(fun () ->
+        [
+          ("program", Tcsim.Program.name program);
+          ("core", string_of_int core);
+        ])
+    (fun () -> of_result (Tcsim.Machine.run_isolation ?config ~core program))
 
 let isolation_sweep ?config ?(core = 0) programs =
   List.map (fun p -> isolation ?config ~core p) programs
@@ -43,9 +49,18 @@ let high_water_mark = function
 
 let corun ?config ~analysis ~contenders ?(restart_contenders = false) () =
   let program, core = analysis in
-  of_result
-    (Tcsim.Machine.run ?config ~restart_contenders
-       ~analysis:{ Tcsim.Machine.program; core }
-       ~contenders:
-         (List.map (fun (p, c) -> { Tcsim.Machine.program = p; core = c }) contenders)
-       ())
+  Obs.Tracer.with_span "measure.corun"
+    ~attrs:(fun () ->
+        [
+          ("program", Tcsim.Program.name program);
+          ("contenders", string_of_int (List.length contenders));
+        ])
+    (fun () ->
+       of_result
+         (Tcsim.Machine.run ?config ~restart_contenders
+            ~analysis:{ Tcsim.Machine.program; core }
+            ~contenders:
+              (List.map
+                 (fun (p, c) -> { Tcsim.Machine.program = p; core = c })
+                 contenders)
+            ()))

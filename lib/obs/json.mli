@@ -1,0 +1,37 @@
+(** Dependency-free JSON values: a printer for the observability exports
+    (metrics snapshots, Chrome [trace_event] files, benchmark results) and
+    a small recursive-descent parser so tests and tooling can round-trip
+    what the exporters wrote.
+
+    Printing notes: floats are rendered with [%.12g] (a float without a
+    fractional part prints as an integer token and parses back as
+    [Int]); non-finite floats degrade to [null] so the document always
+    parses. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering with escaped strings. *)
+
+exception Parse_error of string
+
+val parse_exn : string -> t
+(** @raise Parse_error with an offset-annotated message on malformed
+    input or trailing garbage. *)
+
+val parse : string -> (t, string) result
+(** Exception-free {!parse_exn}. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the value bound to [k], [None] on missing
+    keys and non-objects. *)
+
+val to_list : t -> t list option
+(** [Some items] on [List], [None] otherwise. *)

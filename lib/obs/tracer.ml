@@ -1,0 +1,246 @@
+(* Nestable timed spans with a ring-buffer sink.
+
+   The tracer is disabled by default: [with_span] then runs its thunk
+   with nothing but one atomic load and a closure — no clock reads, no
+   attribute rendering, no allocation in the sink. Enabling installs a
+   fixed-capacity ring protected by one mutex; when the ring is full the
+   oldest events are overwritten (and counted), so long traces keep the
+   most recent leaves plus the enclosing long spans, which are recorded
+   at span *end* and therefore survive eviction.
+
+   Nesting depth is tracked per domain through DLS, so spans recorded
+   from Pool workers nest correctly within whatever that worker runs. *)
+
+type event = {
+  name : string;
+  attrs : (string * string) list;
+  ts_us : float; (* span start, microseconds since [enable] *)
+  dur_us : float;
+  tid : int; (* domain id *)
+  depth : int; (* nesting depth at span start, 0 = top level *)
+  seq : int; (* global record order (= span end order) *)
+}
+
+type sink = {
+  capacity : int;
+  buf : event array;
+  mutable len : int;
+  mutable head : int; (* index of the oldest retained event *)
+  mutable next_seq : int;
+  mutable n_dropped : int;
+  lock : Mutex.t;
+  t0 : float;
+}
+
+let dummy_event =
+  { name = ""; attrs = []; ts_us = 0.; dur_us = 0.; tid = 0; depth = 0; seq = -1 }
+
+let current : sink option Atomic.t = Atomic.make None
+
+let enable ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Tracer.enable: capacity must be >= 1";
+  Atomic.set current
+    (Some
+       {
+         capacity;
+         buf = Array.make capacity dummy_event;
+         len = 0;
+         head = 0;
+         next_seq = 0;
+         n_dropped = 0;
+         lock = Mutex.create ();
+         t0 = Unix.gettimeofday ();
+       })
+
+let disable () = Atomic.set current None
+let enabled () = Atomic.get current <> None
+
+let clear () =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+    Mutex.lock s.lock;
+    s.len <- 0;
+    s.head <- 0;
+    s.next_seq <- 0;
+    s.n_dropped <- 0;
+    Mutex.unlock s.lock
+
+let record s e =
+  Mutex.lock s.lock;
+  let e = { e with seq = s.next_seq } in
+  s.next_seq <- s.next_seq + 1;
+  if s.len < s.capacity then begin
+    s.buf.((s.head + s.len) mod s.capacity) <- e;
+    s.len <- s.len + 1
+  end
+  else begin
+    s.buf.(s.head) <- e;
+    s.head <- (s.head + 1) mod s.capacity;
+    s.n_dropped <- s.n_dropped + 1
+  end;
+  Mutex.unlock s.lock
+
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let with_span ?attrs name f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some s ->
+    let d = Domain.DLS.get depth_key in
+    let depth = !d in
+    d := depth + 1;
+    let start = Unix.gettimeofday () in
+    let finish () =
+      let stop = Unix.gettimeofday () in
+      d := depth;
+      record s
+        {
+          name;
+          attrs = (match attrs with None -> [] | Some mk -> mk ());
+          ts_us = (start -. s.t0) *. 1e6;
+          dur_us = (stop -. start) *. 1e6;
+          tid = (Domain.self () :> int);
+          depth;
+          seq = 0;
+        }
+    in
+    (match f () with
+     | v ->
+       finish ();
+       v
+     | exception e ->
+       finish ();
+       raise e)
+
+let events () =
+  match Atomic.get current with
+  | None -> []
+  | Some s ->
+    Mutex.lock s.lock;
+    let out = List.init s.len (fun i -> s.buf.((s.head + i) mod s.capacity)) in
+    Mutex.unlock s.lock;
+    out
+
+let dropped () =
+  match Atomic.get current with None -> 0 | Some s -> s.n_dropped
+
+(* --- Chrome trace_event export ------------------------------------------ *)
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("name", Json.Str e.name);
+      ("cat", Json.Str "aurix");
+      ("ph", Json.Str "X");
+      ("ts", Json.Float e.ts_us);
+      ("dur", Json.Float e.dur_us);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int e.tid);
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.attrs));
+    ]
+
+let to_chrome_json_value () =
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.Str "ms");
+      ("traceEvents", Json.List (List.map event_to_json (events ())));
+    ]
+
+let to_chrome_json () = Json.to_string (to_chrome_json_value ())
+
+(* --- text tree ----------------------------------------------------------- *)
+
+let pp_attrs fmt attrs =
+  List.iter (fun (k, v) -> Format.fprintf fmt " %s=%s" k v) attrs
+
+let pp_tree fmt () =
+  let evs = events () in
+  let tids = List.sort_uniq compare (List.map (fun e -> e.tid) evs) in
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun tid ->
+       Format.fprintf fmt "domain %d:@," tid;
+       let mine =
+         List.filter (fun e -> e.tid = tid) evs
+         (* start order; a parent shares its start microsecond with its
+            first child, so break ties by depth *)
+         |> List.sort (fun a b ->
+             match compare a.ts_us b.ts_us with
+             | 0 -> (match compare a.depth b.depth with 0 -> compare a.seq b.seq | c -> c)
+             | c -> c)
+       in
+       List.iter
+         (fun e ->
+            Format.fprintf fmt "%s%s%a (%.3f ms)@,"
+              (String.make (2 * (e.depth + 1)) ' ')
+              e.name pp_attrs e.attrs (e.dur_us /. 1e3))
+         mine)
+    tids;
+  let d = dropped () in
+  if d > 0 then Format.fprintf fmt "(%d older events dropped)@," d;
+  Format.fprintf fmt "@]"
+
+(* --- aggregation --------------------------------------------------------- *)
+
+type stat = {
+  span : string;
+  calls : int;
+  total_us : float;
+  mean_us : float;
+  max_us : float;
+}
+
+let aggregate () =
+  let tbl : (string, int ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun e ->
+       let calls, total, mx =
+         match Hashtbl.find_opt tbl e.name with
+         | Some cell -> cell
+         | None ->
+           let cell = (ref 0, ref 0., ref 0.) in
+           Hashtbl.add tbl e.name cell;
+           cell
+       in
+       Stdlib.incr calls;
+       total := !total +. e.dur_us;
+       if e.dur_us > !mx then mx := e.dur_us)
+    (events ());
+  Hashtbl.fold
+    (fun span (calls, total, mx) acc ->
+       {
+         span;
+         calls = !calls;
+         total_us = !total;
+         mean_us = !total /. float_of_int !calls;
+         max_us = !mx;
+       }
+       :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare b.total_us a.total_us)
+
+let pp_hot_paths fmt () =
+  let stats = aggregate () in
+  (* share of the traced wall time = sum of top-level span durations *)
+  let wall_us =
+    List.fold_left
+      (fun acc e -> if e.depth = 0 then acc +. e.dur_us else acc)
+      0. (events ())
+  in
+  Format.fprintf fmt "@[<v>%-28s %8s %12s %12s %12s %7s@," "span" "calls"
+    "total" "mean" "max" "share";
+  let ms us = us /. 1e3 in
+  List.iter
+    (fun s ->
+       Format.fprintf fmt "%-28s %8d %10.3fms %10.3fms %10.3fms %6.1f%%@,"
+         s.span s.calls (ms s.total_us) (ms s.mean_us) (ms s.max_us)
+         (if wall_us > 0. then 100. *. s.total_us /. wall_us else 0.))
+    stats;
+  let d = dropped () in
+  if d > 0 then
+    Format.fprintf fmt "(ring full: %d older events dropped from the stats)@,"
+      d;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,75 @@
+(** Nestable timed spans with a ring-buffer sink and Chrome
+    [trace_event] export.
+
+    Disabled by default: {!with_span} then degrades to one atomic load
+    around the thunk — no clock reads, no attribute rendering — so
+    instrumentation can stay in hot paths (one span per branch-and-bound
+    node) without a measurable cost. {!enable} installs a process-wide
+    fixed-capacity ring; once full, the oldest events are overwritten
+    and counted in {!dropped}. Events are recorded at span {e end}, so
+    long-running enclosing spans survive eviction even when their leaf
+    children churn the ring.
+
+    Spans nest per domain (depth is tracked in domain-local storage), so
+    spans opened inside {!Runtime.Pool} workers nest under whatever that
+    worker is running. *)
+
+type event = {
+  name : string;
+  attrs : (string * string) list;
+  ts_us : float;  (** span start, µs since {!enable} *)
+  dur_us : float;
+  tid : int;  (** domain id *)
+  depth : int;  (** nesting depth at span start, 0 = top level *)
+  seq : int;  (** global record order (= span end order) *)
+}
+
+val enable : ?capacity:int -> unit -> unit
+(** Installs a fresh ring sink (default capacity 65536 events); any
+    previously recorded events are gone.
+    @raise Invalid_argument on [capacity < 1]. *)
+
+val disable : unit -> unit
+(** Back to the no-op sink. *)
+
+val enabled : unit -> bool
+
+val clear : unit -> unit
+(** Empties the ring without disabling. *)
+
+val with_span :
+  ?attrs:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f ()] under span [name]. The [attrs]
+    thunk is evaluated only when tracing is enabled, {e after} [f]
+    returns — it may read values [f] computed. Exceptions from [f] are
+    re-raised after the span is recorded. *)
+
+val events : unit -> event list
+(** Retained events, oldest first. Empty when disabled. *)
+
+val dropped : unit -> int
+(** Events evicted by ring overflow since {!enable}/{!clear}. *)
+
+val to_chrome_json_value : unit -> Json.t
+val to_chrome_json : unit -> string
+(** Chrome [trace_event] JSON (complete events, µs timestamps): load the
+    file in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+val pp_tree : Format.formatter -> unit -> unit
+(** Compact per-domain text tree, indented by span depth. *)
+
+type stat = {
+  span : string;
+  calls : int;
+  total_us : float;
+  mean_us : float;
+  max_us : float;
+}
+
+val aggregate : unit -> stat list
+(** Per-span-name aggregates over the retained events, sorted by total
+    duration descending. *)
+
+val pp_hot_paths : Format.formatter -> unit -> unit
+(** {!aggregate} as a table; the share column is relative to the summed
+    duration of top-level (depth 0) spans. *)

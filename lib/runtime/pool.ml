@@ -17,6 +17,18 @@ type t = {
 let tasks_counter = Atomic.make 0
 let tasks_run () = Atomic.get tasks_counter
 
+(* The task count mirrors [tasks_counter] into the metrics registry (and
+   is therefore jobs-invariant like it); the two histograms record host
+   timing and are the only pool metrics expected to vary between runs. *)
+let m_tasks = Obs.Metrics.counter "pool.tasks"
+
+let h_task =
+  Obs.Metrics.histogram "pool.task_seconds" ~buckets:Obs.Metrics.latency_buckets
+
+let h_wait =
+  Obs.Metrics.histogram "pool.queue_wait_seconds"
+    ~buckets:Obs.Metrics.latency_buckets
+
 let parse_jobs s =
   match int_of_string_opt (String.trim s) with
   | Some n when n >= 1 -> Some (min n 128)
@@ -81,7 +93,11 @@ let run_inline thunks =
   List.map
     (fun f ->
        Atomic.incr tasks_counter;
-       f ())
+       Obs.Metrics.incr m_tasks;
+       let started_at = Unix.gettimeofday () in
+       let r = f () in
+       Obs.Metrics.observe h_task (Unix.gettimeofday () -. started_at);
+       r)
     thunks
 
 let run_all_in t thunks =
@@ -92,9 +108,14 @@ let run_all_in t thunks =
     let n = Array.length arr in
     let results = Array.make n None in
     let remaining = Atomic.make n in
+    let enqueued_at = Unix.gettimeofday () in
     let run i =
+      let started_at = Unix.gettimeofday () in
+      Obs.Metrics.observe h_wait (started_at -. enqueued_at);
       let r = try Ok (arr.(i) ()) with e -> Error e in
       Atomic.incr tasks_counter;
+      Obs.Metrics.incr m_tasks;
+      Obs.Metrics.observe h_task (Unix.gettimeofday () -. started_at);
       results.(i) <- Some r;
       (* The release store below publishes [results.(i)]; the caller's
          matching acquire load is its [Atomic.get remaining]. *)
@@ -156,10 +177,12 @@ let both ?jobs f g =
       Domain.spawn (fun () ->
           let r = try Ok (f ()) with e -> Error e in
           Atomic.incr tasks_counter;
+          Obs.Metrics.incr m_tasks;
           r)
     in
     let b = (try Ok (g ()) with e -> Error e) in
     Atomic.incr tasks_counter;
+    Obs.Metrics.incr m_tasks;
     let a = Domain.join d in
     match (a, b) with
     | Ok a, Ok b -> (a, b)

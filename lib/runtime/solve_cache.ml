@@ -4,43 +4,92 @@ type outcome = Solved of Ilp.Solution.t | Node_limit
 
 type stats = { hits : int; misses : int }
 
-let table : (string, outcome) Hashtbl.t = Hashtbl.create 256
+(* Single-flight entries: the first requester of a key installs [Pending]
+   and solves; concurrent requesters of the same key block on [settled]
+   until the outcome lands, then count as hits. This makes the hit/miss
+   split a function of the request sequence alone — every unique key is
+   exactly one miss, every other request a hit — so cache counters are
+   identical at any parallel degree, which the metrics determinism
+   guarantee relies on. *)
+type entry = Done of outcome | Pending
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 256
 let lock = Mutex.create ()
+let settled = Condition.create ()
 let hit_count = Atomic.make 0
 let miss_count = Atomic.make 0
+let m_hits = Obs.Metrics.counter "solve_cache.hits"
+let m_misses = Obs.Metrics.counter "solve_cache.misses"
+let m_entries = Obs.Metrics.gauge "solve_cache.entries"
 
 let key ~tag model =
   Digest.to_hex (Digest.string (tag ^ "\n" ^ Ilp.Model.canonical model))
 
-let find k =
+let size () =
   Mutex.lock lock;
-  let r = Hashtbl.find_opt table k in
+  let n =
+    Hashtbl.fold
+      (fun _ e acc -> match e with Done _ -> acc + 1 | Pending -> acc)
+      table 0
+  in
   Mutex.unlock lock;
-  r
+  n
 
-let store k outcome =
+(* Either returns the settled outcome or reserves the key for the caller
+   to solve (waiting out another domain's in-flight solve first). *)
+let acquire k =
   Mutex.lock lock;
-  if not (Hashtbl.mem table k) then Hashtbl.add table k outcome;
-  Mutex.unlock lock
+  let rec loop () =
+    match Hashtbl.find_opt table k with
+    | Some (Done o) ->
+      Mutex.unlock lock;
+      `Hit o
+    | Some Pending ->
+      Condition.wait settled lock;
+      loop ()
+    | None ->
+      Hashtbl.replace table k Pending;
+      Mutex.unlock lock;
+      `Reserved
+  in
+  loop ()
+
+let settle k result =
+  Mutex.lock lock;
+  (match result with
+   | Some outcome -> Hashtbl.replace table k (Done outcome)
+   | None ->
+     (* the solver raised something we don't cache: release the key so a
+        later request can retry *)
+     Hashtbl.remove table k);
+  Condition.broadcast settled;
+  Mutex.unlock lock;
+  if result <> None then Obs.Metrics.set m_entries (size ())
+
+let replay outcome =
+  Atomic.incr hit_count;
+  Obs.Metrics.incr m_hits;
+  match outcome with
+  | Solved s -> s
+  | Node_limit -> raise Ilp.Branch_bound.Node_limit_exceeded
 
 let solve_cached ~tag solve model =
   let k = key ~tag model in
-  match find k with
-  | Some (Solved s) ->
-    Atomic.incr hit_count;
-    s
-  | Some Node_limit ->
-    Atomic.incr hit_count;
-    raise Ilp.Branch_bound.Node_limit_exceeded
-  | None ->
+  match acquire k with
+  | `Hit o -> replay o
+  | `Reserved ->
     Atomic.incr miss_count;
+    Obs.Metrics.incr m_misses;
     (match solve model with
      | s ->
-       store k (Solved s);
+       settle k (Some (Solved s));
        s
      | exception Ilp.Branch_bound.Node_limit_exceeded ->
-       store k Node_limit;
-       raise Ilp.Branch_bound.Node_limit_exceeded)
+       settle k (Some Node_limit);
+       raise Ilp.Branch_bound.Node_limit_exceeded
+     | exception e ->
+       settle k None;
+       raise e)
 
 let solve_lp model = solve_cached ~tag:"lp" Ilp.Simplex.solve model
 
@@ -63,11 +112,9 @@ let reset_stats () =
 let clear () =
   Mutex.lock lock;
   Hashtbl.reset table;
+  (* waiters on a cleared Pending key re-check, find nothing, and become
+     fresh misses — acceptable for a bench-only operation *)
+  Condition.broadcast settled;
   Mutex.unlock lock;
+  Obs.Metrics.set m_entries 0;
   reset_stats ()
-
-let size () =
-  Mutex.lock lock;
-  let n = Hashtbl.length table in
-  Mutex.unlock lock;
-  n

@@ -14,8 +14,13 @@
     cache cannot change any experiment output.
 
     The cache is shared by every domain in the process and is safe to use
-    from {!Pool} workers. Two domains racing on the same key may both
-    solve it (wasted work, not wrong results); one result is kept.
+    from {!Pool} workers. Lookups are {e single-flight}: the first
+    requester of a key solves it while concurrent requesters of the same
+    key block until the outcome lands and then count as hits. Hit/miss
+    totals are therefore a function of the request sequence alone — one
+    miss per unique key, a hit for everything else — identical at any
+    parallel degree, which is what keeps {!Obs.Metrics} counter
+    snapshots jobs-invariant.
 
     {!Ilp.Branch_bound.Node_limit_exceeded} outcomes are cached too and
     re-raised on hits. *)

@@ -26,9 +26,22 @@ let measure ~jobs f =
       cache_misses = stats1.Solve_cache.misses - stats0.Solve_cache.misses;
     } )
 
-let speedup ~baseline t = baseline.wall_s /. t.wall_s
+(* Regions faster than the clock granularity report wall_s = 0.; an
+   unguarded quotient then returns inf (or nan for 0/0). Clamping the
+   denominator to 1ns keeps the ratio finite, and the two-sided zero
+   case — neither region measurable — reads as parity. *)
+let speedup ~baseline t =
+  let floor_s = 1e-9 in
+  if baseline.wall_s <= floor_s && t.wall_s <= floor_s then 1.
+  else baseline.wall_s /. Float.max t.wall_s floor_s
+
+let cache_hit_rate t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then 0. else float_of_int t.cache_hits /. float_of_int total
 
 let pp fmt t =
   Format.fprintf fmt
-    "jobs=%d tasks=%d wall=%.3fs cpu=%.3fs cache=%d hit/%d miss" t.jobs t.tasks
-    t.wall_s t.cpu_s t.cache_hits t.cache_misses
+    "jobs=%d tasks=%d wall=%.3fs cpu=%.3fs cache=%d hit/%d miss (%.0f%% hit \
+     rate)"
+    t.jobs t.tasks t.wall_s t.cpu_s t.cache_hits t.cache_misses
+    (100. *. cache_hit_rate t)

@@ -26,9 +26,21 @@ type run_result = {
 
 exception Cycle_limit_exceeded of int
 
+let m_runs = Obs.Metrics.counter "tcsim.runs"
+let m_cycles = Obs.Metrics.counter "tcsim.cycles"
+
 let run ?(config = default_config) ?(max_cycles = 200_000_000)
     ?(restart_contenders = true) ?priorities ?(trace = false) ~analysis
     ?(contenders = []) () =
+  Obs.Metrics.incr m_runs;
+  let finish_cycle = ref 0 in
+  Obs.Tracer.with_span "tcsim.run"
+    ~attrs:(fun () ->
+        [
+          ("cores", string_of_int (1 + List.length contenders));
+          ("cycles", string_of_int !finish_cycle);
+        ])
+    (fun () ->
   let ncores = Array.length config.cores in
   let all_tasks = analysis :: contenders in
   let seen = Hashtbl.create 4 in
@@ -63,12 +75,17 @@ let run ?(config = default_config) ?(max_cycles = 200_000_000)
       restarts = Core_model.restarts core;
     }
   in
-  {
-    cycles = Core_model.finish_cycle analysis_core;
-    analysis = result_of analysis_core;
-    contenders = List.map (fun (id, c) -> (id, result_of c)) contender_cores;
-    trace = Sri.trace sri;
-  }
+  let result =
+    {
+      cycles = Core_model.finish_cycle analysis_core;
+      analysis = result_of analysis_core;
+      contenders = List.map (fun (id, c) -> (id, result_of c)) contender_cores;
+      trace = Sri.trace sri;
+    }
+  in
+  finish_cycle := result.cycles;
+  Obs.Metrics.add m_cycles result.cycles;
+  result)
 
 let run_isolation ?config ?max_cycles ?(core = 0) program =
   run ?config ?max_cycles ~analysis:{ program; core } ()

@@ -36,6 +36,26 @@ let iface_index = function
   | Target.Pf1 -> 2
   | Target.Lmu -> 3
 
+(* Per-target service/wait cycle totals, indexed like [ifaces] (both
+   arrays are built over [Target.all] in [iface_index] order). Values
+   are simulated cycles, so the totals are exactly reproducible and
+   jobs-invariant — the software analogue of the DSU's per-slave
+   occupancy counters. *)
+let target_tag = function
+  | Target.Dfl -> "dfl"
+  | Target.Pf0 -> "pf0"
+  | Target.Pf1 -> "pf1"
+  | Target.Lmu -> "lmu"
+
+let m_busy, m_wait, m_grants =
+  let mk f = Array.of_list (List.map f Target.all) in
+  ( mk (fun t ->
+        Obs.Metrics.gauge (Printf.sprintf "sri.%s.busy_cycles" (target_tag t))),
+    mk (fun t ->
+        Obs.Metrics.gauge (Printf.sprintf "sri.%s.wait_cycles" (target_tag t))),
+    mk (fun t ->
+        Obs.Metrics.counter (Printf.sprintf "sri.%s.grants" (target_tag t))) )
+
 let create ?(latency = Latency.default) ?priorities ?(trace = false) ~ncores () =
   let priorities =
     match priorities with
@@ -116,6 +136,10 @@ let grant t iface cycle p =
   t.profiles.(p.p_core) <-
     Access_profile.incr t.profiles.(p.p_core) iface.target p.p_ticket.op;
   t.served_counts.(p.p_core) <- t.served_counts.(p.p_core) + 1;
+  let idx = iface_index iface.target in
+  Obs.Metrics.gauge_add m_busy.(idx) svc;
+  Obs.Metrics.gauge_add m_wait.(idx) (cycle - p.p_ticket.issued_at);
+  Obs.Metrics.incr m_grants.(idx);
   if t.tracing then
     t.events <-
       {

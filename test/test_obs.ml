@@ -1,0 +1,262 @@
+(* Tests for the observability layer.
+
+   Metrics coverage: histogram bucket-edge semantics, counter atomicity
+   under a 4-domain hammer, and the JSON export parsing back through the
+   bundled JSON reader. Tracer coverage: span nesting/ordering and the
+   Chrome trace_event export round-tripping through the parser. The
+   qcheck property pins the determinism contract: the jobs-invariant
+   snapshot is identical for jobs=1 and jobs=4 over a random cached
+   solver workload. *)
+
+open Numeric
+
+let q = Q.of_int
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let test_histogram_bucket_edges () =
+  Obs.Metrics.reset ();
+  let h = Obs.Metrics.histogram ~buckets:[| 1.; 2.; 5. |] "test.hist" in
+  (* edges are inclusive upper bounds; 7.0 overflows past the last edge *)
+  List.iter (Obs.Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 4.9; 5.0; 7.0 ];
+  let snap = Obs.Metrics.snapshot () in
+  let hs = List.assoc "test.hist" snap.Obs.Metrics.histograms in
+  Alcotest.(check (array (float 1e-9))) "edges" [| 1.; 2.; 5. |] hs.Obs.Metrics.edges;
+  Alcotest.(check (array int)) "per-bucket counts (last = overflow)"
+    [| 2; 2; 2; 1 |] hs.Obs.Metrics.counts;
+  Alcotest.(check int) "count" 7 hs.Obs.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum" 21.9 hs.Obs.Metrics.sum;
+  Alcotest.(check (float 1e-9)) "min" 0.5 hs.Obs.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max" 7.0 hs.Obs.Metrics.max
+
+let test_histogram_rejects_bad_edges () =
+  (match Obs.Metrics.histogram ~buckets:[||] "test.hist.empty" with
+   | _ -> Alcotest.fail "empty edges accepted"
+   | exception Invalid_argument _ -> ());
+  match Obs.Metrics.histogram ~buckets:[| 2.; 1. |] "test.hist.decreasing" with
+  | _ -> Alcotest.fail "non-increasing edges accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_kind_clash_rejected () =
+  ignore (Obs.Metrics.counter "test.clash");
+  match Obs.Metrics.gauge "test.clash" with
+  | _ -> Alcotest.fail "kind clash accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_counter_hammer () =
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "test.hammer" in
+  let g = Obs.Metrics.gauge "test.hammer.max" in
+  let per_domain = 10_000 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs.Metrics.incr c;
+              Obs.Metrics.set_max g ((d * per_domain) + i)
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost increments" (4 * per_domain) (Obs.Metrics.value c);
+  Alcotest.(check int) "monotonic max across domains" (4 * per_domain)
+    (Obs.Metrics.gauge_value g)
+
+let test_metrics_json_roundtrip () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.add (Obs.Metrics.counter "test.json.counter") 7;
+  Obs.Metrics.set (Obs.Metrics.gauge "test.json.gauge") 3;
+  Obs.Metrics.observe (Obs.Metrics.histogram ~buckets:[| 1. |] "test.json.hist") 0.5;
+  match Obs.Json.parse (Obs.Metrics.to_json ()) with
+  | Error e -> Alcotest.failf "metrics JSON does not parse: %s" e
+  | Ok doc ->
+    let section name =
+      match Obs.Json.member name doc with
+      | Some (Obs.Json.Obj kvs) -> kvs
+      | _ -> Alcotest.failf "missing %S object" name
+    in
+    (match List.assoc_opt "test.json.counter" (section "counters") with
+     | Some (Obs.Json.Int 7) -> ()
+     | _ -> Alcotest.fail "counter value lost");
+    (match List.assoc_opt "test.json.gauge" (section "gauges") with
+     | Some (Obs.Json.Int 3) -> ()
+     | _ -> Alcotest.fail "gauge value lost");
+    match List.assoc_opt "test.json.hist" (section "histograms") with
+    | Some (Obs.Json.Obj h) ->
+      (match List.assoc_opt "count" h with
+       | Some (Obs.Json.Int 1) -> ()
+       | _ -> Alcotest.fail "histogram count lost")
+    | _ -> Alcotest.fail "histogram section lost"
+
+(* --- tracer --------------------------------------------------------------- *)
+
+let test_span_nesting_and_order () =
+  Obs.Tracer.enable ~capacity:64 ();
+  Fun.protect ~finally:Obs.Tracer.disable @@ fun () ->
+  let r =
+    Obs.Tracer.with_span "outer" (fun () ->
+        1 + Obs.Tracer.with_span "inner"
+              ~attrs:(fun () -> [ ("k", "v") ])
+              (fun () -> 41))
+  in
+  Alcotest.(check int) "value passes through" 42 r;
+  match Obs.Tracer.events () with
+  | [ inner; outer ] ->
+    (* events are recorded at span end, so the child precedes its parent *)
+    Alcotest.(check string) "inner recorded first" "inner" inner.Obs.Tracer.name;
+    Alcotest.(check string) "outer recorded last" "outer" outer.Obs.Tracer.name;
+    Alcotest.(check int) "outer is top level" 0 outer.Obs.Tracer.depth;
+    Alcotest.(check int) "inner nests one deeper" 1 inner.Obs.Tracer.depth;
+    Alcotest.(check bool) "inner starts after outer" true
+      (inner.Obs.Tracer.ts_us >= outer.Obs.Tracer.ts_us);
+    Alcotest.(check bool) "outer covers inner" true
+      (outer.Obs.Tracer.dur_us >= inner.Obs.Tracer.dur_us);
+    Alcotest.(check (list (pair string string))) "attrs survive" [ ("k", "v") ]
+      inner.Obs.Tracer.attrs
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_span_disabled_is_transparent () =
+  Obs.Tracer.disable ();
+  Alcotest.(check bool) "disabled" false (Obs.Tracer.enabled ());
+  Alcotest.(check int) "value passes through" 7
+    (Obs.Tracer.with_span "ignored" (fun () -> 7));
+  Alcotest.(check int) "no events collected" 0
+    (List.length (Obs.Tracer.events ()))
+
+let test_span_records_on_exception () =
+  Obs.Tracer.enable ~capacity:16 ();
+  Fun.protect ~finally:Obs.Tracer.disable @@ fun () ->
+  (match Obs.Tracer.with_span "boom" (fun () -> failwith "boom") with
+   | _ -> Alcotest.fail "expected Failure"
+   | exception Failure _ -> ());
+  match Obs.Tracer.events () with
+  | [ e ] -> Alcotest.(check string) "span survives the raise" "boom" e.Obs.Tracer.name
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+let test_ring_eviction () =
+  Obs.Tracer.enable ~capacity:4 ();
+  Fun.protect ~finally:Obs.Tracer.disable @@ fun () ->
+  for i = 1 to 10 do
+    Obs.Tracer.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  let names = List.map (fun e -> e.Obs.Tracer.name) (Obs.Tracer.events ()) in
+  Alcotest.(check (list string)) "newest four retained, oldest first"
+    [ "s7"; "s8"; "s9"; "s10" ] names;
+  Alcotest.(check int) "evictions counted" 6 (Obs.Tracer.dropped ())
+
+let test_chrome_trace_roundtrip () =
+  Obs.Tracer.enable ();
+  Fun.protect ~finally:Obs.Tracer.disable @@ fun () ->
+  ignore
+    (Obs.Tracer.with_span "alpha" (fun () ->
+         Obs.Tracer.with_span "beta" (fun () -> 1)));
+  match Obs.Json.parse (Obs.Tracer.to_chrome_json ()) with
+  | Error e -> Alcotest.failf "chrome trace does not parse: %s" e
+  | Ok doc ->
+    let events =
+      match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+      | Some l -> l
+      | None -> Alcotest.fail "missing traceEvents array"
+    in
+    Alcotest.(check int) "two complete events" 2 (List.length events);
+    List.iter
+      (fun ev ->
+         List.iter
+           (fun k ->
+              if Obs.Json.member k ev = None then
+                Alcotest.failf "event missing field %S" k)
+           [ "name"; "cat"; "ph"; "ts"; "dur"; "pid"; "tid" ];
+         match Obs.Json.member "ph" ev with
+         | Some (Obs.Json.Str "X") -> ()
+         | _ -> Alcotest.fail "expected complete events (ph = X)")
+      events;
+    let names =
+      List.filter_map
+        (fun ev ->
+           match Obs.Json.member "name" ev with
+           | Some (Obs.Json.Str s) -> Some s
+           | _ -> None)
+        events
+    in
+    Alcotest.(check (list string)) "record order" [ "beta"; "alpha" ] names
+
+let test_aggregate () =
+  Obs.Tracer.enable ();
+  Fun.protect ~finally:Obs.Tracer.disable @@ fun () ->
+  for _ = 1 to 3 do
+    Obs.Tracer.with_span "hot" (fun () -> ())
+  done;
+  Obs.Tracer.with_span "cold" (fun () -> ());
+  let stats = Obs.Tracer.aggregate () in
+  let hot = List.find (fun s -> s.Obs.Tracer.span = "hot") stats in
+  Alcotest.(check int) "three calls aggregated" 3 hot.Obs.Tracer.calls;
+  Alcotest.(check bool) "mean <= max" true
+    (hot.Obs.Tracer.mean_us <= hot.Obs.Tracer.max_us +. 1e-9)
+
+(* --- jobs invariance ------------------------------------------------------- *)
+
+let knapsack ~capacity () =
+  let m = Ilp.Model.create () in
+  let add v w name =
+    let x = Ilp.Model.add_var m ~integer:true ~ub:Q.one name in
+    ((q v, x), (q w, x))
+  in
+  let v1, w1 = add 60 10 "item1" in
+  let v2, w2 = add 100 20 "item2" in
+  let v3, w3 = add 120 30 "item3" in
+  Ilp.Model.add_constraint m
+    (Ilp.Linexpr.of_terms [ w1; w2; w3 ])
+    Ilp.Model.Le (q capacity);
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linexpr.of_terms [ v1; v2; v3 ]);
+  m
+
+let jobs_invariant_snapshot =
+  QCheck.Test.make ~count:10
+    ~name:"deterministic snapshot identical for jobs=1 and jobs=4"
+    QCheck.(list_of_size Gen.(int_range 1 8) (int_range 1 60))
+    (fun capacities ->
+       (* duplicate capacities are the interesting case: concurrent
+          requests for one key must still count as one miss *)
+       let run jobs =
+         Obs.Metrics.reset ();
+         Runtime.Solve_cache.clear ();
+         ignore
+           (Runtime.Pool.map ~jobs
+              (fun c -> Runtime.Solve_cache.solve_ilp (knapsack ~capacity:c ()))
+              capacities);
+         Obs.Metrics.deterministic_snapshot ()
+       in
+       run 1 = run 4)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram bucket edges" `Quick
+            test_histogram_bucket_edges;
+          Alcotest.test_case "histogram rejects bad edges" `Quick
+            test_histogram_rejects_bad_edges;
+          Alcotest.test_case "name/kind clash rejected" `Quick
+            test_kind_clash_rejected;
+          Alcotest.test_case "counters atomic under 4 domains" `Quick
+            test_counter_hammer;
+          Alcotest.test_case "JSON export parses back" `Quick
+            test_metrics_json_roundtrip;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "span nesting and record order" `Quick
+            test_span_nesting_and_order;
+          Alcotest.test_case "disabled tracer is transparent" `Quick
+            test_span_disabled_is_transparent;
+          Alcotest.test_case "span recorded on exception" `Quick
+            test_span_records_on_exception;
+          Alcotest.test_case "ring evicts oldest events" `Quick test_ring_eviction;
+          Alcotest.test_case "chrome trace round-trips" `Quick
+            test_chrome_trace_roundtrip;
+          Alcotest.test_case "per-span aggregation" `Quick test_aggregate;
+        ] );
+      ( "determinism",
+        [ QCheck_alcotest.to_alcotest jobs_invariant_snapshot ] );
+    ]

@@ -218,6 +218,26 @@ let test_cache_replays_node_limit () =
   Alcotest.(check int) "solved once" 1 misses;
   Alcotest.(check int) "replayed once" 1 hits
 
+let test_cache_single_flight () =
+  (* eight concurrent requests for one key: the first installs the entry
+     and solves, the other seven block on it and count as hits — the
+     hit/miss totals match the sequential schedule exactly *)
+  Runtime.Solve_cache.clear ();
+  Runtime.Solve_cache.reset_stats ();
+  let results =
+    Runtime.Pool.run_all ~jobs:4
+      (List.init 8 (fun _ () -> Runtime.Solve_cache.solve_ilp (knapsack_model ())))
+  in
+  List.iter
+    (fun s ->
+       Alcotest.(check string) "every requester sees the optimum" "220"
+         (Q.to_string (objective_exn s)))
+    results;
+  let { Runtime.Solve_cache.hits; misses } = Runtime.Solve_cache.stats () in
+  Alcotest.(check int) "solved exactly once" 1 misses;
+  Alcotest.(check int) "everyone else hits" 7 hits;
+  Alcotest.(check int) "one entry" 1 (Runtime.Solve_cache.size ())
+
 (* --- telemetry ---------------------------------------------------------------- *)
 
 let test_telemetry_measure () =
@@ -234,6 +254,42 @@ let test_telemetry_measure () =
   Alcotest.(check int) "cache misses recorded" 1 t.Runtime.Telemetry.cache_misses;
   Alcotest.(check bool) "wall time non-negative" true
     (t.Runtime.Telemetry.wall_s >= 0.)
+
+let test_telemetry_speedup_guarded () =
+  let record wall_s =
+    {
+      Runtime.Telemetry.jobs = 1;
+      tasks = 0;
+      wall_s;
+      cpu_s = 0.;
+      cache_hits = 0;
+      cache_misses = 0;
+    }
+  in
+  (* a region faster than the clock granularity must not yield inf/nan *)
+  let s = Runtime.Telemetry.speedup ~baseline:(record 1.0) (record 0.0) in
+  Alcotest.(check bool) "zero-wall denominator stays finite" true
+    (Float.is_finite s);
+  Alcotest.(check (float 1e-9)) "two unmeasurable regions compare equal" 1.0
+    (Runtime.Telemetry.speedup ~baseline:(record 0.0) (record 0.0));
+  Alcotest.(check (float 1e-9)) "ordinary regions divide" 2.0
+    (Runtime.Telemetry.speedup ~baseline:(record 2.0) (record 1.0))
+
+let test_telemetry_hit_rate () =
+  let record hits misses =
+    {
+      Runtime.Telemetry.jobs = 1;
+      tasks = 0;
+      wall_s = 0.;
+      cpu_s = 0.;
+      cache_hits = hits;
+      cache_misses = misses;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "no activity is 0" 0.
+    (Runtime.Telemetry.cache_hit_rate (record 0 0));
+  Alcotest.(check (float 1e-9)) "3 of 4" 0.75
+    (Runtime.Telemetry.cache_hit_rate (record 3 1))
 
 let () =
   Alcotest.run "runtime"
@@ -260,7 +316,14 @@ let () =
             test_cache_distinguishes_solvers_and_params;
           Alcotest.test_case "names excluded from key" `Quick test_cache_key_ignores_names;
           Alcotest.test_case "node-limit outcome replayed" `Quick test_cache_replays_node_limit;
+          Alcotest.test_case "single flight under concurrency" `Quick
+            test_cache_single_flight;
         ] );
       ( "telemetry",
-        [ Alcotest.test_case "measure" `Quick test_telemetry_measure ] );
+        [
+          Alcotest.test_case "measure" `Quick test_telemetry_measure;
+          Alcotest.test_case "speedup guarded against zero wall" `Quick
+            test_telemetry_speedup_guarded;
+          Alcotest.test_case "cache hit rate" `Quick test_telemetry_hit_rate;
+        ] );
     ]
