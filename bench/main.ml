@@ -4,9 +4,11 @@
    per artifact).
 
    Usage:
-     dune exec bench/main.exe              # regenerate + time
-     dune exec bench/main.exe -- tables    # regeneration only
-     dune exec bench/main.exe -- timings   # Bechamel only *)
+     dune exec bench/main.exe                 # regenerate + time
+     dune exec bench/main.exe -- tables       # regeneration only
+     dune exec bench/main.exe -- timings      # Bechamel only
+     dune exec bench/main.exe -- solver       # solver micro-benchmark
+     dune exec bench/main.exe -- perf-check   # vs bench/perf_baseline.json *)
 
 open Bechamel
 open Toolkit
@@ -99,6 +101,173 @@ let stages =
         Format.printf "%a@." Experiments.Dma_study.pp (Experiments.Dma_study.run ()) );
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Solver micro-benchmark                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic family of branch & bound workloads in the shape the
+   contention pipelines produce — small integer programs with dense
+   knapsack-style rows and fractional LP optima (halved objective
+   coefficients defeat the integral-bound pruning, forcing real
+   branching). A fixed LCG generates the family, so every run on every
+   machine benches the same models. *)
+let solver_models () =
+  (* 48-bit LCG (Knuth/POSIX drand48 constants): fits the 63-bit native
+     int and is identical on every platform *)
+  let state = ref 0x5DEECE66D in
+  let rand bound =
+    state := ((!state * 0x5DEECE66D) + 0xB) land ((1 lsl 48) - 1);
+    (!state lsr 16) mod bound
+  in
+  List.init 12 (fun _ ->
+      let q = Numeric.Q.of_int in
+      let m = Ilp.Model.create () in
+      let nv = 5 + rand 5 in
+      let vars =
+        Array.init nv (fun i ->
+            Ilp.Model.add_var m ~integer:true ~ub:(q (2 + rand 7))
+              (Printf.sprintf "x%d" i))
+      in
+      let nr = 6 + rand 7 in
+      for _ = 1 to nr do
+        let terms =
+          Array.to_list (Array.map (fun v -> (q (rand 11 - 4), v)) vars)
+        in
+        Ilp.Model.add_constraint m (Ilp.Linexpr.of_terms terms) Ilp.Model.Le
+          (q (10 + rand 40))
+      done;
+      Ilp.Model.set_objective m Ilp.Model.Maximize
+        (Ilp.Linexpr.of_terms
+           (Array.to_list
+              (Array.map (fun v -> (Numeric.Q.of_ints (1 + rand 17) 2, v)) vars)));
+      m)
+
+let counter_delta before after k =
+  Option.value ~default:0 (List.assoc_opt k after)
+  - Option.value ~default:0 (List.assoc_opt k before)
+
+type solver_bench = {
+  bench_t : Runtime.Telemetry.t;
+  deltas : (string * int) list;
+  pivots_per_node : float;
+  dense_root_wall_s : float;
+  tiered_root_wall_s : float;
+}
+
+let solver_bench () =
+  let models = solver_models () in
+  let before = Obs.Metrics.deterministic_snapshot () in
+  let (), bench_t =
+    Runtime.Telemetry.measure ~jobs:1 (fun () ->
+        List.iter (fun m -> ignore (Ilp.Branch_bound.solve m)) models)
+  in
+  let after = Obs.Metrics.deterministic_snapshot () in
+  let deltas =
+    List.filter_map
+      (fun (k, v) ->
+         let v0 = Option.value ~default:0 (List.assoc_opt k before) in
+         if v <> v0 then Some (k, v - v0) else None)
+      after
+  in
+  let pivots = counter_delta before after "ilp.simplex.pivots" in
+  let nodes = counter_delta before after "ilp.bb.nodes" in
+  let pivots_per_node =
+    if nodes = 0 then 0. else float_of_int pivots /. float_of_int nodes
+  in
+  (* Engine-level wall-clock on the same root relaxations: the dense
+     two-phase primal (every node a cold solve — the pre-warm-start
+     engine, still the tier of last resort) against the tiered sparse
+     engine the solver now runs. *)
+  let boxes =
+    List.map
+      (fun m ->
+         let nv = Ilp.Model.num_vars m in
+         ( m,
+           Array.init nv (fun v -> (Ilp.Model.var_info m v).Ilp.Model.lb),
+           Array.init nv (fun v -> (Ilp.Model.var_info m v).Ilp.Model.ub) ))
+      models
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to 40 do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let dense_root_wall_s =
+    time (fun () ->
+        List.iter
+          (fun (m, lb, ub) ->
+             ignore (Ilp.Simplex.dense_solve_with_bounds m ~lb ~ub))
+          boxes)
+  in
+  let tiered_root_wall_s =
+    time (fun () ->
+        List.iter
+          (fun (m, lb, ub) -> ignore (Ilp.Simplex.solve_with_bounds m ~lb ~ub))
+          boxes)
+  in
+  { bench_t; deltas; pivots_per_node; dense_root_wall_s; tiered_root_wall_s }
+
+let json_of_solver_bench b =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str "solver-microbench");
+      ("wall_s", Obs.Json.Float b.bench_t.Runtime.Telemetry.wall_s);
+      ("cpu_s", Obs.Json.Float b.bench_t.Runtime.Telemetry.cpu_s);
+      ("cache_hits", Obs.Json.Int b.bench_t.Runtime.Telemetry.cache_hits);
+      ("cache_misses", Obs.Json.Int b.bench_t.Runtime.Telemetry.cache_misses);
+      ("pivots_per_node", Obs.Json.Float b.pivots_per_node);
+      ("dense_root_wall_s", Obs.Json.Float b.dense_root_wall_s);
+      ("tiered_root_wall_s", Obs.Json.Float b.tiered_root_wall_s);
+      ( "counters",
+        Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) b.deltas) );
+    ]
+
+let pp_solver_bench b =
+  let d k = Option.value ~default:0 (List.assoc_opt k b.deltas) in
+  Format.printf "nodes=%d pivots=%d (%.2f pivots/node) dual=%d warm=%d@."
+    (d "ilp.bb.nodes")
+    (d "ilp.simplex.pivots")
+    b.pivots_per_node
+    (d "ilp.simplex.dual_pivots")
+    (d "ilp.bb.warm_starts");
+  Format.printf
+    "root relaxations x40: dense %.3fs, tiered %.3fs (%.2fx faster)@."
+    b.dense_root_wall_s b.tiered_root_wall_s
+    (b.dense_root_wall_s /. Float.max b.tiered_root_wall_s 1e-9)
+
+let perf_baseline_file = "bench/perf_baseline.json"
+
+(* CI perf smoke: fail when pivots per branch & bound node regress more
+   than 2x against the checked-in baseline. The family is deterministic
+   and pivoting is Bland-rule, so pivot counts are machine-independent —
+   unlike wall time, which stays advisory. *)
+let run_perf_check () =
+  section "Solver perf smoke (vs bench/perf_baseline.json)";
+  let b = solver_bench () in
+  pp_solver_bench b;
+  let baseline =
+    let ic = open_in perf_baseline_file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Obs.Json.parse_exn s
+  in
+  let baseline_ppn =
+    match Obs.Json.member "pivots_per_node" baseline with
+    | Some (Obs.Json.Float f) -> f
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> failwith "perf_baseline.json: missing pivots_per_node"
+  in
+  Format.printf "pivots/node: baseline %.2f, current %.2f@." baseline_ppn
+    b.pivots_per_node;
+  if b.pivots_per_node > 2. *. baseline_ppn then begin
+    Format.printf "FAIL: pivots per node regressed more than 2x@.";
+    exit 1
+  end
+  else Format.printf "OK: within the 2x budget@."
+
 let results_file = "BENCH_results.json"
 
 let json_of_stage (name, (t : Runtime.Telemetry.t), deltas) =
@@ -132,9 +301,14 @@ let regenerate () =
          (name, t, deltas))
       stages
   in
+  (* the solver micro-benchmark stage rides along silently so the JSON
+     always carries pivots-per-node and wall time; its human-readable
+     summary belongs to the [solver] and [perf-check] modes *)
+  let solver = json_of_solver_bench (solver_bench ()) in
   let oc = open_out results_file in
   output_string oc
-    (Obs.Json.to_string (Obs.Json.List (List.map json_of_stage records)));
+    (Obs.Json.to_string
+       (Obs.Json.List (List.map json_of_stage records @ [ solver ])));
   output_char oc '\n';
   close_out oc;
   Format.printf "@.per-stage results written to %s@." results_file
@@ -286,10 +460,16 @@ let () =
   (match mode with
    | "tables" -> regenerate ()
    | "timings" -> run_timings ()
+   | "solver" ->
+     section "Solver micro-benchmark";
+     pp_solver_bench (solver_bench ())
+   | "perf-check" -> run_perf_check ()
    | "all" ->
      regenerate ();
      run_timings ()
    | other ->
-     Format.eprintf "unknown mode %S (expected: tables | timings | all)@." other;
+     Format.eprintf
+       "unknown mode %S (expected: tables | timings | solver | perf-check | all)@."
+       other;
      exit 2);
   Format.printf "@.done.@."

@@ -10,6 +10,8 @@ let m_nodes = Obs.Metrics.counter "ilp.bb.nodes"
 let m_pruned = Obs.Metrics.counter "ilp.bb.pruned"
 let m_incumbents = Obs.Metrics.counter "ilp.bb.incumbents"
 let m_node_limit = Obs.Metrics.counter "ilp.bb.node_limit_hits"
+let m_warm = Obs.Metrics.counter "ilp.bb.warm_starts"
+let m_restarts = Obs.Metrics.counter "ilp.bb.engine_restarts"
 let m_max_depth = Obs.Metrics.gauge "ilp.bb.max_depth"
 
 let branching_value x = (Q.floor x, Q.ceil x)
@@ -18,13 +20,21 @@ let branching_value x = (Q.floor x, Q.ceil x)
    first (for the contention ILPs the optimum sits near the upper bounds,
    so the tightened side finds incumbents quickly).
 
+   Warm starts: a branch only tightens variable bounds, which keeps the
+   parent's optimal basis dual feasible, so each child node copies the
+   parent's solver state ({!Simplex.ENGINE.branch}) and re-optimises with
+   a few dual pivots instead of building and solving a tableau from
+   scratch. The search runs on the machine-word fast tier first; an
+   overflow or stall deterministically restarts the whole search on the
+   next tier, so the result never depends on which tier finished.
+
    [slack] relaxes the pruning test: a node is abandoned when its
    relaxation cannot beat the incumbent by more than [slack]. The returned
    incumbent is therefore within [slack] of the true optimum — callers
    needing a sound upper (resp. lower) bound on a maximisation (resp.
    minimisation) must add [slack] back. *)
-let solve ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model =
-  if Q.sign slack < 0 then invalid_arg "Branch_bound.solve: negative slack";
+let search engine ~node_limit ~slack ~presolve ~root model =
+  let module E = (val engine : Simplex.ENGINE) in
   let nv = Model.num_vars model in
   let int_vars = Model.integer_vars model in
   let dir, obj_expr = Model.objective model in
@@ -105,7 +115,7 @@ let solve ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model =
     | Some _ as r -> r
     | None -> pick int_vars
   in
-  let rec explore ~depth lb0 ub0 =
+  let rec explore ~depth ~parent lb0 ub0 =
     incr nodes;
     Obs.Metrics.incr m_nodes;
     Obs.Metrics.set_max m_max_depth depth;
@@ -114,14 +124,30 @@ let solve ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model =
       raise Node_limit_exceeded
     end;
     match
-      if presolve then Presolve.tighten model ~lb:lb0 ~ub:ub0
-      else Presolve.Tightened (lb0, ub0)
+      (* a memoised root presolve (shared per model structure by the
+         solve cache) replaces the root node's tightening run *)
+      (match root with
+       | Some outcome when depth = 0 -> outcome
+       | _ ->
+         if presolve then Presolve.tighten model ~lb:lb0 ~ub:ub0
+         else Presolve.Tightened (lb0, ub0))
     with
     | Presolve.Infeasible -> ()
-    | Presolve.Tightened (lb, ub) -> explore_box ~depth lb ub
+    | Presolve.Tightened (lb, ub) -> explore_box ~depth ~parent lb ub
 
-  and explore_box ~depth lb ub =
-    match Simplex.solve_with_bounds model ~lb ~ub with
+  and explore_box ~depth ~parent lb ub =
+    (* Warm path: copy the parent's optimal basis and repair it under
+       the tightened box with dual pivots; cold path at the root (or on
+       the dense tier, which never hands back a state). *)
+    let state, solution =
+      match parent with
+      | Some pst ->
+        Obs.Metrics.incr m_warm;
+        let st = E.branch pst in
+        (Some st, E.reoptimize st ~lb ~ub)
+      | None -> E.root model ~lb ~ub
+    in
+    match solution with
     | Solution.Infeasible -> ()
     | Solution.Unbounded ->
       (* An unbounded relaxation of a node means the ILP itself is unbounded
@@ -148,27 +174,43 @@ let solve ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model =
             (match ub.(v) with
              | Some u -> Some (Q.min u fl)
              | None -> Some fl);
-          explore ~depth:(depth + 1) lb ub';
+          explore ~depth:(depth + 1) ~parent:state lb ub';
           let lb' = Array.copy lb in
           lb'.(v) <-
             (match lb.(v) with
              | Some l -> Some (Q.max l cl)
              | None -> Some cl);
-          explore ~depth:(depth + 1) lb' ub
+          explore ~depth:(depth + 1) ~parent:state lb' ub
       end
   in
   let lb0 = Array.init nv (fun v -> (Model.var_info model v).lb) in
   let ub0 = Array.init nv (fun v -> (Model.var_info model v).ub) in
-  Obs.Metrics.incr m_solves;
   Obs.Tracer.with_span "ilp.branch_bound"
     ~attrs:(fun () ->
         [ ("vars", string_of_int nv); ("nodes", string_of_int !nodes) ])
     (fun () ->
-       match explore ~depth:0 lb0 ub0 with
+       match explore ~depth:0 ~parent:None lb0 ub0 with
        | () ->
          (match !best with
           | Some (objective, values) -> Solution.Optimal { objective; values }
           | None -> Solution.Infeasible)
        | exception Exit -> Solution.Unbounded)
+
+let solve ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) ?root
+    model =
+  if Q.sign slack < 0 then invalid_arg "Branch_bound.solve: negative slack";
+  Obs.Metrics.incr m_solves;
+  (* Tier ladder: machine-word fast path, exact rationals, dense primal.
+     Each restart reruns the entire search, so the answer is always the
+     deterministic output of a single engine. *)
+  match search Simplex.fast ~node_limit ~slack ~presolve ~root model with
+  | result -> result
+  | exception (Fastq.Overflow | Simplex.Stalled) -> (
+      Obs.Metrics.incr m_restarts;
+      match search Simplex.exact ~node_limit ~slack ~presolve ~root model with
+      | result -> result
+      | exception Simplex.Stalled ->
+        Obs.Metrics.incr m_restarts;
+        search Simplex.dense ~node_limit ~slack ~presolve ~root model)
 
 let solve_lp_relaxation = Simplex.solve

@@ -8,10 +8,25 @@ open Numeric
 
 exception Node_limit_exceeded
 
-val solve : ?node_limit:int -> ?slack:Q.t -> ?presolve:bool -> Model.t -> Solution.t
+val solve :
+  ?node_limit:int -> ?slack:Q.t -> ?presolve:bool ->
+  ?root:Presolve.outcome -> Model.t -> Solution.t
 (** Solves the model enforcing integrality of its integer variables.
     [node_limit] (default [200_000]) bounds the number of explored
     branch-and-bound nodes.
+
+    The search is warm-started: each child node copies its parent's
+    optimal basis and re-optimises with dual-simplex pivots
+    ({!Simplex.ENGINE.reoptimize}); it runs on the machine-word fast
+    tier first and deterministically restarts on the exact (then dense)
+    tier on overflow or stall, so the result never depends on which
+    tier finished.
+
+    [root], when given, is used as the root node's presolve outcome
+    instead of running {!Presolve.tighten} there — callers that solve
+    many structurally identical models (the solve cache) memoise it. It
+    must equal what the root tightening would produce; passing anything
+    else voids the optimality guarantee.
 
     [slack] (default 0 — exact) relaxes pruning: nodes that cannot improve
     on the incumbent by more than [slack] are abandoned, so the returned

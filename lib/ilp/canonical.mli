@@ -1,0 +1,38 @@
+(** Structural canonicalization of models.
+
+    Maps a {!Model.t} to a canonical representative of its isomorphism
+    class — rows scaled to coprime integer coefficients (sense
+    preserved), variables renamed by a structural fingerprint sort,
+    terms and rows re-sorted deterministically — together with the
+    variable permutation that connects the two.
+
+    Two models built in different orders (or with rows scaled
+    differently) canonicalize to representatives with equal
+    {!structure} strings whenever the fingerprints discriminate, so a
+    content-addressed cache keyed on {!structure} deduplicates
+    structurally identical sweep points. The mapping is a true model
+    isomorphism by construction, so this is sound even when fingerprint
+    ties force an arbitrary (original-index) order: solving the
+    representative and mapping values back through {!restore_values}
+    always yields a correct solution of the original model, with the
+    same objective value. Solving the {e representative} (rather than
+    the first model that happened to arrive) is what keeps cached
+    results independent of request arrival order, i.e. jobs-invariant. *)
+
+open Numeric
+
+type t
+
+val of_model : Model.t -> t
+
+val model : t -> Model.t
+(** The canonical representative (same variable count, same feasible
+    set up to the renaming). *)
+
+val structure : t -> string
+(** {!Model.canonical} of the representative: equal strings iff the
+    representatives are identical. Cache keys hash this. *)
+
+val restore_values : t -> Q.t array -> Q.t array
+(** [restore_values t cv] permutes a value assignment of the
+    representative back into the original model's variable order. *)

@@ -141,6 +141,13 @@ let to_string model =
   Buffer.add_string buf "End\n";
   Buffer.contents buf
 
+(* The canonical representative has deterministic variable ("v0".."vN")
+   and row ("c0".."cN") names, so structural twins — same program built
+   in any variable/row order or row scaling — emit byte-identical text.
+   That is what makes the output diffable across sweep points and
+   suitable for golden files. *)
+let to_canonical_string model = to_string (Canonical.model (Canonical.of_model model))
+
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)

@@ -21,6 +21,15 @@ val to_string : Model.t -> string
 (** @raise Invalid_argument on a coefficient without a finite decimal
     representation. *)
 
+val to_canonical_string : Model.t -> string
+(** [to_string] of the model's canonical representative
+    ({!Canonical.of_model}): rows scaled to coprime integers, variables
+    renamed [v0..vN] by structural fingerprint, rows sorted and renamed
+    [c0..cN]. Structural twins emit byte-identical text, so the output
+    is stable under variable/row build order and suitable for golden
+    files and audit diffs.
+    @raise Invalid_argument as {!to_string}. *)
+
 exception Parse_error of { line : int; message : string }
 
 val of_string : string -> Model.t

@@ -1,26 +1,626 @@
 open Numeric
 
-(* Two-phase dense tableau simplex with Bland's rule, exact rationals.
+(* Bounded-variable simplex with warm starts.
 
-   Pipeline:
-   1. Substitute bounded variables so every column is >= 0
-      (x = lb + x' / x = ub - x'' / free x = x+ - x-), turning finite
-      double bounds into extra <= rows.
-   2. Normalise every row to rhs >= 0 and append slack / artificial
-      columns.
-   3. Phase 1 minimises the sum of artificials; > 0 means infeasible.
-   4. Phase 2 minimises the (transformed) objective; maximisation is
-      handled by negating costs. *)
+   The solver runs in three tiers, each sound, each strictly a fallback
+   for the one before:
 
-type row = { coeffs : Q.t array; rhs : Q.t; sense : Model.sense }
+   1. [Fast] — the bounded-variable engine over {!Fastq} machine-word
+      rationals. Any overflow raises and the solve is redone exactly.
+   2. [Exact] — the same engine over {!Q} bignum rationals.
+   3. [Dense] — the original two-phase dense primal simplex (variable
+      substitution + artificial columns), kept verbatim as the fallback
+      of last resort behind a pivot-budget guard.
 
-(* Pivot/solve totals are deterministic: Bland's rule is a function of
-   the tableau alone, and the single-flight cache runs each distinct
-   model through here the same number of times at any parallel degree. *)
+   The engine itself differs from the dense path in three ways that
+   matter on the contention ILPs:
+
+   - Variable bounds are handled implicitly (nonbasic-at-lower/upper
+     statuses and bound flips) instead of being rewritten into extra
+     tableau rows, so a model with b bounded variables loses b rows and
+     b slack columns compared to the dense construction.
+   - There is no phase-1 artificial block: the all-slack basis is always
+     dual feasible for the zero objective, so primal feasibility is
+     established by a dual-simplex repair loop on the same tableau.
+   - A solved tableau is a warm-start [state]: tightening variable
+     bounds (what branch & bound does) keeps the basis dual feasible,
+     so a child node re-optimises with a handful of dual pivots instead
+     of a from-scratch solve. *)
+
+(* Pivot/solve totals are deterministic: all pivoting rules are
+   least-index (Bland), so totals are a function of the model stream
+   alone, and the single-flight cache runs each distinct model through
+   here the same number of times at any parallel degree. *)
 let m_solves = Obs.Metrics.counter "ilp.simplex.solves"
 let m_pivots = Obs.Metrics.counter "ilp.simplex.pivots"
+let m_dual_pivots = Obs.Metrics.counter "ilp.simplex.dual_pivots"
+let m_flips = Obs.Metrics.counter "ilp.simplex.bound_flips"
 let m_infeasible = Obs.Metrics.counter "ilp.simplex.infeasible"
 let m_unbounded = Obs.Metrics.counter "ilp.simplex.unbounded"
+let m_fast_solves = Obs.Metrics.counter "ilp.simplex.fastpath_solves"
+let m_fast_fallbacks = Obs.Metrics.counter "ilp.simplex.fastpath_fallbacks"
+let m_dense_fallbacks = Obs.Metrics.counter "ilp.simplex.dense_fallbacks"
+
+exception Stalled
+(* Defensive pivot budget only: Bland's rule terminates, so [Stalled]
+   firing means a bug — the caller falls back to a slower tier rather
+   than looping. *)
+
+(* ------------------------------------------------------------------ *)
+(* Scalar abstraction: exact rationals and the machine-word fast path  *)
+(* ------------------------------------------------------------------ *)
+
+module type SCALAR = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_q : Q.t -> t (* may raise Fastq.Overflow *)
+  val to_q : t -> Q.t
+  val neg : t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val sign : t -> int
+  val is_zero : t -> bool
+  val compare : t -> t -> int
+end
+
+module Scalar_q : SCALAR with type t = Q.t = struct
+  include Q
+
+  let of_q q = q
+  let to_q q = q
+end
+
+module Scalar_fast : SCALAR with type t = Fastq.t = struct
+  include Fastq
+end
+
+(* ------------------------------------------------------------------ *)
+(* The bounded-variable engine                                         *)
+(* ------------------------------------------------------------------ *)
+
+module type ENGINE = sig
+  type state
+
+  val root :
+    Model.t -> lb:Q.t option array -> ub:Q.t option array ->
+    state option * Solution.t
+  (** Cold solve. A state is returned exactly when the solution is
+      [Optimal]; it sits at the optimal basis and can seed
+      {!branch}/{!reoptimize}. *)
+
+  val branch : state -> state
+  (** Deep copy: the warm-start tree discipline is copy-on-branch, so a
+      parent's factorized tableau survives its first child's pivots. *)
+
+  val reoptimize :
+    state -> lb:Q.t option array -> ub:Q.t option array -> Solution.t
+  (** Dual-simplex re-solve after tightening bounds (in place). The new
+      box must be contained in the one the state was last solved with;
+      this is exactly the branch & bound discipline. *)
+end
+
+type vstatus = Basic | At_lower | At_upper | Free_zero
+
+module Engine (S : SCALAR) : ENGINE = struct
+  type state = {
+    model : Model.t;
+    n_struct : int;
+    m : int;
+    n_total : int;
+    tab : S.t array array; (* m x n_total: B^-1 A *)
+    rho : S.t array; (* m: B^-1 b *)
+    basis : int array; (* row -> basic column *)
+    pos : int array; (* column -> row, -1 when nonbasic *)
+    status : vstatus array; (* per column *)
+    xval : S.t array; (* per column: value when nonbasic *)
+    beta : S.t array; (* per row: value of its basic column *)
+    cost : S.t array; (* reduced costs (minimisation form) *)
+    lb : S.t option array; (* per column *)
+    ub : S.t option array;
+    mutable budget : int; (* anti-stall pivot budget *)
+  }
+
+  let copy st =
+    {
+      st with
+      tab = Array.map Array.copy st.tab;
+      rho = Array.copy st.rho;
+      basis = Array.copy st.basis;
+      pos = Array.copy st.pos;
+      status = Array.copy st.status;
+      xval = Array.copy st.xval;
+      beta = Array.copy st.beta;
+      cost = Array.copy st.cost;
+      lb = Array.copy st.lb;
+      ub = Array.copy st.ub;
+    }
+
+  let branch = copy
+
+  let fixed st j =
+    match (st.lb.(j), st.ub.(j)) with
+    | Some l, Some u -> S.compare l u = 0
+    | _ -> false
+
+  let spend st =
+    st.budget <- st.budget - 1;
+    if st.budget < 0 then raise Stalled
+
+  (* Shared pivot: normalise row [r] on column [c], eliminate [c] from
+     every other row, the rhs column and the cost row, and swap the
+     basis bookkeeping. The caller has already updated [beta] and the
+     leaving column's status/value. *)
+  let pivot_rows st r c =
+    let prow = st.tab.(r) in
+    let p = prow.(c) in
+    if S.compare p S.one <> 0 then begin
+      let inv = S.div S.one p in
+      for j = 0 to st.n_total - 1 do
+        if not (S.is_zero prow.(j)) then prow.(j) <- S.mul prow.(j) inv
+      done;
+      st.rho.(r) <- S.mul st.rho.(r) inv
+    end;
+    for i = 0 to st.m - 1 do
+      if i <> r then begin
+        let f = st.tab.(i).(c) in
+        if not (S.is_zero f) then begin
+          let irow = st.tab.(i) in
+          for j = 0 to st.n_total - 1 do
+            if not (S.is_zero prow.(j)) then
+              irow.(j) <- S.sub irow.(j) (S.mul f prow.(j))
+          done;
+          st.rho.(i) <- S.sub st.rho.(i) (S.mul f st.rho.(r))
+        end
+      end
+    done;
+    let f = st.cost.(c) in
+    if not (S.is_zero f) then
+      for j = 0 to st.n_total - 1 do
+        if not (S.is_zero prow.(j)) then
+          st.cost.(j) <- S.sub st.cost.(j) (S.mul f prow.(j))
+      done;
+    let leaving = st.basis.(r) in
+    st.pos.(leaving) <- -1;
+    st.basis.(r) <- c;
+    st.pos.(c) <- r;
+    st.status.(c) <- Basic
+
+  (* --- dual simplex: restore primal feasibility --------------------- *)
+
+  (* The current basis is dual feasible (reduced-cost signs match the
+     nonbasic statuses); drive every basic value back inside its bounds.
+     Returns [`Feasible] or [`Infeasible]. *)
+  let dual_loop st =
+    let result = ref None in
+    while !result = None do
+      (* leaving: smallest basic variable whose value violates a bound *)
+      let r = ref (-1) in
+      let below = ref false in
+      for i = st.m - 1 downto 0 do
+        let b = st.basis.(i) in
+        let viol_low =
+          match st.lb.(b) with
+          | Some l -> S.compare st.beta.(i) l < 0
+          | None -> false
+        and viol_up =
+          match st.ub.(b) with
+          | Some u -> S.compare st.beta.(i) u > 0
+          | None -> false
+        in
+        if viol_low || viol_up then
+          if !r < 0 || b < st.basis.(!r) then begin
+            r := i;
+            below := viol_low
+          end
+      done;
+      if !r < 0 then result := Some `Feasible
+      else begin
+        let r = !r and below = !below in
+        let row = st.tab.(r) in
+        (* entering: among sign-eligible nonbasic columns, the one whose
+           reduced-cost ratio is closest to zero (dual ratio test), ties
+           to the smallest column index (Bland) *)
+        let best = ref (-1) in
+        let best_num = ref S.zero and best_den = ref S.one in
+        for j = st.n_total - 1 downto 0 do
+          if st.pos.(j) < 0 && not (fixed st j) then begin
+            let a = row.(j) in
+            let sa = S.sign a in
+            let eligible =
+              sa <> 0
+              && (match st.status.(j) with
+                  | At_lower -> if below then sa < 0 else sa > 0
+                  | At_upper -> if below then sa > 0 else sa < 0
+                  | Free_zero -> true
+                  | Basic -> false)
+            in
+            if eligible then
+              (* compare |d_j / a_j| <= |best| as |d_j * best_den| <=
+                 |best_num * a_j| — exact, no division *)
+              let lhs = S.mul (st.cost.(j)) !best_den
+              and rhs = S.mul !best_num a in
+              let abs x = if S.sign x < 0 then S.neg x else x in
+              if !best < 0 || S.compare (abs lhs) (abs rhs) <= 0 then begin
+                best := j;
+                best_num := st.cost.(j);
+                best_den := a
+              end
+          end
+        done;
+        if !best < 0 then result := Some `Infeasible
+        else begin
+          let c = !best in
+          spend st;
+          Obs.Metrics.incr m_pivots;
+          Obs.Metrics.incr m_dual_pivots;
+          let b = st.basis.(r) in
+          let target =
+            if below then Option.get st.lb.(b) else Option.get st.ub.(b)
+          in
+          let alpha = row.(c) in
+          let delta = S.div (S.sub st.beta.(r) target) alpha in
+          for i = 0 to st.m - 1 do
+            if not (S.is_zero st.tab.(i).(c)) then
+              st.beta.(i) <- S.sub st.beta.(i) (S.mul st.tab.(i).(c) delta)
+          done;
+          let entering_value = S.add st.xval.(c) delta in
+          st.status.(b) <- (if below then At_lower else At_upper);
+          st.xval.(b) <- target;
+          pivot_rows st r c;
+          st.beta.(r) <- entering_value
+        end
+      end
+    done;
+    match !result with Some x -> x | None -> assert false
+
+  (* --- primal simplex with bound flips ------------------------------ *)
+
+  let primal_loop st =
+    let result = ref None in
+    while !result = None do
+      (* entering: smallest improving nonbasic column (Bland) *)
+      let enter = ref (-1) in
+      (try
+         for j = 0 to st.n_total - 1 do
+           if st.pos.(j) < 0 && not (fixed st j) then begin
+             let d = S.sign st.cost.(j) in
+             let improving =
+               match st.status.(j) with
+               | At_lower -> d < 0
+               | At_upper -> d > 0
+               | Free_zero -> d <> 0
+               | Basic -> false
+             in
+             if improving then begin
+               enter := j;
+               raise Exit
+             end
+           end
+         done
+       with Exit -> ());
+      if !enter < 0 then result := Some `Optimal
+      else begin
+        let c = !enter in
+        (* direction: increase from a lower bound, decrease from an
+           upper; a free column moves against its reduced cost *)
+        let up =
+          match st.status.(c) with
+          | At_lower -> true
+          | At_upper -> false
+          | Free_zero | Basic -> S.sign st.cost.(c) < 0
+        in
+        (* ratio test over the rows; [best_t] is the step length *)
+        let best = ref (-1) in
+        let best_t = ref S.zero in
+        let best_to_lower = ref true in
+        for i = 0 to st.m - 1 do
+          let a = st.tab.(i).(c) in
+          if S.sign a <> 0 then begin
+            (* basic value changes by -a*t when increasing, +a*t when
+               decreasing the entering column *)
+            let decreasing = if up then S.sign a > 0 else S.sign a < 0 in
+            let b = st.basis.(i) in
+            let limit =
+              if decreasing then
+                match st.lb.(b) with
+                | Some l ->
+                  let gap = S.sub st.beta.(i) l in
+                  let rate = if up then a else S.neg a in
+                  Some (S.div gap rate, true)
+                | None -> None
+              else
+                match st.ub.(b) with
+                | Some u ->
+                  let gap = S.sub u st.beta.(i) in
+                  let rate = if up then S.neg a else a in
+                  Some (S.div gap rate, false)
+                | None -> None
+            in
+            match limit with
+            | None -> ()
+            | Some (t, to_lower) ->
+              if
+                !best < 0
+                || S.compare t !best_t < 0
+                || (S.compare t !best_t = 0 && b < st.basis.(!best))
+              then begin
+                best := i;
+                best_t := t;
+                best_to_lower := to_lower
+              end
+          end
+        done;
+        (* the entering column's own opposite bound *)
+        let own =
+          match (st.status.(c), st.lb.(c), st.ub.(c)) with
+          | At_lower, Some l, Some u -> Some (S.sub u l)
+          | At_upper, Some l, Some u -> Some (S.sub u l)
+          | _ -> None
+        in
+        let flip =
+          match own with
+          | Some span when !best < 0 || S.compare span !best_t < 0 ->
+            Some span
+          | _ -> None
+        in
+        match flip with
+        | Some span ->
+          spend st;
+          Obs.Metrics.incr m_flips;
+          let signed = if up then span else S.neg span in
+          for i = 0 to st.m - 1 do
+            if not (S.is_zero st.tab.(i).(c)) then
+              st.beta.(i) <- S.sub st.beta.(i) (S.mul st.tab.(i).(c) signed)
+          done;
+          (match st.status.(c) with
+           | At_lower ->
+             st.status.(c) <- At_upper;
+             st.xval.(c) <- Option.get st.ub.(c)
+           | At_upper ->
+             st.status.(c) <- At_lower;
+             st.xval.(c) <- Option.get st.lb.(c)
+           | Basic | Free_zero -> assert false)
+        | None ->
+          if !best < 0 then result := Some `Unbounded
+          else begin
+            let r = !best in
+            spend st;
+            Obs.Metrics.incr m_pivots;
+            let t = !best_t in
+            let signed = if up then t else S.neg t in
+            for i = 0 to st.m - 1 do
+              if not (S.is_zero st.tab.(i).(c)) then
+                st.beta.(i) <- S.sub st.beta.(i) (S.mul st.tab.(i).(c) signed)
+            done;
+            let entering_value = S.add st.xval.(c) signed in
+            let b = st.basis.(r) in
+            st.status.(b) <- (if !best_to_lower then At_lower else At_upper);
+            st.xval.(b) <-
+              (if !best_to_lower then Option.get st.lb.(b)
+               else Option.get st.ub.(b));
+            pivot_rows st r c;
+            st.beta.(r) <- entering_value
+          end
+      end
+    done;
+    match !result with Some x -> x | None -> assert false
+
+  (* --- solution extraction ------------------------------------------ *)
+
+  let extract st =
+    let values =
+      Array.init st.n_struct (fun v ->
+          if st.pos.(v) >= 0 then S.to_q st.beta.(st.pos.(v))
+          else S.to_q st.xval.(v))
+    in
+    let _, obj = Model.objective st.model in
+    let objective = Linexpr.eval obj (fun v -> values.(v)) in
+    Solution.Optimal { objective; values }
+
+  (* --- bound installation ------------------------------------------- *)
+
+  let empty_box ~lb ~ub =
+    let nv = Array.length lb in
+    let bad = ref false in
+    for v = 0 to nv - 1 do
+      match (lb.(v), ub.(v)) with
+      | Some l, Some u when Q.compare l u > 0 -> bad := true
+      | _ -> ()
+    done;
+    !bad
+
+  (* Install a (tighter) box over the structural columns and re-anchor
+     every nonbasic column on a bound of the new box. Statuses are
+     preserved where still meaningful, which is what keeps the basis
+     dual feasible across branch & bound's bound tightenings. *)
+  let set_bounds st ~lb ~ub =
+    for v = 0 to st.n_struct - 1 do
+      st.lb.(v) <- Option.map S.of_q lb.(v);
+      st.ub.(v) <- Option.map S.of_q ub.(v)
+    done;
+    for j = 0 to st.n_total - 1 do
+      if st.pos.(j) < 0 then begin
+        match st.status.(j) with
+        | At_lower -> st.xval.(j) <- Option.get st.lb.(j)
+        | At_upper -> st.xval.(j) <- Option.get st.ub.(j)
+        | Free_zero ->
+          (* a formerly free column that acquired a bound anchors there;
+             its reduced cost is 0 at a warm start, so either side keeps
+             dual feasibility *)
+          (match (st.lb.(j), st.ub.(j)) with
+           | Some l, _ ->
+             st.status.(j) <- At_lower;
+             st.xval.(j) <- l
+           | None, Some u ->
+             st.status.(j) <- At_upper;
+             st.xval.(j) <- u
+           | None, None -> st.xval.(j) <- S.zero)
+        | Basic -> assert false
+      end
+    done;
+    (* beta = rho - tab * xval over the nonbasic columns *)
+    for i = 0 to st.m - 1 do
+      st.beta.(i) <- st.rho.(i)
+    done;
+    for j = 0 to st.n_total - 1 do
+      if st.pos.(j) < 0 && not (S.is_zero st.xval.(j)) then begin
+        let x = st.xval.(j) in
+        for i = 0 to st.m - 1 do
+          if not (S.is_zero st.tab.(i).(j)) then
+            st.beta.(i) <- S.sub st.beta.(i) (S.mul st.tab.(i).(j) x)
+        done
+      end
+    done
+
+  (* --- cold build --------------------------------------------------- *)
+
+  let build model ~lb:lbq ~ub:ubq =
+    let nv = Model.num_vars model in
+    let constrs = Array.of_list (Model.constraints model) in
+    let m = Array.length constrs in
+    let n_total = nv + m in
+    let tab = Array.init m (fun _ -> Array.make n_total S.zero) in
+    let rho = Array.make m S.zero in
+    let lb = Array.make n_total None and ub = Array.make n_total None in
+    for v = 0 to nv - 1 do
+      lb.(v) <- Option.map S.of_q lbq.(v);
+      ub.(v) <- Option.map S.of_q ubq.(v)
+    done;
+    Array.iteri
+      (fun i (c : Model.constr) ->
+         List.iter
+           (fun (v, coef) -> tab.(i).(v) <- S.of_q coef)
+           (Linexpr.terms c.expr);
+         let s = nv + i in
+         tab.(i).(s) <- S.one;
+         rho.(i) <- S.of_q (Q.sub c.rhs (Linexpr.constant c.expr));
+         (* slack bounds encode the sense of [expr + s = rhs] *)
+         (match c.csense with
+          | Model.Le -> lb.(s) <- Some S.zero
+          | Model.Ge -> ub.(s) <- Some S.zero
+          | Model.Eq ->
+            lb.(s) <- Some S.zero;
+            ub.(s) <- Some S.zero))
+      constrs;
+    let basis = Array.init m (fun i -> nv + i) in
+    let pos = Array.make n_total (-1) in
+    Array.iteri (fun i c -> pos.(c) <- i) basis;
+    let status = Array.make n_total Free_zero in
+    let xval = Array.make n_total S.zero in
+    for j = 0 to n_total - 1 do
+      if pos.(j) >= 0 then status.(j) <- Basic
+      else
+        match (lb.(j), ub.(j)) with
+        | Some l, _ ->
+          status.(j) <- At_lower;
+          xval.(j) <- l
+        | None, Some u ->
+          status.(j) <- At_upper;
+          xval.(j) <- u
+        | None, None -> status.(j) <- Free_zero
+    done;
+    let beta = Array.make m S.zero in
+    let st =
+      {
+        model;
+        n_struct = nv;
+        m;
+        n_total;
+        tab;
+        rho;
+        basis;
+        pos;
+        status;
+        xval;
+        beta;
+        cost = Array.make n_total S.zero;
+        lb;
+        ub;
+        budget = 0;
+      }
+    in
+    (* beta from the all-slack basis *)
+    for i = 0 to m - 1 do
+      beta.(i) <- rho.(i)
+    done;
+    for j = 0 to nv - 1 do
+      if not (S.is_zero xval.(j)) then
+        for i = 0 to m - 1 do
+          if not (S.is_zero tab.(i).(j)) then
+            beta.(i) <- S.sub beta.(i) (S.mul tab.(i).(j) xval.(j))
+        done
+    done;
+    st
+
+  let budget_for st = 2000 + (64 * (st.m + 1) * (st.n_total + 1))
+
+  (* Reduced costs of the (minimisation-form) objective over the current
+     basis; the basis columns of [tab] are unit columns, so one sweep of
+     row subtractions zeroes every basic entry. *)
+  let install_cost st =
+    let dir, obj = Model.objective st.model in
+    Array.fill st.cost 0 st.n_total S.zero;
+    let negate = match dir with Model.Minimize -> false | Model.Maximize -> true in
+    List.iter
+      (fun (v, c) ->
+         let c = S.of_q c in
+         st.cost.(v) <- (if negate then S.neg c else c))
+      (Linexpr.terms obj);
+    for i = 0 to st.m - 1 do
+      let f = st.cost.(st.basis.(i)) in
+      if not (S.is_zero f) then begin
+        let row = st.tab.(i) in
+        for j = 0 to st.n_total - 1 do
+          if not (S.is_zero row.(j)) then
+            st.cost.(j) <- S.sub st.cost.(j) (S.mul f row.(j))
+        done
+      end
+    done
+
+  let root model ~lb ~ub =
+    Obs.Metrics.incr m_solves;
+    if Array.length lb <> Model.num_vars model
+       || Array.length ub <> Model.num_vars model
+    then invalid_arg "Simplex: bound array length mismatch";
+    if empty_box ~lb ~ub then (None, Solution.Infeasible)
+    else begin
+      let st = build model ~lb ~ub in
+      st.budget <- budget_for st;
+      (* phase 1: all reduced costs are zero, so the basis is trivially
+         dual feasible — dual pivots repair primal feasibility *)
+      match dual_loop st with
+      | `Infeasible -> (None, Solution.Infeasible)
+      | `Feasible -> (
+          install_cost st;
+          match primal_loop st with
+          | `Unbounded -> (None, Solution.Unbounded)
+          | `Optimal -> (Some st, extract st))
+    end
+
+  let reoptimize st ~lb ~ub =
+    Obs.Metrics.incr m_solves;
+    if empty_box ~lb ~ub then Solution.Infeasible
+    else begin
+      st.budget <- budget_for st;
+      set_bounds st ~lb ~ub;
+      match dual_loop st with
+      | `Infeasible -> Solution.Infeasible
+      | `Feasible -> extract st
+    end
+end
+
+module Fast_engine = Engine (Scalar_fast)
+module Exact_engine = Engine (Scalar_q)
+
+(* ------------------------------------------------------------------ *)
+(* Dense fallback: the original two-phase primal simplex               *)
+(* ------------------------------------------------------------------ *)
+
+type row = { coeffs : Q.t array; rhs : Q.t; sense : Model.sense }
 
 (* How a model variable maps onto non-negative tableau columns. *)
 type colmap =
@@ -28,7 +628,8 @@ type colmap =
   | Mirrored of int * Q.t (* x = shift - col,  col >= 0 *)
   | Split of int * int (* x = col_pos - col_neg *)
 
-let solve_with_bounds_impl model ~lb ~ub =
+let dense_solve_with_bounds model ~lb ~ub =
+  Obs.Metrics.incr m_solves;
   let nv = Model.num_vars model in
   if Array.length lb <> nv || Array.length ub <> nv then
     invalid_arg "Simplex.solve_with_bounds: bound array length mismatch";
@@ -329,10 +930,40 @@ let solve_with_bounds_impl model ~lb ~ub =
     end
   end
 
+(* The dense path behind the warm-start interface: every node is a cold
+   solve (no reusable state), which is exactly the pre-warm-start
+   behaviour branch & bound falls back to. *)
+module Dense_engine : ENGINE = struct
+  type state = unit
+
+  let root model ~lb ~ub = (None, dense_solve_with_bounds model ~lb ~ub)
+  let branch () = ()
+  let reoptimize () ~lb:_ ~ub:_ = assert false
+end
+
+let fast : (module ENGINE) = (module Fast_engine)
+let exact : (module ENGINE) = (module Exact_engine)
+let dense : (module ENGINE) = (module Dense_engine)
+
+(* ------------------------------------------------------------------ *)
+(* Tiered public entry points                                          *)
+(* ------------------------------------------------------------------ *)
+
 let solve_with_bounds model ~lb ~ub =
-  Obs.Metrics.incr m_solves;
   Obs.Tracer.with_span "ilp.simplex" (fun () ->
-      let r = solve_with_bounds_impl model ~lb ~ub in
+      let r =
+        match Fast_engine.root model ~lb ~ub with
+        | _, sol ->
+          Obs.Metrics.incr m_fast_solves;
+          sol
+        | exception (Fastq.Overflow | Stalled) -> (
+            Obs.Metrics.incr m_fast_fallbacks;
+            match Exact_engine.root model ~lb ~ub with
+            | _, sol -> sol
+            | exception Stalled ->
+              Obs.Metrics.incr m_dense_fallbacks;
+              dense_solve_with_bounds model ~lb ~ub)
+      in
       (match r with
        | Solution.Infeasible -> Obs.Metrics.incr m_infeasible
        | Solution.Unbounded -> Obs.Metrics.incr m_unbounded

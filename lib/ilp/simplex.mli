@@ -1,14 +1,84 @@
-(** Exact two-phase primal simplex over rationals.
+(** Exact simplex over rationals, with warm-started re-solves.
 
     Solves the continuous relaxation of a {!Model.t} (integrality markers
-    are ignored). Bland's anti-cycling rule guarantees termination; all
-    arithmetic is exact, so the returned status and values are sound — the
-    property WCET analysis needs from its solver. *)
+    are ignored). All arithmetic is exact and every pivoting rule is
+    least-index (Bland), so results are sound, termination is guaranteed
+    and pivot totals are deterministic — the properties the WCET analysis
+    needs from its solver.
+
+    The solver is a bounded-variable simplex: variable bounds are kept
+    implicit (nonbasic-at-lower/upper statuses, bound flips) rather than
+    rewritten into extra rows, primal feasibility is established by a
+    dual-simplex repair of the always-dual-feasible all-slack basis (no
+    artificial variables), and a solved tableau can be kept as a
+    warm-start state that re-optimises with a few dual pivots after
+    bound tightenings — the {!Branch_bound} workload.
+
+    Three tiers run the same algorithm: machine-word rationals
+    ({!Numeric.Fastq}, any overflow raises and the solve falls back),
+    exact bignum rationals, and — purely as a defensive fallback behind a
+    pivot budget — the original dense two-phase primal simplex. *)
 
 open Numeric
 
+exception Stalled
+(** Raised when a solve exceeds its defensive pivot budget. Bland's rule
+    terminates, so this firing indicates a solver bug; callers treat it
+    as "fall back to a slower tier", never as an answer. *)
+
+(** A solver tier exposing warm starts. *)
+module type ENGINE = sig
+  type state
+
+  val root :
+    Model.t -> lb:Q.t option array -> ub:Q.t option array ->
+    state option * Solution.t
+  (** Cold solve under the given box (arrays of length
+      [Model.num_vars]; they override the model's declared bounds). A
+      state is returned exactly when the solution is [Optimal]; it sits
+      at the optimal basis and seeds {!branch}/{!reoptimize}.
+      @raise Invalid_argument on a bound-array length mismatch. *)
+
+  val branch : state -> state
+  (** Deep copy. Branch & bound's tree discipline is copy-on-branch:
+      children pivot on their own copy, so the parent state can seed
+      every sibling. *)
+
+  val reoptimize :
+    state -> lb:Q.t option array -> ub:Q.t option array -> Solution.t
+  (** Dual-simplex re-solve (in place) after tightening bounds. The new
+      box must be contained in the box the state was last solved under —
+      exactly what branching and presolve produce. After a non-[Optimal]
+      result the state must not be reused. May raise
+      {!Numeric.Fastq.Overflow} on the fast tier and {!Stalled} on any
+      tier. *)
+end
+
+module Fast_engine : ENGINE
+module Exact_engine : ENGINE
+
+val fast : (module ENGINE)
+(** {!Numeric.Fastq} machine-word arithmetic; raises
+    {!Numeric.Fastq.Overflow} whenever a value leaves the representable
+    range, so speed never costs correctness. *)
+
+val exact : (module ENGINE)
+(** Bignum {!Q} arithmetic; never overflows. *)
+
+val dense : (module ENGINE)
+(** The original dense two-phase primal simplex behind the same
+    interface. [root] never returns a state, so every node is a cold
+    solve — the pre-warm-start behaviour, kept as the fallback of last
+    resort. *)
+
+val dense_solve_with_bounds :
+  Model.t -> lb:Q.t option array -> ub:Q.t option array -> Solution.t
+(** Direct entry to the dense fallback (exposed for differential
+    testing). *)
+
 val solve : Model.t -> Solution.t
-(** Solve with the bounds declared in the model. *)
+(** Solve with the bounds declared in the model, trying the fast tier
+    first and falling back on overflow or stall. *)
 
 val solve_with_bounds :
   Model.t -> lb:Q.t option array -> ub:Q.t option array -> Solution.t

@@ -2,94 +2,214 @@ open Numeric
 
 type outcome = Solved of Ilp.Solution.t | Node_limit
 
-type stats = { hits : int; misses : int }
+type stats = {
+  hits : int;
+  misses : int;
+  raw_hits : int;
+  canonical_hits : int;
+  waited : int;
+}
 
-(* Single-flight entries: the first requester of a key installs [Pending]
-   and solves; concurrent requesters of the same key block on [settled]
+(* Entries are keyed by the model's *canonical structure* (see
+   {!Ilp.Canonical}), so sweep points that build the same program in a
+   different variable/row order share one solve. The canonical
+   *representative* is what gets solved, and outcomes are stored in the
+   representative's frame: every requester — including the first — maps
+   values back through its own permutation. That keeps the stored
+   outcome independent of which twin arrived first, so results stay
+   deterministic at any parallel degree.
+
+   Single-flight: the first requester of a key installs [Pending] and
+   solves; concurrent requesters of the same key block on [settled]
    until the outcome lands, then count as hits. This makes the hit/miss
    split a function of the request sequence alone — every unique key is
    exactly one miss, every other request a hit — so cache counters are
    identical at any parallel degree, which the metrics determinism
-   guarantee relies on. *)
-type entry = Done of outcome | Pending
+   guarantee relies on.
+
+   Every hit is classified (exactly once — waiters are not a third hit
+   class, so the breakdown never double-counts them) as
+   - [raw_hits]: some earlier request had this exact model (same raw
+     digest), or
+   - [canonical_hits]: only a structural twin had been seen — the dedup
+     that exists purely thanks to canonicalization.
+   Classification is by raw-digest membership in the entry, which
+   depends on the multiset of requests, not their arrival order, so
+   both totals are identical at any parallel degree. [waited] counts
+   how many of those hits also blocked on an in-flight solve; that is a
+   timing fact of the parallel schedule (always 0 at jobs=1), so it is
+   kept out of the jobs-invariant Obs counter set and reported only in
+   [stats]. *)
+type entry = {
+  mutable state : state;
+  raw_seen : (string, unit) Hashtbl.t; (* raw digests already served *)
+}
+
+and state = Done of outcome | Pending
 
 let table : (string, entry) Hashtbl.t = Hashtbl.create 256
 let lock = Mutex.create ()
 let settled = Condition.create ()
 let hit_count = Atomic.make 0
 let miss_count = Atomic.make 0
+let raw_hit_count = Atomic.make 0
+let canonical_hit_count = Atomic.make 0
+let waited_count = Atomic.make 0
 let m_hits = Obs.Metrics.counter "solve_cache.hits"
 let m_misses = Obs.Metrics.counter "solve_cache.misses"
+let m_raw_hits = Obs.Metrics.counter "solve_cache.raw_hits"
+let m_canonical_hits = Obs.Metrics.counter "ilp.cache.canonical_hits"
 let m_entries = Obs.Metrics.gauge "solve_cache.entries"
 
 let key ~tag model =
   Digest.to_hex (Digest.string (tag ^ "\n" ^ Ilp.Model.canonical model))
 
+let canonical_key ~tag canon =
+  Digest.to_hex (Digest.string (tag ^ "\n" ^ Ilp.Canonical.structure canon))
+
 let size () =
   Mutex.lock lock;
   let n =
     Hashtbl.fold
-      (fun _ e acc -> match e with Done _ -> acc + 1 | Pending -> acc)
+      (fun _ e acc -> match e.state with Done _ -> acc + 1 | Pending -> acc)
       table 0
   in
   Mutex.unlock lock;
   n
 
-(* Either returns the settled outcome or reserves the key for the caller
-   to solve (waiting out another domain's in-flight solve first). *)
-let acquire k =
+let count_hit ~waited kind =
+  Atomic.incr hit_count;
+  Obs.Metrics.incr m_hits;
+  if waited then Atomic.incr waited_count;
+  match kind with
+  | `Raw ->
+    Atomic.incr raw_hit_count;
+    Obs.Metrics.incr m_raw_hits
+  | `Canonical ->
+    Atomic.incr canonical_hit_count;
+    Obs.Metrics.incr m_canonical_hits
+
+(* Either returns the settled outcome (classified raw/canonical) or
+   reserves the key for the caller to solve (waiting out another
+   domain's in-flight solve first). *)
+let acquire ~raw k =
   Mutex.lock lock;
-  let rec loop () =
+  let rec loop ~waited =
     match Hashtbl.find_opt table k with
-    | Some (Done o) ->
+    | Some { state = Done o; raw_seen } ->
+      let kind = if Hashtbl.mem raw_seen raw then `Raw else `Canonical in
+      Hashtbl.replace raw_seen raw ();
       Mutex.unlock lock;
-      `Hit o
-    | Some Pending ->
+      `Hit (o, kind, waited)
+    | Some { state = Pending; _ } ->
       Condition.wait settled lock;
-      loop ()
+      loop ~waited:true
     | None ->
-      Hashtbl.replace table k Pending;
+      let raw_seen = Hashtbl.create 4 in
+      Hashtbl.replace raw_seen raw ();
+      Hashtbl.replace table k { state = Pending; raw_seen };
       Mutex.unlock lock;
       `Reserved
   in
-  loop ()
+  loop ~waited:false
 
 let settle k result =
   Mutex.lock lock;
-  (match result with
-   | Some outcome -> Hashtbl.replace table k (Done outcome)
-   | None ->
+  (match (Hashtbl.find_opt table k, result) with
+   | Some e, Some outcome -> e.state <- Done outcome
+   | Some _, None ->
      (* the solver raised something we don't cache: release the key so a
         later request can retry *)
-     Hashtbl.remove table k);
+     Hashtbl.remove table k
+   | None, _ -> ());
   Condition.broadcast settled;
   Mutex.unlock lock;
   if result <> None then Obs.Metrics.set m_entries (size ())
 
-let replay outcome =
-  Atomic.incr hit_count;
-  Obs.Metrics.incr m_hits;
+(* Map a canonical-frame outcome back into the requester's frame. *)
+let replay canon outcome =
   match outcome with
+  | Solved (Ilp.Solution.Optimal { objective; values }) ->
+    Ilp.Solution.Optimal
+      { objective; values = Ilp.Canonical.restore_values canon values }
   | Solved s -> s
   | Node_limit -> raise Ilp.Branch_bound.Node_limit_exceeded
 
-let solve_cached ~tag solve model =
-  let k = key ~tag model in
-  match acquire k with
-  | `Hit o -> replay o
+let solve_canon ~tag solve model =
+  let canon = Ilp.Canonical.of_model model in
+  let raw = key ~tag model in
+  let k = canonical_key ~tag canon in
+  match acquire ~raw k with
+  | `Hit (o, kind, waited) ->
+    count_hit ~waited kind;
+    replay canon o
   | `Reserved ->
     Atomic.incr miss_count;
     Obs.Metrics.incr m_misses;
-    (match solve model with
+    (match solve canon with
      | s ->
        settle k (Some (Solved s));
-       s
+       replay canon (Solved s)
      | exception Ilp.Branch_bound.Node_limit_exceeded ->
        settle k (Some Node_limit);
        raise Ilp.Branch_bound.Node_limit_exceeded
      | exception e ->
        settle k None;
        raise e)
+
+let solve_cached ~tag solve model =
+  solve_canon ~tag (fun canon -> solve (Ilp.Canonical.model canon)) model
+
+(* --- root-presolve memo ------------------------------------------------ *)
+
+(* The root box of a branch & bound search depends only on the model, so
+   structurally identical solves with different solver options (distinct
+   cache tags) share it. Single-flight for the same reason as the main
+   table: it keeps ilp.presolve.* counters jobs-invariant. *)
+type presolve_entry = P_done of Ilp.Presolve.outcome | P_pending
+
+let presolve_table : (string, presolve_entry) Hashtbl.t = Hashtbl.create 64
+
+let root_presolve ~structure model =
+  let k = structure in
+  Mutex.lock lock;
+  let rec loop () =
+    match Hashtbl.find_opt presolve_table k with
+    | Some (P_done o) ->
+      Mutex.unlock lock;
+      o
+    | Some P_pending ->
+      Condition.wait settled lock;
+      loop ()
+    | None ->
+      Hashtbl.replace presolve_table k P_pending;
+      Mutex.unlock lock;
+      let nv = Ilp.Model.num_vars model in
+      let lb =
+        Array.init nv (fun v -> (Ilp.Model.var_info model v).Ilp.Model.lb)
+      in
+      let ub =
+        Array.init nv (fun v -> (Ilp.Model.var_info model v).Ilp.Model.ub)
+      in
+      let o =
+        match Ilp.Presolve.tighten model ~lb ~ub with
+        | o -> o
+        | exception e ->
+          Mutex.lock lock;
+          Hashtbl.remove presolve_table k;
+          Condition.broadcast settled;
+          Mutex.unlock lock;
+          raise e
+      in
+      Mutex.lock lock;
+      Hashtbl.replace presolve_table k (P_done o);
+      Condition.broadcast settled;
+      Mutex.unlock lock;
+      o
+  in
+  loop ()
+
+(* --- public solvers ---------------------------------------------------- *)
 
 let solve_lp model = solve_cached ~tag:"lp" Ilp.Simplex.solve model
 
@@ -99,19 +219,38 @@ let solve_ilp ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model
     Printf.sprintf "ilp|nodes=%d|slack=%s|presolve=%b" node_limit
       (Q.to_string slack) presolve
   in
-  solve_cached ~tag
-    (Ilp.Branch_bound.solve ~node_limit ~slack ~presolve)
+  solve_canon ~tag
+    (fun canon ->
+       let cm = Ilp.Canonical.model canon in
+       let root =
+         if presolve then
+           Some
+             (root_presolve ~structure:(Ilp.Canonical.structure canon) cm)
+         else None
+       in
+       Ilp.Branch_bound.solve ~node_limit ~slack ~presolve ?root cm)
     model
 
-let stats () = { hits = Atomic.get hit_count; misses = Atomic.get miss_count }
+let stats () =
+  {
+    hits = Atomic.get hit_count;
+    misses = Atomic.get miss_count;
+    raw_hits = Atomic.get raw_hit_count;
+    canonical_hits = Atomic.get canonical_hit_count;
+    waited = Atomic.get waited_count;
+  }
 
 let reset_stats () =
   Atomic.set hit_count 0;
-  Atomic.set miss_count 0
+  Atomic.set miss_count 0;
+  Atomic.set raw_hit_count 0;
+  Atomic.set canonical_hit_count 0;
+  Atomic.set waited_count 0
 
 let clear () =
   Mutex.lock lock;
   Hashtbl.reset table;
+  Hashtbl.reset presolve_table;
   (* waiters on a cleared Pending key re-check, find nothing, and become
      fresh misses — acceptable for a bench-only operation *)
   Condition.broadcast settled;

@@ -3,11 +3,22 @@
     Sweep pipelines tailor one ILP per (scenario, contender, deployment)
     cell; many cells produce {e mathematically identical} models (same
     counters, same tailoring), so each distinct model needs solving only
-    once per process. The cache keys on an MD5 digest of
-    {!Ilp.Model.canonical} — the model's mathematical content, not its
-    identity or variable names — concatenated with the solver kind and
-    its parameters, so [solve_lp] and [solve_ilp] (and different
-    node-limit/slack/presolve settings) never collide.
+    once per process. The cache keys on an MD5 digest of the model's
+    {e canonical structure} ({!Ilp.Canonical}) — rows scaled to coprime
+    integers, variables renamed by structural fingerprint, terms and
+    rows sorted — concatenated with the solver kind and its parameters,
+    so [solve_lp] and [solve_ilp] (and different
+    node-limit/slack/presolve settings) never collide, while sweep
+    points that build the same program in a different order share one
+    solve.
+
+    What gets solved is the canonical {e representative}; outcomes are
+    stored in its frame and every requester maps values back through its
+    own renaming ({!Ilp.Canonical.restore_values}). The stored outcome
+    is therefore independent of which structural twin arrived first, so
+    cached results are deterministic at any parallel degree. The root
+    branch-and-bound presolve is likewise memoised per structure and
+    shared across solver-parameter tags.
 
     Both solvers are deterministic, hence a cached solution is bitwise
     the solution a fresh solve would produce: routing solves through the
@@ -37,10 +48,26 @@ val solve_ilp :
     @raise Ilp.Branch_bound.Node_limit_exceeded as the underlying solver
     would, including on a cache hit of such an outcome. *)
 
-type stats = { hits : int; misses : int }
+type stats = {
+  hits : int;  (** total: [raw_hits + canonical_hits] *)
+  misses : int;  (** one per unique (tag, structure) key *)
+  raw_hits : int;
+      (** hits where some earlier request had this exact model *)
+  canonical_hits : int;
+      (** hits where only a structural twin had been seen — dedup that
+          exists purely thanks to canonicalization *)
+  waited : int;
+      (** how many of the hits blocked on an in-flight solve; a timing
+          fact of the parallel schedule (0 at jobs=1), not a third hit
+          class *)
+}
 
 val stats : unit -> stats
-(** Process-wide counters since start or the last {!reset_stats}. *)
+(** Process-wide counters since start or the last {!reset_stats}. Every
+    hit is classified exactly once as raw or canonical, by raw-digest
+    membership — a function of the request multiset, not arrival order,
+    so [raw_hits] and [canonical_hits] are jobs-invariant; [waited] is
+    not (and is deliberately absent from the {!Obs.Metrics} counters). *)
 
 val reset_stats : unit -> unit
 (** Zeroes the hit/miss counters; cached solutions are kept. *)
@@ -53,5 +80,10 @@ val size : unit -> int
 (** Number of distinct cached solves. *)
 
 val key : tag:string -> Ilp.Model.t -> string
-(** The content address used internally (exposed for tests): MD5 of
-    [tag] + {!Ilp.Model.canonical}. *)
+(** The {e raw} content address (exposed for tests): MD5 of [tag] +
+    {!Ilp.Model.canonical}. Raw keys classify hits as raw vs canonical;
+    storage is keyed by {!canonical_key}. *)
+
+val canonical_key : tag:string -> Ilp.Canonical.t -> string
+(** The storage key (exposed for tests): MD5 of [tag] +
+    {!Ilp.Canonical.structure}. *)

@@ -5,6 +5,9 @@ type t = {
   cpu_s : float;
   cache_hits : int;
   cache_misses : int;
+  cache_raw_hits : int;
+  cache_canonical_hits : int;
+  cache_waited : int;
 }
 
 let measure ~jobs f =
@@ -24,6 +27,10 @@ let measure ~jobs f =
       cpu_s;
       cache_hits = stats1.Solve_cache.hits - stats0.Solve_cache.hits;
       cache_misses = stats1.Solve_cache.misses - stats0.Solve_cache.misses;
+      cache_raw_hits = stats1.Solve_cache.raw_hits - stats0.Solve_cache.raw_hits;
+      cache_canonical_hits =
+        stats1.Solve_cache.canonical_hits - stats0.Solve_cache.canonical_hits;
+      cache_waited = stats1.Solve_cache.waited - stats0.Solve_cache.waited;
     } )
 
 (* Regions faster than the clock granularity report wall_s = 0.; an
@@ -39,9 +46,27 @@ let cache_hit_rate t =
   let total = t.cache_hits + t.cache_misses in
   if total = 0 then 0. else float_of_int t.cache_hits /. float_of_int total
 
+(* Every hit is classified exactly once as raw or canonical — waiters
+   are not a third class (a waiter is a parallel-timing artifact; at
+   jobs=1 it would have settled as one of the two), so the breakdown
+   never double-counts them and the two rates plus the miss rate sum
+   to 1 at any parallel degree. *)
+let raw_hit_rate t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then 0. else float_of_int t.cache_raw_hits /. float_of_int total
+
+let canonical_hit_rate t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then 0.
+  else float_of_int t.cache_canonical_hits /. float_of_int total
+
 let pp fmt t =
   Format.fprintf fmt
-    "jobs=%d tasks=%d wall=%.3fs cpu=%.3fs cache=%d hit/%d miss (%.0f%% hit \
-     rate)"
+    "jobs=%d tasks=%d wall=%.3fs cpu=%.3fs cache=%d hit/%d miss (raw %.0f%%, \
+     canonical %.0f%%%s)"
     t.jobs t.tasks t.wall_s t.cpu_s t.cache_hits t.cache_misses
-    (100. *. cache_hit_rate t)
+    (100. *. raw_hit_rate t)
+    (100. *. canonical_hit_rate t)
+    (if t.cache_waited > 0 then
+       Printf.sprintf ", %d of the hits waited" t.cache_waited
+     else "")

@@ -12,6 +12,10 @@ type t = {
   cpu_s : float;  (** process CPU seconds, all domains *)
   cache_hits : int;
   cache_misses : int;  (** {!Solve_cache} activity inside the region *)
+  cache_raw_hits : int;  (** hits on the exact same model *)
+  cache_canonical_hits : int;
+      (** hits on a structural twin ({!Ilp.Canonical} dedup) *)
+  cache_waited : int;  (** single-flight blockers (jobs > 1 artifact) *)
 }
 
 val measure : jobs:int -> (unit -> 'a) -> 'a * t
@@ -29,6 +33,17 @@ val cache_hit_rate : t -> float
 (** [cache_hits / (cache_hits + cache_misses)] in [0, 1]; [0.] when the
     region performed no cached solves at all. *)
 
+val raw_hit_rate : t -> float
+(** [cache_raw_hits / (cache_hits + cache_misses)]. Every hit counts in
+    exactly one of the raw/canonical classes — waiters are not a third
+    class (a waiter is a parallel-timing artifact; at jobs=1 it would
+    have settled as one of the two), so the breakdown never
+    double-counts them and is identical at any parallel degree. *)
+
+val canonical_hit_rate : t -> float
+(** Same denominator as {!raw_hit_rate}, counting only hits served by a
+    structural twin. The two rates plus the miss rate sum to 1. *)
+
 val pp : Format.formatter -> t -> unit
-(** One line: jobs, tasks, wall/cpu seconds, cache hits/misses and the
-    derived hit rate. *)
+(** One line: jobs, tasks, wall/cpu seconds, cache hits/misses, the
+    raw/canonical breakdown rates, and the waiter count when non-zero. *)

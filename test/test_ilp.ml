@@ -579,6 +579,249 @@ let test_lp_format_parse_errors () =
   expect_error "Maximize\n obj: x\nSubject To\n c1: x ? 1\nEnd\n";
   expect_error "Maximize\n obj: x\nSubject To\n c1: x 1\nEnd\n"
 
+let test_lp_format_canonical_emit_stable () =
+  (* twin builds of the sample model — variables created in the opposite
+     order, one row scaled — emit byte-identical canonical text *)
+  let twin () =
+    let m = Ilp.Model.create () in
+    let z = Ilp.Model.add_free_var m "zz" in
+    let y = Ilp.Model.add_var m ~lb:(qr (-5) 2) ~ub:(q 4) "yy" in
+    let x = Ilp.Model.add_var m ~integer:true ~ub:(q 10) "xx" in
+    eq [ (Q.one, y); (Q.one, z) ] (q 3) m;
+    ge [ (q 2, x); (q (-2), z) ] (q (-4)) m;
+    (* row scaled by 2 *)
+    le [ (qr 3 4, x); (Q.one, y) ] (q 7) m;
+    Ilp.Model.set_objective m Ilp.Model.Maximize
+      (Ilp.Linexpr.of_terms [ (q 2, x); (Q.one, y); (qr 1 2, z) ]);
+    m
+  in
+  Alcotest.(check string) "structural twins emit identically"
+    (Ilp.Lp_format.to_canonical_string (sample_model ()))
+    (Ilp.Lp_format.to_canonical_string (twin ()))
+
+let test_lp_format_canonical_golden () =
+  let expected =
+    let ic = open_in "golden/canonical_sample.lp" in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  Alcotest.(check string) "golden canonical LP text" expected
+    (Ilp.Lp_format.to_canonical_string (sample_model ()))
+
+(* --- canonicalization ------------------------------------------------------- *)
+
+let test_canonical_isomorphism () =
+  (* solving the canonical representative and mapping values back through
+     the permutation solves the original *)
+  let m = sample_model () in
+  let canon = Ilp.Canonical.of_model m in
+  (match Ilp.Simplex.solve (Ilp.Canonical.model canon) with
+   | Ilp.Solution.Optimal { objective; values } ->
+     let back = Ilp.Canonical.restore_values canon values in
+     (match
+        Ilp.Model.check_feasible ~tol_integrality:false m (fun v -> back.(v))
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "mapped-back values infeasible: %s" e);
+     (match Ilp.Simplex.solve m with
+      | Ilp.Solution.Optimal { objective = direct; _ } ->
+        Alcotest.(check string) "same optimum" (Q.to_string direct)
+          (Q.to_string objective)
+      | _ -> Alcotest.fail "original unexpectedly not optimal")
+   | _ -> Alcotest.fail "canonical model unexpectedly not optimal")
+
+let test_canonical_distinguishes_programs () =
+  let build rhs =
+    let m = Ilp.Model.create () in
+    let x = Ilp.Model.add_var m ~integer:true ~ub:(q 9) "x" in
+    le [ (Q.one, x) ] rhs m;
+    Ilp.Model.set_objective m Ilp.Model.Maximize (Ilp.Linexpr.var x);
+    Ilp.Canonical.structure (Ilp.Canonical.of_model m)
+  in
+  Alcotest.(check bool) "different rhs, different structure" false
+    (String.equal (build (q 5)) (build (q 6)))
+
+(* Twin with rows re-ordered and positively re-scaled (variable creation
+   order kept): canonicalization must erase both differences. Variable
+   re-orderings additionally canonicalize whenever fingerprints are
+   distinct — covered by the unit tests above; ties fall back to
+   creation order by design, so the property sticks to row twins. *)
+let to_model_row_twin r =
+  let m = Ilp.Model.create () in
+  let vars =
+    Array.init r.nvars (fun i ->
+        Ilp.Model.add_var m ~integer:true ~ub:(q r.ubounds.(i))
+          (Printf.sprintf "t%d" i))
+  in
+  List.iteri
+    (fun k (coeffs, rhs) ->
+       let s = q ((k mod 3) + 1) in
+       let terms =
+         Array.to_list
+           (Array.mapi (fun j c -> (Q.mul s (q c), vars.(j))) coeffs)
+       in
+       le terms (Q.mul s (q rhs)) m)
+    (List.rev r.rows);
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linexpr.of_terms
+       (Array.to_list (Array.mapi (fun j c -> (q c, vars.(j))) r.obj)));
+  m
+
+let prop_canonical_row_twins_collide =
+  QCheck.Test.make ~name:"canonical structure ignores row order and scaling"
+    ~count:200 (QCheck.make gen_rand_ilp) (fun r ->
+        String.equal
+          (Ilp.Canonical.structure (Ilp.Canonical.of_model (to_model r)))
+          (Ilp.Canonical.structure (Ilp.Canonical.of_model (to_model_row_twin r))))
+
+let prop_canonical_idempotent =
+  QCheck.Test.make ~name:"canonicalization is a fixpoint" ~count:200
+    (QCheck.make gen_rand_ilp) (fun r ->
+        let c = Ilp.Canonical.of_model (to_model r) in
+        String.equal
+          (Ilp.Canonical.structure c)
+          (Ilp.Canonical.structure (Ilp.Canonical.of_model (Ilp.Canonical.model c))))
+
+(* --- warm-started engine ----------------------------------------------------- *)
+
+let full_box r =
+  ( Array.make r.nvars (Some Q.zero),
+    Array.init r.nvars (fun i -> Some (q r.ubounds.(i))) )
+
+let same_solution a b =
+  match (a, b) with
+  | ( Ilp.Solution.Optimal { objective = x; _ },
+      Ilp.Solution.Optimal { objective = y; _ } ) ->
+    Q.equal x y
+  | Ilp.Solution.Infeasible, Ilp.Solution.Infeasible -> true
+  | Ilp.Solution.Unbounded, Ilp.Solution.Unbounded -> true
+  | _ -> false
+
+(* Random bound-tightening chains: exactly the boxes branch & bound and
+   presolve hand the engine. Each step tightens one variable's lower or
+   upper bound (possibly emptying the box); the warm dual re-solve from
+   the parent state must agree with a cold solve of the same box. *)
+let gen_warm_chain =
+  let open QCheck.Gen in
+  let* nvars = int_range 2 5 in
+  let* ubounds = array_repeat nvars (int_range 1 6) in
+  let* nrows = int_range 1 6 in
+  let* rows =
+    list_repeat nrows
+      (pair (array_repeat nvars (int_range (-5) 5)) (int_range (-10) 30))
+  in
+  let* obj = array_repeat nvars (int_range (-5) 8) in
+  let* steps =
+    list_size (int_range 1 6)
+      (triple (int_range 0 100) bool (int_range 1 3))
+  in
+  return ({ nvars; ubounds; rows; obj }, steps)
+
+let run_warm_chain (module E : Ilp.Simplex.ENGINE) (r, steps) =
+  let m = to_model r in
+  let lb, ub = full_box r in
+  let st0, s0 = E.root m ~lb ~ub in
+  if not (same_solution s0 (Ilp.Simplex.dense_solve_with_bounds m ~lb ~ub))
+  then false
+  else begin
+    match st0 with
+    | None -> true
+    | Some st ->
+      let st = ref st in
+      let ok = ref true in
+      (try
+         List.iter
+           (fun (vi, tighten_lb, amount) ->
+              let v = vi mod r.nvars in
+              (if tighten_lb then
+                 match lb.(v) with
+                 | Some l -> lb.(v) <- Some (Q.add l (q amount))
+                 | None -> assert false
+               else
+                 match ub.(v) with
+                 | Some u -> ub.(v) <- Some (Q.sub u (q amount))
+                 | None -> assert false);
+              let child = E.branch !st in
+              let warm = E.reoptimize child ~lb ~ub in
+              let cold = Ilp.Simplex.dense_solve_with_bounds m ~lb ~ub in
+              if not (same_solution warm cold) then begin
+                ok := false;
+                raise Exit
+              end;
+              match warm with
+              | Ilp.Solution.Optimal _ -> st := child
+              | _ -> raise Exit)
+           steps
+       with Exit -> ());
+      !ok
+  end
+
+let prop_warm_exact_matches_cold =
+  QCheck.Test.make
+    ~name:"exact warm dual re-solves match cold solves along bound chains"
+    ~count:150 (QCheck.make gen_warm_chain)
+    (run_warm_chain (module Ilp.Simplex.Exact_engine))
+
+let prop_warm_fast_matches_cold =
+  QCheck.Test.make
+    ~name:"fast warm dual re-solves match cold solves or fall back"
+    ~count:150 (QCheck.make gen_warm_chain) (fun case ->
+        match run_warm_chain (module Ilp.Simplex.Fast_engine) case with
+        | ok -> ok
+        | exception (Fastq.Overflow | Ilp.Simplex.Stalled) -> true)
+
+(* --- fast tier vs exact tier -------------------------------------------------- *)
+
+let rec pow10 e = if e = 0 then 1 else 10 * pow10 (e - 1)
+
+(* Mixed-magnitude coefficients (up to 10^14) push the int64 fast path
+   into overflow on some instances; whenever it answers instead of
+   raising, the answer must be the exact one. *)
+let gen_scaled_lp =
+  let open QCheck.Gen in
+  let* r = gen_rand_ilp_wide in
+  let* exps =
+    list_repeat (List.length r.rows) (array_repeat r.nvars (int_range 0 14))
+  in
+  return (r, exps)
+
+let to_model_scaled (r, exps) =
+  let m = Ilp.Model.create () in
+  let vars =
+    Array.init r.nvars (fun i ->
+        Ilp.Model.add_var m ~integer:true ~ub:(q r.ubounds.(i))
+          (Printf.sprintf "s%d" i))
+  in
+  List.iter2
+    (fun (coeffs, rhs) es ->
+       let terms =
+         Array.to_list
+           (Array.mapi
+              (fun j c -> (q (c * pow10 es.(j)), vars.(j)))
+              coeffs)
+       in
+       le terms (q rhs) m)
+    r.rows exps;
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linexpr.of_terms
+       (Array.to_list (Array.mapi (fun j c -> (q c, vars.(j))) r.obj)));
+  m
+
+let prop_fast_tier_exact_or_falls_back =
+  QCheck.Test.make
+    ~name:"fast tier equals exact tier or raises (mixed magnitudes)"
+    ~count:150 (QCheck.make gen_scaled_lp) (fun case ->
+        let r, _ = case in
+        let m = to_model_scaled case in
+        let lb, ub = full_box r in
+        match Ilp.Simplex.Fast_engine.root m ~lb ~ub with
+        | exception (Fastq.Overflow | Ilp.Simplex.Stalled) -> true
+        | _, sf ->
+          let _, se = Ilp.Simplex.Exact_engine.root m ~lb ~ub in
+          same_solution sf se)
+
 let test_lp_format_parse_variants () =
   (* alternative spellings we tolerate *)
   let m =
@@ -632,7 +875,27 @@ let () =
           Alcotest.test_case "rejects 1/3" `Quick test_lp_format_rejects_nondecimal;
           Alcotest.test_case "parse errors" `Quick test_lp_format_parse_errors;
           Alcotest.test_case "spelling variants" `Quick test_lp_format_parse_variants;
+          Alcotest.test_case "canonical emit stable across twins" `Quick
+            test_lp_format_canonical_emit_stable;
+          Alcotest.test_case "canonical emit golden file" `Quick
+            test_lp_format_canonical_golden;
         ] );
+      ( "canonical",
+        [
+          Alcotest.test_case "isomorphism round-trip" `Quick
+            test_canonical_isomorphism;
+          Alcotest.test_case "distinguishes programs" `Quick
+            test_canonical_distinguishes_programs;
+          QCheck_alcotest.to_alcotest prop_canonical_row_twins_collide;
+          QCheck_alcotest.to_alcotest prop_canonical_idempotent;
+        ] );
+      ( "warm-start",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_warm_exact_matches_cold;
+            prop_warm_fast_matches_cold;
+            prop_fast_tier_exact_or_falls_back;
+          ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [

@@ -303,6 +303,101 @@ let prop_q_compare_antisym =
     (QCheck.pair arb_q arb_q) (fun (a, b) ->
         compare (Q.compare a b) 0 = compare 0 (Q.compare b a))
 
+(* --- Fastq unit tests --------------------------------------------------------- *)
+
+let check_fq msg expected actual =
+  Alcotest.(check string) msg expected (Fastq.to_string actual)
+
+let test_fastq_canonical_form () =
+  check_fq "6/4 = 3/2" "3/2" (Fastq.make 6 4);
+  check_fq "6/-4 = -3/2" "-3/2" (Fastq.make 6 (-4));
+  check_fq "-6/-4 = 3/2" "3/2" (Fastq.make (-6) (-4));
+  check_fq "0/7 = 0" "0" (Fastq.make 0 7);
+  Alcotest.(check int) "den positive" 1 (Fastq.den (Fastq.make 0 7));
+  Alcotest.(check bool) "canonical equality" true
+    (Fastq.equal (Fastq.make 6 4) (Fastq.make 3 2))
+
+let test_fastq_arith_small () =
+  check_fq "1/2 + 1/3" "5/6" (Fastq.add (Fastq.make 1 2) (Fastq.make 1 3));
+  check_fq "1/2 - 1/3" "1/6" (Fastq.sub (Fastq.make 1 2) (Fastq.make 1 3));
+  check_fq "2/3 * 3/4" "1/2" (Fastq.mul (Fastq.make 2 3) (Fastq.make 3 4));
+  check_fq "(1/2) / (3/4)" "2/3" (Fastq.div (Fastq.make 1 2) (Fastq.make 3 4));
+  check_fq "inv(-2/3)" "-3/2" (Fastq.inv (Fastq.make (-2) 3))
+
+let test_fastq_overflow_extremes () =
+  let raises name f =
+    Alcotest.check_raises name Fastq.Overflow (fun () -> ignore (f ()))
+  in
+  raises "min_int operand banned" (fun () -> Fastq.make min_int 1);
+  raises "max_int + 1 overflows" (fun () ->
+      Fastq.add (Fastq.of_int max_int) Fastq.one);
+  raises "2^40 * 2^40 overflows" (fun () ->
+      Fastq.mul (Fastq.of_int (1 lsl 40)) (Fastq.of_int (1 lsl 40)));
+  raises "denominator lcm overflows" (fun () ->
+      (* coprime denominators near 2^32: the common denominator exceeds
+         the native range even though both operands are tiny *)
+      Fastq.add (Fastq.make 1 ((1 lsl 32) - 1)) (Fastq.make 1 (1 lsl 32)));
+  raises "compare cross product overflows" (fun () ->
+      Fastq.compare (Fastq.make max_int 1) (Fastq.make 1 max_int));
+  raises "of_q beyond native range" (fun () ->
+      Fastq.of_q (Q.make (Bigint.mul (Bigint.of_int max_int) (Bigint.of_int 4)) Bigint.one))
+
+let test_fastq_to_q_total () =
+  List.iter
+    (fun (n, d) ->
+       Alcotest.(check string)
+         (Printf.sprintf "to_q %d/%d" n d)
+         (Q.to_string (Q.of_ints n d))
+         (Q.to_string (Fastq.to_q (Fastq.make n d))))
+    [ (3, 2); (-3, 2); (0, 5); (max_int, 1); (1, max_int); (max_int, max_int - 1) ]
+
+(* --- Fastq property tests ------------------------------------------------------ *)
+
+(* Small operands: every operation must agree exactly with Q. *)
+let arb_fq_small =
+  QCheck.map
+    (fun (n, d) -> Fastq.make n (if d = 0 then 1 else d))
+    (QCheck.pair (QCheck.int_range (-1000) 1000) (QCheck.int_range (-50) 50))
+
+let fq_agrees qop fop a b =
+  Q.equal (qop (Fastq.to_q a) (Fastq.to_q b)) (Fastq.to_q (fop a b))
+
+let prop_fastq_small_matches_q =
+  QCheck.Test.make ~name:"fastq agrees with Q on small rationals" ~count:500
+    (QCheck.pair arb_fq_small arb_fq_small) (fun (a, b) ->
+        fq_agrees Q.add Fastq.add a b
+        && fq_agrees Q.sub Fastq.sub a b
+        && fq_agrees Q.mul Fastq.mul a b
+        && (Fastq.is_zero b || fq_agrees Q.div Fastq.div a b)
+        && Q.compare (Fastq.to_q a) (Fastq.to_q b) = Fastq.compare a b)
+
+(* Huge operands: an operation either agrees exactly with Q or raises
+   Overflow — it never wraps into a wrong value. This is the soundness
+   contract the speculative simplex tier rests on. *)
+let arb_fq_huge =
+  let open QCheck.Gen in
+  QCheck.make
+    (let* hi = int_range (-(1 lsl 30)) (1 lsl 30) in
+     let* lo = int_range 1 (1 lsl 30) in
+     let* d = int_range 1 (1 lsl 30) in
+     return (Fastq.make (hi * lo) d))
+
+let exact_or_overflow qop fop a b =
+  match fop a b with
+  | r -> Q.equal (qop (Fastq.to_q a) (Fastq.to_q b)) (Fastq.to_q r)
+  | exception Fastq.Overflow -> true
+
+let prop_fastq_huge_exact_or_overflow =
+  QCheck.Test.make ~name:"fastq on huge operands: exact or Overflow, never wrong"
+    ~count:500 (QCheck.pair arb_fq_huge arb_fq_huge) (fun (a, b) ->
+        exact_or_overflow Q.add Fastq.add a b
+        && exact_or_overflow Q.sub Fastq.sub a b
+        && exact_or_overflow Q.mul Fastq.mul a b
+        && (Fastq.is_zero b || exact_or_overflow Q.div Fastq.div a b)
+        && (match Fastq.compare a b with
+            | c -> c = Q.compare (Fastq.to_q a) (Fastq.to_q b)
+            | exception Fastq.Overflow -> true))
+
 let qsuite props = List.map QCheck_alcotest.to_alcotest props
 
 let () =
@@ -356,4 +451,13 @@ let () =
             prop_q_frac_range;
             prop_q_compare_antisym;
           ] );
+      ( "fastq",
+        [
+          Alcotest.test_case "canonical form" `Quick test_fastq_canonical_form;
+          Alcotest.test_case "small arithmetic" `Quick test_fastq_arith_small;
+          Alcotest.test_case "overflow on extremes" `Quick test_fastq_overflow_extremes;
+          Alcotest.test_case "to_q total" `Quick test_fastq_to_q_total;
+        ] );
+      ( "fastq-properties",
+        qsuite [ prop_fastq_small_matches_q; prop_fastq_huge_exact_or_overflow ] );
     ]

@@ -194,20 +194,22 @@ let test_aggregate () =
 
 (* --- jobs invariance ------------------------------------------------------- *)
 
-let knapsack ~capacity () =
+let knapsack ~capacity ~flipped () =
+  (* [flipped] builds the same program with the variables created in the
+     opposite order — a structural twin with a distinct raw digest *)
   let m = Ilp.Model.create () in
   let add v w name =
     let x = Ilp.Model.add_var m ~integer:true ~ub:Q.one name in
     ((q v, x), (q w, x))
   in
-  let v1, w1 = add 60 10 "item1" in
-  let v2, w2 = add 100 20 "item2" in
-  let v3, w3 = add 120 30 "item3" in
+  let items = [ (60, 10, "item1"); (100, 20, "item2"); (120, 30, "item3") ] in
+  let items = if flipped then List.rev items else items in
+  let terms = List.map (fun (v, w, name) -> add v w name) items in
   Ilp.Model.add_constraint m
-    (Ilp.Linexpr.of_terms [ w1; w2; w3 ])
+    (Ilp.Linexpr.of_terms (List.map snd terms))
     Ilp.Model.Le (q capacity);
   Ilp.Model.set_objective m Ilp.Model.Maximize
-    (Ilp.Linexpr.of_terms [ v1; v2; v3 ]);
+    (Ilp.Linexpr.of_terms (List.map fst terms));
   m
 
 let jobs_invariant_snapshot =
@@ -216,14 +218,21 @@ let jobs_invariant_snapshot =
     QCheck.(list_of_size Gen.(int_range 1 8) (int_range 1 60))
     (fun capacities ->
        (* duplicate capacities are the interesting case: concurrent
-          requests for one key must still count as one miss *)
+          requests for one key must still count as one miss. Each
+          capacity is also requested as a flipped structural twin, so
+          the raw/canonical hit classification — not just the hit/miss
+          totals — is pinned jobs-invariant. *)
+       let requests =
+         List.concat_map (fun c -> [ (c, false); (c, true) ]) capacities
+       in
        let run jobs =
          Obs.Metrics.reset ();
          Runtime.Solve_cache.clear ();
          ignore
            (Runtime.Pool.map ~jobs
-              (fun c -> Runtime.Solve_cache.solve_ilp (knapsack ~capacity:c ()))
-              capacities);
+              (fun (c, flipped) ->
+                 Runtime.Solve_cache.solve_ilp (knapsack ~capacity:c ~flipped ()))
+              requests);
          Obs.Metrics.deterministic_snapshot ()
        in
        run 1 = run 4)

@@ -145,9 +145,14 @@ let test_cache_hit_on_identical_model () =
     (Q.to_string (objective_exn s1));
   Alcotest.(check string) "cached result identical" "220"
     (Q.to_string (objective_exn s2));
-  let { Runtime.Solve_cache.hits; misses } = Runtime.Solve_cache.stats () in
+  let { Runtime.Solve_cache.hits; misses; raw_hits; canonical_hits; waited } =
+    Runtime.Solve_cache.stats ()
+  in
   Alcotest.(check int) "one miss" 1 misses;
   Alcotest.(check int) "one hit" 1 hits;
+  Alcotest.(check int) "identical model is a raw hit" 1 raw_hits;
+  Alcotest.(check int) "not a canonical hit" 0 canonical_hits;
+  Alcotest.(check int) "nobody waited" 0 waited;
   Alcotest.(check int) "one entry" 1 (Runtime.Solve_cache.size ())
 
 let test_cache_miss_on_perturbed_model () =
@@ -155,7 +160,7 @@ let test_cache_miss_on_perturbed_model () =
   Runtime.Solve_cache.reset_stats ();
   ignore (Runtime.Solve_cache.solve_ilp (knapsack_model ()));
   ignore (Runtime.Solve_cache.solve_ilp (knapsack_model ~capacity:40 ()));
-  let { Runtime.Solve_cache.hits; misses } = Runtime.Solve_cache.stats () in
+  let { Runtime.Solve_cache.hits; misses; _ } = Runtime.Solve_cache.stats () in
   Alcotest.(check int) "two misses" 2 misses;
   Alcotest.(check int) "no hits" 0 hits
 
@@ -169,7 +174,7 @@ let test_cache_distinguishes_solvers_and_params () =
   ignore (Runtime.Solve_cache.solve_lp m);
   ignore (Runtime.Solve_cache.solve_ilp m);
   ignore (Runtime.Solve_cache.solve_ilp ~slack:(q 5) m);
-  let { Runtime.Solve_cache.hits; misses } = Runtime.Solve_cache.stats () in
+  let { Runtime.Solve_cache.hits; misses; _ } = Runtime.Solve_cache.stats () in
   Alcotest.(check int) "lp / ilp / ilp+slack are distinct entries" 3 misses;
   Alcotest.(check int) "no spurious hits" 0 hits
 
@@ -184,6 +189,63 @@ let test_cache_key_ignores_names () =
   Alcotest.(check string) "renamed model, same key"
     (Runtime.Solve_cache.key ~tag:"t" (build "x"))
     (Runtime.Solve_cache.key ~tag:"t" (build "renamed"))
+
+let test_cache_canonical_twin_hits () =
+  (* structural twins — the same program built with variables created in
+     the opposite order and one row scaled by 3 — share one canonical
+     entry; the second request is a canonical (not raw) hit and its
+     values come back in its own variable frame *)
+  let build flipped =
+    let m = Ilp.Model.create () in
+    let mk name = Ilp.Model.add_var m ~integer:true ~ub:Q.one name in
+    let a, b =
+      if flipped then
+        let b = mk "b" in
+        let a = mk "a" in
+        (a, b)
+      else
+        let a = mk "a" in
+        let b = mk "b" in
+        (a, b)
+    in
+    let s = if flipped then q 3 else Q.one in
+    Ilp.Model.add_constraint m
+      (Ilp.Linexpr.of_terms [ (Q.mul s (q 10), a); (Q.mul s (q 20), b) ])
+      Ilp.Model.Le (Q.mul s (q 25));
+    Ilp.Model.set_objective m Ilp.Model.Maximize
+      (Ilp.Linexpr.of_terms [ (q 60, a); (q 100, b) ]);
+    (m, a, b)
+  in
+  Runtime.Solve_cache.clear ();
+  Runtime.Solve_cache.reset_stats ();
+  let m1, a1, b1 = build false in
+  let m2, a2, b2 = build true in
+  Alcotest.(check bool) "raw keys differ" false
+    (String.equal
+       (Runtime.Solve_cache.key ~tag:"t" m1)
+       (Runtime.Solve_cache.key ~tag:"t" m2));
+  Alcotest.(check string) "canonical keys agree"
+    (Runtime.Solve_cache.canonical_key ~tag:"t" (Ilp.Canonical.of_model m1))
+    (Runtime.Solve_cache.canonical_key ~tag:"t" (Ilp.Canonical.of_model m2));
+  let s1 = Runtime.Solve_cache.solve_ilp m1 in
+  let s2 = Runtime.Solve_cache.solve_ilp m2 in
+  (* capacity 25 admits only item b: a = 0, b = 1, objective 100 *)
+  List.iter
+    (fun (s, a, b) ->
+       Alcotest.(check string) "objective" "100" (Q.to_string (objective_exn s));
+       Alcotest.(check string) "a = 0" "0"
+         (Q.to_string (Ilp.Solution.value_exn s a));
+       Alcotest.(check string) "b = 1" "1"
+         (Q.to_string (Ilp.Solution.value_exn s b)))
+    [ (s1, a1, b1); (s2, a2, b2) ];
+  let { Runtime.Solve_cache.hits; misses; raw_hits; canonical_hits; _ } =
+    Runtime.Solve_cache.stats ()
+  in
+  Alcotest.(check int) "one miss" 1 misses;
+  Alcotest.(check int) "one hit" 1 hits;
+  Alcotest.(check int) "no raw hit" 0 raw_hits;
+  Alcotest.(check int) "the hit is canonical" 1 canonical_hits;
+  Alcotest.(check int) "one entry" 1 (Runtime.Solve_cache.size ())
 
 let test_cache_replays_node_limit () =
   (* a model the budget cannot finish: the exceptional outcome is cached
@@ -214,7 +276,7 @@ let test_cache_replays_node_limit () =
   (match solve () with
    | _ -> Alcotest.fail "expected cached Node_limit_exceeded"
    | exception Ilp.Branch_bound.Node_limit_exceeded -> ());
-  let { Runtime.Solve_cache.hits; misses } = Runtime.Solve_cache.stats () in
+  let { Runtime.Solve_cache.hits; misses; _ } = Runtime.Solve_cache.stats () in
   Alcotest.(check int) "solved once" 1 misses;
   Alcotest.(check int) "replayed once" 1 hits
 
@@ -233,9 +295,17 @@ let test_cache_single_flight () =
        Alcotest.(check string) "every requester sees the optimum" "220"
          (Q.to_string (objective_exn s)))
     results;
-  let { Runtime.Solve_cache.hits; misses } = Runtime.Solve_cache.stats () in
+  let { Runtime.Solve_cache.hits; misses; raw_hits; canonical_hits; waited } =
+    Runtime.Solve_cache.stats ()
+  in
   Alcotest.(check int) "solved exactly once" 1 misses;
   Alcotest.(check int) "everyone else hits" 7 hits;
+  (* the raw/canonical split never double-counts waiters: identical
+     requests are raw hits whether or not they blocked, and how many
+     blocked is a timing fact bounded by the hit count *)
+  Alcotest.(check int) "all hits are raw (same model)" 7 raw_hits;
+  Alcotest.(check int) "no canonical hits" 0 canonical_hits;
+  Alcotest.(check bool) "waited within hits" true (waited >= 0 && waited <= 7);
   Alcotest.(check int) "one entry" 1 (Runtime.Solve_cache.size ())
 
 (* --- telemetry ---------------------------------------------------------------- *)
@@ -264,6 +334,9 @@ let test_telemetry_speedup_guarded () =
       cpu_s = 0.;
       cache_hits = 0;
       cache_misses = 0;
+      cache_raw_hits = 0;
+      cache_canonical_hits = 0;
+      cache_waited = 0;
     }
   in
   (* a region faster than the clock granularity must not yield inf/nan *)
@@ -276,7 +349,7 @@ let test_telemetry_speedup_guarded () =
     (Runtime.Telemetry.speedup ~baseline:(record 2.0) (record 1.0))
 
 let test_telemetry_hit_rate () =
-  let record hits misses =
+  let record ?(raw = 0) ?(canonical = 0) ?(waited = 0) hits misses =
     {
       Runtime.Telemetry.jobs = 1;
       tasks = 0;
@@ -284,12 +357,25 @@ let test_telemetry_hit_rate () =
       cpu_s = 0.;
       cache_hits = hits;
       cache_misses = misses;
+      cache_raw_hits = raw;
+      cache_canonical_hits = canonical;
+      cache_waited = waited;
     }
   in
   Alcotest.(check (float 1e-9)) "no activity is 0" 0.
     (Runtime.Telemetry.cache_hit_rate (record 0 0));
   Alcotest.(check (float 1e-9)) "3 of 4" 0.75
-    (Runtime.Telemetry.cache_hit_rate (record 3 1))
+    (Runtime.Telemetry.cache_hit_rate (record 3 1));
+  (* breakdown: raw + canonical = hits; waiters change neither rate, so
+     the split cannot double-count them *)
+  let t = record ~raw:2 ~canonical:1 ~waited:2 3 1 in
+  Alcotest.(check (float 1e-9)) "raw rate over all lookups" 0.5
+    (Runtime.Telemetry.raw_hit_rate t);
+  Alcotest.(check (float 1e-9)) "canonical rate over all lookups" 0.25
+    (Runtime.Telemetry.canonical_hit_rate t);
+  Alcotest.(check (float 1e-9)) "waiters do not perturb the breakdown"
+    (Runtime.Telemetry.raw_hit_rate t)
+    (Runtime.Telemetry.raw_hit_rate { t with cache_waited = 0 })
 
 let () =
   Alcotest.run "runtime"
@@ -315,6 +401,8 @@ let () =
           Alcotest.test_case "solver kind and params keyed" `Quick
             test_cache_distinguishes_solvers_and_params;
           Alcotest.test_case "names excluded from key" `Quick test_cache_key_ignores_names;
+          Alcotest.test_case "structural twins hit canonically" `Quick
+            test_cache_canonical_twin_hits;
           Alcotest.test_case "node-limit outcome replayed" `Quick test_cache_replays_node_limit;
           Alcotest.test_case "single flight under concurrency" `Quick
             test_cache_single_flight;
