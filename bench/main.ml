@@ -237,6 +237,89 @@ let pp_solver_bench b =
     b.dense_root_wall_s b.tiered_root_wall_s
     (b.dense_root_wall_s /. Float.max b.tiered_root_wall_s 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Simulator throughput benchmark                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The figure-4 co-run grid simulated under both kernels, bypassing the
+   run cache (Tcsim.Machine.run directly), so the numbers measure the
+   simulation loops themselves. Simulated cycles are identical for both
+   kernels by construction — the differential suite enforces it — so
+   cycles/second is the honest throughput unit. *)
+type sim_bench = {
+  sim_cycles : int;  (* simulated cycles per kernel pass *)
+  stepped_wall_s : float;
+  event_wall_s : float;
+  stepped_cps : float;  (* simulated cycles per wall second *)
+  event_cps : float;
+  sim_event_speedup : float;
+}
+
+let sim_workloads () =
+  List.concat_map
+    (fun scenario ->
+       let variant = Workload.Control_loop.variant_of_scenario scenario in
+       let app = Workload.Control_loop.app variant in
+       List.map
+         (fun level -> (app, Workload.Load_gen.make ~variant ~level ()))
+         Workload.Load_gen.all_levels)
+    [ Platform.Scenario.scenario1; Platform.Scenario.scenario2 ]
+
+let sim_bench () =
+  let workloads = sim_workloads () in
+  let pass kernel =
+    (* the paper's measurement protocol per cell: both programs in
+       isolation, then the co-run *)
+    let t0 = Unix.gettimeofday () in
+    let cycles =
+      List.fold_left
+        (fun acc (app, con) ->
+           let run ?contenders analysis =
+             (Tcsim.Machine.run ~kernel ~analysis ?contenders ())
+               .Tcsim.Machine.cycles
+           in
+           acc
+           + run { Tcsim.Machine.program = app; core = 0 }
+           + run { Tcsim.Machine.program = con; core = 1 }
+           + run
+               { Tcsim.Machine.program = app; core = 0 }
+               ~contenders:[ { Tcsim.Machine.program = con; core = 1 } ])
+        0 workloads
+    in
+    (cycles, Unix.gettimeofday () -. t0)
+  in
+  let stepped_cycles, stepped_wall_s = pass `Stepped in
+  let event_cycles, event_wall_s = pass `Event in
+  assert (stepped_cycles = event_cycles);
+  let cps wall = float_of_int stepped_cycles /. Float.max wall 1e-9 in
+  {
+    sim_cycles = stepped_cycles;
+    stepped_wall_s;
+    event_wall_s;
+    stepped_cps = cps stepped_wall_s;
+    event_cps = cps event_wall_s;
+    sim_event_speedup = stepped_wall_s /. Float.max event_wall_s 1e-9;
+  }
+
+let json_of_sim_bench b =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str "sim-throughput");
+      ("sim_cycles", Obs.Json.Int b.sim_cycles);
+      ("stepped_wall_s", Obs.Json.Float b.stepped_wall_s);
+      ("event_wall_s", Obs.Json.Float b.event_wall_s);
+      ("stepped_cycles_per_s", Obs.Json.Float b.stepped_cps);
+      ("event_cycles_per_s", Obs.Json.Float b.event_cps);
+      ("sim_event_speedup", Obs.Json.Float b.sim_event_speedup);
+    ]
+
+let pp_sim_bench b =
+  Format.printf
+    "simulated %d cycles per kernel:@.  stepped %.3fs (%.1f Mcycles/s)@.  \
+     event   %.3fs (%.1f Mcycles/s)@.  event-kernel speedup %.1fx@."
+    b.sim_cycles b.stepped_wall_s (b.stepped_cps /. 1e6) b.event_wall_s
+    (b.event_cps /. 1e6) b.sim_event_speedup
+
 let perf_baseline_file = "bench/perf_baseline.json"
 
 (* CI perf smoke: fail when pivots per branch & bound node regress more
@@ -266,6 +349,27 @@ let run_perf_check () =
     Format.printf "FAIL: pivots per node regressed more than 2x@.";
     exit 1
   end
+  else Format.printf "OK: within the 2x budget@.";
+  (* Simulator smoke: the event kernel must stay within 2x of its
+     baseline advantage over the stepped oracle. The two kernels run the
+     same workload in the same process, so the ratio cancels machine
+     speed out — unlike absolute wall time, it is comparable across CI
+     runners. *)
+  section "Simulator perf smoke (event vs stepped kernel)";
+  let s = sim_bench () in
+  pp_sim_bench s;
+  let baseline_speedup =
+    match Obs.Json.member "sim_event_speedup" baseline with
+    | Some (Obs.Json.Float f) -> f
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> failwith "perf_baseline.json: missing sim_event_speedup"
+  in
+  Format.printf "event-kernel speedup: baseline %.1fx, current %.1fx@."
+    baseline_speedup s.sim_event_speedup;
+  if s.sim_event_speedup < baseline_speedup /. 2. then begin
+    Format.printf "FAIL: event-kernel throughput regressed more than 2x@.";
+    exit 1
+  end
   else Format.printf "OK: within the 2x budget@."
 
 let results_file = "BENCH_results.json"
@@ -278,6 +382,8 @@ let json_of_stage (name, (t : Runtime.Telemetry.t), deltas) =
       ("cpu_s", Obs.Json.Float t.Runtime.Telemetry.cpu_s);
       ("cache_hits", Obs.Json.Int t.Runtime.Telemetry.cache_hits);
       ("cache_misses", Obs.Json.Int t.Runtime.Telemetry.cache_misses);
+      ("run_cache_hits", Obs.Json.Int t.Runtime.Telemetry.run_cache_hits);
+      ("run_cache_misses", Obs.Json.Int t.Runtime.Telemetry.run_cache_misses);
       ( "counters",
         Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) deltas) );
     ]
@@ -301,14 +407,16 @@ let regenerate () =
          (name, t, deltas))
       stages
   in
-  (* the solver micro-benchmark stage rides along silently so the JSON
-     always carries pivots-per-node and wall time; its human-readable
-     summary belongs to the [solver] and [perf-check] modes *)
+  (* the solver micro-benchmark and simulator-throughput stages ride
+     along silently so the JSON always carries pivots-per-node and the
+     kernel speedup; their human-readable summaries belong to the
+     [solver], [sim] and [perf-check] modes *)
   let solver = json_of_solver_bench (solver_bench ()) in
+  let sim = json_of_sim_bench (sim_bench ()) in
   let oc = open_out results_file in
   output_string oc
     (Obs.Json.to_string
-       (Obs.Json.List (List.map json_of_stage records @ [ solver ])));
+       (Obs.Json.List (List.map json_of_stage records @ [ solver; sim ])));
   output_char oc '\n';
   close_out oc;
   Format.printf "@.per-stage results written to %s@." results_file
@@ -407,6 +515,7 @@ let run_parallel_sweep () =
   section "Parallel sweep: Figure 4 grid, pool vs sequential";
   let sweep jobs =
     Runtime.Solve_cache.clear ();
+    Runtime.Run_cache.clear ();
     Runtime.Telemetry.measure ~jobs (fun () ->
         Experiments.Figure4.run_all ~jobs ())
   in
@@ -463,13 +572,17 @@ let () =
    | "solver" ->
      section "Solver micro-benchmark";
      pp_solver_bench (solver_bench ())
+   | "sim" ->
+     section "Simulator throughput (stepped vs event kernel)";
+     pp_sim_bench (sim_bench ())
    | "perf-check" -> run_perf_check ()
    | "all" ->
      regenerate ();
      run_timings ()
    | other ->
      Format.eprintf
-       "unknown mode %S (expected: tables | timings | solver | perf-check | all)@."
+       "unknown mode %S (expected: tables | timings | solver | sim | \
+        perf-check | all)@."
        other;
      exit 2);
   Format.printf "@.done.@."

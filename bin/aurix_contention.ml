@@ -70,6 +70,34 @@ let jobs_arg =
            $(b,AURIX_JOBS) or the machine's domain count). Results are \
            identical for every value.")
 
+(* --- simulator kernel -------------------------------------------------------- *)
+
+let kernel_conv =
+  let parse s =
+    match Tcsim.Machine.kernel_of_string s with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg (Printf.sprintf "invalid kernel %S, expected 'event' or 'stepped'" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt k -> Format.pp_print_string fmt (Tcsim.Machine.kernel_to_string k) )
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt (some kernel_conv) None
+    & info [ "kernel" ] ~docv:"KERNEL"
+        ~doc:
+          "Simulator kernel: $(b,event) (skip-ahead scheduling, the default) \
+           or $(b,stepped) (the cycle-by-cycle oracle). Results are \
+           bit-identical for both; also settable via $(b,AURIX_KERNEL).")
+
+let apply_kernel = function
+  | None -> ()
+  | Some k -> Tcsim.Machine.set_default_kernel k
+
 (* --- observability ---------------------------------------------------------- *)
 
 let trace_arg =
@@ -110,15 +138,16 @@ let dump_obs trace metrics =
 (* Wraps a subcommand body: enables the tracer when a trace file was
    requested and dumps the requested files afterwards — also when the
    body raises, so a crashed run still leaves its trace behind. *)
-let with_obs trace metrics f =
+let with_obs kernel trace metrics f =
+  apply_kernel kernel;
   if trace <> None then Obs.Tracer.enable ();
   Fun.protect ~finally:(fun () -> dump_obs trace metrics) f
 
 (* --- calibrate -------------------------------------------------------------- *)
 
 let calibrate_cmd =
-  let run trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run kernel trace metrics =
+    with_obs kernel trace metrics @@ fun () ->
     let t2 = Experiments.Table2.run () in
     Format.printf "%a@." Experiments.Table2.pp t2;
     Format.printf "matches reference constants: %b@."
@@ -126,18 +155,18 @@ let calibrate_cmd =
   in
   Cmd.v
     (Cmd.info "calibrate" ~doc:"Measure the Table 2 latency/stall constants.")
-    Term.(const run $ trace_arg $ metrics_arg)
+    Term.(const run $ kernel_arg $ trace_arg $ metrics_arg)
 
 (* --- counters ---------------------------------------------------------------- *)
 
 let counters_cmd =
-  let run jobs trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run jobs kernel trace metrics =
+    with_obs kernel trace metrics @@ fun () ->
     Format.printf "%a@." Experiments.Table6.pp (Experiments.Table6.run ?jobs ())
   in
   Cmd.v
     (Cmd.info "counters" ~doc:"Collect the Table 6 counter readings in isolation.")
-    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
 
 (* --- tables ------------------------------------------------------------------- *)
 
@@ -154,8 +183,8 @@ let tables_cmd =
 (* --- figure4 ------------------------------------------------------------------ *)
 
 let figure4_cmd =
-  let run all scenario jobs trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run all scenario jobs kernel trace metrics =
+    with_obs kernel trace metrics @@ fun () ->
     let rows =
       if all then Experiments.Figure4.run_all ?jobs ()
       else Experiments.Figure4.run_scenario ?jobs scenario
@@ -167,13 +196,13 @@ let figure4_cmd =
   in
   Cmd.v
     (Cmd.info "figure4" ~doc:"Reproduce Figure 4: model predictions vs isolation.")
-    Term.(const run $ all_arg $ scenario_arg $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ all_arg $ scenario_arg $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
 
 (* --- estimate ------------------------------------------------------------------ *)
 
 let estimate_cmd =
-  let run scenario level no_contender_info dump_lp trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run scenario level no_contender_info dump_lp kernel trace metrics =
+    with_obs kernel trace metrics @@ fun () ->
     let variant = Workload.Control_loop.variant_of_scenario scenario in
     let app = Workload.Control_loop.app variant in
     let con = Workload.Load_gen.make ~variant ~level ()
@@ -234,13 +263,13 @@ let estimate_cmd =
        ~doc:"Compute one contention-aware WCET estimate with model details.")
     Term.(
       const run $ scenario_arg $ level_arg $ no_info_arg $ dump_lp_arg
-      $ trace_arg $ metrics_arg)
+      $ kernel_arg $ trace_arg $ metrics_arg)
 
 (* --- ablations ------------------------------------------------------------------- *)
 
 let ablations_cmd =
-  let run jobs trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run jobs kernel trace metrics =
+    with_obs kernel trace metrics @@ fun () ->
     Format.printf "--- A1: contender information ---@.%a@."
       Experiments.Ablations.pp_a1 (Experiments.Ablations.a1_contender_info ?jobs ());
     Format.printf "--- A2: stall-equality encodings ---@.%a@."
@@ -255,39 +284,39 @@ let ablations_cmd =
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Run the A1-A4 ablation studies.")
-    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
 
 (* --- portability ----------------------------------------------------------------- *)
 
 let portability_cmd =
-  let run jobs trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run jobs kernel trace metrics =
+    with_obs kernel trace metrics @@ fun () ->
     Format.printf "%a@." Experiments.Portability.pp
       (Experiments.Portability.run ?jobs ())
   in
   Cmd.v
     (Cmd.info "portability"
        ~doc:"Re-target the analysis at other TriCore-family timings (Sec. 4.3).")
-    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
 
 (* --- priority ---------------------------------------------------------------------- *)
 
 let priority_cmd =
-  let run scenario jobs trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run scenario jobs kernel trace metrics =
+    with_obs kernel trace metrics @@ fun () ->
     Format.printf "%a@." Experiments.Priority_study.pp
       (Experiments.Priority_study.run ~scenario ?jobs ())
   in
   Cmd.v
     (Cmd.info "priority"
        ~doc:"Compare same-class round-robin against a prioritised application.")
-    Term.(const run $ scenario_arg $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ scenario_arg $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
 
 (* --- realistic -------------------------------------------------------------------- *)
 
 let realistic_cmd =
-  let run jobs trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run jobs kernel trace metrics =
+    with_obs kernel trace metrics @@ fun () ->
     Format.printf "%a@." Experiments.Realistic.pp
       (Experiments.Realistic.run ?jobs ())
   in
@@ -296,13 +325,13 @@ let realistic_cmd =
        ~doc:
          "Bound a production-style engine-control task (the paper's ~10% \
           use-case remark).")
-    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
 
 (* --- signatures ----------------------------------------------------------------------- *)
 
 let signatures_cmd =
-  let run scenario steps trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run scenario steps kernel trace metrics =
+    with_obs kernel trace metrics @@ fun () ->
     let variant = Workload.Control_loop.variant_of_scenario scenario in
     let latency = Platform.Latency.default in
     let app = Workload.Control_loop.app variant in
@@ -347,24 +376,25 @@ let signatures_cmd =
        ~doc:
          "Precompute contention budgets against a ladder of contender \
           templates and classify the measured co-runners.")
-    Term.(const run $ scenario_arg $ steps_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ scenario_arg $ steps_arg $ kernel_arg $ trace_arg $ metrics_arg)
 
 (* --- dma ---------------------------------------------------------------------------- *)
 
 let dma_cmd =
-  let run jobs trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run jobs kernel trace metrics =
+    with_obs kernel trace metrics @@ fun () ->
     Format.printf "%a@." Experiments.Dma_study.pp (Experiments.Dma_study.run ?jobs ())
   in
   Cmd.v
     (Cmd.info "dma"
        ~doc:"Bound interference from a specification-driven DMA channel.")
-    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
 
 (* --- report ------------------------------------------------------------------------- *)
 
 let report_cmd =
-  let run scenario level output =
+  let run scenario level kernel output =
+    apply_kernel kernel;
     let variant = Workload.Control_loop.variant_of_scenario scenario in
     let app = Workload.Control_loop.app variant in
     let con = Workload.Load_gen.make ~variant ~level () in
@@ -396,13 +426,13 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Generate a markdown contention-analysis report for one estimate.")
-    Term.(const run $ scenario_arg $ level_arg $ output_arg)
+    Term.(const run $ scenario_arg $ level_arg $ kernel_arg $ output_arg)
 
 (* --- integrate ---------------------------------------------------------------------- *)
 
 let integrate_cmd =
-  let run jobs trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run jobs kernel trace metrics =
+    with_obs kernel trace metrics @@ fun () ->
     Format.printf "%a@." Experiments.Integration_study.pp
       (Experiments.Integration_study.run ?jobs ())
   in
@@ -411,16 +441,16 @@ let integrate_cmd =
        ~doc:
          "Run the system-integration study: contention-aware response-time \
           analysis over a two-core task set.")
-    Term.(const run $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
 
 (* --- lint ---------------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run json fixtures jobs trace metrics =
+  let run json fixtures jobs kernel trace metrics =
     (* exit happens outside [with_obs] so the requested files are written
        even when the lint fails *)
     let diags =
-      with_obs trace metrics @@ fun () ->
+      with_obs kernel trace metrics @@ fun () ->
       let diags =
         if fixtures then
         List.concat_map (fun f -> f.Analysis.Fixtures.diags ()) Analysis.Fixtures.all
@@ -512,13 +542,13 @@ let lint_cmd =
           scenario validation, program/memory-map lint) over the bundled \
           configurations without solving anything. Exits non-zero if any \
           error-severity diagnostic is found.")
-    Term.(const run $ json_arg $ fixtures_arg $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ json_arg $ fixtures_arg $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
 
 (* --- sweep --------------------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run scenario trace metrics =
-    with_obs trace metrics @@ fun () ->
+  let run scenario kernel trace metrics =
+    with_obs kernel trace metrics @@ fun () ->
     let variant = Workload.Control_loop.variant_of_scenario scenario in
     let app = Workload.Control_loop.app variant in
     let iso = Mbta.Measurement.isolation ~core:0 app in
@@ -546,7 +576,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep the ILP bound over contender load levels.")
-    Term.(const run $ scenario_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ scenario_arg $ kernel_arg $ trace_arg $ metrics_arg)
 
 (* --- profile ------------------------------------------------------------------ *)
 
@@ -575,13 +605,14 @@ let profile_cmd =
       ("dma", fun ?jobs () -> ignore (Experiments.Dma_study.run ?jobs ()));
     ]
   in
-  let run name runs jobs trace metrics =
+  let run name runs jobs kernel trace metrics =
     match List.assoc_opt name experiments with
     | None ->
       Format.eprintf "unknown experiment %S (expected one of: %s)@." name
         (String.concat ", " (List.map fst experiments));
       exit 2
     | Some f ->
+      apply_kernel kernel;
       (* profiling always wants the span aggregates, so the tracer is on
          even when no --trace file was requested *)
       Obs.Tracer.enable ();
@@ -590,8 +621,10 @@ let profile_cmd =
         match jobs with Some j -> j | None -> Runtime.Pool.default_jobs ()
       in
       for i = 1 to runs do
-        (* a cold cache each round, so every run solves the same work *)
+        (* cold caches each round, so every run solves and simulates the
+           same work *)
         Runtime.Solve_cache.clear ();
+        Runtime.Run_cache.clear ();
         let (), t =
           Runtime.Telemetry.measure ~jobs:recorded_jobs (fun () -> f ?jobs ())
         in
@@ -618,7 +651,7 @@ let profile_cmd =
        ~doc:
          "Run one named experiment repeatedly under the span tracer and print \
           per-run telemetry plus the aggregated hot-path table.")
-    Term.(const run $ name_arg $ runs_arg $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ name_arg $ runs_arg $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "Multicore contention models for the AURIX TC27x (DAC 2018 reproduction)" in

@@ -18,7 +18,7 @@ let run ?(scenario = Scenario.scenario1) ?jobs () =
   let c1 = Workload.Load_gen.make ~variant ~level:Workload.Load_gen.Medium ~region_slot:1 () in
   let c2 = Workload.Load_gen.make ~variant ~level:Workload.Load_gen.Low ~region_slot:2 () in
   let corun priorities =
-    Tcsim.Machine.run ~restart_contenders:false ~priorities ~trace:true
+    Runtime.Run_cache.run ~restart_contenders:false ~priorities ~trace:true
       ~analysis:{ Tcsim.Machine.program = app; core = 0 }
       ~contenders:
         [

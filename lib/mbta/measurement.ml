@@ -20,7 +20,7 @@ let isolation ?config ?(core = 0) program =
           ("program", Tcsim.Program.name program);
           ("core", string_of_int core);
         ])
-    (fun () -> of_result (Tcsim.Machine.run_isolation ?config ~core program))
+    (fun () -> of_result (Runtime.Run_cache.run_isolation ?config ~core program))
 
 let isolation_sweep ?config ?(core = 0) programs =
   List.map (fun p -> isolation ?config ~core p) programs
@@ -57,7 +57,7 @@ let corun ?config ~analysis ~contenders ?(restart_contenders = false) () =
         ])
     (fun () ->
        of_result
-         (Tcsim.Machine.run ?config ~restart_contenders
+         (Runtime.Run_cache.run ?config ~restart_contenders
             ~analysis:{ Tcsim.Machine.program; core }
             ~contenders:
               (List.map

@@ -1,0 +1,207 @@
+(* Content-addressed memoization of whole simulator runs.
+
+   Experiments re-simulate identical (task, contenders, platform) tuples
+   many times — every ablation re-measures the figure-4 co-runs, the
+   portability sweep replays Table 2 per variant — so whole-run results
+   are keyed by a structural digest of everything {!Tcsim.Machine.run}'s
+   outcome depends on: the resolved kernel, the latency table, per-core
+   configurations, priorities, the restart/max_cycles/trace flags, and
+   the analysis + contender programs (by content, not by name) in their
+   literal order (stepping order is architecturally visible through
+   same-cycle arbitration).
+
+   Single-flight, like {!Solve_cache}: the first requester of a key
+   installs [Pending] and simulates; concurrent requesters block until
+   the outcome lands and count as hits. Hit/miss totals are therefore a
+   function of the request multiset alone — identical at any parallel
+   degree — which keeps the run_cache.* Obs counters inside the
+   deterministic snapshot. [run_result] is immutable all the way down,
+   so sharing one value between requesters is safe. *)
+
+open Tcsim
+
+type outcome = Finished of Machine.run_result | Limit of int
+
+type stats = { hits : int; misses : int; waited : int }
+
+type entry = { mutable state : state }
+and state = Done of outcome | Pending
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 128
+let lock = Mutex.create ()
+let settled = Condition.create ()
+let hit_count = Atomic.make 0
+let miss_count = Atomic.make 0
+let waited_count = Atomic.make 0
+let m_hits = Obs.Metrics.counter "run_cache.hits"
+let m_misses = Obs.Metrics.counter "run_cache.misses"
+let m_entries = Obs.Metrics.gauge "run_cache.entries"
+
+(* --- fingerprint ------------------------------------------------------- *)
+
+let add_geometry buf = function
+  | None -> Buffer.add_string buf "-;"
+  | Some g ->
+    Printf.bprintf buf "%d/%d/%d;" g.Cache.size_bytes g.Cache.ways
+      g.Cache.line_bytes
+
+let add_core_config buf (c : Core_model.config) =
+  Buffer.add_string buf
+    (match c.Core_model.kind with Core_model.P16 -> "P" | Core_model.E16 -> "E");
+  add_geometry buf c.Core_model.icache;
+  add_geometry buf c.Core_model.dcache
+
+let add_latency buf lat =
+  List.iter
+    (fun (target, op) ->
+       Printf.bprintf buf "%d/%d/%d;"
+         (Platform.Latency.lmax lat target op)
+         (Platform.Latency.lmin lat target op)
+         (Platform.Latency.min_stall lat target op))
+    Platform.Op.valid_pairs;
+  Printf.bprintf buf "~%d;" (Platform.Latency.lmu_dirty_lmax lat)
+
+(* Programs are keyed by content — two programs with the same items but
+   different names simulate identically. *)
+let add_program buf p =
+  let rec items list =
+    List.iter
+      (function
+        | Program.I { pc; kind } ->
+          (match kind with
+           | Program.Compute n -> Printf.bprintf buf "c%d@%x;" n pc
+           | Program.Load a -> Printf.bprintf buf "l%x@%x;" a pc
+           | Program.Store a -> Printf.bprintf buf "s%x@%x;" a pc)
+        | Program.Loop { count; body } ->
+          Printf.bprintf buf "L%d[" count;
+          items body;
+          Buffer.add_string buf "];")
+      list
+  in
+  items (Program.items p)
+
+let add_task buf (t : Machine.task) =
+  Printf.bprintf buf "#%d:" t.Machine.core;
+  add_program buf t.Machine.program
+
+let fingerprint ~config ~max_cycles ~restart_contenders ~priorities ~trace
+    ~kernel ~analysis ~contenders =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "%s|%d|%b|%b|" (Machine.kernel_to_string kernel) max_cycles
+    restart_contenders trace;
+  (match priorities with
+   | None -> Buffer.add_string buf "-|"
+   | Some p ->
+     Array.iter (Printf.bprintf buf "%d,") p;
+     Buffer.add_char buf '|');
+  add_latency buf config.Machine.latency;
+  Buffer.add_char buf '|';
+  Array.iter (add_core_config buf) config.Machine.cores;
+  Buffer.add_char buf '|';
+  add_task buf analysis;
+  List.iter (add_task buf) contenders;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* --- single-flight table ----------------------------------------------- *)
+
+let size () =
+  Mutex.lock lock;
+  let n =
+    Hashtbl.fold
+      (fun _ e acc -> match e.state with Done _ -> acc + 1 | Pending -> acc)
+      table 0
+  in
+  Mutex.unlock lock;
+  n
+
+let acquire k =
+  Mutex.lock lock;
+  let rec loop ~waited =
+    match Hashtbl.find_opt table k with
+    | Some { state = Done o } ->
+      Mutex.unlock lock;
+      `Hit (o, waited)
+    | Some { state = Pending } ->
+      Condition.wait settled lock;
+      loop ~waited:true
+    | None ->
+      Hashtbl.replace table k { state = Pending };
+      Mutex.unlock lock;
+      `Reserved
+  in
+  loop ~waited:false
+
+let settle k result =
+  Mutex.lock lock;
+  (match (Hashtbl.find_opt table k, result) with
+   | Some e, Some outcome -> e.state <- Done outcome
+   | Some _, None ->
+     (* uncached failure (e.g. validation error): release the key so a
+        later request can retry *)
+     Hashtbl.remove table k
+   | None, _ -> ());
+  Condition.broadcast settled;
+  Mutex.unlock lock;
+  if result <> None then Obs.Metrics.set m_entries (size ())
+
+let replay = function
+  | Finished r -> r
+  | Limit c -> raise (Machine.Cycle_limit_exceeded c)
+
+let run ?(config = Machine.default_config)
+    ?(max_cycles = Machine.default_max_cycles) ?(restart_contenders = true)
+    ?priorities ?(trace = false) ?kernel ~analysis ?(contenders = []) () =
+  let kernel =
+    match kernel with Some k -> k | None -> Machine.default_kernel ()
+  in
+  let k =
+    fingerprint ~config ~max_cycles ~restart_contenders ~priorities ~trace
+      ~kernel ~analysis ~contenders
+  in
+  match acquire k with
+  | `Hit (o, waited) ->
+    Atomic.incr hit_count;
+    Obs.Metrics.incr m_hits;
+    if waited then Atomic.incr waited_count;
+    replay o
+  | `Reserved ->
+    Atomic.incr miss_count;
+    Obs.Metrics.incr m_misses;
+    (match
+       Machine.run ~config ~max_cycles ~restart_contenders ?priorities ~trace
+         ~kernel ~analysis ~contenders ()
+     with
+     | r ->
+       settle k (Some (Finished r));
+       r
+     | exception Machine.Cycle_limit_exceeded c ->
+       (* deterministic for this key (max_cycles is part of it): cache the
+          outcome so hit/miss totals stay jobs-invariant *)
+       settle k (Some (Limit c));
+       raise (Machine.Cycle_limit_exceeded c)
+     | exception e ->
+       settle k None;
+       raise e)
+
+let run_isolation ?config ?max_cycles ?kernel ?(core = 0) program =
+  run ?config ?max_cycles ?kernel ~analysis:{ Machine.program; core } ()
+
+let stats () =
+  {
+    hits = Atomic.get hit_count;
+    misses = Atomic.get miss_count;
+    waited = Atomic.get waited_count;
+  }
+
+let reset_stats () =
+  Atomic.set hit_count 0;
+  Atomic.set miss_count 0;
+  Atomic.set waited_count 0
+
+let clear () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  Condition.broadcast settled;
+  Mutex.unlock lock;
+  Obs.Metrics.set m_entries 0;
+  reset_stats ()

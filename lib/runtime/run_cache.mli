@@ -1,0 +1,69 @@
+(** Content-addressed memoization of whole simulator runs.
+
+    Drop-in wrappers for {!Tcsim.Machine.run} / [run_isolation] that key
+    the result by a structural digest of everything the outcome depends
+    on: the resolved kernel, latency table, per-core cache geometries,
+    priorities, restart/max_cycles/trace flags, and the analysis +
+    contender programs by content (names are irrelevant to timing) in
+    their literal order (stepping order is visible through same-cycle
+    arbitration). Ablations and the portability sweep re-simulate
+    identical co-runs dozens of times; those become cache hits.
+
+    Single-flight like {!Solve_cache}: concurrent requests for one key
+    run the simulation once, so hit/miss totals depend only on the
+    request multiset — identical at any parallel degree — and the
+    [run_cache.hits] / [run_cache.misses] Obs counters stay inside the
+    deterministic snapshot. A {!Tcsim.Machine.Cycle_limit_exceeded}
+    outcome is cached too (it is deterministic for the key) and
+    re-raised on hits; other exceptions release the key. *)
+
+type stats = { hits : int; misses : int; waited : int }
+
+val run :
+  ?config:Tcsim.Machine.config ->
+  ?max_cycles:int ->
+  ?restart_contenders:bool ->
+  ?priorities:int array ->
+  ?trace:bool ->
+  ?kernel:Tcsim.Machine.kernel ->
+  analysis:Tcsim.Machine.task ->
+  ?contenders:Tcsim.Machine.task list ->
+  unit ->
+  Tcsim.Machine.run_result
+(** Same contract as {!Tcsim.Machine.run}; the returned record may be
+    shared with other callers (it is immutable). *)
+
+val run_isolation :
+  ?config:Tcsim.Machine.config ->
+  ?max_cycles:int ->
+  ?kernel:Tcsim.Machine.kernel ->
+  ?core:int ->
+  Tcsim.Program.t ->
+  Tcsim.Machine.run_result
+(** Same contract as {!Tcsim.Machine.run_isolation}. *)
+
+val fingerprint :
+  config:Tcsim.Machine.config ->
+  max_cycles:int ->
+  restart_contenders:bool ->
+  priorities:int array option ->
+  trace:bool ->
+  kernel:Tcsim.Machine.kernel ->
+  analysis:Tcsim.Machine.task ->
+  contenders:Tcsim.Machine.task list ->
+  string
+(** The cache key (hex digest) for a fully resolved request — exposed for
+    tests asserting what does and does not share an entry. *)
+
+val stats : unit -> stats
+(** Process-lifetime totals. [waited] counts hits that blocked on another
+    domain's in-flight simulation — a parallel-timing fact (always 0 at
+    jobs=1), excluded from the jobs-invariant counters. *)
+
+val reset_stats : unit -> unit
+
+val size : unit -> int
+(** Settled entries currently cached. *)
+
+val clear : unit -> unit
+(** Drop all entries and reset stats — for cold-cache benchmarking. *)

@@ -16,6 +16,8 @@ type t = {
   cache_canonical_hits : int;
       (** hits on a structural twin ({!Ilp.Canonical} dedup) *)
   cache_waited : int;  (** single-flight blockers (jobs > 1 artifact) *)
+  run_cache_hits : int;
+  run_cache_misses : int;  (** {!Run_cache} activity inside the region *)
 }
 
 val measure : jobs:int -> (unit -> 'a) -> 'a * t
@@ -43,6 +45,10 @@ val raw_hit_rate : t -> float
 val canonical_hit_rate : t -> float
 (** Same denominator as {!raw_hit_rate}, counting only hits served by a
     structural twin. The two rates plus the miss rate sum to 1. *)
+
+val run_cache_hit_rate : t -> float
+(** [run_cache_hits / (run_cache_hits + run_cache_misses)] in [0, 1];
+    [0.] when the region performed no memoized simulator runs. *)
 
 val pp : Format.formatter -> t -> unit
 (** One line: jobs, tasks, wall/cpu seconds, cache hits/misses, the

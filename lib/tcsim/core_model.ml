@@ -36,6 +36,7 @@ type t = {
   mutable dcache_miss_dirty : int;
   mutable finish_at : int;
   mutable restart_count : int;
+  mutable synced : int; (* last cycle this core was stepped at; -1 initially *)
 }
 
 let create config ~sri ~core_id program =
@@ -55,6 +56,7 @@ let create config ~sri ~core_id program =
     dcache_miss_dirty = 0;
     finish_at = -1;
     restart_count = 0;
+    synced = -1;
   }
 
 (* Observed wait -> stall cycles: hide the pipelining/prefetch overlap the
@@ -151,6 +153,7 @@ let begin_instruction t ~cycle =
           t.phase <- Wait_fetch (tk, instr)))
 
 let step t ~cycle =
+  t.synced <- cycle;
   match t.phase with
   | Done -> ()
   | _ ->
@@ -177,6 +180,53 @@ let step t ~cycle =
        end)
 
 let finished t = match t.phase with Done -> true | _ -> false
+
+(* --- Event-driven scheduling -------------------------------------------
+   Between two observable actions a core only increments CCNT: a [Busy n]
+   core spends n silent cycles, a waiting core idles until its ticket's
+   [done_at]. [wake] reports the next cycle at which stepping the core
+   does more than count; [advance] batches the skipped CCNT cycles and
+   performs the regular [step] at that cycle; [settle] accounts a
+   contender's tail cycles when the run ends between its wake-ups. *)
+
+let wake t =
+  match t.phase with
+  | Done -> max_int
+  | Start -> t.synced + 1
+  | Busy n -> t.synced + n + 1
+  | Wait_fetch (tk, _) | Wait_writeback (tk, _) | Wait_data tk ->
+    if tk.Sri.granted then max (t.synced + 1) tk.Sri.done_at else max_int
+
+let advance t ~cycle =
+  if cycle <= t.synced then invalid_arg "Core_model.advance: cycle not ahead";
+  (match t.phase with
+   | Done | Start -> ()
+   | Busy n ->
+     let skipped = cycle - t.synced - 1 in
+     if skipped > 0 then begin
+       t.ccnt <- t.ccnt + skipped;
+       t.phase <- (if skipped >= n then Start else Busy (n - skipped))
+     end
+   | Wait_fetch _ | Wait_writeback _ | Wait_data _ ->
+     t.ccnt <- t.ccnt + (cycle - t.synced - 1));
+  step t ~cycle
+
+let settle t ~cycle =
+  if cycle > t.synced then begin
+    (match t.phase with
+     | Done -> ()
+     | Start ->
+       (* a runnable core's wake is synced+1 <= cycle: the event loop
+          always advances it first, so it can never need settling *)
+       invalid_arg "Core_model.settle: core still runnable"
+     | Busy n ->
+       let d = cycle - t.synced in
+       t.ccnt <- t.ccnt + d;
+       t.phase <- (if d >= n then Start else Busy (n - d))
+     | Wait_fetch _ | Wait_writeback _ | Wait_data _ ->
+       t.ccnt <- t.ccnt + (cycle - t.synced));
+    t.synced <- cycle
+  end
 
 let finish_cycle t =
   if t.finish_at < 0 then failwith "Core_model.finish_cycle: not finished";

@@ -32,6 +32,26 @@ type t
 val create : config -> sri:Sri.t -> core_id:int -> Program.t -> t
 val step : t -> cycle:int -> unit
 val finished : t -> bool
+
+val wake : t -> int
+(** Next cycle at which stepping this core does more than increment CCNT:
+    the cycle after a [Busy] burst drains, a granted ticket's completion
+    cycle, or the next cycle for a core about to begin an instruction.
+    [max_int] when finished or blocked on a not-yet-granted ticket (the
+    grant is an SRI event; the wake becomes finite once it fires). *)
+
+val advance : t -> cycle:int -> unit
+(** Jump the core to [cycle] (at most [wake t]): batches the CCNT of the
+    silently skipped cycles, then performs the regular [step] at [cycle].
+    Equivalent to stepping every cycle in between — skipped cycles are
+    exactly those where [step] only counts.
+    @raise Invalid_argument if [cycle] is not ahead of the last step. *)
+
+val settle : t -> cycle:int -> unit
+(** Account the idle cycles up to and including [cycle] without waking the
+    core — used for contenders when the analysis task finishes strictly
+    between their events. No-op when already synced or finished. *)
+
 val finish_cycle : t -> int
 (** Cycle at which the program completed.
     @raise Failure if not yet finished. *)

@@ -26,11 +26,100 @@ type run_result = {
 
 exception Cycle_limit_exceeded of int
 
+type kernel = [ `Stepped | `Event ]
+
+let kernel_of_string = function
+  | "stepped" -> Some `Stepped
+  | "event" -> Some `Event
+  | _ -> None
+
+let kernel_to_string = function `Stepped -> "stepped" | `Event -> "event"
+
+(* Process-wide default, overridable per run. The event kernel is the
+   production default; AURIX_KERNEL=stepped re-pins the cycle-accurate
+   oracle for differential debugging without touching call sites. *)
+let default_kernel_ref =
+  ref
+    (match Option.bind (Sys.getenv_opt "AURIX_KERNEL") kernel_of_string with
+     | Some k -> k
+     | None -> `Event)
+
+let default_kernel () = !default_kernel_ref
+let set_default_kernel k = default_kernel_ref := k
+let default_max_cycles = 200_000_000
+
 let m_runs = Obs.Metrics.counter "tcsim.runs"
 let m_cycles = Obs.Metrics.counter "tcsim.cycles"
+let m_events = Obs.Metrics.counter "tcsim.events"
+let m_skipped = Obs.Metrics.counter "tcsim.skipped_cycles"
 
-let run ?(config = default_config) ?(max_cycles = 200_000_000)
-    ?(restart_contenders = true) ?priorities ?(trace = false) ~analysis
+(* The seed implementation: every core and the crossbar stepped at every
+   cycle. Kept as the differential-testing oracle for the event kernel. *)
+let run_stepped ~max_cycles ~restart_contenders ~sri ~analysis_core
+    ~contender_cores =
+  let cycle = ref 0 in
+  while not (Core_model.finished analysis_core) do
+    if !cycle > max_cycles then raise (Cycle_limit_exceeded !cycle);
+    Sri.step sri ~cycle:!cycle;
+    Core_model.step analysis_core ~cycle:!cycle;
+    List.iter
+      (fun (_, c) ->
+         Core_model.step c ~cycle:!cycle;
+         if Core_model.finished c && restart_contenders then Core_model.restart c)
+      contender_cores;
+    incr cycle
+  done
+
+(* Event-driven kernel: jump the clock to the earliest pending event —
+   a core wake-up or an SRI grant slot — instead of ticking every cycle.
+   Processing order within an event cycle mirrors the stepped loop
+   exactly (grants, then the analysis core, then contenders in list
+   order), so arbitration and counters are bit-identical; see DESIGN.md
+   "Simulator kernel" for the completeness argument. *)
+let run_event ~max_cycles ~restart_contenders ~sri ~analysis_core
+    ~contender_cores =
+  let events = ref 0 and skipped = ref 0 in
+  let last = ref (-1) in
+  Fun.protect
+    ~finally:(fun () ->
+        Obs.Metrics.add m_events !events;
+        Obs.Metrics.add m_skipped !skipped)
+    (fun () ->
+       let finished = ref false in
+       while not !finished do
+         let t =
+           List.fold_left
+             (fun acc (_, c) -> min acc (Core_model.wake c))
+             (min (Core_model.wake analysis_core) (Sri.next_grant_at sri))
+             contender_cores
+         in
+         if t = max_int then
+           (* unreachable: a blocked analysis core always has a queued or
+              granted ticket, both of which schedule an event *)
+           failwith "Machine.run: event kernel has no pending event";
+         if t > max_cycles then raise (Cycle_limit_exceeded (max_cycles + 1));
+         incr events;
+         skipped := !skipped + (t - !last - 1);
+         last := t;
+         Sri.step sri ~cycle:t;
+         if Core_model.wake analysis_core = t then
+           Core_model.advance analysis_core ~cycle:t;
+         List.iter
+           (fun (_, c) ->
+              if Core_model.wake c = t then begin
+                Core_model.advance c ~cycle:t;
+                if Core_model.finished c && restart_contenders then
+                  Core_model.restart c
+              end)
+           contender_cores;
+         if Core_model.finished analysis_core then begin
+           List.iter (fun (_, c) -> Core_model.settle c ~cycle:t) contender_cores;
+           finished := true
+         end
+       done)
+
+let run ?(config = default_config) ?(max_cycles = default_max_cycles)
+    ?(restart_contenders = true) ?priorities ?(trace = false) ?kernel ~analysis
     ?(contenders = []) () =
   Obs.Metrics.incr m_runs;
   let finish_cycle = ref 0 in
@@ -56,18 +145,15 @@ let run ?(config = default_config) ?(max_cycles = 200_000_000)
   let make_core t = Core_model.create config.cores.(t.core) ~sri ~core_id:t.core t.program in
   let analysis_core = make_core analysis in
   let contender_cores = List.map (fun t -> (t.core, make_core t)) contenders in
-  let cycle = ref 0 in
-  while not (Core_model.finished analysis_core) do
-    if !cycle > max_cycles then raise (Cycle_limit_exceeded !cycle);
-    Sri.step sri ~cycle:!cycle;
-    Core_model.step analysis_core ~cycle:!cycle;
-    List.iter
-      (fun (_, c) ->
-         Core_model.step c ~cycle:!cycle;
-         if Core_model.finished c && restart_contenders then Core_model.restart c)
-      contender_cores;
-    incr cycle
-  done;
+  (match
+     match kernel with Some k -> k | None -> default_kernel ()
+   with
+   | `Stepped ->
+     run_stepped ~max_cycles ~restart_contenders ~sri ~analysis_core
+       ~contender_cores
+   | `Event ->
+     run_event ~max_cycles ~restart_contenders ~sri ~analysis_core
+       ~contender_cores);
   let result_of core =
     {
       counters = Core_model.counters core;
@@ -87,5 +173,5 @@ let run ?(config = default_config) ?(max_cycles = 200_000_000)
   Obs.Metrics.add m_cycles result.cycles;
   result)
 
-let run_isolation ?config ?max_cycles ?(core = 0) program =
-  run ?config ?max_cycles ~analysis:{ program; core } ()
+let run_isolation ?config ?max_cycles ?kernel ?(core = 0) program =
+  run ?config ?max_cycles ?kernel ~analysis:{ program; core } ()

@@ -33,12 +33,36 @@ type run_result = {
 
 exception Cycle_limit_exceeded of int
 
+type kernel = [ `Stepped | `Event ]
+(** [`Stepped] ticks every core and the crossbar once per simulated cycle
+    — the seed implementation, kept as the cycle-accurate oracle.
+    [`Event] jumps the clock straight to the next pending event (core
+    wake-up or SRI grant slot); it is observationally identical — same
+    cycles, counters, profiles, traces and restart counts — while doing
+    work proportional to SRI traffic instead of elapsed cycles. *)
+
+val kernel_of_string : string -> kernel option
+(** Recognises ["stepped"] and ["event"]. *)
+
+val kernel_to_string : kernel -> string
+
+val default_kernel : unit -> kernel
+(** The kernel used when {!run} gets no [?kernel]: [`Event], unless the
+    [AURIX_KERNEL] environment variable says otherwise, or
+    {!set_default_kernel} was called (the CLI's [--kernel] flag). *)
+
+val set_default_kernel : kernel -> unit
+
+val default_max_cycles : int
+(** The default runaway guard, [200_000_000]. *)
+
 val run :
   ?config:config ->
   ?max_cycles:int ->
   ?restart_contenders:bool ->
   ?priorities:int array ->
   ?trace:bool ->
+  ?kernel:kernel ->
   analysis:task ->
   ?contenders:task list ->
   unit ->
@@ -47,11 +71,18 @@ val run :
     earlier restart immediately when [restart_contenders] (default [true]).
     [priorities] assigns each core an SRI priority class (lower = more
     urgent; default: one class, the paper's configuration); [trace]
-    records every SRI transaction. [max_cycles] (default [200_000_000])
-    guards against runaway programs.
+    records every SRI transaction. [max_cycles] (default
+    {!default_max_cycles}) guards against runaway programs. [kernel]
+    selects the simulation loop (default {!default_kernel}); results do
+    not depend on the choice.
     @raise Cycle_limit_exceeded when the budget is exhausted.
     @raise Invalid_argument on core-index clashes or out-of-range cores. *)
 
 val run_isolation :
-  ?config:config -> ?max_cycles:int -> ?core:int -> Program.t -> run_result
+  ?config:config ->
+  ?max_cycles:int ->
+  ?kernel:kernel ->
+  ?core:int ->
+  Program.t ->
+  run_result
 (** The task alone on the platform ([core] defaults to 0). *)

@@ -10,13 +10,71 @@ type ticket = {
 
 type pending = { p_core : int; p_line : int; p_folded : bool; p_ticket : ticket }
 
+(* Insertion-ordered pending queue. A growable ring buffer instead of a
+   list: [push] is amortised O(1) (the old [queue @ [p]] copied the whole
+   queue per request) and [remove] compacts leftwards so the surviving
+   elements keep their arrival order — the property the round-robin
+   arbiter's class scan relies on. Capacity is bounded in practice by the
+   master count (each master has at most one outstanding transaction). *)
+module Fifo = struct
+  type 'a t = { mutable buf : 'a option array; mutable head : int; mutable len : int }
+
+  let create () = { buf = Array.make 8 None; head = 0; len = 0 }
+  let is_empty q = q.len = 0
+
+  let push q x =
+    let cap = Array.length q.buf in
+    if q.len = cap then begin
+      let buf = Array.make (2 * cap) None in
+      for i = 0 to q.len - 1 do
+        buf.(i) <- q.buf.((q.head + i) mod cap)
+      done;
+      q.buf <- buf;
+      q.head <- 0
+    end;
+    q.buf.((q.head + q.len) mod Array.length q.buf) <- Some x;
+    q.len <- q.len + 1
+
+  (* Left-to-right = arrival order, like the list it replaces. *)
+  let fold f acc q =
+    let cap = Array.length q.buf in
+    let acc = ref acc in
+    for i = 0 to q.len - 1 do
+      match q.buf.((q.head + i) mod cap) with
+      | Some x -> acc := f !acc x
+      | None -> assert false
+    done;
+    !acc
+
+  (* Removes the element physically equal to [x]; later arrivals shift
+     left one slot, preserving relative order. *)
+  let remove q x =
+    let cap = Array.length q.buf in
+    let kept = ref 0 in
+    let found = ref false in
+    for i = 0 to q.len - 1 do
+      let slot = (q.head + i) mod cap in
+      match q.buf.(slot) with
+      | Some y when y == x ->
+        q.buf.(slot) <- None;
+        found := true
+      | Some y ->
+        q.buf.(slot) <- None;
+        q.buf.((q.head + !kept) mod cap) <- Some y;
+        incr kept
+      | None -> assert false
+    done;
+    if not !found then invalid_arg "Sri: removing a transaction that is not queued";
+    q.len <- !kept
+end
+
 type iface = {
   target : Target.t;
   mutable busy_until : int;
   mutable last_line : int; (* line-aligned addr of the last served transaction *)
   mutable has_line : bool;
   mutable last_served_core : int;
-  mutable queue : pending list; (* insertion order *)
+  queue : pending Fifo.t; (* insertion order *)
 }
 
 type t = {
@@ -79,7 +137,7 @@ let create ?(latency = Latency.default) ?priorities ?(trace = false) ~ncores () 
                 last_line = 0;
                 has_line = false;
                 last_served_core = ncores - 1;
-                queue = [];
+                queue = Fifo.create ();
               })
            Target.all);
     profiles = Array.make ncores Access_profile.zero;
@@ -105,24 +163,24 @@ let service_time t iface ~op ~line ~folded =
    round-robin within the class — smallest positive distance from the last
    served master. *)
 let rr_pick t iface =
-  match iface.queue with
-  | [] -> None
-  | q ->
+  if Fifo.is_empty iface.queue then None
+  else begin
     let best_class =
-      List.fold_left (fun acc p -> min acc t.priorities.(p.p_core)) max_int q
+      Fifo.fold (fun acc p -> min acc t.priorities.(p.p_core)) max_int iface.queue
     in
     let dist core =
       let d = (core - iface.last_served_core + t.ncores) mod t.ncores in
       if d = 0 then t.ncores else d
     in
-    List.fold_left
+    Fifo.fold
       (fun acc p ->
          if t.priorities.(p.p_core) <> best_class then acc
          else
            match acc with
            | None -> Some p
            | Some b -> if dist p.p_core < dist b.p_core then Some p else acc)
-      None q
+      None iface.queue
+  end
 
 let grant t iface cycle p =
   let svc = service_time t iface ~op:p.p_ticket.op ~line:p.p_line ~folded:p.p_folded in
@@ -132,7 +190,7 @@ let grant t iface cycle p =
   iface.last_line <- p.p_line;
   iface.has_line <- true;
   iface.last_served_core <- p.p_core;
-  iface.queue <- List.filter (fun q -> q != p) iface.queue;
+  Fifo.remove iface.queue p;
   t.profiles.(p.p_core) <-
     Access_profile.incr t.profiles.(p.p_core) iface.target p.p_ticket.op;
   t.served_counts.(p.p_core) <- t.served_counts.(p.p_core) + 1;
@@ -174,11 +232,22 @@ let request t ~core ~target ~op ~addr ~folded_dirty_writeback ~cycle =
     }
   in
   let iface = t.ifaces.(iface_index target) in
-  iface.queue <- iface.queue @ [ p ];
+  Fifo.push iface.queue p;
   try_grant t iface ~cycle;
   ticket
 
 let step t ~cycle = Array.iter (fun iface -> try_grant t iface ~cycle) t.ifaces
+
+(* Earliest future cycle at which any interface can issue a grant. An
+   interface with queued requests holds them exactly until [busy_until]
+   (a free interface grants immediately at request time, so it never
+   carries a queue across cycles); interfaces with empty queues have
+   nothing to schedule. *)
+let next_grant_at t =
+  Array.fold_left
+    (fun acc iface ->
+       if Fifo.is_empty iface.queue then acc else min acc iface.busy_until)
+    max_int t.ifaces
 let busy t target ~at = t.ifaces.(iface_index target).busy_until > at
 let profile t ~core = t.profiles.(core)
 let served t ~core = t.served_counts.(core)

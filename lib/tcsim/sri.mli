@@ -57,7 +57,17 @@ val request :
 
 val step : t -> cycle:int -> unit
 (** Grants pending requests on every target that is idle at [cycle]. Call
-    once per simulated cycle, before stepping the cores. *)
+    once per simulated cycle, before stepping the cores — or, under the
+    event-driven kernel, once per event cycle (grants can only fire at
+    cycles reported by {!next_grant_at} or at request time). *)
+
+val next_grant_at : t -> int
+(** Earliest cycle at which a queued request can be granted — the minimum
+    [busy_until] over interfaces with a non-empty pending queue — or
+    [max_int] when nothing is queued. A free interface never carries a
+    queue between cycles (requests to an idle target are granted
+    immediately by {!request}), so stepping the crossbar only at these
+    cycles is observationally identical to stepping it every cycle. *)
 
 val busy : t -> Target.t -> at:int -> bool
 

@@ -5,7 +5,11 @@
    order regardless of the parallel degree, the first (input-order)
    exception propagates after the batch drains, and AURIX_JOBS parsing.
    Solve_cache coverage: hit/miss accounting, key sensitivity to the model
-   and the solver parameters, and caching of the node-limit outcome. *)
+   and the solver parameters, and caching of the node-limit outcome.
+   Run_cache coverage: the same single-flight guarantees for whole
+   simulator runs — key sensitivity (kernel, programs, priorities,
+   flags; never names), cycle-limit replay, and hit/miss totals that are
+   invariant across parallel degrees. *)
 
 open Numeric
 
@@ -308,6 +312,129 @@ let test_cache_single_flight () =
   Alcotest.(check bool) "waited within hits" true (waited >= 0 && waited <= 7);
   Alcotest.(check int) "one entry" 1 (Runtime.Solve_cache.size ())
 
+(* --- run cache ---------------------------------------------------------------- *)
+
+let pspr = Tcsim.Memory_map.pspr_base
+let lmu_nc = Tcsim.Memory_map.lmu_uncached_base
+let dspr = Tcsim.Memory_map.dspr_base
+
+let mk_prog ?(name = "p") ?(loads = 8) () =
+  Tcsim.Program.make ~name
+    [
+      Tcsim.Program.I { pc = pspr; kind = Tcsim.Program.Compute 3 };
+      Tcsim.Program.loop loads
+        [ Tcsim.Program.I { pc = pspr; kind = Tcsim.Program.Load lmu_nc } ];
+      Tcsim.Program.I { pc = pspr; kind = Tcsim.Program.Store dspr };
+    ]
+
+let mk_contender name =
+  { Tcsim.Machine.program = mk_prog ~name ~loads:4 (); core = 1 }
+
+let corun ?priorities ?(restart = false) ?kernel () =
+  Runtime.Run_cache.run ?priorities ~restart_contenders:restart ?kernel
+    ~trace:true
+    ~analysis:{ Tcsim.Machine.program = mk_prog (); core = 0 }
+    ~contenders:[ mk_contender "c" ]
+    ()
+
+let test_run_cache_hit_on_identical () =
+  Runtime.Run_cache.clear ();
+  let r1 = corun () in
+  let r2 = corun () in
+  Alcotest.(check bool) "identical result replayed" true (r1 = r2);
+  let { Runtime.Run_cache.hits; misses; waited } = Runtime.Run_cache.stats () in
+  Alcotest.(check int) "one miss" 1 misses;
+  Alcotest.(check int) "one hit" 1 hits;
+  Alcotest.(check int) "nobody waited" 0 waited;
+  Alcotest.(check int) "one entry" 1 (Runtime.Run_cache.size ())
+
+let test_run_cache_key_sensitivity () =
+  (* every input the outcome depends on perturbs the fingerprint; names
+     do not (content addressing is semantic, as in Solve_cache) *)
+  let fp ?(kernel = `Stepped) ?(restart = false) ?priorities ?(name = "a")
+      ?(loads = 8) () =
+    Runtime.Run_cache.fingerprint ~config:Tcsim.Machine.default_config
+      ~max_cycles:1000 ~restart_contenders:restart ~priorities ~trace:false
+      ~kernel
+      ~analysis:{ Tcsim.Machine.program = mk_prog ~name ~loads (); core = 0 }
+      ~contenders:[ mk_contender "c" ]
+  in
+  let base = fp () in
+  Alcotest.(check string) "program names excluded" base (fp ~name:"b" ());
+  let differs msg other = Alcotest.(check bool) msg false (String.equal base other) in
+  differs "program content keyed" (fp ~loads:9 ());
+  differs "kernel keyed" (fp ~kernel:`Event ());
+  differs "restart flag keyed" (fp ~restart:true ());
+  differs "priorities keyed" (fp ~priorities:[| 0; 1; 1 |] ())
+
+let test_run_cache_kernels_share_nothing_but_agree () =
+  (* the two kernels occupy distinct entries yet replay identical results *)
+  Runtime.Run_cache.clear ();
+  let s = corun ~kernel:`Stepped () in
+  let e = corun ~kernel:`Event () in
+  Alcotest.(check bool) "bit-identical across kernels" true (s = e);
+  let { Runtime.Run_cache.misses; _ } = Runtime.Run_cache.stats () in
+  Alcotest.(check int) "two entries, no aliasing" 2 misses
+
+let test_run_cache_replays_cycle_limit () =
+  Runtime.Run_cache.clear ();
+  let spin () =
+    Runtime.Run_cache.run ~max_cycles:50 ~restart_contenders:true
+      ~analysis:{ Tcsim.Machine.program = mk_prog ~loads:500 (); core = 0 }
+      ()
+  in
+  let observe () =
+    match spin () with
+    | _ -> Alcotest.fail "expected Cycle_limit_exceeded"
+    | exception Tcsim.Machine.Cycle_limit_exceeded c -> c
+  in
+  let c1 = observe () in
+  let c2 = observe () in
+  Alcotest.(check int) "same payload replayed" c1 c2;
+  let { Runtime.Run_cache.hits; misses; _ } = Runtime.Run_cache.stats () in
+  Alcotest.(check int) "simulated once" 1 misses;
+  Alcotest.(check int) "replayed once" 1 hits
+
+let test_run_cache_single_flight () =
+  Runtime.Run_cache.clear ();
+  let results =
+    Runtime.Pool.run_all ~jobs:4 (List.init 8 (fun _ () -> corun ()))
+  in
+  (match results with
+   | r :: rest ->
+     List.iter
+       (fun r' ->
+          Alcotest.(check bool) "every requester sees one result" true (r = r'))
+       rest
+   | [] -> Alcotest.fail "no results");
+  let { Runtime.Run_cache.hits; misses; waited } = Runtime.Run_cache.stats () in
+  Alcotest.(check int) "simulated exactly once" 1 misses;
+  Alcotest.(check int) "everyone else hits" 7 hits;
+  Alcotest.(check bool) "waited within hits" true (waited >= 0 && waited <= 7);
+  Alcotest.(check int) "one entry" 1 (Runtime.Run_cache.size ())
+
+let test_run_cache_jobs_invariant () =
+  (* the acceptance property: a mixed batch of requests produces the same
+     results and the same hit/miss totals at jobs=1 and jobs=4 (only
+     [waited], a timing fact, may differ) *)
+  let batch () =
+    List.init 12 (fun i () ->
+        corun ~priorities:(if i mod 2 = 0 then [| 0; 0; 0 |] else [| 0; 1; 1 |]) ())
+  in
+  let observe jobs =
+    Runtime.Run_cache.clear ();
+    let rs = Runtime.Pool.run_all ~jobs (batch ()) in
+    let { Runtime.Run_cache.hits; misses; _ } = Runtime.Run_cache.stats () in
+    (rs, hits, misses)
+  in
+  let r1, h1, m1 = observe 1 in
+  let r4, h4, m4 = observe 4 in
+  Alcotest.(check bool) "results identical across parallel degrees" true (r1 = r4);
+  Alcotest.(check int) "hits invariant" h1 h4;
+  Alcotest.(check int) "misses invariant" m1 m4;
+  Alcotest.(check int) "two distinct co-runs in the batch" 2 m1;
+  Alcotest.(check int) "the other ten hit" 10 h1
+
 (* --- telemetry ---------------------------------------------------------------- *)
 
 let test_telemetry_measure () =
@@ -337,6 +464,8 @@ let test_telemetry_speedup_guarded () =
       cache_raw_hits = 0;
       cache_canonical_hits = 0;
       cache_waited = 0;
+      run_cache_hits = 0;
+      run_cache_misses = 0;
     }
   in
   (* a region faster than the clock granularity must not yield inf/nan *)
@@ -360,6 +489,8 @@ let test_telemetry_hit_rate () =
       cache_raw_hits = raw;
       cache_canonical_hits = canonical;
       cache_waited = waited;
+      run_cache_hits = 0;
+      run_cache_misses = 0;
     }
   in
   Alcotest.(check (float 1e-9)) "no activity is 0" 0.
@@ -406,6 +537,20 @@ let () =
           Alcotest.test_case "node-limit outcome replayed" `Quick test_cache_replays_node_limit;
           Alcotest.test_case "single flight under concurrency" `Quick
             test_cache_single_flight;
+        ] );
+      ( "run-cache",
+        [
+          Alcotest.test_case "hit on identical request" `Quick
+            test_run_cache_hit_on_identical;
+          Alcotest.test_case "key sensitivity" `Quick test_run_cache_key_sensitivity;
+          Alcotest.test_case "kernels keyed apart yet agree" `Quick
+            test_run_cache_kernels_share_nothing_but_agree;
+          Alcotest.test_case "cycle-limit outcome replayed" `Quick
+            test_run_cache_replays_cycle_limit;
+          Alcotest.test_case "single flight under concurrency" `Quick
+            test_run_cache_single_flight;
+          Alcotest.test_case "hit/miss totals jobs-invariant" `Quick
+            test_run_cache_jobs_invariant;
         ] );
       ( "telemetry",
         [

@@ -642,6 +642,147 @@ let prop_simulation_deterministic =
         && Platform.Counters.equal r1.Machine.analysis.Machine.counters
              r2.Machine.analysis.Machine.counters)
 
+(* --- kernel differential suite ------------------------------------------------ *)
+
+(* Random programs that actually exercise the SRI — loads and stores
+   across every admissible target (cacheable and not), fetches from both
+   flash banks and the scratchpad, nested loops — co-run against random
+   contender mixes under random priority maps. The stepped kernel is the
+   oracle: the event kernel must reproduce its [run_result] bit for bit
+   (cycles, all six counters, access profiles, traces, restart counts). *)
+let gen_kernel_diff =
+  let open QCheck.Gen in
+  let data_addr =
+    oneof
+      [
+        return dspr;
+        map (fun k -> lmu_nc + (4 * k)) (int_range 0 63);
+        map (fun k -> lmu_c + (32 * k)) (int_range 0 63);
+        map (fun k -> dfl + (32 * k)) (int_range 0 15);
+        map (fun k -> pf0_c + (32 * k)) (int_range 0 31);
+      ]
+  in
+  let store_addr =
+    (* program flash is not writable; everything else is fair game *)
+    oneof
+      [
+        return dspr;
+        map (fun k -> lmu_nc + (4 * k)) (int_range 0 63);
+        map (fun k -> lmu_c + (32 * k)) (int_range 0 63);
+        map (fun k -> dfl + (32 * k)) (int_range 0 15);
+      ]
+  in
+  let pc =
+    oneof
+      [
+        return pspr;
+        map (fun k -> pf0_c + (4 * k)) (int_range 0 127);
+        map (fun k -> pf1_c + (4 * k)) (int_range 0 127);
+      ]
+  in
+  let instr =
+    frequency
+      [
+        ( 3,
+          map2
+            (fun pc n -> Program.I { Program.pc; kind = Program.Compute (1 + n) })
+            pc (int_range 0 3) );
+        (3, map2 (fun pc a -> Program.I { Program.pc; kind = Program.Load a }) pc data_addr);
+        (2, map2 (fun pc a -> Program.I { Program.pc; kind = Program.Store a }) pc store_addr);
+      ]
+  in
+  let items =
+    fix
+      (fun self depth ->
+         if depth = 0 then map (fun i -> [ i ]) instr
+         else
+           frequency
+             [
+               (3, map (fun i -> [ i ]) instr);
+               ( 1,
+                 map2
+                   (fun count body -> [ Program.loop count (List.concat body) ])
+                   (int_range 0 3)
+                   (list_size (int_range 1 3) (self (depth - 1))) );
+               (2, map2 (fun a b -> a @ b) (self (depth - 1)) (self (depth - 1)));
+             ])
+      2
+  in
+  let task core =
+    map
+      (fun its ->
+         { Machine.program = Program.make ~name:(Printf.sprintf "t%d" core) its; core })
+      items
+  in
+  let contenders =
+    oneof
+      [
+        return [];
+        map (fun t -> [ t ]) (task 1);
+        map2 (fun a b -> [ a; b ]) (task 1) (task 2);
+      ]
+  in
+  let priorities =
+    oneof
+      [
+        return None;
+        map (fun l -> Some (Array.of_list l)) (list_repeat 3 (int_range 0 1));
+      ]
+  in
+  map
+    (fun ((analysis, contenders), (priorities, restart)) ->
+       (analysis, contenders, priorities, restart))
+    (pair (pair (task 0) contenders) (pair priorities bool))
+
+let prop_kernels_agree =
+  QCheck.Test.make ~name:"event kernel reproduces the stepped oracle bit-for-bit"
+    ~count:120 (QCheck.make gen_kernel_diff)
+    (fun (analysis, contenders, priorities, restart) ->
+       let go kernel =
+         Machine.run ~kernel ?priorities ~restart_contenders:restart ~trace:true
+           ~analysis ~contenders ()
+       in
+       go `Stepped = go `Event)
+
+let prop_kernels_agree_on_cycle_limit =
+  QCheck.Test.make ~name:"kernels agree on the cycle-limit boundary" ~count:60
+    (QCheck.pair (QCheck.make gen_kernel_diff) (QCheck.int_range 0 400))
+    (fun ((analysis, contenders, priorities, restart), max_cycles) ->
+       let go kernel =
+         match
+           Machine.run ~kernel ~max_cycles ?priorities
+             ~restart_contenders:restart ~analysis ~contenders ()
+         with
+         | r -> Ok (r.Machine.cycles, r.Machine.analysis, r.Machine.contenders)
+         | exception Machine.Cycle_limit_exceeded c -> Error c
+       in
+       go `Stepped = go `Event)
+
+let test_kernels_agree_on_workloads () =
+  (* the paper's real workload shapes: warm caches, folded write-backs,
+     streaming fetches and restarting contenders *)
+  List.iter
+    (fun scenario ->
+       let variant = Workload.Control_loop.variant_of_scenario scenario in
+       let app = Workload.Control_loop.app variant in
+       let con =
+         Workload.Load_gen.make ~variant ~level:Workload.Load_gen.High ()
+       in
+       let go kernel =
+         Machine.run ~kernel ~trace:true
+           ~analysis:{ Machine.program = app; core = 0 }
+           ~contenders:[ { Machine.program = con; core = 1 } ]
+           ()
+       in
+       let s = go `Stepped and e = go `Event in
+       Alcotest.(check int)
+         (scenario.Scenario.name ^ " cycles")
+         s.Machine.cycles e.Machine.cycles;
+       Alcotest.(check bool)
+         (scenario.Scenario.name ^ " full result identical")
+         true (s = e))
+    [ Scenario.scenario1; Scenario.scenario2 ]
+
 let () =
   Alcotest.run "tcsim"
     [
@@ -694,6 +835,8 @@ let () =
           Alcotest.test_case "contender restarts" `Quick test_contender_restarts;
           Alcotest.test_case "machine validation" `Quick test_machine_validation;
           Alcotest.test_case "cycle limit" `Quick test_cycle_limit;
+          Alcotest.test_case "kernels agree on real workloads" `Quick
+            test_kernels_agree_on_workloads;
         ] );
       ( "priorities-traces",
         [
@@ -732,5 +875,7 @@ let () =
             prop_cache_matches_reference;
             prop_walker_visits_dynamic_length;
             prop_simulation_deterministic;
+            prop_kernels_agree;
+            prop_kernels_agree_on_cycle_limit;
           ] );
     ]
