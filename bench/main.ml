@@ -372,6 +372,127 @@ let run_perf_check () =
   end
   else Format.printf "OK: within the 2x budget@."
 
+(* ------------------------------------------------------------------ *)
+(* Serve replay: sustained queries/sec through a live daemon            *)
+(* ------------------------------------------------------------------ *)
+
+(* A synthetic many-request workload against an in-process daemon over a
+   real Unix socket: 6 distinct queries (scenario x load level), replayed
+   by 4 concurrent clients. The first pass computes each distinct query
+   once (single-flight dedups the rest); the second pass is pure
+   memory-tier replay — the sustained service rate. *)
+let serve_clients = 4
+let serve_reps_per_client = 10
+
+let serve_queries =
+  List.concat_map
+    (fun scenario ->
+       List.map
+         (fun level ->
+            Serve.Protocol.Analyze
+              {
+                Serve.Protocol.id =
+                  scenario ^ "/" ^ Workload.Load_gen.level_to_string level;
+                scenario;
+                app = Serve.Protocol.App_bundled;
+                contenders = [ Serve.Protocol.Con_level { level; core = 1 } ];
+                models =
+                  [ Serve.Protocol.Ftc; Serve.Protocol.Ilp_ptac;
+                    Serve.Protocol.Ideal ];
+                observed = true;
+              })
+         Workload.Load_gen.all_levels)
+    [ "scenario1"; "scenario2" ]
+
+type serve_bench_result = {
+  requests : int;  (** per pass *)
+  cold_s : float;
+  hot_s : float;
+  engine_stats : Serve.Engine.stats;
+}
+
+let serve_bench () =
+  let dir = Filename.temp_file "aurix-serve-bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let addr = Serve.Server.Unix_path (Filename.concat dir "s.sock") in
+  let disk = Serve.Disk_cache.open_ ~root:(Filename.concat dir "cache") () in
+  let engine =
+    Serve.Engine.create
+      {
+        Serve.Engine.default_config with
+        Serve.Engine.disk = Some disk;
+        persist_runtime_caches = true;
+      }
+  in
+  let stop = Atomic.make false in
+  let server =
+    Thread.create (fun () -> Serve.Server.serve ~engine ~addr ~stop ()) ()
+  in
+  let run_pass () =
+    let t0 = Unix.gettimeofday () in
+    let clients =
+      List.init serve_clients (fun _ ->
+          Thread.create
+            (fun () ->
+               let c = Serve.Client.connect addr in
+               Fun.protect
+                 ~finally:(fun () -> Serve.Client.close c)
+                 (fun () ->
+                    for _ = 1 to serve_reps_per_client do
+                      List.iter
+                        (fun q ->
+                           match Serve.Client.rpc c q with
+                           | Ok (Serve.Protocol.Result _) -> ()
+                           | Ok _ -> failwith "serve-replay: unexpected reply"
+                           | Error e ->
+                             failwith ("serve-replay: bad reply: " ^ e))
+                        serve_queries
+                    done))
+            ())
+    in
+    List.iter Thread.join clients;
+    Unix.gettimeofday () -. t0
+  in
+  let cold_s = run_pass () in
+  let hot_s = run_pass () in
+  Atomic.set stop true;
+  Thread.join server;
+  Serve.Engine.close engine;
+  {
+    requests = serve_clients * serve_reps_per_client * List.length serve_queries;
+    cold_s;
+    hot_s;
+    engine_stats = Serve.Engine.stats engine;
+  }
+
+let pp_serve_bench r =
+  Format.printf "requests per pass:        %d (%d clients, %d distinct queries)@."
+    r.requests serve_clients (List.length serve_queries);
+  Format.printf "cold pass:                %.3f s (%.0f qps)@." r.cold_s
+    (float_of_int r.requests /. r.cold_s);
+  Format.printf "hot pass:                 %.3f s (%.0f qps)@." r.hot_s
+    (float_of_int r.requests /. r.hot_s);
+  Format.printf "computed/memory/disk:     %d/%d/%d@."
+    r.engine_stats.Serve.Engine.computed r.engine_stats.Serve.Engine.memory_hits
+    r.engine_stats.Serve.Engine.disk_hits
+
+let json_of_serve_bench r =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str "serve-replay");
+      ("requests", Obs.Json.Int r.requests);
+      ("clients", Obs.Json.Int serve_clients);
+      ("distinct_queries", Obs.Json.Int (List.length serve_queries));
+      ("cold_wall_s", Obs.Json.Float r.cold_s);
+      ("cold_qps", Obs.Json.Float (float_of_int r.requests /. r.cold_s));
+      ("wall_s", Obs.Json.Float r.hot_s);
+      ("qps", Obs.Json.Float (float_of_int r.requests /. r.hot_s));
+      ("computed", Obs.Json.Int r.engine_stats.Serve.Engine.computed);
+      ("memory_hits", Obs.Json.Int r.engine_stats.Serve.Engine.memory_hits);
+      ("disk_hits", Obs.Json.Int r.engine_stats.Serve.Engine.disk_hits);
+    ]
+
 let results_file = "BENCH_results.json"
 
 let json_of_stage (name, (t : Runtime.Telemetry.t), deltas) =
@@ -420,6 +541,32 @@ let regenerate () =
   output_char oc '\n';
   close_out oc;
   Format.printf "@.per-stage results written to %s@." results_file
+
+(* The serve benchmark runs as its own mode; merge its entry into the
+   results file without clobbering the regenerated stages. *)
+let merge_serve_result entry =
+  let existing =
+    if not (Sys.file_exists results_file) then []
+    else
+      let ic = open_in results_file in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Obs.Json.parse s with
+      | Ok (Obs.Json.List entries) ->
+        List.filter
+          (fun j ->
+             Obs.Json.member "name" j <> Some (Obs.Json.Str "serve-replay"))
+          entries
+      | _ -> []
+  in
+  let oc = open_out results_file in
+  output_string oc (Obs.Json.to_string (Obs.Json.List (existing @ [ entry ])));
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.serve-replay entry merged into %s@." results_file
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timings                                                     *)
@@ -576,13 +723,18 @@ let () =
      section "Simulator throughput (stepped vs event kernel)";
      pp_sim_bench (sim_bench ())
    | "perf-check" -> run_perf_check ()
+   | "serve" ->
+     section "Serve replay (sustained queries/sec through the daemon)";
+     let r = serve_bench () in
+     pp_serve_bench r;
+     merge_serve_result (json_of_serve_bench r)
    | "all" ->
      regenerate ();
      run_timings ()
    | other ->
      Format.eprintf
        "unknown mode %S (expected: tables | timings | solver | sim | \
-        perf-check | all)@."
+        perf-check | serve | all)@."
        other;
      exit 2);
   Format.printf "@.done.@."

@@ -653,6 +653,226 @@ let profile_cmd =
           per-run telemetry plus the aggregated hot-path table.")
     Term.(const run $ name_arg $ runs_arg $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
 
+(* --- serve / query ------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket path to listen/connect on (default: \
+           aurix-serve.sock in the system temp directory). Ignored when \
+           $(b,--port) is given.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Listen/connect on TCP $(docv) instead of a Unix socket.")
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host for $(b,--port) (default 127.0.0.1).")
+
+let addr_of socket port host =
+  match port with
+  | Some port -> Serve.Server.Tcp { host; port }
+  | None ->
+    let path =
+      match socket with
+      | Some p -> p
+      | None -> Filename.concat (Filename.get_temp_dir_name ()) "aurix-serve.sock"
+    in
+    Serve.Server.Unix_path path
+
+let serve_cmd =
+  let run socket port host cache_dir no_disk max_bytes jobs kernel trace metrics =
+    with_obs kernel trace metrics @@ fun () ->
+    let addr = addr_of socket port host in
+    let disk =
+      if no_disk then None else Some (Serve.Disk_cache.open_ ?root:cache_dir ())
+    in
+    let engine =
+      Serve.Engine.create
+        {
+          Serve.Engine.default_config with
+          Serve.Engine.jobs;
+          max_request_bytes = max_bytes;
+          disk;
+          persist_runtime_caches = disk <> None;
+        }
+    in
+    let stop = Atomic.make false in
+    let on_signal _ = Atomic.set stop true in
+    (try
+       ignore (Sys.signal Sys.sigint (Sys.Signal_handle on_signal));
+       ignore (Sys.signal Sys.sigterm (Sys.Signal_handle on_signal))
+     with _ -> ());
+    (match disk with
+     | Some d -> Format.printf "disk cache: %s@." (Serve.Disk_cache.root d)
+     | None -> Format.printf "disk cache: disabled@.");
+    Fun.protect ~finally:(fun () -> Serve.Engine.close engine) @@ fun () ->
+    Serve.Server.serve ~engine ~addr ~stop
+      ~on_ready:(fun a ->
+          Format.printf "listening on %a@." Serve.Server.pp_addr a;
+          flush stdout)
+      ()
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Root of the persistent cache tier (default: $(b,AURIX_CACHE_DIR) \
+             or ~/.cache/aurix).")
+  in
+  let no_disk_arg =
+    Arg.(
+      value & flag
+      & info [ "no-disk-cache" ]
+          ~doc:"Serve from the in-memory caches only; nothing persists.")
+  in
+  let max_bytes_arg =
+    Arg.(
+      value
+      & opt int Serve.Engine.default_config.Serve.Engine.max_request_bytes
+      & info [ "max-request-bytes" ] ~docv:"N"
+          ~doc:"Reject request lines longer than $(docv) bytes (default 1 MiB).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the contention-analysis daemon: newline-delimited JSON \
+          requests over a Unix or TCP socket, answered through the shared \
+          in-memory caches and a persistent on-disk tier that survives \
+          restarts.")
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ cache_dir_arg $ no_disk_arg
+      $ max_bytes_arg $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
+
+let query_cmd =
+  let run socket port host file op scenario levels models observed id =
+    let addr = addr_of socket port host in
+    let line =
+      match file with
+      | Some f ->
+        let ic = open_in f in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> input_line ic)
+      | None ->
+        let req =
+          match op with
+          | "ping" -> Serve.Protocol.Ping id
+          | "metrics" -> Serve.Protocol.Metrics_req id
+          | "stats" -> Serve.Protocol.Stats_req id
+          | "shutdown" -> Serve.Protocol.Shutdown id
+          | "analyze" ->
+            let contenders =
+              List.mapi
+                (fun i level ->
+                   Serve.Protocol.Con_level { level; core = i + 1 })
+                levels
+            in
+            Serve.Protocol.Analyze
+              {
+                Serve.Protocol.id;
+                scenario = scenario.Platform.Scenario.name;
+                app = Serve.Protocol.App_bundled;
+                contenders;
+                models;
+                observed;
+              }
+          | other ->
+            Format.eprintf
+              "unknown op %S (expected analyze, ping, metrics, stats or \
+               shutdown)@."
+              other;
+            exit 2
+        in
+        Serve.Protocol.encode_request req
+    in
+    let client = Serve.Client.connect addr in
+    let reply =
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close client)
+        (fun () -> Serve.Client.rpc_line client line)
+    in
+    print_endline reply;
+    match Serve.Protocol.decode_response reply with
+    | Ok (Serve.Protocol.Reject _) -> exit 3
+    | Ok _ -> ()
+    | Error msg ->
+      Format.eprintf "undecodable response: %s@." msg;
+      exit 4
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:
+            "Send the first line of $(docv) as a raw request instead of \
+             building one from the flags.")
+  in
+  let op_arg =
+    Arg.(
+      value
+      & opt string "analyze"
+      & info [ "op" ] ~docv:"OP"
+          ~doc:"Request kind: analyze (default), ping, metrics, stats or shutdown.")
+  in
+  let loads_arg =
+    Arg.(
+      value
+      & opt_all level_conv []
+      & info [ "load" ] ~docv:"LEVEL"
+          ~doc:
+            "Add a bundled contender at this load level (repeatable; they \
+             occupy cores 1, 2 in order).")
+  in
+  let model_conv =
+    let parse s =
+      match Serve.Protocol.model_of_string s with
+      | Some m -> Ok m
+      | None ->
+        Error (`Msg (Printf.sprintf "unknown model %S (ideal|ftc|ilp-ptac)" s))
+    in
+    Arg.conv
+      (parse, fun fmt m -> Format.pp_print_string fmt (Serve.Protocol.model_to_string m))
+  in
+  let models_arg =
+    Arg.(
+      value
+      & opt (list model_conv)
+          [ Serve.Protocol.Ftc; Serve.Protocol.Ilp_ptac; Serve.Protocol.Ideal ]
+      & info [ "models" ] ~docv:"MODELS"
+          ~doc:"Comma-separated bounds to compute (default ftc,ilp-ptac,ideal).")
+  in
+  let observed_arg =
+    Arg.(
+      value & flag
+      & info [ "observed" ]
+          ~doc:"Also run the actual co-run and report its observed cycles.")
+  in
+  let id_arg =
+    Arg.(
+      value & opt string "q1"
+      & info [ "id" ] ~docv:"ID" ~doc:"Correlation id echoed in the response.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Send one request to a running serve daemon and print the raw \
+          response line. Exits 3 when the daemon rejected the request.")
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ file_arg $ op_arg
+      $ scenario_arg $ loads_arg $ models_arg $ observed_arg $ id_arg)
+
 let () =
   let doc = "Multicore contention models for the AURIX TC27x (DAC 2018 reproduction)" in
   let info = Cmd.info "aurix_contention" ~version:"1.0.0" ~doc in
@@ -676,4 +896,6 @@ let () =
             report_cmd;
             sweep_cmd;
             profile_cmd;
+            serve_cmd;
+            query_cmd;
           ]))

@@ -102,6 +102,250 @@ let fingerprint ~config ~max_cycles ~restart_contenders ~priorities ~trace
   List.iter (add_task buf) contenders;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
+(* --- stable key/entry serialization ------------------------------------- *)
+
+(* The persistent disk tier stores settled outcomes under their
+   fingerprint. Both directions are versioned: [entry_of_string] refuses
+   anything it does not recognise (the tier then recomputes), and the
+   golden tests pin [key_format_version]/[entry_format_version] together
+   with sample digests so a refactor that would silently invalidate
+   on-disk caches fails a test instead. *)
+
+let key_format_version = 1
+let entry_format_version = 1
+
+let is_key s =
+  String.length s = 32
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s
+
+let key_to_string k = k
+
+let key_of_string s = if is_key s then Some s else None
+
+module J = Obs.Json
+
+let json_of_counters (c : Platform.Counters.t) =
+  J.Obj
+    [
+      ("ccnt", J.Int c.Platform.Counters.ccnt);
+      ("pmem_stall", J.Int c.Platform.Counters.pmem_stall);
+      ("dmem_stall", J.Int c.Platform.Counters.dmem_stall);
+      ("pcache_miss", J.Int c.Platform.Counters.pcache_miss);
+      ("dcache_miss_clean", J.Int c.Platform.Counters.dcache_miss_clean);
+      ("dcache_miss_dirty", J.Int c.Platform.Counters.dcache_miss_dirty);
+    ]
+
+let json_of_profile p =
+  J.List
+    (List.rev
+       (Platform.Access_profile.fold
+          (fun t o n acc ->
+             J.List
+               [
+                 J.Str (Platform.Target.to_string t);
+                 J.Str (Platform.Op.to_string o);
+                 J.Int n;
+               ]
+             :: acc)
+          p []))
+
+let json_of_core_result (c : Machine.core_result) =
+  J.Obj
+    [
+      ("counters", json_of_counters c.Machine.counters);
+      ("profile", json_of_profile c.Machine.profile);
+      ("restarts", J.Int c.Machine.restarts);
+    ]
+
+let json_of_event (e : Trace.event) =
+  J.List
+    [
+      J.Int e.Trace.issue_cycle;
+      J.Int e.Trace.grant_cycle;
+      J.Int e.Trace.complete_cycle;
+      J.Int e.Trace.core;
+      J.Str (Platform.Target.to_string e.Trace.target);
+      J.Str (Platform.Op.to_string e.Trace.op);
+      J.Int e.Trace.service;
+      J.Int e.Trace.waited;
+    ]
+
+let entry_to_string = function
+  | Finished (r : Machine.run_result) ->
+    J.to_string
+      (J.Obj
+         [
+           ("v", J.Int entry_format_version);
+           ("outcome", J.Str "finished");
+           ("cycles", J.Int r.Machine.cycles);
+           ("analysis", json_of_core_result r.Machine.analysis);
+           ( "contenders",
+             J.List
+               (List.map
+                  (fun (core, c) ->
+                     J.Obj
+                       [
+                         ("core", J.Int core);
+                         ("result", json_of_core_result c);
+                       ])
+                  r.Machine.contenders) );
+           ("trace", J.List (List.map json_of_event r.Machine.trace));
+         ])
+  | Limit c ->
+    J.to_string
+      (J.Obj
+         [
+           ("v", J.Int entry_format_version);
+           ("outcome", J.Str "limit");
+           ("cycles", J.Int c);
+         ])
+
+(* Parsing is all-or-nothing: any structural surprise yields [None] and
+   the tier recomputes. *)
+let ( let* ) = Option.bind
+
+let int_field j k =
+  match J.member k j with Some (J.Int i) -> Some i | _ -> None
+
+let str_field j k =
+  match J.member k j with Some (J.Str s) -> Some s | _ -> None
+
+let list_field j k =
+  match J.member k j with Some (J.List xs) -> Some xs | _ -> None
+
+let counters_of_json j =
+  let* ccnt = int_field j "ccnt" in
+  let* pmem_stall = int_field j "pmem_stall" in
+  let* dmem_stall = int_field j "dmem_stall" in
+  let* pcache_miss = int_field j "pcache_miss" in
+  let* dcache_miss_clean = int_field j "dcache_miss_clean" in
+  let* dcache_miss_dirty = int_field j "dcache_miss_dirty" in
+  Some
+    {
+      Platform.Counters.ccnt;
+      pmem_stall;
+      dmem_stall;
+      pcache_miss;
+      dcache_miss_clean;
+      dcache_miss_dirty;
+    }
+
+let profile_of_json items =
+  let rec pairs acc = function
+    | [] ->
+      (match Platform.Access_profile.make (List.rev acc) with
+       | p -> Some p
+       | exception Invalid_argument _ -> None)
+    | J.List [ J.Str t; J.Str o; J.Int n ] :: rest ->
+      let* target = Platform.Target.of_string t in
+      let* op = Platform.Op.of_string o in
+      pairs (((target, op), n) :: acc) rest
+    | _ -> None
+  in
+  pairs [] items
+
+let core_result_of_json j =
+  let* counters = Option.bind (J.member "counters" j) counters_of_json in
+  let* profile = Option.bind (list_field j "profile") profile_of_json in
+  let* restarts = int_field j "restarts" in
+  Some { Machine.counters; profile; restarts }
+
+let event_of_json = function
+  | J.List
+      [
+        J.Int issue_cycle;
+        J.Int grant_cycle;
+        J.Int complete_cycle;
+        J.Int core;
+        J.Str target;
+        J.Str op;
+        J.Int service;
+        J.Int waited;
+      ] ->
+    let* target = Platform.Target.of_string target in
+    let* op = Platform.Op.of_string op in
+    Some
+      {
+        Trace.issue_cycle;
+        grant_cycle;
+        complete_cycle;
+        core;
+        target;
+        op;
+        service;
+        waited;
+      }
+  | _ -> None
+
+let rec map_opt f = function
+  | [] -> Some []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_opt f rest in
+    Some (y :: ys)
+
+let entry_of_string s =
+  match J.parse s with
+  | Error _ -> None
+  | Ok j ->
+    let* v = int_field j "v" in
+    if v <> entry_format_version then None
+    else
+      let* outcome = str_field j "outcome" in
+      (match outcome with
+       | "limit" ->
+         let* c = int_field j "cycles" in
+         Some (Limit c)
+       | "finished" ->
+         let* cycles = int_field j "cycles" in
+         let* analysis =
+           Option.bind (J.member "analysis" j) core_result_of_json
+         in
+         let* contenders =
+           Option.bind (list_field j "contenders")
+             (map_opt (fun cj ->
+                  let* core = int_field cj "core" in
+                  let* r =
+                    Option.bind (J.member "result" cj) core_result_of_json
+                  in
+                  Some (core, r)))
+         in
+         let* trace = Option.bind (list_field j "trace") (map_opt event_of_json) in
+         Some (Finished { Machine.cycles; analysis; contenders; trace })
+       | _ -> None)
+
+(* --- persistent backing store ------------------------------------------- *)
+
+(* An optional second tier behind the in-memory table (the serve daemon
+   installs its disk cache here). Consulted only inside the single-flight
+   [`Reserved] path, so hit/miss accounting of the memory tier — and its
+   jobs-invariance — is unchanged: a store hit still counts as a memory
+   miss. *)
+type store = {
+  load : string -> string option;
+  save : string -> string -> unit;
+}
+
+let store_ref : store option Atomic.t = Atomic.make None
+
+let set_store s = Atomic.set store_ref s
+
+let store_load k =
+  match Atomic.get store_ref with
+  | None -> None
+  | Some s -> (
+    match s.load k with
+    | None -> None
+    | Some data -> entry_of_string data
+    | exception _ -> None)
+
+let store_save k o =
+  match Atomic.get store_ref with
+  | None -> ()
+  | Some s -> ( try s.save k (entry_to_string o) with _ -> ())
+
 (* --- single-flight table ----------------------------------------------- *)
 
 let size () =
@@ -167,21 +411,30 @@ let run ?(config = Machine.default_config)
   | `Reserved ->
     Atomic.incr miss_count;
     Obs.Metrics.incr m_misses;
-    (match
-       Machine.run ~config ~max_cycles ~restart_contenders ?priorities ~trace
-         ~kernel ~analysis ~contenders ()
-     with
-     | r ->
-       settle k (Some (Finished r));
-       r
-     | exception Machine.Cycle_limit_exceeded c ->
-       (* deterministic for this key (max_cycles is part of it): cache the
-          outcome so hit/miss totals stay jobs-invariant *)
-       settle k (Some (Limit c));
-       raise (Machine.Cycle_limit_exceeded c)
-     | exception e ->
-       settle k None;
-       raise e)
+    (match store_load k with
+     | Some o ->
+       (* second-tier hit: install the persisted outcome without
+          simulating; still a miss of the memory tier *)
+       settle k (Some o);
+       replay o
+     | None ->
+       (match
+          Machine.run ~config ~max_cycles ~restart_contenders ?priorities
+            ~trace ~kernel ~analysis ~contenders ()
+        with
+        | r ->
+          settle k (Some (Finished r));
+          store_save k (Finished r);
+          r
+        | exception Machine.Cycle_limit_exceeded c ->
+          (* deterministic for this key (max_cycles is part of it): cache
+             the outcome so hit/miss totals stay jobs-invariant *)
+          settle k (Some (Limit c));
+          store_save k (Limit c);
+          raise (Machine.Cycle_limit_exceeded c)
+        | exception e ->
+          settle k None;
+          raise e))
 
 let run_isolation ?config ?max_cycles ?kernel ?(core = 0) program =
   run ?config ?max_cycles ?kernel ~analysis:{ Machine.program; core } ()

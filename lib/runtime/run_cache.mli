@@ -17,6 +17,10 @@
     outcome is cached too (it is deterministic for the key) and
     re-raised on hits; other exceptions release the key. *)
 
+type outcome = Finished of Tcsim.Machine.run_result | Limit of int
+(** A settled cache entry: either the simulation's result or the
+    (deterministic) cycle-limit outcome, re-raised on replay. *)
+
 type stats = { hits : int; misses : int; waited : int }
 
 val run :
@@ -67,3 +71,48 @@ val size : unit -> int
 
 val clear : unit -> unit
 (** Drop all entries and reset stats — for cold-cache benchmarking. *)
+
+(** {1 Stable serialization and the persistent tier}
+
+    The serve daemon persists settled outcomes on disk under their
+    fingerprint. Keys and entries have pinned, versioned formats: a
+    golden test asserts sample digests and round-trips, so a refactor
+    that would silently invalidate on-disk caches fails loudly. *)
+
+val key_format_version : int
+(** Bumped whenever {!fingerprint} changes what it hashes. *)
+
+val entry_format_version : int
+(** Bumped whenever {!entry_to_string} changes its rendering. *)
+
+val key_to_string : string -> string
+(** Identity (keys are already lowercase MD5 hex) — named for symmetry
+    with {!key_of_string}. *)
+
+val key_of_string : string -> string option
+(** [Some key] iff the string is a well-formed cache key (32 lowercase
+    hex characters); [None] otherwise. *)
+
+val entry_to_string : outcome -> string
+(** One-line versioned JSON rendering of a settled outcome, including
+    counters, ground-truth profiles, restart counts and the trace. *)
+
+val entry_of_string : string -> outcome option
+(** Inverse of {!entry_to_string}; [None] on any structural or version
+    mismatch (the persistent tier then recomputes). *)
+
+type store = {
+  load : string -> string option;  (** key -> serialized entry *)
+  save : string -> string -> unit;  (** key -> serialized entry *)
+}
+(** A persistent second tier behind the in-memory table. [load] is
+    consulted on a memory miss (inside the single-flight reservation, so
+    concurrent requesters still compute/load once); [save] is called
+    after every freshly simulated outcome settles. Both are best-effort:
+    exceptions are swallowed and corrupt payloads ignored. *)
+
+val set_store : store option -> unit
+(** Installs (or removes, with [None]) the process-wide backing store.
+    Memory-tier hit/miss accounting is unchanged by a store: a store hit
+    still counts as a memory miss, so the jobs-invariant counters keep
+    their meaning. *)

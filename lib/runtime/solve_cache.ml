@@ -67,6 +67,123 @@ let key ~tag model =
 let canonical_key ~tag canon =
   Digest.to_hex (Digest.string (tag ^ "\n" ^ Ilp.Canonical.structure canon))
 
+(* --- stable key/entry serialization ------------------------------------- *)
+
+(* Persisted outcomes are stored in the canonical representative's frame
+   (exactly what the in-memory table holds), so a disk-loaded entry goes
+   through the same [replay] permutation mapping as a memory hit.
+   Rationals are rendered via {!Q.to_string} — exact, so a reloaded
+   solution is bitwise the solution a fresh solve would produce. *)
+
+let key_format_version = 1
+let entry_format_version = 1
+
+let is_key s =
+  String.length s = 32
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s
+
+let key_to_string k = k
+let key_of_string s = if is_key s then Some s else None
+
+module J = Obs.Json
+
+let entry_to_string = function
+  | Solved (Ilp.Solution.Optimal { objective; values }) ->
+    J.to_string
+      (J.Obj
+         [
+           ("v", J.Int entry_format_version);
+           ("outcome", J.Str "optimal");
+           ("objective", J.Str (Q.to_string objective));
+           ( "values",
+             J.List
+               (Array.to_list
+                  (Array.map (fun q -> J.Str (Q.to_string q)) values)) );
+         ])
+  | Solved Ilp.Solution.Infeasible ->
+    J.to_string
+      (J.Obj
+         [ ("v", J.Int entry_format_version); ("outcome", J.Str "infeasible") ])
+  | Solved Ilp.Solution.Unbounded ->
+    J.to_string
+      (J.Obj
+         [ ("v", J.Int entry_format_version); ("outcome", J.Str "unbounded") ])
+  | Node_limit ->
+    J.to_string
+      (J.Obj
+         [ ("v", J.Int entry_format_version); ("outcome", J.Str "node-limit") ])
+
+let ( let* ) = Option.bind
+
+let q_of_string s =
+  match Q.of_string s with q -> Some q | exception _ -> None
+
+let entry_of_string s =
+  match J.parse s with
+  | Error _ -> None
+  | Ok j ->
+    let* v = match J.member "v" j with Some (J.Int i) -> Some i | _ -> None in
+    if v <> entry_format_version then None
+    else
+      let* outcome =
+        match J.member "outcome" j with Some (J.Str s) -> Some s | _ -> None
+      in
+      (match outcome with
+       | "infeasible" -> Some (Solved Ilp.Solution.Infeasible)
+       | "unbounded" -> Some (Solved Ilp.Solution.Unbounded)
+       | "node-limit" -> Some Node_limit
+       | "optimal" ->
+         let* objective =
+           match J.member "objective" j with
+           | Some (J.Str s) -> q_of_string s
+           | _ -> None
+         in
+         let* values =
+           match J.member "values" j with
+           | Some (J.List xs) ->
+             let rec loop acc = function
+               | [] -> Some (List.rev acc)
+               | J.Str s :: rest ->
+                 let* q = q_of_string s in
+                 loop (q :: acc) rest
+               | _ -> None
+             in
+             loop [] xs
+           | _ -> None
+         in
+         Some
+           (Solved
+              (Ilp.Solution.Optimal
+                 { objective; values = Array.of_list values }))
+       | _ -> None)
+
+(* --- persistent backing store ------------------------------------------- *)
+
+type store = {
+  load : string -> string option;
+  save : string -> string -> unit;
+}
+
+let store_ref : store option Atomic.t = Atomic.make None
+
+let set_store s = Atomic.set store_ref s
+
+let store_load k =
+  match Atomic.get store_ref with
+  | None -> None
+  | Some s -> (
+    match s.load k with
+    | None -> None
+    | Some data -> entry_of_string data
+    | exception _ -> None)
+
+let store_save k o =
+  match Atomic.get store_ref with
+  | None -> ()
+  | Some s -> ( try s.save k (entry_to_string o) with _ -> ())
+
 let size () =
   Mutex.lock lock;
   let n =
@@ -146,16 +263,23 @@ let solve_canon ~tag solve model =
   | `Reserved ->
     Atomic.incr miss_count;
     Obs.Metrics.incr m_misses;
-    (match solve canon with
-     | s ->
-       settle k (Some (Solved s));
-       replay canon (Solved s)
-     | exception Ilp.Branch_bound.Node_limit_exceeded ->
-       settle k (Some Node_limit);
-       raise Ilp.Branch_bound.Node_limit_exceeded
-     | exception e ->
-       settle k None;
-       raise e)
+    (match store_load k with
+     | Some o ->
+       settle k (Some o);
+       replay canon o
+     | None ->
+       (match solve canon with
+        | s ->
+          settle k (Some (Solved s));
+          store_save k (Solved s);
+          replay canon (Solved s)
+        | exception Ilp.Branch_bound.Node_limit_exceeded ->
+          settle k (Some Node_limit);
+          store_save k Node_limit;
+          raise Ilp.Branch_bound.Node_limit_exceeded
+        | exception e ->
+          settle k None;
+          raise e))
 
 let solve_cached ~tag solve model =
   solve_canon ~tag (fun canon -> solve (Ilp.Canonical.model canon)) model

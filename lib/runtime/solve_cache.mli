@@ -87,3 +87,56 @@ val key : tag:string -> Ilp.Model.t -> string
 val canonical_key : tag:string -> Ilp.Canonical.t -> string
 (** The storage key (exposed for tests): MD5 of [tag] +
     {!Ilp.Canonical.structure}. *)
+
+(** {1 Stable serialization and the persistent tier}
+
+    The serve daemon persists settled outcomes on disk under their
+    canonical key. Keys and entries have pinned, versioned formats with
+    golden tests, so a refactor that would silently invalidate on-disk
+    caches fails loudly. Outcomes are stored in the canonical
+    representative's frame; rationals render via {!Q.to_string}, which
+    is exact, so a reloaded solution is bitwise what a fresh solve would
+    produce. The root-presolve memo is deliberately {e not} persisted —
+    it is a per-process accelerator, cheap to rebuild. *)
+
+type outcome = Solved of Ilp.Solution.t | Node_limit
+(** A settled cache entry: a solution, or the (deterministic) node-limit
+    outcome, re-raised on replay. *)
+
+val key_format_version : int
+(** Bumped whenever {!canonical_key} changes what it hashes. *)
+
+val entry_format_version : int
+(** Bumped whenever {!entry_to_string} changes its rendering. *)
+
+val key_to_string : string -> string
+(** Identity (keys are already lowercase MD5 hex) — named for symmetry
+    with {!key_of_string}. *)
+
+val key_of_string : string -> string option
+(** [Some key] iff the string is a well-formed cache key (32 lowercase
+    hex characters); [None] otherwise. *)
+
+val entry_to_string : outcome -> string
+(** One-line versioned JSON rendering of a settled outcome, with exact
+    rational coordinates. *)
+
+val entry_of_string : string -> outcome option
+(** Inverse of {!entry_to_string}; [None] on any structural or version
+    mismatch (the persistent tier then recomputes). *)
+
+type store = {
+  load : string -> string option;  (** key -> serialized entry *)
+  save : string -> string -> unit;  (** key -> serialized entry *)
+}
+(** A persistent second tier behind the in-memory table. [load] is
+    consulted on a memory miss (inside the single-flight reservation, so
+    concurrent requesters still solve/load once); [save] is called after
+    every freshly solved outcome settles. Both are best-effort:
+    exceptions are swallowed and corrupt payloads ignored. *)
+
+val set_store : store option -> unit
+(** Installs (or removes, with [None]) the process-wide backing store.
+    Memory-tier hit/miss accounting is unchanged by a store: a store hit
+    still counts as a memory miss, so the jobs-invariant counters keep
+    their meaning. *)

@@ -1,0 +1,39 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ?(attempts = 50) ?(delay = 0.1) addr =
+  let sockaddr =
+    match addr with
+    | Server.Unix_path p -> Unix.ADDR_UNIX p
+    | Server.Tcp { host; port } ->
+      Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+  in
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let rec go n =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () -> fd
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
+      when n > 1 ->
+      (try Unix.close fd with _ -> ());
+      Thread.delay delay;
+      go (n - 1)
+    | exception e ->
+      (try Unix.close fd with _ -> ());
+      raise e
+  in
+  let fd = go (max 1 attempts) in
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let rpc_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc;
+  input_line t.ic
+
+let rpc t req =
+  Protocol.decode_response (rpc_line t (Protocol.encode_request req))
+
+let close t =
+  try Unix.close t.fd with _ -> ()

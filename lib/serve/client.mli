@@ -1,0 +1,20 @@
+(** Minimal blocking client for the serve protocol — used by the
+    [aurix_contention query] subcommand, the replay benchmark and the
+    test battery. *)
+
+type t
+
+val connect : ?attempts:int -> ?delay:float -> Server.addr -> t
+(** Connects, retrying [attempts] times (default 50) every [delay]
+    seconds (default 0.1) while the socket does not exist yet or refuses
+    — the daemon may still be binding.
+    @raise Unix.Unix_error once the attempts are exhausted. *)
+
+val rpc_line : t -> string -> string
+(** Sends one raw request line, returns the raw response line.
+    @raise End_of_file if the daemon closed the connection. *)
+
+val rpc : t -> Protocol.request -> (Protocol.response, string) result
+(** [rpc_line] through the codec; [Error _] on an undecodable reply. *)
+
+val close : t -> unit

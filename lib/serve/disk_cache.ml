@@ -1,0 +1,135 @@
+type t = { root : string }
+
+let m_hits = Obs.Metrics.counter "serve.disk.hits"
+let m_misses = Obs.Metrics.counter "serve.disk.misses"
+let m_corrupt = Obs.Metrics.counter "serve.disk.corrupt"
+let m_writes = Obs.Metrics.counter "serve.disk.writes"
+let m_errors = Obs.Metrics.counter "serve.disk.errors"
+
+let trailer_tag = "aurix-tier1"
+
+let is_hex s =
+  String.length s > 0
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let resolve_root root =
+  match root with
+  | Some r -> r
+  | None -> (
+    match Sys.getenv_opt "AURIX_CACHE_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> (
+      match Sys.getenv_opt "XDG_CACHE_HOME" with
+      | Some d when d <> "" -> Filename.concat d "aurix"
+      | _ -> (
+        match Sys.getenv_opt "HOME" with
+        | Some h when h <> "" ->
+          Filename.concat (Filename.concat h ".cache") "aurix"
+        | _ -> Filename.concat (Filename.get_temp_dir_name ()) "aurix-cache")))
+
+let open_ ?root () =
+  let root = resolve_root root in
+  mkdir_p root;
+  { root }
+
+let root t = t.root
+
+let quarantine_dir t = Filename.concat t.root "quarantine"
+
+let path t ~ns ~key = Filename.concat (Filename.concat t.root ns) key
+
+(* Unique suffixes for temp files and quarantined entries: pid + a
+   process-wide counter, so concurrent connections never collide. *)
+let seq = Atomic.make 0
+
+let unique_suffix () =
+  Printf.sprintf "%d.%d" (Unix.getpid ()) (Atomic.fetch_and_add seq 1)
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let quarantine t ~ns ~key =
+  try
+    let qdir = quarantine_dir t in
+    mkdir_p qdir;
+    let dest =
+      Filename.concat qdir (Printf.sprintf "%s-%s.%s" ns key (unique_suffix ()))
+    in
+    Sys.rename (path t ~ns ~key) dest
+  with _ -> ()
+
+(* value ^ "\n" ^ trailer line; verify length and digest. *)
+let verify content =
+  let n = String.length content in
+  if n = 0 || content.[n - 1] <> '\n' then None
+  else
+    match String.rindex_from_opt content (n - 2) '\n' with
+    | None -> None
+    | Some i ->
+      let value = String.sub content 0 i in
+      let trailer = String.sub content (i + 1) (n - i - 2) in
+      (match String.split_on_char ' ' trailer with
+       | [ tag; digest; len ]
+         when tag = trailer_tag
+              && (try int_of_string len = String.length value
+                  with _ -> false)
+              && digest = Digest.to_hex (Digest.string value) ->
+         Some value
+       | _ -> None)
+
+let load t ~ns ~key =
+  if not (is_hex key) then begin
+    Obs.Metrics.incr m_errors;
+    None
+  end
+  else
+    let file = path t ~ns ~key in
+    match read_file file with
+    | exception _ ->
+      Obs.Metrics.incr m_misses;
+      None
+    | content -> (
+      match verify content with
+      | Some value ->
+        Obs.Metrics.incr m_hits;
+        Some value
+      | None ->
+        Obs.Metrics.incr m_corrupt;
+        quarantine t ~ns ~key;
+        None)
+
+let store t ~ns ~key value =
+  if not (is_hex key) || String.contains value '\n' then
+    Obs.Metrics.incr m_errors
+  else
+    try
+      let dir = Filename.concat t.root ns in
+      mkdir_p dir;
+      let file = path t ~ns ~key in
+      let tmp = Printf.sprintf "%s.tmp.%s" file (unique_suffix ()) in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc value;
+         output_char oc '\n';
+         Printf.fprintf oc "%s %s %d\n" trailer_tag
+           (Digest.to_hex (Digest.string value))
+           (String.length value);
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with _ -> ());
+         raise e);
+      Sys.rename tmp file;
+      Obs.Metrics.incr m_writes
+    with _ -> Obs.Metrics.incr m_errors

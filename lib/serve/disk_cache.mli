@@ -1,0 +1,43 @@
+(** Persistent content-addressed cache tier under [~/.cache/aurix].
+
+    Entries are digest-named files, one namespace ("run", "solve",
+    "query") per subdirectory. Each file is the serialized value followed
+    by a one-line checksum trailer:
+
+    {v <value>\naurix-tier1 <md5-hex-of-value> <byte-length>\n v}
+
+    Loads verify the trailer; any mismatch (truncation, bit-flip,
+    zero-length file) moves the file into [<root>/quarantine/] and counts
+    on the [serve.disk.corrupt] metric — the caller then recomputes and
+    rewrites. Writes go through a temp file and [rename], so concurrent
+    daemons sharing a root never observe a half-written entry.
+
+    Everything is best-effort: I/O failures surface as cache misses (or
+    the [serve.disk.errors] counter), never as exceptions. *)
+
+type t
+
+val open_ : ?root:string -> unit -> t
+(** Resolves the cache root — explicit [root], else [AURIX_CACHE_DIR],
+    else [XDG_CACHE_HOME]/aurix, else [HOME]/.cache/aurix — and creates
+    it. *)
+
+val root : t -> string
+
+val path : t -> ns:string -> key:string -> string
+(** Where an entry lives on disk — exposed so fault-injection tests can
+    corrupt it. *)
+
+val load : t -> ns:string -> key:string -> string option
+(** The verified value, or [None] on miss/corruption (corrupt files are
+    quarantined first). Rejects non-hex keys. *)
+
+val store : t -> ns:string -> key:string -> string -> unit
+(** Atomically persists the value with its trailer. The value must not
+    contain newlines (cache entries are one-line JSON). *)
+
+val quarantine_dir : t -> string
+
+(** Counter names, exposed for tests: [serve.disk.hits],
+    [serve.disk.misses], [serve.disk.corrupt], [serve.disk.writes],
+    [serve.disk.errors]. *)

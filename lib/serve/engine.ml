@@ -1,0 +1,451 @@
+open Platform
+module P = Protocol
+
+type config = {
+  jobs : int option;
+  max_request_bytes : int;
+  max_program_size : int;
+  disk : Disk_cache.t option;
+  persist_runtime_caches : bool;
+}
+
+let default_config =
+  {
+    jobs = None;
+    max_request_bytes = 1 lsl 20;
+    max_program_size = 65536;
+    disk = None;
+    persist_runtime_caches = false;
+  }
+
+(* Query-level single-flight: the first requester of a digest computes
+   while duplicates wait, exactly like the runtime caches one layer
+   down. An entry only reaches [Done] for successful results — rejects
+   are not cached (a lint reject is cheap to re-derive and callers may
+   retry with a fixed request). *)
+type entry = Pending | Done of P.analyze_result
+
+type t = {
+  config : config;
+  table : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  settled : Condition.t;
+  stores_installed : bool;
+  served : int Atomic.t;
+  rejected : int Atomic.t;
+  computed : int Atomic.t;
+  memory_hits : int Atomic.t;
+  disk_hits : int Atomic.t;
+}
+
+type stats = {
+  served : int;
+  rejected : int;
+  computed : int;
+  memory_hits : int;
+  disk_hits : int;
+}
+
+let m_requests = Obs.Metrics.counter "serve.requests"
+let m_rejects = Obs.Metrics.counter "serve.rejects"
+let m_computed = Obs.Metrics.counter "serve.query.computed"
+let m_memory_hits = Obs.Metrics.counter "serve.query.memory_hits"
+let m_disk_hits = Obs.Metrics.counter "serve.query.disk_hits"
+
+let m_latency =
+  Obs.Metrics.histogram ~buckets:Obs.Metrics.latency_buckets "serve.latency_s"
+
+let runtime_store disk ~ns =
+  {
+    Runtime.Run_cache.load = (fun key -> Disk_cache.load disk ~ns ~key);
+    save = (fun key value -> Disk_cache.store disk ~ns ~key value);
+  }
+
+let solve_store disk ~ns =
+  {
+    Runtime.Solve_cache.load = (fun key -> Disk_cache.load disk ~ns ~key);
+    save = (fun key value -> Disk_cache.store disk ~ns ~key value);
+  }
+
+let create config =
+  let stores_installed =
+    match config.disk with
+    | Some disk when config.persist_runtime_caches ->
+      Runtime.Run_cache.set_store (Some (runtime_store disk ~ns:"run"));
+      Runtime.Solve_cache.set_store (Some (solve_store disk ~ns:"solve"));
+      true
+    | _ -> false
+  in
+  {
+    config;
+    table = Hashtbl.create 64;
+    lock = Mutex.create ();
+    settled = Condition.create ();
+    stores_installed;
+    served = Atomic.make 0;
+    rejected = Atomic.make 0;
+    computed = Atomic.make 0;
+    memory_hits = Atomic.make 0;
+    disk_hits = Atomic.make 0;
+  }
+
+let close t =
+  if t.stores_installed then begin
+    Runtime.Run_cache.set_store None;
+    Runtime.Solve_cache.set_store None
+  end
+
+let stats (t : t) : stats =
+  {
+    served = Atomic.get t.served;
+    rejected = Atomic.get t.rejected;
+    computed = Atomic.get t.computed;
+    memory_hits = Atomic.get t.memory_hits;
+    disk_hits = Atomic.get t.disk_hits;
+  }
+
+let stats_alist t =
+  let s = stats t in
+  [
+    ("served", s.served);
+    ("rejected", s.rejected);
+    ("computed", s.computed);
+    ("memory_hits", s.memory_hits);
+    ("disk_hits", s.disk_hits);
+  ]
+
+let digest (q : P.analyze) =
+  Digest.to_hex (Digest.string (P.encode_request (P.Analyze { q with id = "" })))
+
+(* --- admission + dispatch ----------------------------------------------- *)
+
+let reject ?id code message diagnostics =
+  P.Reject { xid = id; code; message; diagnostics }
+
+exception Rejected of P.response
+
+let rejectf ?id ?(diagnostics = []) code fmt =
+  Format.kasprintf
+    (fun message -> raise (Rejected (reject ?id code message diagnostics)))
+    fmt
+
+let build_program ~id ~max_size (spec : P.program_spec) =
+  match Tcsim.Program.make ~name:spec.pname spec.pitems with
+  | p ->
+    if Tcsim.Program.static_size p > max_size then
+      rejectf ~id P.Oversize
+        "program %S has %d instructions (limit %d)" spec.pname
+        (Tcsim.Program.static_size p) max_size
+    else p
+  | exception Invalid_argument msg ->
+    rejectf ~id P.Invalid "invalid program %S: %s" spec.pname msg
+
+let guard_lint ~id ~pass diags =
+  Analysis.Diag.record_metrics ~pass diags;
+  if Analysis.Diag.has_errors diags then
+    rejectf ~id ~diagnostics:diags P.Lint
+      "%d lint error(s) in pass %s"
+      (List.length (Analysis.Diag.errors diags))
+      pass
+
+(* The per-query pipeline, mirroring the Figure-4 experiment row:
+   preflight lint -> isolation measurements -> counter lint -> model
+   lint -> bounds -> (optional) observed co-run. Raises [Rejected] on
+   every admission failure. *)
+let compute t (q : P.analyze) : P.analyze_result =
+  let id = q.id in
+  let scenario =
+    match Scenario.find q.scenario with
+    | Some s -> s
+    | None -> rejectf ~id P.Invalid "unknown scenario %S" q.scenario
+  in
+  if q.models = [] then rejectf ~id P.Invalid "no models requested";
+  let latency = Tcsim.Machine.default_config.Tcsim.Machine.latency in
+  let max_core =
+    Array.length Tcsim.Machine.default_config.Tcsim.Machine.cores - 1
+  in
+  let variant = Workload.Control_loop.variant_of_scenario scenario in
+  let app =
+    match q.app with
+    | P.App_bundled -> Workload.Control_loop.app variant
+    | P.App_inline spec ->
+      build_program ~id ~max_size:t.config.max_program_size spec
+  in
+  let contenders =
+    List.map
+      (fun spec ->
+         let core =
+           match spec with
+           | P.Con_level { core; _ } -> core
+           | P.Con_inline { ccore; _ } -> ccore
+         in
+         if core < 1 || core > max_core then
+           rejectf ~id P.Invalid
+             "contender core %d out of range 1..%d (core 0 runs the task \
+              under analysis)"
+             core max_core;
+         let program =
+           match spec with
+           | P.Con_level { level; core } ->
+             Workload.Load_gen.make ~variant ~level ~region_slot:core ()
+           | P.Con_inline { cprogram; _ } ->
+             build_program ~id ~max_size:t.config.max_program_size cprogram
+         in
+         (core, program))
+      q.contenders
+  in
+  let cores = List.map fst contenders in
+  if List.length (List.sort_uniq compare cores) <> List.length cores then
+    rejectf ~id P.Invalid "duplicate contender cores";
+  let tasks =
+    { Analysis.Program_lint.label = "app"; core = 0; program = app }
+    :: List.map
+      (fun (core, program) ->
+         {
+           Analysis.Program_lint.label = Printf.sprintf "contender%d" core;
+           core;
+           program;
+         })
+      contenders
+  in
+  guard_lint ~id ~pass:"serve.preflight"
+    (Analysis.Preflight.check_run ~latency ~scenario
+       ~tasks ());
+  (* isolation measurements; each task alone on its own core, fanned out
+     over the pool (Run_cache makes repeats free) *)
+  let observations =
+    Runtime.Pool.map ?jobs:t.config.jobs
+      (fun { Analysis.Program_lint.core; program; _ } ->
+         match Mbta.Measurement.isolation ~core program with
+         | o -> Ok o
+         | exception Tcsim.Machine.Cycle_limit_exceeded c -> Error c)
+      tasks
+  in
+  let observations =
+    List.map2
+      (fun { Analysis.Program_lint.label; _ } -> function
+         | Ok o -> o
+         | Error c ->
+           rejectf ~id P.Cycle_limit
+             "task %S exceeded the cycle limit in isolation (at cycle %d)"
+             label c)
+      tasks observations
+  in
+  let iso_app, iso_contenders =
+    match observations with
+    | a :: rest -> (a, List.combine (List.map fst contenders) rest)
+    | [] -> assert false
+  in
+  guard_lint ~id ~pass:"serve.counters"
+    (List.concat
+       (List.map2
+          (fun { Analysis.Program_lint.label; _ }
+            (o : Mbta.Measurement.observation) ->
+            Analysis.Counter_lint.check ~latency ~scenario
+              ~path:[ "isolation"; label ] o.counters)
+          tasks observations));
+  let a = iso_app.Mbta.Measurement.counters in
+  let contender_counters =
+    List.map
+      (fun (core, (o : Mbta.Measurement.observation)) -> (core, o.counters))
+      iso_contenders
+  in
+  let is_s2 = scenario.Scenario.name = "scenario2" in
+  let ilp_options =
+    {
+      Contention.Ilp_ptac.default_options with
+      Contention.Ilp_ptac.dirty_lmu =
+        List.exists
+          (fun (_, (b : Counters.t)) -> b.dcache_miss_dirty > 0)
+          contender_counters;
+    }
+  in
+  if List.mem P.Ilp_ptac q.models then
+    List.iter
+      (fun (core, b) ->
+         let model, _ =
+           Contention.Ilp_ptac.build_model ~options:ilp_options ~latency
+             ~scenario ~a ~b ()
+         in
+         guard_lint ~id ~pass:"serve.model"
+           (Analysis.Model_lint.check
+              ~path:
+                [ "ilp-ptac"; scenario.Scenario.name;
+                  Printf.sprintf "contender%d" core ]
+              model))
+      contender_counters;
+  let bound = function
+    | P.Ftc ->
+      let r = Contention.Ftc.contention_bound ~dirty:is_s2 ~latency ~a () in
+      Some r.Contention.Ftc.delta
+    | P.Ideal ->
+      Some
+        (List.fold_left
+           (fun acc (_, (o : Mbta.Measurement.observation)) ->
+              acc
+              + Contention.Ideal.contention_bound ~latency
+                ~a:iso_app.Mbta.Measurement.ground_truth ~b:o.ground_truth ())
+           0 iso_contenders)
+    | P.Ilp_ptac -> (
+      match contender_counters with
+      | [] -> Some 0
+      | _ ->
+        Contention.Multi.contention_bound ~options:ilp_options ~latency
+          ~scenario ~a
+          ~contenders:(List.map snd contender_counters)
+          ()
+        |> Option.map (fun (r : Contention.Multi.result) -> r.delta))
+  in
+  let bounds = List.map (fun m -> (m, bound m)) q.models in
+  let observed_cycles =
+    if not q.observed then None
+    else
+      match
+        Mbta.Measurement.corun ~analysis:(app, 0)
+          ~contenders:(List.map (fun (core, p) -> (p, core)) contenders)
+          ()
+      with
+      | o -> Some o.Mbta.Measurement.cycles
+      | exception Tcsim.Machine.Cycle_limit_exceeded c ->
+        rejectf ~id P.Cycle_limit
+          "co-run exceeded the cycle limit (at cycle %d)" c
+  in
+  {
+    P.isolation_cycles = iso_app.Mbta.Measurement.cycles;
+    observed_cycles;
+    bounds;
+    app_counters = a;
+    contender_counters;
+  }
+
+(* --- query-level single-flight + disk tier ------------------------------ *)
+
+let acquire t k =
+  Mutex.lock t.lock;
+  let rec loop () =
+    match Hashtbl.find_opt t.table k with
+    | None ->
+      Hashtbl.replace t.table k Pending;
+      Mutex.unlock t.lock;
+      `Reserved
+    | Some Pending ->
+      Condition.wait t.settled t.lock;
+      loop ()
+    | Some (Done r) ->
+      Mutex.unlock t.lock;
+      `Hit r
+  in
+  loop ()
+
+let settle t k result =
+  Mutex.lock t.lock;
+  (match result with
+   | Some r -> Hashtbl.replace t.table k (Done r)
+   | None -> Hashtbl.remove t.table k);
+  Condition.broadcast t.settled;
+  Mutex.unlock t.lock
+
+let disk_query_load t k =
+  match t.config.disk with
+  | None -> None
+  | Some disk -> (
+    match Disk_cache.load disk ~ns:"query" ~key:k with
+    | None -> None
+    | Some value -> (
+      match Obs.Json.parse value with
+      | Error _ -> None
+      | Ok j -> P.result_of_json j))
+
+let disk_query_save t k r =
+  match t.config.disk with
+  | None -> ()
+  | Some disk ->
+    Disk_cache.store disk ~ns:"query" ~key:k
+      (Obs.Json.to_string (P.result_to_json r))
+
+let analyze (t : t) (q : P.analyze) =
+  let t0 = Unix.gettimeofday () in
+  let finish cache result =
+    Atomic.incr t.served;
+    let wall_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+    Obs.Metrics.observe m_latency (float_of_int wall_us /. 1e6);
+    P.Result { rid = q.id; cache; wall_us; result }
+  in
+  let k = digest q in
+  match acquire t k with
+  | `Hit r ->
+    Atomic.incr t.memory_hits;
+    Obs.Metrics.incr m_memory_hits;
+    finish P.Memory r
+  | `Reserved -> (
+    match disk_query_load t k with
+    | Some r ->
+      settle t k (Some r);
+      Atomic.incr t.disk_hits;
+      Obs.Metrics.incr m_disk_hits;
+      finish P.Disk r
+    | None -> (
+      match compute t q with
+      | r ->
+        settle t k (Some r);
+        disk_query_save t k r;
+        Atomic.incr t.computed;
+        Obs.Metrics.incr m_computed;
+        finish P.Computed r
+      | exception e ->
+        settle t k None;
+        raise e))
+
+(* --- the line-level entry point ----------------------------------------- *)
+
+let handle_request t (req : P.request) =
+  match req with
+  | P.Ping id -> `Reply (P.Pong id)
+  | P.Metrics_req id ->
+    `Reply (P.Metrics_reply { mid = id; metrics = Obs.Metrics.to_json_value () })
+  | P.Stats_req id -> `Reply (P.Stats_reply { sid = id; stats = stats_alist t })
+  | P.Shutdown id -> `Stop (P.Shutdown_ack id)
+  | P.Analyze q -> `Reply (analyze t q)
+
+let op_of_request = function
+  | P.Ping _ -> "ping"
+  | P.Metrics_req _ -> "metrics"
+  | P.Stats_req _ -> "stats"
+  | P.Shutdown _ -> "shutdown"
+  | P.Analyze _ -> "analyze"
+
+let handle_line t line =
+  Obs.Metrics.incr m_requests;
+  let reply =
+    if String.length line > t.config.max_request_bytes then
+      `Reply
+        (reject P.Oversize
+           (Printf.sprintf "request is %d bytes (limit %d)"
+              (String.length line) t.config.max_request_bytes)
+           [])
+    else
+      match P.decode_request line with
+      | Error msg -> `Reply (reject P.Parse msg [])
+      | Ok req ->
+        Obs.Tracer.with_span "serve.request"
+          ~attrs:(fun () -> [ ("op", op_of_request req) ])
+          (fun () ->
+             try handle_request t req with
+             | Rejected r -> `Reply r
+             | e ->
+               let id =
+                 match req with
+                 | P.Analyze q -> q.id
+                 | P.Ping id | P.Metrics_req id | P.Stats_req id
+                 | P.Shutdown id -> id
+               in
+               `Reply (reject ~id P.Internal (Printexc.to_string e) []))
+  in
+  (match reply with
+   | `Reply (P.Reject _) ->
+     Atomic.incr t.rejected;
+     Obs.Metrics.incr m_rejects
+   | _ -> ());
+  match reply with
+  | `Reply r -> `Reply (P.encode_response r)
+  | `Stop r -> `Stop (P.encode_response r)

@@ -1,0 +1,59 @@
+(** The daemon's request engine: admission control, model dispatch, and
+    the three-tier cache (per-query single-flight table, then the
+    process-wide {!Runtime.Run_cache}/{!Runtime.Solve_cache}, then the
+    persistent {!Disk_cache}).
+
+    The engine is transport-agnostic — {!handle_line} maps one request
+    line to one response line, and the socket {!Server} (or a test)
+    supplies the framing. It is safe to call from many threads at once;
+    duplicate in-flight queries compute once and everyone else waits
+    (single-flight), so results and cache counters are identical at any
+    parallel degree. *)
+
+type config = {
+  jobs : int option;  (** simulation parallelism per request (pool size) *)
+  max_request_bytes : int;  (** admission: longer lines are rejected *)
+  max_program_size : int;  (** admission: larger inline programs rejected *)
+  disk : Disk_cache.t option;  (** persistent tier; [None] = memory only *)
+  persist_runtime_caches : bool;
+      (** also back {!Runtime.Run_cache}/{!Runtime.Solve_cache} with the
+          disk tier (namespaces "run"/"solve"), so even the first query
+          after a restart replays simulations and solves from disk *)
+}
+
+val default_config : config
+(** [jobs = None] (inherit [AURIX_JOBS]), 1 MiB request cap, 65536
+    instructions, no disk tier. *)
+
+type t
+
+val create : config -> t
+(** Installs the runtime-cache backing stores when configured — these
+    are process-wide, so run one engine per process (tests that create
+    several engines must not enable [persist_runtime_caches] on more
+    than the active one). *)
+
+val close : t -> unit
+(** Uninstalls the runtime-cache backing stores. *)
+
+type stats = {
+  served : int;  (** analyze requests answered with a result *)
+  rejected : int;
+  computed : int;  (** results produced by simulation/solving *)
+  memory_hits : int;  (** results replayed from the in-process table *)
+  disk_hits : int;  (** results replayed from the persistent tier *)
+}
+
+val stats : t -> stats
+
+val digest : Protocol.analyze -> string
+(** The query's content address (hex): the encoded request with the
+    correlation id blanked, so identical analyses share one cache entry
+    regardless of id. *)
+
+val analyze : t -> Protocol.analyze -> Protocol.response
+(** The full admission → dispatch → cache pipeline for one query. *)
+
+val handle_line : t -> string -> [ `Reply of string | `Stop of string ]
+(** One request line to one response line; [`Stop] carries the
+    acknowledgement for a shutdown request. Never raises. *)

@@ -1,0 +1,80 @@
+type addr = Unix_path of string | Tcp of { host : string; port : int }
+
+let pp_addr fmt = function
+  | Unix_path p -> Format.fprintf fmt "unix:%s" p
+  | Tcp { host; port } -> Format.fprintf fmt "tcp:%s:%d" host port
+
+let m_connections = Obs.Metrics.counter "serve.connections"
+
+let sockaddr_of = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp { host; port } ->
+    Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+(* Serve one connection: read request lines, write response lines. Any
+   I/O error (client hung up mid-line, EPIPE on reply) just ends the
+   connection — the daemon never dies with a client. *)
+let handle_connection engine stop fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Obs.Metrics.incr m_connections;
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line ->
+      if not (Atomic.get stop) then begin
+        let reply, continue =
+          match Engine.handle_line engine line with
+          | `Reply r -> (r, true)
+          | `Stop r ->
+            Atomic.set stop true;
+            (r, false)
+        in
+        output_string oc reply;
+        output_char oc '\n';
+        flush oc;
+        if continue then loop ()
+      end
+  in
+  (try loop () with _ -> ());
+  (try Unix.close fd with _ -> ())
+
+let serve ~engine ~addr ?(backlog = 16) ?(stop = Atomic.make false)
+    ?on_ready () =
+  (match Sys.os_type with
+   | "Unix" -> ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   | _ -> ());
+  let sockaddr = sockaddr_of addr in
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (match addr with
+   | Unix_path p when Sys.file_exists p -> (try Unix.unlink p with _ -> ())
+   | _ -> ());
+  Unix.bind sock sockaddr;
+  Unix.listen sock backlog;
+  (match on_ready with Some f -> f addr | None -> ());
+  let threads = ref [] in
+  let rec accept_loop () =
+    if not (Atomic.get stop) then begin
+      (match Unix.select [ sock ] [] [] 0.2 with
+       | [], _, _ -> ()
+       | _ :: _, _, _ -> (
+         match Unix.accept sock with
+         | fd, _ ->
+           threads :=
+             Thread.create (handle_connection engine stop) fd :: !threads
+         | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+        (try Unix.close sock with _ -> ());
+        List.iter Thread.join !threads;
+        match addr with
+        | Unix_path p -> ( try Unix.unlink p with _ -> ())
+        | Tcp _ -> ())
+    accept_loop

@@ -1,0 +1,27 @@
+(** Threaded NDJSON socket server around an {!Engine}.
+
+    One thread per connection; all connections share the engine (and
+    through it the single-flight caches). The accept loop polls a stop
+    flag via [select] with a short tick so a shutdown request — or a
+    signal handler flipping the flag — wins within a fraction of a
+    second without racing [accept] on a closed descriptor. *)
+
+type addr = Unix_path of string | Tcp of { host : string; port : int }
+
+val pp_addr : Format.formatter -> addr -> unit
+
+val serve :
+  engine:Engine.t ->
+  addr:addr ->
+  ?backlog:int ->
+  ?stop:bool Atomic.t ->
+  ?on_ready:(addr -> unit) ->
+  unit ->
+  unit
+(** Binds, listens, and blocks until [stop] becomes true (a protocol
+    shutdown request sets it; callers may share the atomic with a signal
+    handler). [on_ready] fires once the socket is listening — tests use
+    it to release the client side. On return all connection threads have
+    been joined and a Unix-domain socket file is unlinked. SIGPIPE is
+    ignored for the whole process (writes to a vanished client surface
+    as [EPIPE] and close that connection only). *)

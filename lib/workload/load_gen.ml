@@ -3,6 +3,15 @@ type level = High | Medium | Low
 let all_levels = [ High; Medium; Low ]
 let level_to_string = function High -> "H-Load" | Medium -> "M-Load" | Low -> "L-Load"
 
+(* Accepts both the paper's display names and the bare serve-protocol
+   levels, case-insensitively. *)
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "h-load" | "high" | "h" -> Some High
+  | "m-load" | "medium" | "m" -> Some Medium
+  | "l-load" | "low" | "l" -> Some Low
+  | _ -> None
+
 (* Disjoint per-task windows: the LMU task window is 10 KiB (see
    Control_loop), so three slots fit the 32 KiB LMU; pf code windows are
    far apart. *)

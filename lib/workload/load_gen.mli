@@ -13,6 +13,11 @@ type level = High | Medium | Low
 val all_levels : level list
 val level_to_string : level -> string
 
+val level_of_string : string -> level option
+(** Case-insensitive inverse of {!level_to_string}; also accepts the
+    bare names ["high"]/["medium"]/["low"] (and initials) used by the
+    serve wire protocol. *)
+
 val make :
   variant:Control_loop.variant ->
   level:level ->

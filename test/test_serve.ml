@@ -1,0 +1,946 @@
+(* Tests for the serve layer.
+
+   Protocol: QCheck round-trip (encode -> decode = id) over random valid
+   requests and responses, plus golden request/response fixtures under
+   golden/ pinning the wire format byte-for-byte.
+   Admission control: one test per rejection path (parse, invalid,
+   oversize line, oversize program, lint) — the daemon must answer a
+   structured reject, never crash.
+   Stable serialization: golden digests for the query/run/solve cache
+   keys and entry round-trips, so a refactor that would silently
+   invalidate persistent caches fails here first.
+   Disk tier: checksum verification against truncation/bit-flips/empty
+   files (quarantine + recompute), cold-start warm-up across "restarts",
+   and the runtime caches replaying simulations/solves from disk.
+   Concurrency: a client hammer over a real Unix socket — single-flight,
+   request/response correlation, and byte-identical results at jobs=1
+   and jobs=4. *)
+
+module P = Serve.Protocol
+module J = Obs.Json
+module M = Tcsim.Memory_map
+
+(* --- helpers ----------------------------------------------------------- *)
+
+let rm_rf dir =
+  let rec go p =
+    match Unix.lstat p with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> go (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+    | _ -> Unix.unlink p
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  go dir
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "aurix-serve-test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> try rm_rf dir with _ -> ()) (fun () -> f dir)
+
+let mk_engine ?(jobs = 1) ?max_request_bytes ?max_program_size ?disk
+    ?(persist = false) () =
+  let d = Serve.Engine.default_config in
+  Serve.Engine.create
+    {
+      Serve.Engine.jobs = Some jobs;
+      max_request_bytes =
+        Option.value ~default:d.Serve.Engine.max_request_bytes
+          max_request_bytes;
+      max_program_size =
+        Option.value ~default:d.Serve.Engine.max_program_size max_program_size;
+      disk;
+      persist_runtime_caches = persist;
+    }
+
+let reply_of engine line =
+  match Serve.Engine.handle_line engine line with
+  | `Reply r | `Stop r -> r
+
+let decode_reply line =
+  match P.decode_response line with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "undecodable response %S: %s" line e
+
+let expect_reject engine ?id code line =
+  match decode_reply (reply_of engine line) with
+  | P.Reject { xid; code = got; diagnostics; _ } ->
+    Alcotest.(check string)
+      "reject code"
+      (P.reject_code_to_string code)
+      (P.reject_code_to_string got);
+    (match id with
+     | None -> ()
+     | Some id -> Alcotest.(check (option string)) "reject id" (Some id) xid);
+    (xid, diagnostics)
+  | other ->
+    Alcotest.failf "expected a %s reject, got %s"
+      (P.reject_code_to_string code)
+      (P.encode_response other)
+
+let metric name =
+  Option.value ~default:0
+    (List.assoc_opt name (Obs.Metrics.deterministic_snapshot ()))
+
+(* The canonical healthy query (also the golden request fixture). *)
+let golden_query =
+  {
+    P.id = "golden-1";
+    scenario = "scenario1";
+    app = P.App_bundled;
+    contenders = [ P.Con_level { level = Workload.Load_gen.High; core = 1 } ];
+    models = [ P.Ftc; P.Ilp_ptac; P.Ideal ];
+    observed = true;
+  }
+
+(* A contender whose load target is unmapped: the program lint rejects
+   the co-run with an error-severity [address-unmapped] diagnostic (also
+   the golden lint-reject fixture, replayed by the CI smoke test). *)
+let lint_reject_query =
+  {
+    P.id = "lint-reject-1";
+    scenario = "scenario1";
+    app = P.App_bundled;
+    contenders =
+      [
+        P.Con_inline
+          {
+            ccore = 1;
+            cprogram =
+              {
+                P.pname = "bad-load";
+                pitems =
+                  [
+                    Tcsim.Program.I
+                      { pc = M.pspr_base; kind = Tcsim.Program.Load 0x1234 };
+                  ];
+              };
+          };
+      ];
+    models = [ P.Ftc ];
+    observed = false;
+  }
+
+let analyze_line q = P.encode_request (P.Analyze q)
+
+type reply_result = {
+  rrid : string;
+  rcache : P.provenance;
+  rresult : P.analyze_result;
+}
+
+let result_of_reply line =
+  match decode_reply line with
+  | P.Result { rid; cache; result; _ } ->
+    { rrid = rid; rcache = cache; rresult = result }
+  | other ->
+    Alcotest.failf "expected a result, got %s" (P.encode_response other)
+
+(* Comparable payload: the result JSON without wall-clock/provenance. *)
+let result_bytes line =
+  J.to_string (P.result_to_json (result_of_reply line).rresult)
+
+(* --- protocol: QCheck round-trip --------------------------------------- *)
+
+let gen_id =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'b'; 'q'; 'z'; '0'; '7'; '-'; '_' ]) (0 -- 8))
+
+let gen_level = QCheck.Gen.oneofl Workload.Load_gen.[ High; Medium; Low ]
+let gen_model = QCheck.Gen.oneofl [ P.Ideal; P.Ftc; P.Ilp_ptac ]
+
+let gen_instr =
+  let open QCheck.Gen in
+  let* pc = map (fun i -> M.pf0_cached_base + (4 * i)) (0 -- 1000) in
+  oneof
+    [
+      map (fun n -> Tcsim.Program.I { pc; kind = Tcsim.Program.Compute (1 + n) }) (0 -- 5);
+      map
+        (fun a ->
+           Tcsim.Program.I
+             { pc; kind = Tcsim.Program.Load (M.lmu_uncached_base + (4 * a)) })
+        (0 -- 500);
+      map
+        (fun a ->
+           Tcsim.Program.I
+             { pc; kind = Tcsim.Program.Store (M.lmu_uncached_base + (4 * a)) })
+        (0 -- 500);
+    ]
+
+let rec gen_item depth =
+  let open QCheck.Gen in
+  if depth = 0 then gen_instr
+  else
+    frequency
+      [
+        (3, gen_instr);
+        ( 1,
+          let* count = 0 -- 4 in
+          let* body = list_size (1 -- 3) (gen_item (depth - 1)) in
+          return (Tcsim.Program.Loop { count; body }) );
+      ]
+
+let gen_program =
+  let open QCheck.Gen in
+  let* pname = gen_id in
+  let* pitems = list_size (1 -- 5) (gen_item 2) in
+  return { P.pname; pitems }
+
+let gen_analyze =
+  let open QCheck.Gen in
+  let* id = gen_id in
+  let* scenario = oneofl [ "scenario1"; "scenario2"; "unrestricted"; "nope" ] in
+  let* app =
+    oneof [ return P.App_bundled; map (fun p -> P.App_inline p) gen_program ]
+  in
+  let* contenders =
+    list_size (0 -- 2)
+      (oneof
+         [
+           (let* level = gen_level in
+            let* core = 1 -- 2 in
+            return (P.Con_level { level; core }));
+           (let* ccore = 1 -- 2 in
+            let* cprogram = gen_program in
+            return (P.Con_inline { ccore; cprogram }));
+         ])
+  in
+  let* models = list_size (0 -- 3) gen_model in
+  let* observed = bool in
+  return { P.id; scenario; app; contenders; models; observed }
+
+let gen_request =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun id -> P.Ping id) gen_id;
+      map (fun id -> P.Metrics_req id) gen_id;
+      map (fun id -> P.Stats_req id) gen_id;
+      map (fun id -> P.Shutdown id) gen_id;
+      map (fun q -> P.Analyze q) gen_analyze;
+    ]
+
+let gen_counters =
+  let open QCheck.Gen in
+  let* ccnt = 0 -- 100000 in
+  let* pmem_stall = 0 -- 10000 in
+  let* dmem_stall = 0 -- 10000 in
+  let* pcache_miss = 0 -- 1000 in
+  let* dcache_miss_clean = 0 -- 1000 in
+  let* dcache_miss_dirty = 0 -- 1000 in
+  return
+    {
+      Platform.Counters.ccnt;
+      pmem_stall;
+      dmem_stall;
+      pcache_miss;
+      dcache_miss_clean;
+      dcache_miss_dirty;
+    }
+
+let gen_result =
+  let open QCheck.Gen in
+  let* isolation_cycles = 0 -- 10_000_000 in
+  let* observed_cycles = opt (0 -- 10_000_000) in
+  let* bounds = list_size (0 -- 3) (pair gen_model (opt (0 -- 1_000_000))) in
+  let* app_counters = gen_counters in
+  let* contender_counters = list_size (0 -- 2) (pair (1 -- 2) gen_counters) in
+  return
+    { P.isolation_cycles; observed_cycles; bounds; app_counters; contender_counters }
+
+let gen_diag =
+  let open QCheck.Gen in
+  let* severity = oneofl Analysis.Diag.[ Error; Warning; Info ] in
+  let* rule = gen_id in
+  let* path = list_size (0 -- 3) gen_id in
+  let* message = gen_id in
+  let* equation = opt gen_id in
+  return { Analysis.Diag.severity; rule; path; message; equation }
+
+let gen_response =
+  let open QCheck.Gen in
+  oneof
+    [
+      (let* rid = gen_id in
+       let* cache = oneofl [ P.Computed; P.Memory; P.Disk ] in
+       let* wall_us = 0 -- 100_000_000 in
+       let* result = gen_result in
+       return (P.Result { rid; cache; wall_us; result }));
+      (let* xid = opt gen_id in
+       let* code =
+         oneofl [ P.Parse; P.Invalid; P.Oversize; P.Lint; P.Cycle_limit; P.Internal ]
+       in
+       let* message = gen_id in
+       let* diagnostics = list_size (0 -- 2) gen_diag in
+       return (P.Reject { xid; code; message; diagnostics }));
+      map (fun id -> P.Pong id) gen_id;
+      (let* mid = gen_id in
+       let* n = 0 -- 100 in
+       return
+         (P.Metrics_reply { mid; metrics = J.Obj [ ("serve.requests", J.Int n) ] }));
+      (let* sid = gen_id in
+       let* stats = list_size (0 -- 3) (pair gen_id (0 -- 1000)) in
+       return (P.Stats_reply { sid; stats }));
+      map (fun id -> P.Shutdown_ack id) gen_id;
+    ]
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request encode->decode = id" ~count:500
+    (QCheck.make gen_request) (fun r ->
+        P.decode_request (P.encode_request r) = Ok r)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"response encode->decode = id" ~count:500
+    (QCheck.make gen_response) (fun r ->
+        P.decode_response (P.encode_response r) = Ok r)
+
+(* --- protocol: golden fixtures ----------------------------------------- *)
+
+let read_golden name =
+  let ic = open_in (Filename.concat "golden" name) in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> input_line ic)
+
+let golden_response =
+  P.Result
+    {
+      rid = "golden-1";
+      cache = P.Computed;
+      wall_us = 1234;
+      result =
+        {
+          P.isolation_cycles = 1000;
+          observed_cycles = Some 1100;
+          bounds = [ (P.Ftc, Some 400); (P.Ilp_ptac, Some 150); (P.Ideal, None) ];
+          app_counters =
+            {
+              Platform.Counters.ccnt = 1000;
+              pmem_stall = 200;
+              dmem_stall = 100;
+              pcache_miss = 20;
+              dcache_miss_clean = 5;
+              dcache_miss_dirty = 1;
+            };
+          contender_counters =
+            [
+              ( 1,
+                {
+                  Platform.Counters.ccnt = 900;
+                  pmem_stall = 300;
+                  dmem_stall = 50;
+                  pcache_miss = 30;
+                  dcache_miss_clean = 0;
+                  dcache_miss_dirty = 0;
+                } );
+            ];
+        };
+    }
+
+let test_golden_request () =
+  let file = read_golden "serve_request.json" in
+  Alcotest.(check string)
+    "encoder matches fixture" file
+    (P.encode_request (P.Analyze golden_query));
+  match P.decode_request file with
+  | Ok (P.Analyze q) ->
+    Alcotest.(check bool) "decoder matches fixture" true (q = golden_query)
+  | _ -> Alcotest.fail "fixture did not decode to the golden query"
+
+let test_golden_response () =
+  let file = read_golden "serve_response.json" in
+  Alcotest.(check string)
+    "encoder matches fixture" file
+    (P.encode_response golden_response);
+  Alcotest.(check bool)
+    "decoder matches fixture" true
+    (P.decode_response file = Ok golden_response)
+
+let test_golden_lint_reject () =
+  let file = read_golden "serve_lint_reject.json" in
+  Alcotest.(check string)
+    "encoder matches fixture" file
+    (P.encode_request (P.Analyze lint_reject_query));
+  match P.decode_request file with
+  | Ok (P.Analyze q) ->
+    Alcotest.(check bool) "decoder matches fixture" true (q = lint_reject_query)
+  | _ -> Alcotest.fail "fixture did not decode to the lint-reject query"
+
+(* --- stable cache keys and entries -------------------------------------- *)
+
+(* Pinned hex digests: if any of these change, on-disk caches written by
+   earlier builds silently stop matching — bump the format version and
+   migrate instead of editing the expectation. *)
+let expected_query_digest = "04b74dd2843bbe551660bb859c60a1fa"
+let expected_run_fingerprint = "c1fb13491754654423f7692a37bffb93"
+let expected_solve_key = "a87cb24c98ba740b7b21a2df83bfdfdc"
+
+let test_query_digest_golden () =
+  Alcotest.(check string)
+    "digest of the golden query" expected_query_digest
+    (Serve.Engine.digest golden_query);
+  (* the correlation id is excluded: same analysis => same entry *)
+  Alcotest.(check string)
+    "id does not affect the digest" expected_query_digest
+    (Serve.Engine.digest { golden_query with P.id = "other" })
+
+let tiny_program =
+  Tcsim.Program.make ~name:"tiny"
+    [
+      Tcsim.Program.I
+        { pc = M.pf0_cached_base; kind = Tcsim.Program.Compute 1 };
+      Tcsim.Program.I
+        { pc = M.pf0_cached_base + 4;
+          kind = Tcsim.Program.Load M.lmu_uncached_base };
+    ]
+
+let test_run_fingerprint_golden () =
+  let fp =
+    Runtime.Run_cache.fingerprint ~config:Tcsim.Machine.default_config
+      ~max_cycles:1_000_000 ~restart_contenders:false ~priorities:None
+      ~trace:false ~kernel:`Event
+      ~analysis:{ Tcsim.Machine.program = tiny_program; core = 0 }
+      ~contenders:[]
+  in
+  Alcotest.(check string) "run fingerprint" expected_run_fingerprint fp;
+  Alcotest.(check (option string))
+    "fingerprint is a valid key" (Some fp)
+    (Runtime.Run_cache.key_of_string (Runtime.Run_cache.key_to_string fp))
+
+let tiny_model () =
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m ~integer:true ~ub:(Numeric.Q.of_int 5) "x" in
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linexpr.of_terms [ (Numeric.Q.of_int 3, x) ]);
+  m
+
+let test_solve_key_golden () =
+  let k = Runtime.Solve_cache.key ~tag:"test" (tiny_model ()) in
+  Alcotest.(check string) "solve key" expected_solve_key k;
+  Alcotest.(check (option string))
+    "key is valid" (Some k)
+    (Runtime.Solve_cache.key_of_string k)
+
+let test_key_of_string_rejects () =
+  List.iter
+    (fun s ->
+       Alcotest.(check (option string))
+         (Printf.sprintf "%S rejected" s)
+         None
+         (Runtime.Run_cache.key_of_string s))
+    [ ""; "xyz"; String.make 31 'a'; String.make 33 'a'; String.make 32 'G' ]
+
+let test_run_entry_roundtrip () =
+  let r =
+    Tcsim.Machine.run ~trace:true
+      ~analysis:{ Tcsim.Machine.program = tiny_program; core = 0 }
+      ~contenders:[] ()
+  in
+  let s = Runtime.Run_cache.entry_to_string (Runtime.Run_cache.Finished r) in
+  (match Runtime.Run_cache.entry_of_string s with
+   | Some o ->
+     Alcotest.(check string)
+       "run entry round-trips" s
+       (Runtime.Run_cache.entry_to_string o)
+   | None -> Alcotest.fail "run entry did not parse back");
+  (* limit outcome, pinned *)
+  let limit = Runtime.Run_cache.Limit 7 in
+  let ls = Runtime.Run_cache.entry_to_string limit in
+  Alcotest.(check string)
+    "limit entry format" "{\"v\": 1, \"outcome\": \"limit\", \"cycles\": 7}" ls;
+  Alcotest.(check bool)
+    "limit round-trips" true
+    (Runtime.Run_cache.entry_of_string ls = Some limit);
+  Alcotest.(check bool)
+    "garbage rejected" true
+    (Runtime.Run_cache.entry_of_string "{\"v\": 99}" = None)
+
+let test_solve_entry_roundtrip () =
+  let open Runtime.Solve_cache in
+  let q a b =
+    Numeric.Q.make (Numeric.Bigint.of_int a) (Numeric.Bigint.of_int b)
+  in
+  let outcomes =
+    [
+      Solved
+        (Ilp.Solution.Optimal
+           { objective = q 7 2; values = [| q 1 1; q (-5) 3; q 0 1 |] });
+      Solved Ilp.Solution.Infeasible;
+      Solved Ilp.Solution.Unbounded;
+      Node_limit;
+    ]
+  in
+  List.iter
+    (fun o ->
+       let s = entry_to_string o in
+       match entry_of_string s with
+       | Some o' ->
+         Alcotest.(check string) "solve entry round-trips" s (entry_to_string o')
+       | None -> Alcotest.failf "solve entry did not parse back: %s" s)
+    outcomes;
+  Alcotest.(check string)
+    "node-limit entry format"
+    "{\"v\": 1, \"outcome\": \"node-limit\"}"
+    (entry_to_string Node_limit);
+  Alcotest.(check bool)
+    "garbage rejected" true
+    (entry_of_string "{\"v\": 1, \"outcome\": \"wat\"}" = None)
+
+(* --- admission control --------------------------------------------------- *)
+
+let test_reject_parse () =
+  let e = mk_engine () in
+  List.iter
+    (fun line -> ignore (expect_reject e P.Parse line))
+    [
+      "not json at all";
+      "{";
+      "{\"v\": 1}";
+      "{\"v\": 2, \"op\": \"ping\", \"id\": \"x\"}";
+      "{\"v\": 1, \"op\": \"frobnicate\", \"id\": \"x\"}";
+      "{\"v\": 1, \"op\": \"analyze\", \"id\": \"x\"}";
+      "[1, 2, 3]";
+    ]
+
+let test_reject_invalid () =
+  let e = mk_engine () in
+  let q line = ignore (expect_reject e ~id:"lint-reject-1" P.Invalid line) in
+  q (analyze_line { lint_reject_query with P.scenario = "scenario9" });
+  q (analyze_line { lint_reject_query with P.models = [] });
+  q
+    (analyze_line
+       {
+         lint_reject_query with
+         P.contenders =
+           [ P.Con_level { level = Workload.Load_gen.Low; core = 0 } ];
+       });
+  q
+    (analyze_line
+       {
+         lint_reject_query with
+         P.contenders =
+           [ P.Con_level { level = Workload.Load_gen.Low; core = 9 } ];
+       });
+  q
+    (analyze_line
+       {
+         lint_reject_query with
+         P.contenders =
+           [
+             P.Con_level { level = Workload.Load_gen.Low; core = 1 };
+             P.Con_level { level = Workload.Load_gen.High; core = 1 };
+           ];
+       });
+  (* Program.make invariant violations surface as invalid, not a crash *)
+  q
+    (analyze_line
+       {
+         lint_reject_query with
+         P.app =
+           P.App_inline
+             {
+               P.pname = "bad";
+               pitems =
+                 [
+                   Tcsim.Program.I
+                     { pc = M.pf0_cached_base; kind = Tcsim.Program.Compute 0 };
+                 ];
+             };
+         contenders = [];
+       })
+
+let test_reject_oversize_line () =
+  let e = mk_engine ~max_request_bytes:64 () in
+  let xid, _ =
+    expect_reject e P.Oversize
+      (analyze_line { golden_query with P.id = String.make 100 'x' })
+  in
+  Alcotest.(check (option string)) "no id on an unread request" None xid
+
+let test_reject_oversize_program () =
+  let e = mk_engine ~max_program_size:3 () in
+  let items =
+    List.init 5 (fun i ->
+        Tcsim.Program.I
+          { pc = M.pf0_cached_base + (4 * i); kind = Tcsim.Program.Compute 1 })
+  in
+  ignore
+    (expect_reject e ~id:"big" P.Oversize
+       (analyze_line
+          {
+            P.id = "big";
+            scenario = "scenario1";
+            app = P.App_inline { P.pname = "big"; pitems = items };
+            contenders = [];
+            models = [ P.Ftc ];
+            observed = false;
+          }))
+
+let test_reject_lint () =
+  let e = mk_engine () in
+  let rejects_before = metric "serve.rejects" in
+  let _, diagnostics =
+    expect_reject e ~id:"lint-reject-1" P.Lint (analyze_line lint_reject_query)
+  in
+  Alcotest.(check bool) "carries diagnostics" true (List.length diagnostics > 0);
+  Alcotest.(check bool)
+    "address-unmapped diagnosed" true
+    (List.exists
+       (fun (d : Analysis.Diag.t) -> d.rule = "address-unmapped")
+       diagnostics);
+  Alcotest.(check int)
+    "serve.rejects counted" (rejects_before + 1) (metric "serve.rejects")
+
+let test_control_ops () =
+  let e = mk_engine () in
+  (match decode_reply (reply_of e (P.encode_request (P.Ping "p7"))) with
+   | P.Pong id -> Alcotest.(check string) "pong echoes id" "p7" id
+   | _ -> Alcotest.fail "expected pong");
+  (match decode_reply (reply_of e (P.encode_request (P.Stats_req "s1"))) with
+   | P.Stats_reply { sid; stats } ->
+     Alcotest.(check string) "stats echoes id" "s1" sid;
+     Alcotest.(check bool)
+       "stats carries served" true
+       (List.mem_assoc "served" stats)
+   | _ -> Alcotest.fail "expected stats");
+  (match decode_reply (reply_of e (P.encode_request (P.Metrics_req "m1"))) with
+   | P.Metrics_reply { metrics = J.Obj _; _ } -> ()
+   | _ -> Alcotest.fail "expected a metrics object");
+  match Serve.Engine.handle_line e (P.encode_request (P.Shutdown "bye")) with
+  | `Stop line ->
+    (match decode_reply line with
+     | P.Shutdown_ack id -> Alcotest.(check string) "ack echoes id" "bye" id
+     | _ -> Alcotest.fail "expected shutdown ack")
+  | `Reply _ -> Alcotest.fail "shutdown must stop the server"
+
+(* --- disk tier: fault injection ----------------------------------------- *)
+
+let key_a = String.make 32 'a'
+let key_b = String.make 32 'b'
+
+let test_disk_roundtrip () =
+  with_tmpdir @@ fun dir ->
+  let d = Serve.Disk_cache.open_ ~root:dir () in
+  Alcotest.(check (option string)) "miss on empty" None
+    (Serve.Disk_cache.load d ~ns:"t" ~key:key_a);
+  Serve.Disk_cache.store d ~ns:"t" ~key:key_a "{\"x\": 1}";
+  Alcotest.(check (option string))
+    "load returns the stored value" (Some "{\"x\": 1}")
+    (Serve.Disk_cache.load d ~ns:"t" ~key:key_a);
+  (* non-hex keys are refused outright *)
+  Alcotest.(check (option string)) "non-hex key rejected" None
+    (Serve.Disk_cache.load d ~ns:"t" ~key:"../../etc/passwd")
+
+let corrupt_with f () =
+  with_tmpdir @@ fun dir ->
+  let d = Serve.Disk_cache.open_ ~root:dir () in
+  Serve.Disk_cache.store d ~ns:"t" ~key:key_b "payload-payload-payload";
+  let path = Serve.Disk_cache.path d ~ns:"t" ~key:key_b in
+  f path;
+  let corrupt_before = metric "serve.disk.corrupt" in
+  Alcotest.(check (option string)) "corrupt entry refused" None
+    (Serve.Disk_cache.load d ~ns:"t" ~key:key_b);
+  Alcotest.(check int)
+    "serve.disk.corrupt counted" (corrupt_before + 1)
+    (metric "serve.disk.corrupt");
+  Alcotest.(check bool) "entry quarantined away" false (Sys.file_exists path);
+  let q = Serve.Disk_cache.quarantine_dir d in
+  Alcotest.(check bool)
+    "quarantine holds the bad file" true
+    (Sys.file_exists q && Array.length (Sys.readdir q) = 1);
+  (* recompute-and-rewrite works after quarantine *)
+  Serve.Disk_cache.store d ~ns:"t" ~key:key_b "recomputed";
+  Alcotest.(check (option string))
+    "rewrite after quarantine" (Some "recomputed")
+    (Serve.Disk_cache.load d ~ns:"t" ~key:key_b)
+
+let truncate_file path =
+  let n = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd (n / 2);
+  Unix.close fd
+
+let zero_file path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0 in
+  Unix.close fd
+
+let bitflip_file path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+(* --- disk tier: engine integration -------------------------------------- *)
+
+(* "Restart": a fresh engine over the same disk root, with the
+   process-wide runtime caches dropped — everything a new process would
+   not have. *)
+let restart_engine ?(persist = false) dir =
+  Runtime.Run_cache.clear ();
+  Runtime.Solve_cache.clear ();
+  mk_engine ~disk:(Serve.Disk_cache.open_ ~root:dir ()) ~persist ()
+
+let with_engine e f = Fun.protect ~finally:(fun () -> Serve.Engine.close e) f
+
+let test_cold_start_warmup () =
+  with_tmpdir @@ fun dir ->
+  let line = analyze_line golden_query in
+  let e1 = restart_engine dir in
+  let first =
+    with_engine e1 @@ fun () -> reply_of e1 line
+  in
+  let r1 = result_of_reply first in
+  Alcotest.(check string)
+    "first serve computes" "computed"
+    (P.provenance_to_string r1.rcache);
+  (* second process: same disk root, cold memory *)
+  let e2 = restart_engine dir in
+  let second = with_engine e2 @@ fun () -> reply_of e2 line in
+  let r2 = result_of_reply second in
+  Alcotest.(check string)
+    "restart serves from disk" "disk"
+    (P.provenance_to_string r2.rcache);
+  Alcotest.(check string)
+    "results byte-identical across restart" (result_bytes first)
+    (result_bytes second)
+
+let test_corrupt_query_entry_recomputed () =
+  with_tmpdir @@ fun dir ->
+  let line = analyze_line golden_query in
+  let e1 = restart_engine dir in
+  let first = with_engine e1 @@ fun () -> reply_of e1 line in
+  let d = Serve.Disk_cache.open_ ~root:dir () in
+  let qpath =
+    Serve.Disk_cache.path d ~ns:"query" ~key:(Serve.Engine.digest golden_query)
+  in
+  Alcotest.(check bool) "query entry persisted" true (Sys.file_exists qpath);
+  truncate_file qpath;
+  let e2 = restart_engine dir in
+  let second = with_engine e2 @@ fun () -> reply_of e2 line in
+  let r2 = result_of_reply second in
+  Alcotest.(check string)
+    "corrupt entry recomputed" "computed"
+    (P.provenance_to_string r2.rcache);
+  Alcotest.(check string)
+    "recomputed result identical" (result_bytes first) (result_bytes second)
+
+let test_runtime_caches_replay_from_disk () =
+  with_tmpdir @@ fun dir ->
+  let line = analyze_line golden_query in
+  let e1 = restart_engine ~persist:true dir in
+  let first = with_engine e1 @@ fun () -> reply_of e1 line in
+  (* drop the query-level entry so the restarted engine recomputes the
+     pipeline — its simulations and solves should replay from the
+     run/solve namespaces instead of simulating *)
+  let d = Serve.Disk_cache.open_ ~root:dir () in
+  Sys.remove
+    (Serve.Disk_cache.path d ~ns:"query" ~key:(Serve.Engine.digest golden_query));
+  let hits_before = metric "serve.disk.hits" in
+  let e2 = restart_engine ~persist:true dir in
+  let second = with_engine e2 @@ fun () -> reply_of e2 line in
+  let r2 = result_of_reply second in
+  Alcotest.(check string)
+    "pipeline re-ran" "computed"
+    (P.provenance_to_string r2.rcache);
+  Alcotest.(check bool)
+    "simulations/solves replayed from disk" true
+    (metric "serve.disk.hits" > hits_before);
+  Alcotest.(check string)
+    "replayed result identical" (result_bytes first) (result_bytes second)
+
+(* --- concurrency: socket hammer ------------------------------------------ *)
+
+let distinct_queries =
+  List.concat_map
+    (fun scenario ->
+       List.map
+         (fun level ->
+            {
+              P.id = "";
+              scenario;
+              app = P.App_bundled;
+              contenders = [ P.Con_level { level; core = 1 } ];
+              models = [ P.Ftc; P.Ilp_ptac; P.Ideal ];
+              observed = true;
+            })
+         Workload.Load_gen.[ High; Low ])
+    [ "scenario1"; "scenario2" ]
+
+let hammer ~jobs =
+  with_tmpdir @@ fun dir ->
+  let addr = Serve.Server.Unix_path (Filename.concat dir "s.sock") in
+  let engine = mk_engine ~jobs () in
+  let stop = Atomic.make false in
+  let server =
+    Thread.create
+      (fun () -> Serve.Server.serve ~engine ~addr ~stop ())
+      ()
+  in
+  let nclients = 8 in
+  let reps = 3 in
+  let results = Array.make nclients [] in
+  let errors = Atomic.make 0 in
+  let clients =
+    List.init nclients (fun ci ->
+        Thread.create
+          (fun () ->
+             try
+               let c = Serve.Client.connect addr in
+               Fun.protect
+                 ~finally:(fun () -> Serve.Client.close c)
+                 (fun () ->
+                    for rep = 1 to reps do
+                      List.iteri
+                        (fun qi q ->
+                           let id = Printf.sprintf "c%d-r%d-q%d" ci rep qi in
+                           let line =
+                             Serve.Client.rpc_line c
+                               (analyze_line { q with P.id = id })
+                           in
+                           let r = result_of_reply line in
+                           if r.rrid <> id then Atomic.incr errors
+                           else
+                             results.(ci) <-
+                               (qi, result_bytes line) :: results.(ci))
+                        distinct_queries
+                    done)
+             with _ -> Atomic.incr errors)
+          ())
+  in
+  List.iter Thread.join clients;
+  Atomic.set stop true;
+  Thread.join server;
+  let stats = Serve.Engine.stats engine in
+  Serve.Engine.close engine;
+  Alcotest.(check int) "no client errors" 0 (Atomic.get errors);
+  (* correlation held; now single-flight: every duplicate was a hit *)
+  Alcotest.(check int)
+    "distinct queries computed once each"
+    (List.length distinct_queries)
+    stats.Serve.Engine.computed;
+  Alcotest.(check int)
+    "everything else memory hits"
+    ((nclients * reps * List.length distinct_queries)
+     - List.length distinct_queries)
+    stats.Serve.Engine.memory_hits;
+  (* per-query result bytes agree across every client and repetition *)
+  let by_query = Hashtbl.create 8 in
+  Array.iter
+    (List.iter (fun (qi, bytes) ->
+         match Hashtbl.find_opt by_query qi with
+         | None -> Hashtbl.replace by_query qi bytes
+         | Some b ->
+           Alcotest.(check string)
+             (Printf.sprintf "query %d consistent" qi)
+             b bytes))
+    results;
+  List.mapi (fun qi _ -> Hashtbl.find by_query qi) distinct_queries
+
+let test_hammer_and_jobs_invariance () =
+  let at1 = hammer ~jobs:1 in
+  let at4 = hammer ~jobs:4 in
+  List.iteri
+    (fun qi (b1, b4) ->
+       Alcotest.(check string)
+         (Printf.sprintf "query %d byte-identical at jobs=1 and jobs=4" qi)
+         b1 b4)
+    (List.combine at1 at4);
+  (* and identical to a direct in-process engine call, no socket *)
+  let e = mk_engine () in
+  List.iteri
+    (fun qi (q, expected) ->
+       let line = reply_of e (analyze_line { q with P.id = "direct" }) in
+       Alcotest.(check string)
+         (Printf.sprintf "query %d matches the direct library call" qi)
+         expected (result_bytes line))
+    (List.combine distinct_queries at1)
+
+(* Regeneration mode: [AURIX_GEN_GOLDEN=<dir> ./test_serve.exe] rewrites
+   the wire fixtures and prints the pinned digests, for use after a
+   deliberate, version-bumped format change. *)
+let () =
+  match Sys.getenv_opt "AURIX_GEN_GOLDEN" with
+  | None -> ()
+  | Some dir ->
+    let write name s =
+      let oc = open_out (Filename.concat dir name) in
+      output_string oc (s ^ "\n");
+      close_out oc
+    in
+    write "serve_request.json" (P.encode_request (P.Analyze golden_query));
+    write "serve_response.json" (P.encode_response golden_response);
+    write "serve_lint_reject.json"
+      (P.encode_request (P.Analyze lint_reject_query));
+    Printf.printf "query digest:    %s\n" (Serve.Engine.digest golden_query);
+    Printf.printf "run fingerprint: %s\n"
+      (Runtime.Run_cache.fingerprint ~config:Tcsim.Machine.default_config
+         ~max_cycles:1_000_000 ~restart_contenders:false ~priorities:None
+         ~trace:false ~kernel:`Event
+         ~analysis:{ Tcsim.Machine.program = tiny_program; core = 0 }
+         ~contenders:[]);
+    Printf.printf "solve key:       %s\n"
+      (Runtime.Solve_cache.key ~tag:"test" (tiny_model ()));
+    exit 0
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+          QCheck_alcotest.to_alcotest prop_response_roundtrip;
+          Alcotest.test_case "golden request fixture" `Quick test_golden_request;
+          Alcotest.test_case "golden response fixture" `Quick test_golden_response;
+          Alcotest.test_case "golden lint-reject fixture" `Quick
+            test_golden_lint_reject;
+        ] );
+      ( "stable-keys",
+        [
+          Alcotest.test_case "query digest pinned" `Quick test_query_digest_golden;
+          Alcotest.test_case "run fingerprint pinned" `Quick
+            test_run_fingerprint_golden;
+          Alcotest.test_case "solve key pinned" `Quick test_solve_key_golden;
+          Alcotest.test_case "malformed keys rejected" `Quick
+            test_key_of_string_rejects;
+          Alcotest.test_case "run entry round-trip" `Quick test_run_entry_roundtrip;
+          Alcotest.test_case "solve entry round-trip" `Quick
+            test_solve_entry_roundtrip;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "parse errors rejected" `Quick test_reject_parse;
+          Alcotest.test_case "invalid requests rejected" `Quick test_reject_invalid;
+          Alcotest.test_case "oversized line rejected" `Quick
+            test_reject_oversize_line;
+          Alcotest.test_case "oversized program rejected" `Quick
+            test_reject_oversize_program;
+          Alcotest.test_case "lint errors rejected with diagnostics" `Quick
+            test_reject_lint;
+          Alcotest.test_case "ping/stats/metrics/shutdown" `Quick test_control_ops;
+        ] );
+      ( "disk-tier",
+        [
+          Alcotest.test_case "store/load round-trip" `Quick test_disk_roundtrip;
+          Alcotest.test_case "truncated entry quarantined" `Quick
+            (corrupt_with truncate_file);
+          Alcotest.test_case "bit-flipped entry quarantined" `Quick
+            (corrupt_with bitflip_file);
+          Alcotest.test_case "zero-length entry quarantined" `Quick
+            (corrupt_with zero_file);
+          Alcotest.test_case "cold-start warm-up across restart" `Slow
+            test_cold_start_warmup;
+          Alcotest.test_case "corrupt query entry recomputed" `Slow
+            test_corrupt_query_entry_recomputed;
+          Alcotest.test_case "runtime caches replay from disk" `Slow
+            test_runtime_caches_replay_from_disk;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "socket hammer + jobs invariance" `Slow
+            test_hammer_and_jobs_invariance;
+        ] );
+    ]
