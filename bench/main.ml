@@ -238,6 +238,88 @@ let pp_solver_bench b =
     (b.dense_root_wall_s /. Float.max b.tiered_root_wall_s 1e-9)
 
 (* ------------------------------------------------------------------ *)
+(* Audit overhead benchmark                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The same deterministic model family solved through the certified
+   entry point with every answer re-verified by the independent exact
+   checker, against the plain path — the price of proof-carrying
+   solves, reported as verified solves per second. *)
+type audit_bench = {
+  audit_models : int;
+  audit_reps : int;
+  audit_verified : int;
+  audit_failed : int;
+  audit_skipped : int;
+  plain_wall_s : float;
+  certified_wall_s : float;  (* solve_certified + checker *)
+  verified_per_s : float;
+  audit_overhead : float;  (* certified / plain *)
+}
+
+let audit_bench () =
+  let models = solver_models () in
+  let reps = 10 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let plain_wall_s =
+    time (fun () ->
+        List.iter (fun m -> ignore (Ilp.Branch_bound.solve m)) models)
+  in
+  let verified = ref 0 and failed = ref 0 and skipped = ref 0 in
+  let certified_wall_s =
+    time (fun () ->
+        List.iter
+          (fun m ->
+             let sol, cert = Ilp.Branch_bound.solve_certified m in
+             match Audit.Checker.audit m sol cert with
+             | Some Audit.Checker.Verified -> incr verified
+             | Some (Audit.Checker.Failed _) -> incr failed
+             | None -> incr skipped)
+          models)
+  in
+  {
+    audit_models = List.length models;
+    audit_reps = reps;
+    audit_verified = !verified;
+    audit_failed = !failed;
+    audit_skipped = !skipped;
+    plain_wall_s;
+    certified_wall_s;
+    verified_per_s = float_of_int !verified /. Float.max certified_wall_s 1e-9;
+    audit_overhead = certified_wall_s /. Float.max plain_wall_s 1e-9;
+  }
+
+let json_of_audit_bench b =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str "audit-overhead");
+      ("models", Obs.Json.Int b.audit_models);
+      ("reps", Obs.Json.Int b.audit_reps);
+      ("verified", Obs.Json.Int b.audit_verified);
+      ("failed", Obs.Json.Int b.audit_failed);
+      ("skipped", Obs.Json.Int b.audit_skipped);
+      ("plain_wall_s", Obs.Json.Float b.plain_wall_s);
+      ("certified_wall_s", Obs.Json.Float b.certified_wall_s);
+      ("verified_per_s", Obs.Json.Float b.verified_per_s);
+      ("audit_overhead", Obs.Json.Float b.audit_overhead);
+    ]
+
+let pp_audit_bench b =
+  Format.printf "audited %d models x%d: %d verified, %d failed, %d skipped@."
+    b.audit_models b.audit_reps b.audit_verified b.audit_failed
+    b.audit_skipped;
+  Format.printf
+    "plain %.3fs, certified+checked %.3fs (%.2fx overhead, %.0f verified \
+     solves/s)@."
+    b.plain_wall_s b.certified_wall_s b.audit_overhead b.verified_per_s
+
+(* ------------------------------------------------------------------ *)
 (* Simulator throughput benchmark                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -528,23 +610,27 @@ let regenerate () =
          (name, t, deltas))
       stages
   in
-  (* the solver micro-benchmark and simulator-throughput stages ride
-     along silently so the JSON always carries pivots-per-node and the
-     kernel speedup; their human-readable summaries belong to the
-     [solver], [sim] and [perf-check] modes *)
+  (* the solver micro-benchmark, simulator-throughput and audit-overhead
+     stages ride along silently so the JSON always carries
+     pivots-per-node, the kernel speedup and the certified-solve rate;
+     their human-readable summaries belong to the [solver], [sim],
+     [audit] and [perf-check] modes *)
   let solver = json_of_solver_bench (solver_bench ()) in
   let sim = json_of_sim_bench (sim_bench ()) in
+  let audit = json_of_audit_bench (audit_bench ()) in
   let oc = open_out results_file in
   output_string oc
     (Obs.Json.to_string
-       (Obs.Json.List (List.map json_of_stage records @ [ solver; sim ])));
+       (Obs.Json.List (List.map json_of_stage records @ [ solver; sim; audit ])));
   output_char oc '\n';
   close_out oc;
   Format.printf "@.per-stage results written to %s@." results_file
 
-(* The serve benchmark runs as its own mode; merge its entry into the
-   results file without clobbering the regenerated stages. *)
-let merge_serve_result entry =
+(* The serve and audit benchmarks also run as their own modes; merge
+   such an entry into the results file by its name, without clobbering
+   the regenerated stages. *)
+let merge_result entry =
+  let name = Obs.Json.member "name" entry in
   let existing =
     if not (Sys.file_exists results_file) then []
     else
@@ -556,17 +642,15 @@ let merge_serve_result entry =
       in
       match Obs.Json.parse s with
       | Ok (Obs.Json.List entries) ->
-        List.filter
-          (fun j ->
-             Obs.Json.member "name" j <> Some (Obs.Json.Str "serve-replay"))
-          entries
+        List.filter (fun j -> Obs.Json.member "name" j <> name) entries
       | _ -> []
   in
   let oc = open_out results_file in
   output_string oc (Obs.Json.to_string (Obs.Json.List (existing @ [ entry ])));
   output_char oc '\n';
   close_out oc;
-  Format.printf "@.serve-replay entry merged into %s@." results_file
+  let pretty = match name with Some (Obs.Json.Str s) -> s | _ -> "benchmark" in
+  Format.printf "@.%s entry merged into %s@." pretty results_file
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timings                                                     *)
@@ -727,13 +811,18 @@ let () =
      section "Serve replay (sustained queries/sec through the daemon)";
      let r = serve_bench () in
      pp_serve_bench r;
-     merge_serve_result (json_of_serve_bench r)
+     merge_result (json_of_serve_bench r)
+   | "audit" ->
+     section "Audit overhead (certified solve + independent check)";
+     let r = audit_bench () in
+     pp_audit_bench r;
+     merge_result (json_of_audit_bench r)
    | "all" ->
      regenerate ();
      run_timings ()
    | other ->
      Format.eprintf
-       "unknown mode %S (expected: tables | timings | solver | sim | \
+       "unknown mode %S (expected: tables | timings | solver | sim | audit | \
         perf-check | serve | all)@."
        other;
      exit 2);

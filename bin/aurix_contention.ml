@@ -653,6 +653,86 @@ let profile_cmd =
           per-run telemetry plus the aggregated hot-path table.")
     Term.(const run $ name_arg $ runs_arg $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
 
+(* --- audit -------------------------------------------------------------------- *)
+
+let audit_cmd =
+  let experiments : (string * (?jobs:int -> unit -> unit)) list =
+    [
+      ("figure4", fun ?jobs () -> ignore (Experiments.Figure4.run_all ?jobs ()));
+      ("table6", fun ?jobs () -> ignore (Experiments.Table6.run ?jobs ()));
+      ( "ablations",
+        fun ?jobs () ->
+          ignore (Experiments.Ablations.a1_contender_info ?jobs ());
+          ignore (Experiments.Ablations.a2_equality_modes ?jobs ());
+          ignore
+            (Experiments.Ablations.a3_multi_contender ?jobs
+               Platform.Scenario.scenario1);
+          ignore (Experiments.Ablations.a4_fsb ?jobs ()) );
+    ]
+  in
+  let run name jobs kernel trace metrics =
+    let selected =
+      if name = "all" then experiments
+      else
+        match List.assoc_opt name experiments with
+        | Some f -> [ (name, f) ]
+        | None ->
+          Format.eprintf "unknown experiment %S (expected all, %s)@." name
+            (String.concat ", " (List.map fst experiments));
+          exit 2
+    in
+    (* exit happens outside [with_obs] so trace/metrics files are written
+       even when the audit fails *)
+    let ok =
+      with_obs kernel trace metrics @@ fun () ->
+      Runtime.Solve_cache.set_audit true;
+      Fun.protect ~finally:(fun () -> Runtime.Solve_cache.set_audit false)
+      @@ fun () ->
+      (* cold caches, so every solve of the selected experiments actually
+         runs — and is therefore certified and checked *)
+      Runtime.Solve_cache.clear ();
+      Runtime.Run_cache.clear ();
+      List.iter
+        (fun (n, f) ->
+           Format.printf "=== auditing %s ===@." n;
+           f ?jobs ())
+        selected;
+      let count n = Obs.Metrics.value (Obs.Metrics.counter n) in
+      let verified = count "audit.verified"
+      and failed = count "audit.failed"
+      and skipped = count "audit.skipped" in
+      Format.printf "@.audit: %d verified, %d failed, %d skipped@." verified
+        failed skipped;
+      List.iter
+        (fun (key, reason) -> Format.printf "  FAILED %s: %s@." key reason)
+        (Runtime.Solve_cache.audit_failures ());
+      if skipped > 0 then
+        Format.printf
+          "  (skipped solves reached the dense fallback tier, which cannot \
+           emit certificates)@.";
+      failed = 0 && skipped = 0
+    in
+    if not ok then exit 1
+  in
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "Experiment whose solves to audit: figure4, table6, ablations or \
+             all (default all).")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Re-run the paper experiments in audit mode: every ILP/LP answer \
+          must carry a certificate that an independent exact checker \
+          verifies. Exits non-zero if any solve fails its audit or produces \
+          no certificate. Verdicts are identical for every $(b,--jobs) \
+          value.")
+    Term.(const run $ name_arg $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
+
 (* --- serve / query ------------------------------------------------------------ *)
 
 let socket_arg =
@@ -892,6 +972,7 @@ let () =
             integrate_cmd;
             dma_cmd;
             lint_cmd;
+            audit_cmd;
             signatures_cmd;
             report_cmd;
             sweep_cmd;

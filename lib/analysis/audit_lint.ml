@@ -1,0 +1,17 @@
+let check ?(path = [ "audit" ]) ?slack model solution cert =
+  match cert with
+  | None ->
+    [
+      Diag.warning ~rule:"audit.certificate-missing" ~path
+        "answer carries no certificate and cannot be independently \
+         verified";
+    ]
+  | Some c ->
+    (match Audit.Checker.check ?slack model solution c with
+     | Audit.Checker.Verified -> []
+     | Audit.Checker.Failed reason ->
+       [
+         Diag.error ~rule:"audit.certificate-rejected" ~path
+           (Printf.sprintf "certificate does not prove the answer: %s"
+              reason);
+       ])

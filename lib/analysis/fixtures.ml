@@ -83,5 +83,109 @@ let overlapping_tasks =
   in
   { fname = "overlapping_tasks"; expected_rule = "map-overlap"; diags }
 
+(* --- seeded bad certificates (the audit pass must reject all three) --- *)
+
+let bad_dual_certificate =
+  let diags () =
+    (* max x, x <= 4: solve certified, then nudge the dual multiplier —
+       the dual bound no longer equals the objective *)
+    let m = Ilp.Model.create () in
+    let x = Ilp.Model.add_var m "x" in
+    Ilp.Model.add_constraint m ~name:"cap" (Ilp.Linexpr.var x) Ilp.Model.Le
+      (Q.of_int 4);
+    Ilp.Model.set_objective m Ilp.Model.Maximize (Ilp.Linexpr.var x);
+    let sol, cert = Ilp.Simplex.solve_certified m in
+    let cert =
+      match cert with
+      | Some (Ilp.Cert.Optimal_cert { duals }) ->
+        let duals = Array.copy duals in
+        duals.(0) <- Q.add duals.(0) Q.one;
+        Some (Ilp.Cert.Lp (Ilp.Cert.Optimal_cert { duals }))
+      | c -> Option.map (fun c -> Ilp.Cert.Lp c) c
+    in
+    Audit_lint.check ~path:[ "fixture:bad_dual_certificate" ] m sol cert
+  in
+  {
+    fname = "bad_dual_certificate";
+    expected_rule = "audit.certificate-rejected";
+    diags;
+  }
+
+let truncated_tree_certificate =
+  let diags () =
+    (* an ILP whose relaxation is fractional, so the certified search
+       must branch; the fixture then lops off the up subtree and
+       replaces it with an all-zero Farkas ray, which excludes nothing *)
+    let m = Ilp.Model.create () in
+    let x = Ilp.Model.add_var m ~integer:true "x" in
+    let y = Ilp.Model.add_var m ~integer:true "y" in
+    Ilp.Model.add_constraint m
+      Ilp.Linexpr.(
+        add (var ~coeff:(Q.of_int (-2)) x) (var ~coeff:(Q.of_int 2) y))
+      Ilp.Model.Le Q.one;
+    Ilp.Model.add_constraint m
+      Ilp.Linexpr.(add (var ~coeff:(Q.of_int 2) x) (var ~coeff:(Q.of_int 2) y))
+      Ilp.Model.Le (Q.of_int 9);
+    Ilp.Model.set_objective m Ilp.Model.Maximize (Ilp.Linexpr.var y);
+    let sol, cert = Ilp.Branch_bound.solve_certified m in
+    let vacuous = Ilp.Cert.Farkas_ray [| Q.zero; Q.zero |] in
+    let cert =
+      match cert with
+      | Some (Ilp.Cert.Ilp { islack; tree = Ilp.Cert.Branch b }) ->
+        Some
+          (Ilp.Cert.Ilp
+             {
+               islack;
+               tree =
+                 Ilp.Cert.Branch
+                   { b with up = Ilp.Cert.Leaf_infeasible vacuous };
+             })
+      | Some (Ilp.Cert.Ilp { islack; _ }) ->
+        Some (Ilp.Cert.Ilp { islack; tree = Ilp.Cert.Leaf_infeasible vacuous })
+      | c -> c
+    in
+    Audit_lint.check ~path:[ "fixture:truncated_tree_certificate" ] m sol cert
+  in
+  {
+    fname = "truncated_tree_certificate";
+    expected_rule = "audit.certificate-rejected";
+    diags;
+  }
+
+let tampered_solution_objective =
+  let diags () =
+    (* a cached-entry tamper in miniature: the certificate is pristine
+       but the answer it ships with was bumped by one *)
+    let m = Ilp.Model.create () in
+    let x = Ilp.Model.add_var m ~integer:true ~ub:(Q.of_int 3) "x" in
+    let y = Ilp.Model.add_var m ~integer:true ~ub:(Q.of_int 3) "y" in
+    Ilp.Model.add_constraint m
+      Ilp.Linexpr.(add (var ~coeff:(Q.of_int 3) x) (var ~coeff:(Q.of_int 2) y))
+      Ilp.Model.Le (Q.of_int 7);
+    Ilp.Model.set_objective m Ilp.Model.Maximize
+      Ilp.Linexpr.(add (var ~coeff:(Q.of_int 2) x) (var y));
+    let sol, cert = Ilp.Branch_bound.solve_certified m in
+    let sol =
+      match sol with
+      | Ilp.Solution.Optimal { objective; values } ->
+        Ilp.Solution.Optimal { objective = Q.add objective Q.one; values }
+      | s -> s
+    in
+    Audit_lint.check ~path:[ "fixture:tampered_solution_objective" ] m sol cert
+  in
+  {
+    fname = "tampered_solution_objective";
+    expected_rule = "audit.certificate-rejected";
+    diags;
+  }
+
 let all =
-  [ infeasible_model; corrupt_counters; illegal_scenario; overlapping_tasks ]
+  [
+    infeasible_model;
+    corrupt_counters;
+    illegal_scenario;
+    overlapping_tasks;
+    bad_dual_certificate;
+    truncated_tree_certificate;
+    tampered_solution_objective;
+  ]

@@ -26,4 +26,18 @@ val overlapping_tasks : fixture
 (** Two tasks on different cores loading the same LMU line — caught by
     [map-overlap]. *)
 
+val bad_dual_certificate : fixture
+(** An LP certificate whose dual multiplier was nudged off the optimal
+    basis — caught by [audit.certificate-rejected]. *)
+
+val truncated_tree_certificate : fixture
+(** A branch & bound log with one subtree replaced by a vacuous Farkas
+    leaf (an all-zero ray excludes nothing) — caught by
+    [audit.certificate-rejected]. *)
+
+val tampered_solution_objective : fixture
+(** A pristine certificate shipped with an answer whose objective was
+    bumped — the cached-entry tamper in miniature; caught by
+    [audit.certificate-rejected]. *)
+
 val all : fixture list

@@ -1,0 +1,58 @@
+type t = { num : Zed.t; den : Zed.t }
+(* den > 0; never reduced (no gcd) — see the interface note. *)
+
+let zero = { num = Zed.zero; den = Zed.one }
+let one = { num = Zed.one; den = Zed.one }
+let of_int n = { num = Zed.of_int n; den = Zed.one }
+
+let ( let* ) = Option.bind
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None ->
+    let* n = Zed.of_string s in
+    Some { num = n; den = Zed.one }
+  | Some i ->
+    let* n = Zed.of_string (String.sub s 0 i) in
+    let* d = Zed.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    if Zed.sign d <= 0 then None else Some { num = n; den = d }
+
+let of_q q =
+  match of_string (Numeric.Q.to_string q) with
+  | Some r -> r
+  | None -> invalid_arg "Ratio.of_q: unparsable rational"
+
+let neg a = { a with num = Zed.neg a.num }
+
+let add a b =
+  {
+    num = Zed.add (Zed.mul a.num b.den) (Zed.mul b.num a.den);
+    den = Zed.mul a.den b.den;
+  }
+
+let sub a b = add a (neg b)
+let mul a b = { num = Zed.mul a.num b.num; den = Zed.mul a.den b.den }
+
+let compare a b =
+  (* dens are positive, so cross-multiplication preserves order *)
+  Zed.compare (Zed.mul a.num b.den) (Zed.mul b.num a.den)
+
+let equal a b = compare a b = 0
+let sign a = Zed.sign a.num
+let is_zero a = Zed.is_zero a.num
+
+let is_integer a =
+  let _, r = Zed.divmod a.num a.den in
+  Zed.is_zero r
+
+let floor a =
+  let q, r = Zed.divmod a.num a.den in
+  (* Zed.divmod truncates toward zero; adjust for negative values *)
+  let q =
+    if Zed.is_zero r || Zed.sign a.num >= 0 then q else Zed.sub q Zed.one
+  in
+  { num = q; den = Zed.one }
+
+let to_string a =
+  if Zed.equal a.den Zed.one then Zed.to_string a.num
+  else Zed.to_string a.num ^ "/" ^ Zed.to_string a.den

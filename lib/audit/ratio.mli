@@ -1,0 +1,41 @@
+(** Exact rationals over {!Zed}, for the audit checker.
+
+    Pairs [num/den] with [den > 0]. {e Not} kept reduced — every
+    operation cross-multiplies and the gcd is never taken, which keeps
+    the code surface (and hence the trust base) minimal; certificate
+    checks involve tens of terms, so denominator growth stays harmless.
+    Shares no arithmetic with {!Numeric.Q}: the only bridge from solver
+    values is {!of_q}, which goes through the decimal string printer. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+
+val of_string : string -> t option
+(** ["a"] or ["a/b"] with decimal integers and [b > 0]; [None]
+    otherwise. *)
+
+val of_q : Numeric.Q.t -> t
+(** Bridge from solver-side rationals via [Q.to_string] — string
+    parsing, no shared arithmetic. *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val compare : t -> t -> int
+(** Exact order (cross-multiplication). *)
+
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+
+val is_integer : t -> bool
+
+val floor : t -> t
+(** Greatest integer [<=] the value, as an integral ratio. *)
+
+val to_string : t -> string

@@ -1,0 +1,210 @@
+(* Sign-magnitude bignums, base-10000 limbs, little-endian, schoolbook
+   everything. Written for independence from Numeric, not for speed. *)
+
+let base = 10_000
+
+type t = { sign : int; mag : int array }
+(* Invariants: sign in {-1,0,1}; sign = 0 iff mag = [||]; limbs in
+   [0, base); the most-significant (last) limb is non-zero. *)
+
+let zero = { sign = 0; mag = [||] }
+let one = { sign = 1; mag = [| 1 |] }
+
+let strip mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do decr n done;
+  if !n = Array.length mag then mag else Array.sub mag 0 !n
+
+let norm sign mag =
+  let mag = strip mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let r = ref 0 in
+    let i = ref (la - 1) in
+    while !r = 0 && !i >= 0 do
+      r := compare a.(!i) b.(!i);
+      decr i
+    done;
+    !r
+  end
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let out = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    out.(i) <- s mod base;
+    carry := s / base
+  done;
+  out
+
+(* requires |a| >= |b| *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  out
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    (* limb products are < 10^8, so plain int accumulation never
+       overflows on 63-bit ints *)
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let t = out.(i + j) + (a.(i) * b.(j)) + !carry in
+        out.(i + j) <- t mod base;
+        carry := t / base
+      done;
+      out.(i + lb) <- out.(i + lb) + !carry
+    done;
+    out
+  end
+
+let mul_small m d =
+  if d = 0 then [||]
+  else begin
+    let n = Array.length m in
+    let out = Array.make (n + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let t = (m.(i) * d) + !carry in
+      out.(i) <- t mod base;
+      carry := t / base
+    done;
+    out.(n) <- !carry;
+    out
+  end
+
+(* Long division, one base-10000 digit at a time; each digit is found by
+   binary search on d |-> b*d, which keeps the code obviously correct at
+   the price of a log(base) factor. Requires b non-empty. *)
+let divmod_mag a b =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref [||] in
+  for i = la - 1 downto 0 do
+    let r0 = !rem in
+    let shifted = Array.make (Array.length r0 + 1) 0 in
+    Array.blit r0 0 shifted 1 (Array.length r0);
+    shifted.(0) <- a.(i);
+    let rcur = strip shifted in
+    let lo = ref 0 and hi = ref (base - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if cmp_mag (strip (mul_small b mid)) rcur <= 0 then lo := mid
+      else hi := mid - 1
+    done;
+    q.(i) <- !lo;
+    rem := strip (sub_mag rcur (strip (mul_small b !lo)))
+  done;
+  (strip q, !rem)
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then None
+  else begin
+    let negative = s.[0] = '-' in
+    let start = if negative then 1 else 0 in
+    if start >= len then None
+    else begin
+      let ok = ref true in
+      for i = start to len - 1 do
+        if s.[i] < '0' || s.[i] > '9' then ok := false
+      done;
+      if not !ok then None
+      else begin
+        let ndigits = len - start in
+        let nlimbs = (ndigits + 3) / 4 in
+        let mag = Array.make nlimbs 0 in
+        for k = 0 to nlimbs - 1 do
+          (* limb k holds decimal digits [hi-4, hi) counted from the end *)
+          let hi = len - (4 * k) in
+          let lo = max start (hi - 4) in
+          let v = ref 0 in
+          for i = lo to hi - 1 do
+            v := (!v * 10) + (Char.code s.[i] - Char.code '0')
+          done;
+          mag.(k) <- !v
+        done;
+        Some (norm (if negative then -1 else 1) mag)
+      end
+    end
+  end
+
+let of_int n =
+  (* via the decimal printer: sidesteps the min_int negation pitfall *)
+  match of_string (string_of_int n) with
+  | Some z -> z
+  | None -> assert false
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let n = Array.length x.mag in
+    let buf = Buffer.create ((n * 4) + 1) in
+    if x.sign < 0 then Buffer.add_char buf '-';
+    Buffer.add_string buf (string_of_int x.mag.(n - 1));
+    for i = n - 2 downto 0 do
+      Buffer.add_string buf (Printf.sprintf "%04d" x.mag.(i))
+    done;
+    Buffer.contents buf
+  end
+
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then norm a.sign (add_mag a.mag b.mag)
+  else begin
+    let c = cmp_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then norm a.sign (sub_mag a.mag b.mag)
+    else norm b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else norm (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else begin
+    let q, r = divmod_mag a.mag b.mag in
+    (norm (a.sign * b.sign) q, norm a.sign r)
+  end
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+let sign x = x.sign
+let is_zero x = x.sign = 0

@@ -1,0 +1,41 @@
+(** Arbitrary-precision integers for the audit checker.
+
+    Deliberately written from scratch — sign-magnitude, base-10000 limb
+    arrays, schoolbook algorithms — and sharing {e no} code with
+    {!Numeric.Bigint} or {!Numeric.Fastq}: the whole point of the audit
+    layer is that a bug in the solver's arithmetic cannot also hide the
+    evidence. Performance is adequate for certificate checking (models
+    with tens of variables, coefficients a few limbs wide); it is not a
+    general bignum library. *)
+
+type t
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+
+val of_string : string -> t option
+(** Decimal integer, optional leading ['-']. [None] on anything else
+    (including an empty string or embedded whitespace). *)
+
+val to_string : t -> string
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is truncated division: [a = q*b + r] with [|r| < |b|]
+    and [r] carrying [a]'s sign (or zero). Callers needing floor
+    semantics adjust (see {!Ratio.floor}).
+    @raise Division_by_zero when [b] is zero. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool

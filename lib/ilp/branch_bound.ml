@@ -196,6 +196,172 @@ let search engine ~node_limit ~slack ~presolve ~root model =
           | None -> Solution.Infeasible)
        | exception Exit -> Solution.Unbounded)
 
+(* Certified search: identical branching discipline, but every node's
+   relaxation goes through the certified engine entry points and the
+   search keeps a log — a {!Cert.tree} — that an independent checker can
+   replay. Presolve (and the memoised root presolve) is disabled so that
+   every node box is derivable from the declared bounds plus the
+   branching path alone; that changes the node count but never the
+   answer, which only depends on the exhaustive search discipline. *)
+
+exception Unbounded_with_cert of Cert.lp_cert option
+exception Uncertified
+
+let search_certified engine ~node_limit ~slack model =
+  let module E = (val engine : Simplex.ENGINE) in
+  let nv = Model.num_vars model in
+  let int_vars = Model.integer_vars model in
+  let dir, obj_expr = Model.objective model in
+  let objective_integral =
+    Q.is_integer (Linexpr.constant obj_expr)
+    && List.for_all
+         (fun (v, c) -> Q.is_integer c && (Model.var_info model v).integer)
+         (Linexpr.terms obj_expr)
+  in
+  let effective_bound objective =
+    if objective_integral then
+      match dir with
+      | Model.Maximize -> Q.floor objective
+      | Model.Minimize -> Q.ceil objective
+    else objective
+  in
+  let worth_exploring objective incumbent =
+    match dir with
+    | Model.Maximize -> Q.compare (effective_bound objective) (Q.add incumbent slack) > 0
+    | Model.Minimize -> Q.compare (effective_bound objective) (Q.sub incumbent slack) < 0
+  in
+  let better a b =
+    match dir with
+    | Model.Maximize -> Q.compare a b > 0
+    | Model.Minimize -> Q.compare a b < 0
+  in
+  let best : (Q.t * Q.t array) option ref = ref None in
+  let nodes = ref 0 in
+  let better_than_best objective =
+    match !best with Some (bobj, _) -> better objective bobj | None -> true
+  in
+  let set_incumbent objective values =
+    Obs.Metrics.incr m_incumbents;
+    best := Some (objective, values)
+  in
+  let try_floor_incumbent values =
+    let floored =
+      Array.mapi
+        (fun v x -> if List.mem v int_vars then Q.floor x else x)
+        values
+    in
+    let lookup v = floored.(v) in
+    match Model.check_feasible model lookup with
+    | Error _ -> ()
+    | Ok _ ->
+      let objective = Linexpr.eval obj_expr lookup in
+      if better_than_best objective then set_incumbent objective floored
+  in
+  let in_objective v = not (Q.is_zero (Linexpr.coeff obj_expr v)) in
+  let most_fractional values =
+    let pick vars =
+      List.fold_left
+        (fun acc v ->
+           let f = Q.frac values.(v) in
+           if Q.is_zero f then acc
+           else begin
+             let dist = Q.abs (Q.sub f (Q.of_ints 1 2)) in
+             match acc with
+             | Some (_, bdist) when Q.compare bdist dist <= 0 -> acc
+             | _ -> Some (v, dist)
+           end)
+        None vars
+    in
+    match pick (List.filter in_objective int_vars) with
+    | Some _ as r -> r
+    | None -> pick int_vars
+  in
+  let require = function Some c -> c | None -> raise Uncertified in
+  let rec explore ~depth ~parent lb ub =
+    incr nodes;
+    Obs.Metrics.incr m_nodes;
+    Obs.Metrics.set_max m_max_depth depth;
+    if !nodes > node_limit then begin
+      Obs.Metrics.incr m_node_limit;
+      raise Node_limit_exceeded
+    end;
+    let state, solution, cert =
+      match parent with
+      | Some pst ->
+        Obs.Metrics.incr m_warm;
+        let st = E.branch pst in
+        let sol, cert = E.reoptimize_certified st ~lb ~ub in
+        (Some st, sol, cert)
+      | None -> E.root_certified model ~lb ~ub
+    in
+    match solution with
+    | Solution.Infeasible -> Cert.Leaf_infeasible (require cert)
+    | Solution.Unbounded ->
+      (* Warm re-solves never end [Unbounded] (branching only tightens
+         bounds), so this can only fire at the root node. *)
+      raise (Unbounded_with_cert cert)
+    | Solution.Optimal { objective; values } ->
+      let duals =
+        match require cert with
+        | Cert.Optimal_cert { duals } -> duals
+        | _ -> raise Uncertified
+      in
+      (match most_fractional values with
+       | Some _ -> try_floor_incumbent values
+       | None -> ());
+      let prune =
+        match !best with
+        | Some (bobj, _) -> not (worth_exploring objective bobj)
+        | None -> false
+      in
+      if prune then begin
+        Obs.Metrics.incr m_pruned;
+        (* Sound against the final answer because incumbents only ever
+           improve: the dual bound beats at most incumbent + slack, and
+           incumbent <= answer. *)
+        Cert.Leaf_bounded { duals }
+      end
+      else begin
+        match most_fractional values with
+        | None ->
+          if better_than_best objective then set_incumbent objective values;
+          (* An integral leaf needs no special node kind: its dual bound
+             equals its objective, which the final answer dominates. *)
+          Cert.Leaf_bounded { duals }
+        | Some (v, _) ->
+          let fl, cl = branching_value values.(v) in
+          let ub' = Array.copy ub in
+          ub'.(v) <-
+            (match ub.(v) with
+             | Some u -> Some (Q.min u fl)
+             | None -> Some fl);
+          let down = explore ~depth:(depth + 1) ~parent:state lb ub' in
+          let lb' = Array.copy lb in
+          lb'.(v) <-
+            (match lb.(v) with
+             | Some l -> Some (Q.max l cl)
+             | None -> Some cl);
+          let up = explore ~depth:(depth + 1) ~parent:state lb' ub in
+          Cert.Branch { var = v; pivot = fl; down; up }
+      end
+  in
+  let lb0 = Array.init nv (fun v -> (Model.var_info model v).lb) in
+  let ub0 = Array.init nv (fun v -> (Model.var_info model v).ub) in
+  Obs.Tracer.with_span "ilp.branch_bound"
+    ~attrs:(fun () ->
+        [ ("vars", string_of_int nv); ("nodes", string_of_int !nodes) ])
+    (fun () ->
+       match explore ~depth:0 ~parent:None lb0 ub0 with
+       | tree ->
+         let solution =
+           match !best with
+           | Some (objective, values) -> Solution.Optimal { objective; values }
+           | None -> Solution.Infeasible
+         in
+         (solution, Some (Cert.Ilp { islack = slack; tree }))
+       | exception Unbounded_with_cert c ->
+         (Solution.Unbounded, Option.map (fun c -> Cert.Ilp_unbounded c) c))
+
 let solve ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) ?root
     model =
   if Q.sign slack < 0 then invalid_arg "Branch_bound.solve: negative slack";
@@ -212,5 +378,21 @@ let solve ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) ?root
       | exception Simplex.Stalled ->
         Obs.Metrics.incr m_restarts;
         search Simplex.dense ~node_limit ~slack ~presolve ~root model)
+
+let solve_certified ?(node_limit = 200_000) ?(slack = Q.zero) model =
+  if Q.sign slack < 0 then
+    invalid_arg "Branch_bound.solve_certified: negative slack";
+  Obs.Metrics.incr m_solves;
+  match search_certified Simplex.fast ~node_limit ~slack model with
+  | result -> result
+  | exception (Fastq.Overflow | Simplex.Stalled | Uncertified) -> (
+      Obs.Metrics.incr m_restarts;
+      match search_certified Simplex.exact ~node_limit ~slack model with
+      | result -> result
+      | exception (Simplex.Stalled | Uncertified) ->
+        Obs.Metrics.incr m_restarts;
+        ( search Simplex.dense ~node_limit ~slack ~presolve:true ~root:None
+            model,
+          None ))
 
 let solve_lp_relaxation = Simplex.solve

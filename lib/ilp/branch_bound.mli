@@ -42,6 +42,20 @@ val solve :
     @raise Node_limit_exceeded if the search does not finish in the
     budget — a safety net; the paper's instances take a handful of nodes. *)
 
+val solve_certified :
+  ?node_limit:int -> ?slack:Q.t -> Model.t -> Solution.t * Cert.t option
+(** {!solve}, additionally emitting a search-tree certificate that
+    {!Audit.Checker} (an independent exact checker) can replay against
+    the model. The certified search disables presolve and the memoised
+    root so that node boxes are derivable from the declared bounds plus
+    the branching path; the answer is identical to
+    [solve ~node_limit ~slack] (presolve only skips work, it never
+    changes results — pinned by a qcheck property). The certificate is
+    [None] only when the search fell through to the dense tier, which
+    cannot certify.
+    @raise Invalid_argument on negative [slack].
+    @raise Node_limit_exceeded as {!solve}. *)
+
 val solve_lp_relaxation : Model.t -> Solution.t
 (** The continuous relaxation (same as {!Simplex.solve}); exposed for
     tightness comparisons. *)

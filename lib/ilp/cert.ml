@@ -1,0 +1,180 @@
+open Numeric
+
+type lp_cert =
+  | Optimal_cert of { duals : Q.t array }
+  | Farkas_box of int
+  | Farkas_ray of Q.t array
+  | Unbounded_cert of { point : Q.t array; ray : Q.t array }
+
+type tree =
+  | Leaf_infeasible of lp_cert
+  | Leaf_bounded of { duals : Q.t array }
+  | Branch of { var : int; pivot : Q.t; down : tree; up : tree }
+
+type t =
+  | Lp of lp_cert
+  | Ilp of { islack : Q.t; tree : tree }
+  | Ilp_unbounded of lp_cert
+
+(* --- equality ----------------------------------------------------------- *)
+
+let qarr_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i x -> if not (Q.equal x b.(i)) then ok := false) a;
+      !ok)
+
+let lp_equal a b =
+  match (a, b) with
+  | Optimal_cert { duals = x }, Optimal_cert { duals = y } -> qarr_equal x y
+  | Farkas_box x, Farkas_box y -> x = y
+  | Farkas_ray x, Farkas_ray y -> qarr_equal x y
+  | Unbounded_cert { point = p; ray = r }, Unbounded_cert { point = p'; ray = r' }
+    ->
+    qarr_equal p p' && qarr_equal r r'
+  | _ -> false
+
+let rec tree_equal a b =
+  match (a, b) with
+  | Leaf_infeasible x, Leaf_infeasible y -> lp_equal x y
+  | Leaf_bounded { duals = x }, Leaf_bounded { duals = y } -> qarr_equal x y
+  | ( Branch { var = v; pivot = p; down = d; up = u },
+      Branch { var = v'; pivot = p'; down = d'; up = u' } ) ->
+    v = v' && Q.equal p p' && tree_equal d d' && tree_equal u u'
+  | _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Lp x, Lp y -> lp_equal x y
+  | Ilp { islack = s; tree = t }, Ilp { islack = s'; tree = t' } ->
+    Q.equal s s' && tree_equal t t'
+  | Ilp_unbounded x, Ilp_unbounded y -> lp_equal x y
+  | _ -> false
+
+let rec tree_nodes = function
+  | Leaf_infeasible _ | Leaf_bounded _ -> 1
+  | Branch { down; up; _ } -> 1 + tree_nodes down + tree_nodes up
+
+(* --- JSON codec --------------------------------------------------------- *)
+
+module J = Obs.Json
+
+let qarr_to_json a =
+  J.List (Array.to_list (Array.map (fun q -> J.Str (Q.to_string q)) a))
+
+let lp_to_json = function
+  | Optimal_cert { duals } ->
+    J.Obj [ ("k", J.Str "optimal"); ("duals", qarr_to_json duals) ]
+  | Farkas_box v -> J.Obj [ ("k", J.Str "farkas-box"); ("var", J.Int v) ]
+  | Farkas_ray w -> J.Obj [ ("k", J.Str "farkas-ray"); ("ray", qarr_to_json w) ]
+  | Unbounded_cert { point; ray } ->
+    J.Obj
+      [
+        ("k", J.Str "unbounded");
+        ("point", qarr_to_json point);
+        ("ray", qarr_to_json ray);
+      ]
+
+let rec tree_to_json = function
+  | Leaf_infeasible c ->
+    J.Obj [ ("k", J.Str "leaf-infeasible"); ("cert", lp_to_json c) ]
+  | Leaf_bounded { duals } ->
+    J.Obj [ ("k", J.Str "leaf-bounded"); ("duals", qarr_to_json duals) ]
+  | Branch { var; pivot; down; up } ->
+    J.Obj
+      [
+        ("k", J.Str "branch");
+        ("var", J.Int var);
+        ("pivot", J.Str (Q.to_string pivot));
+        ("down", tree_to_json down);
+        ("up", tree_to_json up);
+      ]
+
+let to_json = function
+  | Lp c -> J.Obj [ ("k", J.Str "lp"); ("cert", lp_to_json c) ]
+  | Ilp { islack; tree } ->
+    J.Obj
+      [
+        ("k", J.Str "ilp");
+        ("slack", J.Str (Q.to_string islack));
+        ("tree", tree_to_json tree);
+      ]
+  | Ilp_unbounded c ->
+    J.Obj [ ("k", J.Str "ilp-unbounded"); ("cert", lp_to_json c) ]
+
+let ( let* ) = Option.bind
+
+let q_of_json = function
+  | J.Str s -> (match Q.of_string s with q -> Some q | exception _ -> None)
+  | _ -> None
+
+let qarr_of_json = function
+  | J.List xs ->
+    let rec loop acc = function
+      | [] -> Some (Array.of_list (List.rev acc))
+      | x :: rest ->
+        let* q = q_of_json x in
+        loop (q :: acc) rest
+    in
+    loop [] xs
+  | _ -> None
+
+let kind j = match J.member "k" j with Some (J.Str s) -> Some s | _ -> None
+
+let lp_of_json j =
+  let* k = kind j in
+  match k with
+  | "optimal" ->
+    let* duals = Option.bind (J.member "duals" j) qarr_of_json in
+    Some (Optimal_cert { duals })
+  | "farkas-box" ->
+    (match J.member "var" j with
+     | Some (J.Int v) -> Some (Farkas_box v)
+     | _ -> None)
+  | "farkas-ray" ->
+    let* ray = Option.bind (J.member "ray" j) qarr_of_json in
+    Some (Farkas_ray ray)
+  | "unbounded" ->
+    let* point = Option.bind (J.member "point" j) qarr_of_json in
+    let* ray = Option.bind (J.member "ray" j) qarr_of_json in
+    Some (Unbounded_cert { point; ray })
+  | _ -> None
+
+let rec tree_of_json j =
+  let* k = kind j in
+  match k with
+  | "leaf-infeasible" ->
+    let* c = Option.bind (J.member "cert" j) lp_of_json in
+    Some (Leaf_infeasible c)
+  | "leaf-bounded" ->
+    let* duals = Option.bind (J.member "duals" j) qarr_of_json in
+    Some (Leaf_bounded { duals })
+  | "branch" ->
+    let* var =
+      match J.member "var" j with Some (J.Int v) -> Some v | _ -> None
+    in
+    let* pivot = Option.bind (J.member "pivot" j) q_of_json in
+    let* down = Option.bind (J.member "down" j) tree_of_json in
+    let* up = Option.bind (J.member "up" j) tree_of_json in
+    Some (Branch { var; pivot; down; up })
+  | _ -> None
+
+let of_json j =
+  let* k = kind j in
+  match k with
+  | "lp" ->
+    let* c = Option.bind (J.member "cert" j) lp_of_json in
+    Some (Lp c)
+  | "ilp" ->
+    let* islack = Option.bind (J.member "slack" j) q_of_json in
+    let* tree = Option.bind (J.member "tree" j) tree_of_json in
+    Some (Ilp { islack; tree })
+  | "ilp-unbounded" ->
+    let* c = Option.bind (J.member "cert" j) lp_of_json in
+    Some (Ilp_unbounded c)
+  | _ -> None
+
+let to_string c = J.to_string (to_json c)
+
+let of_string s =
+  match J.parse s with Error _ -> None | Ok j -> of_json j

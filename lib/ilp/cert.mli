@@ -1,0 +1,94 @@
+(** Solver certificates: the evidence a solve leaves behind.
+
+    Every answer the LP/ILP pipeline produces is a {e safety} claim (the
+    contention bounds of Eqs. 9–23 feed WCET budgets), so each solver
+    tier can emit a compact certificate that an {e independent} checker
+    — {!Audit.Checker}, which shares no arithmetic with the solver —
+    verifies against the original {!Model.t}:
+
+    - [Optimal]: the dual row multipliers of the optimal basis. Checked
+      for primal feasibility, dual-feasibility sign conditions and exact
+      objective agreement (weak duality gives the bound, equality gives
+      optimality).
+    - [Infeasible]: either a variable whose box is empty, or a Farkas
+      row combination whose induced activity interval excludes the
+      right-hand side.
+    - [Unbounded]: a feasible point plus a recession ray that improves
+      the objective.
+    - Branch & bound: the search-tree log — branching variable and floor
+      value per internal node, a certificate per leaf (a Farkas proof or
+      a dual prune bound including the [slack] margin). A replay checker
+      re-derives every node box from the root box and the branching
+      path alone, so the log covers the whole integer box by
+      construction.
+
+    Certificates are stored in whatever variable frame the accompanying
+    solution uses (the solve cache keeps both in the canonical frame).
+    All coordinates are exact rationals; JSON round-trips are exact. *)
+
+open Numeric
+
+(** Certificate for one LP (relaxation) solve. Dual and ray
+    coordinates are indexed by the model's constraint order
+    ({!Model.constraints}); duals are expressed in the {e maximisation
+    frame} — for a [Minimize] model they certify bounds on the negated
+    objective. *)
+type lp_cert =
+  | Optimal_cert of { duals : Q.t array }
+      (** [duals.(i)] is row [i]'s multiplier [y_i] at the optimal
+          basis. Sign conditions: [Le] rows need [y_i >= 0], [Ge] rows
+          [y_i <= 0], [Eq] rows are free. *)
+  | Farkas_box of int
+      (** Variable whose (node) box is empty: [lb > ub]. *)
+  | Farkas_ray of Q.t array
+      (** Row multipliers [w] such that the activity interval of
+          [sum_i w_i . row_i] over the (node) box excludes
+          [sum_i w_i . rhs_i]. *)
+  | Unbounded_cert of { point : Q.t array; ray : Q.t array }
+      (** A feasible [point] and a recession direction [ray] over the
+          structural variables with [c_max . ray > 0]. *)
+
+(** One branch & bound search-tree log. Node boxes are {e not} stored:
+    the checker re-derives them from the root box and the branching
+    path, which is what makes coverage of the integer box structural
+    rather than trusted. *)
+type tree =
+  | Leaf_infeasible of lp_cert
+      (** The node's box holds no feasible point ([Farkas_box] or
+          [Farkas_ray] only). *)
+  | Leaf_bounded of { duals : Q.t array }
+      (** A dual bound [U] on the node's relaxation proving no point in
+          the node box beats the final answer by more than the slack
+          margin (covers pruned nodes {e and} integral leaves). *)
+  | Branch of { var : int; pivot : Q.t; down : tree; up : tree }
+      (** Split on integer variable [var] at integral [pivot]:
+          [down] covers [var <= pivot], [up] covers [var >= pivot+1]. *)
+
+(** A certificate for one cached/served answer. *)
+type t =
+  | Lp of lp_cert  (** certifies a {!Simplex.solve} answer *)
+  | Ilp of { islack : Q.t; tree : tree }
+      (** certifies a {!Branch_bound.solve} [Optimal]/[Infeasible]
+          answer produced with pruning slack [islack] *)
+  | Ilp_unbounded of lp_cert
+      (** certifies a {!Branch_bound.solve} [Unbounded] answer: the
+          root relaxation is unbounded (the certificate is about the
+          relaxation — the ILP-level claim inherits the solver's
+          convention that an unbounded relaxation surfaces as
+          [Unbounded]). *)
+
+val equal : t -> t -> bool
+(** Structural equality (exact rational comparison). *)
+
+val tree_nodes : tree -> int
+(** Number of nodes in the log (leaves + branches); exposed for
+    reporting and tests. *)
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> t option
+(** Inverse of {!to_json}; [None] on any structural mismatch. *)
+
+val to_string : t -> string
+(** One-line JSON (embeds into versioned cache entries). *)
+
+val of_string : string -> t option

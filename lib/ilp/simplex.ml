@@ -92,6 +92,12 @@ module type ENGINE = sig
       [Optimal]; it sits at the optimal basis and can seed
       {!branch}/{!reoptimize}. *)
 
+  val root_certified :
+    Model.t -> lb:Q.t option array -> ub:Q.t option array ->
+    state option * Solution.t * Cert.lp_cert option
+  (** {!root} plus the answer's certificate. The tableau engines always
+      certify; the dense fallback returns [None]. *)
+
   val branch : state -> state
   (** Deep copy: the warm-start tree discipline is copy-on-branch, so a
       parent's factorized tableau survives its first child's pivots. *)
@@ -101,6 +107,13 @@ module type ENGINE = sig
   (** Dual-simplex re-solve after tightening bounds (in place). The new
       box must be contained in the one the state was last solved with;
       this is exactly the branch & bound discipline. *)
+
+  val reoptimize_certified :
+    state -> lb:Q.t option array -> ub:Q.t option array ->
+    Solution.t * Cert.lp_cert option
+  (** {!reoptimize} plus the answer's certificate (a warm re-solve never
+      returns [Unbounded], so the certificate is an [Optimal_cert] or a
+      Farkas proof). *)
 end
 
 type vstatus = Basic | At_lower | At_upper | Free_zero
@@ -193,7 +206,9 @@ module Engine (S : SCALAR) : ENGINE = struct
 
   (* The current basis is dual feasible (reduced-cost signs match the
      nonbasic statuses); drive every basic value back inside its bounds.
-     Returns [`Feasible] or [`Infeasible]. *)
+     Returns [`Feasible] or [`Infeasible r] where [r] is the tableau row
+     whose basic variable cannot be repaired — row [r] of B^-1 is then a
+     Farkas witness. *)
   let dual_loop st =
     let result = ref None in
     while !result = None do
@@ -251,7 +266,7 @@ module Engine (S : SCALAR) : ENGINE = struct
               end
           end
         done;
-        if !best < 0 then result := Some `Infeasible
+        if !best < 0 then result := Some (`Infeasible r)
         else begin
           let c = !best in
           spend st;
@@ -385,7 +400,7 @@ module Engine (S : SCALAR) : ENGINE = struct
              st.xval.(c) <- Option.get st.lb.(c)
            | Basic | Free_zero -> assert false)
         | None ->
-          if !best < 0 then result := Some `Unbounded
+          if !best < 0 then result := Some (`Unbounded (c, up))
           else begin
             let r = !best in
             spend st;
@@ -409,29 +424,56 @@ module Engine (S : SCALAR) : ENGINE = struct
     done;
     match !result with Some x -> x | None -> assert false
 
-  (* --- solution extraction ------------------------------------------ *)
+  (* --- solution and certificate extraction -------------------------- *)
+
+  let values_of st =
+    Array.init st.n_struct (fun v ->
+        if st.pos.(v) >= 0 then S.to_q st.beta.(st.pos.(v))
+        else S.to_q st.xval.(v))
 
   let extract st =
-    let values =
-      Array.init st.n_struct (fun v ->
-          if st.pos.(v) >= 0 then S.to_q st.beta.(st.pos.(v))
-          else S.to_q st.xval.(v))
-    in
+    let values = values_of st in
     let _, obj = Model.objective st.model in
     let objective = Linexpr.eval obj (fun v -> values.(v)) in
     Solution.Optimal { objective; values }
 
+  (* Dual certificate at an optimal basis. The engine always minimises
+     the negated maximisation objective, so the reduced cost stored on
+     slack column [i] is exactly the maximisation-frame row multiplier
+     y_i the checker expects: no extra bookkeeping, just a read. *)
+  let duals_of st =
+    Array.init st.m (fun i -> S.to_q st.cost.(st.n_struct + i))
+
+  (* Farkas certificate from a dual-infeasible row [r]: the slack
+     entries of tableau row [r] are e_r . B^-1, i.e. the row multipliers
+     whose combination the checker re-evaluates against the box. *)
+  let farkas_of st r =
+    Array.init st.m (fun i -> S.to_q st.tab.(r).(st.n_struct + i))
+
+  (* Recession direction when column [c] enters unboundedly (moving up
+     or down): the entering column changes by sigma, each basic column
+     compensates by -sigma * tab.(i).(c). *)
+  let ray_of st c up =
+    let sigma = if up then S.one else S.neg S.one in
+    Array.init st.n_struct (fun v ->
+        let base = if v = c then sigma else S.zero in
+        if st.pos.(v) >= 0 then
+          S.to_q (S.sub base (S.mul sigma st.tab.(st.pos.(v)).(c)))
+        else S.to_q base)
+
   (* --- bound installation ------------------------------------------- *)
 
-  let empty_box ~lb ~ub =
+  (* Smallest variable whose box is empty, if any (the [Farkas_box]
+     certificate for trivially infeasible boxes). *)
+  let empty_var ~lb ~ub =
     let nv = Array.length lb in
-    let bad = ref false in
-    for v = 0 to nv - 1 do
+    let bad = ref (-1) in
+    for v = nv - 1 downto 0 do
       match (lb.(v), ub.(v)) with
-      | Some l, Some u when Q.compare l u > 0 -> bad := true
+      | Some l, Some u when Q.compare l u > 0 -> bad := v
       | _ -> ()
     done;
-    !bad
+    if !bad < 0 then None else Some !bad
 
   (* Install a (tighter) box over the structural columns and re-anchor
      every nonbasic column on a bound of the new box. Statuses are
@@ -581,36 +623,51 @@ module Engine (S : SCALAR) : ENGINE = struct
       end
     done
 
-  let root model ~lb ~ub =
+  let root_certified model ~lb ~ub =
     Obs.Metrics.incr m_solves;
     if Array.length lb <> Model.num_vars model
        || Array.length ub <> Model.num_vars model
     then invalid_arg "Simplex: bound array length mismatch";
-    if empty_box ~lb ~ub then (None, Solution.Infeasible)
-    else begin
+    match empty_var ~lb ~ub with
+    | Some v -> (None, Solution.Infeasible, Some (Cert.Farkas_box v))
+    | None ->
       let st = build model ~lb ~ub in
       st.budget <- budget_for st;
       (* phase 1: all reduced costs are zero, so the basis is trivially
          dual feasible — dual pivots repair primal feasibility *)
-      match dual_loop st with
-      | `Infeasible -> (None, Solution.Infeasible)
-      | `Feasible -> (
-          install_cost st;
-          match primal_loop st with
-          | `Unbounded -> (None, Solution.Unbounded)
-          | `Optimal -> (Some st, extract st))
-    end
+      (match dual_loop st with
+       | `Infeasible r ->
+         (None, Solution.Infeasible, Some (Cert.Farkas_ray (farkas_of st r)))
+       | `Feasible -> (
+           install_cost st;
+           match primal_loop st with
+           | `Unbounded (c, up) ->
+             ( None,
+               Solution.Unbounded,
+               Some
+                 (Cert.Unbounded_cert
+                    { point = values_of st; ray = ray_of st c up }) )
+           | `Optimal ->
+             (Some st, extract st, Some (Cert.Optimal_cert { duals = duals_of st }))))
 
-  let reoptimize st ~lb ~ub =
+  let root model ~lb ~ub =
+    let st, sol, _ = root_certified model ~lb ~ub in
+    (st, sol)
+
+  let reoptimize_certified st ~lb ~ub =
     Obs.Metrics.incr m_solves;
-    if empty_box ~lb ~ub then Solution.Infeasible
-    else begin
+    match empty_var ~lb ~ub with
+    | Some v -> (Solution.Infeasible, Some (Cert.Farkas_box v))
+    | None ->
       st.budget <- budget_for st;
       set_bounds st ~lb ~ub;
-      match dual_loop st with
-      | `Infeasible -> Solution.Infeasible
-      | `Feasible -> extract st
-    end
+      (match dual_loop st with
+       | `Infeasible r ->
+         (Solution.Infeasible, Some (Cert.Farkas_ray (farkas_of st r)))
+       | `Feasible ->
+         (extract st, Some (Cert.Optimal_cert { duals = duals_of st })))
+
+  let reoptimize st ~lb ~ub = fst (reoptimize_certified st ~lb ~ub)
 end
 
 module Fast_engine = Engine (Scalar_fast)
@@ -937,8 +994,16 @@ module Dense_engine : ENGINE = struct
   type state = unit
 
   let root model ~lb ~ub = (None, dense_solve_with_bounds model ~lb ~ub)
+
+  let root_certified model ~lb ~ub =
+    (* Variable substitution destroys the dual frame, so the dense tier
+       never certifies — audits of a dense answer count as skipped. *)
+    let st, sol = root model ~lb ~ub in
+    (st, sol, None)
+
   let branch () = ()
   let reoptimize () ~lb:_ ~ub:_ = assert false
+  let reoptimize_certified () ~lb:_ ~ub:_ = assert false
 end
 
 let fast : (module ENGINE) = (module Fast_engine)
@@ -949,29 +1014,37 @@ let dense : (module ENGINE) = (module Dense_engine)
 (* Tiered public entry points                                          *)
 (* ------------------------------------------------------------------ *)
 
-let solve_with_bounds model ~lb ~ub =
+let solve_with_bounds_certified model ~lb ~ub =
   Obs.Tracer.with_span "ilp.simplex" (fun () ->
-      let r =
-        match Fast_engine.root model ~lb ~ub with
-        | _, sol ->
+      let r, cert =
+        match Fast_engine.root_certified model ~lb ~ub with
+        | _, sol, cert ->
           Obs.Metrics.incr m_fast_solves;
-          sol
+          (sol, cert)
         | exception (Fastq.Overflow | Stalled) -> (
             Obs.Metrics.incr m_fast_fallbacks;
-            match Exact_engine.root model ~lb ~ub with
-            | _, sol -> sol
+            match Exact_engine.root_certified model ~lb ~ub with
+            | _, sol, cert -> (sol, cert)
             | exception Stalled ->
               Obs.Metrics.incr m_dense_fallbacks;
-              dense_solve_with_bounds model ~lb ~ub)
+              (dense_solve_with_bounds model ~lb ~ub, None))
       in
       (match r with
        | Solution.Infeasible -> Obs.Metrics.incr m_infeasible
        | Solution.Unbounded -> Obs.Metrics.incr m_unbounded
        | Solution.Optimal _ -> ());
-      r)
+      (r, cert))
 
-let solve model =
+let solve_with_bounds model ~lb ~ub = fst (solve_with_bounds_certified model ~lb ~ub)
+
+let declared_bounds model =
   let nv = Model.num_vars model in
   let lb = Array.init nv (fun v -> (Model.var_info model v).lb) in
   let ub = Array.init nv (fun v -> (Model.var_info model v).ub) in
-  solve_with_bounds model ~lb ~ub
+  (lb, ub)
+
+let solve_certified model =
+  let lb, ub = declared_bounds model in
+  solve_with_bounds_certified model ~lb ~ub
+
+let solve model = fst (solve_certified model)

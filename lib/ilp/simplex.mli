@@ -39,6 +39,12 @@ module type ENGINE = sig
       at the optimal basis and seeds {!branch}/{!reoptimize}.
       @raise Invalid_argument on a bound-array length mismatch. *)
 
+  val root_certified :
+    Model.t -> lb:Q.t option array -> ub:Q.t option array ->
+    state option * Solution.t * Cert.lp_cert option
+  (** {!root} plus the certificate for the answer (see {!Cert.lp_cert}).
+      The dense tier returns [None] — it cannot certify. *)
+
   val branch : state -> state
   (** Deep copy. Branch & bound's tree discipline is copy-on-branch:
       children pivot on their own copy, so the parent state can seed
@@ -52,6 +58,13 @@ module type ENGINE = sig
       result the state must not be reused. May raise
       {!Numeric.Fastq.Overflow} on the fast tier and {!Stalled} on any
       tier. *)
+
+  val reoptimize_certified :
+    state -> lb:Q.t option array -> ub:Q.t option array ->
+    Solution.t * Cert.lp_cert option
+  (** {!reoptimize} plus the certificate. Warm re-solves only ever end
+      [Optimal] or [Infeasible], so the certificate is an
+      [Optimal_cert], a [Farkas_box] or a [Farkas_ray]. *)
 end
 
 module Fast_engine : ENGINE
@@ -86,3 +99,13 @@ val solve_with_bounds :
     arrays must have length [Model.num_vars]. The model's declared bounds
     are ignored in favour of the arrays.
     @raise Invalid_argument on a length mismatch. *)
+
+val solve_certified : Model.t -> Solution.t * Cert.lp_cert option
+(** {!solve} plus the certificate for the answer. [None] only when the
+    solve fell through to the dense tier (counted by the checker as
+    [audit.skipped]). *)
+
+val solve_with_bounds_certified :
+  Model.t -> lb:Q.t option array -> ub:Q.t option array ->
+  Solution.t * Cert.lp_cert option
+(** {!solve_with_bounds} plus the certificate. *)

@@ -8,15 +8,25 @@ type t =
   | Infeasible
   | Unbounded
 
+exception Not_optimal of t
+(** Raised by the [_exn] accessors on a non-[Optimal] solution, carrying
+    the actual constructor so handlers can distinguish [Infeasible] from
+    [Unbounded] without string matching. *)
+
 val objective_exn : t -> Q.t
-(** @raise Failure if the solution is not [Optimal]. *)
+(** @raise Not_optimal if the solution is not [Optimal]. *)
 
 val values_exn : t -> Q.t array
-(** @raise Failure if the solution is not [Optimal]. *)
+(** @raise Not_optimal if the solution is not [Optimal]. *)
 
 val value_exn : t -> int -> Q.t
 (** [value_exn s v] is variable [v]'s assignment.
-    @raise Failure if the solution is not [Optimal]. *)
+    @raise Not_optimal if the solution is not [Optimal]. *)
 
 val is_optimal : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality: same constructor, exactly equal objective and
+    pointwise equal values. *)
+
 val pp : Format.formatter -> t -> unit

@@ -76,7 +76,13 @@ let canonical_key ~tag canon =
    solution is bitwise the solution a fresh solve would produce. *)
 
 let key_format_version = 1
-let entry_format_version = 1
+
+(* v1: certificate-less entry — emitted bitwise-identically to the
+   pre-audit format, so existing disk caches stay valid. v2: the same
+   fields plus a ["cert"] object ({!Ilp.Cert.to_json}); emitted only
+   when a solve actually carried a certificate. The decoder accepts
+   both. *)
+let entry_format_version = 2
 
 let is_key s =
   String.length s = 32
@@ -89,81 +95,94 @@ let key_of_string s = if is_key s then Some s else None
 
 module J = Obs.Json
 
-let entry_to_string = function
-  | Solved (Ilp.Solution.Optimal { objective; values }) ->
-    J.to_string
-      (J.Obj
-         [
-           ("v", J.Int entry_format_version);
-           ("outcome", J.Str "optimal");
-           ("objective", J.Str (Q.to_string objective));
-           ( "values",
-             J.List
-               (Array.to_list
-                  (Array.map (fun q -> J.Str (Q.to_string q)) values)) );
-         ])
-  | Solved Ilp.Solution.Infeasible ->
-    J.to_string
-      (J.Obj
-         [ ("v", J.Int entry_format_version); ("outcome", J.Str "infeasible") ])
-  | Solved Ilp.Solution.Unbounded ->
-    J.to_string
-      (J.Obj
-         [ ("v", J.Int entry_format_version); ("outcome", J.Str "unbounded") ])
-  | Node_limit ->
-    J.to_string
-      (J.Obj
-         [ ("v", J.Int entry_format_version); ("outcome", J.Str "node-limit") ])
+let entry_to_string ?cert outcome =
+  let version = match cert with None -> 1 | Some _ -> 2 in
+  let fields =
+    match outcome with
+    | Solved (Ilp.Solution.Optimal { objective; values }) ->
+      [
+        ("v", J.Int version);
+        ("outcome", J.Str "optimal");
+        ("objective", J.Str (Q.to_string objective));
+        ( "values",
+          J.List
+            (Array.to_list (Array.map (fun q -> J.Str (Q.to_string q)) values))
+        );
+      ]
+    | Solved Ilp.Solution.Infeasible ->
+      [ ("v", J.Int version); ("outcome", J.Str "infeasible") ]
+    | Solved Ilp.Solution.Unbounded ->
+      [ ("v", J.Int version); ("outcome", J.Str "unbounded") ]
+    | Node_limit -> [ ("v", J.Int version); ("outcome", J.Str "node-limit") ]
+  in
+  let fields =
+    match cert with
+    | None -> fields
+    | Some c -> fields @ [ ("cert", Ilp.Cert.to_json c) ]
+  in
+  J.to_string (J.Obj fields)
 
 let ( let* ) = Option.bind
 
 let q_of_string s =
   match Q.of_string s with q -> Some q | exception _ -> None
 
-let entry_of_string s =
+let entry_decode s =
   match J.parse s with
   | Error _ -> None
   | Ok j ->
     let* v = match J.member "v" j with Some (J.Int i) -> Some i | _ -> None in
-    if v <> entry_format_version then None
+    if v < 1 || v > entry_format_version then None
     else
       let* outcome =
         match J.member "outcome" j with Some (J.Str s) -> Some s | _ -> None
       in
-      (match outcome with
-       | "infeasible" -> Some (Solved Ilp.Solution.Infeasible)
-       | "unbounded" -> Some (Solved Ilp.Solution.Unbounded)
-       | "node-limit" -> Some Node_limit
-       | "optimal" ->
-         let* objective =
-           match J.member "objective" j with
-           | Some (J.Str s) -> q_of_string s
-           | _ -> None
-         in
-         let* values =
-           match J.member "values" j with
-           | Some (J.List xs) ->
-             let rec loop acc = function
-               | [] -> Some (List.rev acc)
-               | J.Str s :: rest ->
-                 let* q = q_of_string s in
-                 loop (q :: acc) rest
-               | _ -> None
-             in
-             loop [] xs
-           | _ -> None
-         in
-         Some
-           (Solved
-              (Ilp.Solution.Optimal
-                 { objective; values = Array.of_list values }))
-       | _ -> None)
+      let* outcome =
+        match outcome with
+        | "infeasible" -> Some (Solved Ilp.Solution.Infeasible)
+        | "unbounded" -> Some (Solved Ilp.Solution.Unbounded)
+        | "node-limit" -> Some Node_limit
+        | "optimal" ->
+          let* objective =
+            match J.member "objective" j with
+            | Some (J.Str s) -> q_of_string s
+            | _ -> None
+          in
+          let* values =
+            match J.member "values" j with
+            | Some (J.List xs) ->
+              let rec loop acc = function
+                | [] -> Some (List.rev acc)
+                | J.Str s :: rest ->
+                  let* q = q_of_string s in
+                  loop (q :: acc) rest
+                | _ -> None
+              in
+              loop [] xs
+            | _ -> None
+          in
+          Some
+            (Solved
+               (Ilp.Solution.Optimal
+                  { objective; values = Array.of_list values }))
+        | _ -> None
+      in
+      (match (v, J.member "cert" j) with
+       | 1, _ | _, None -> Some (outcome, None)
+       | _, Some cj ->
+         (* a v2 entry that declares a certificate must decode: a
+            mangled certificate makes the whole entry corrupt *)
+         let* c = Ilp.Cert.of_json cj in
+         Some (outcome, Some c))
+
+let entry_of_string s = Option.map fst (entry_decode s)
 
 (* --- persistent backing store ------------------------------------------- *)
 
 type store = {
   load : string -> string option;
   save : string -> string -> unit;
+  reject : string -> unit;
 }
 
 let store_ref : store option Atomic.t = Atomic.make None
@@ -176,13 +195,18 @@ let store_load k =
   | Some s -> (
     match s.load k with
     | None -> None
-    | Some data -> entry_of_string data
+    | Some data -> entry_decode data
     | exception _ -> None)
 
-let store_save k o =
+let store_save ?cert k o =
   match Atomic.get store_ref with
   | None -> ()
-  | Some s -> ( try s.save k (entry_to_string o) with _ -> ())
+  | Some s -> ( try s.save k (entry_to_string ?cert o) with _ -> ())
+
+let store_reject k =
+  match Atomic.get store_ref with
+  | None -> ()
+  | Some s -> ( try s.reject k with _ -> ())
 
 let size () =
   Mutex.lock lock;
@@ -252,7 +276,40 @@ let replay canon outcome =
   | Solved s -> s
   | Node_limit -> raise Ilp.Branch_bound.Node_limit_exceeded
 
-let solve_canon ~tag solve model =
+(* --- audit mode --------------------------------------------------------- *)
+
+(* When enabled, every fresh solve goes through the certified solver
+   entry points and its certificate is checked by {!Audit.Checker}
+   (an arithmetic-independent exact checker) before the outcome
+   settles; certificates are persisted with the entry and re-checked on
+   every disk load (failed check => quarantine + certified recompute).
+   All auditing happens inside the single-flight reservation, so each
+   unique key is audited exactly once per process — the
+   audit.{verified,failed,skipped} counters are jobs-invariant. *)
+let audit_flag = Atomic.make false
+
+let set_audit b = Atomic.set audit_flag b
+let audit_enabled () = Atomic.get audit_flag
+
+(* Keys whose *freshly computed* answer failed its own audit — a solver
+   bug surfaced; the answer is still served (there is no better one) and
+   the failure is reported by the [audit] subcommand. Quarantined disk
+   entries are deliberately not recorded here: they are recovered from
+   by recomputation. *)
+let audit_failures_tbl : (string, string) Hashtbl.t = Hashtbl.create 16
+
+let record_audit_failure k reason =
+  Mutex.lock lock;
+  Hashtbl.replace audit_failures_tbl k reason;
+  Mutex.unlock lock
+
+let audit_failures () =
+  Mutex.lock lock;
+  let l = Hashtbl.fold (fun k r acc -> (k, r) :: acc) audit_failures_tbl [] in
+  Mutex.unlock lock;
+  List.sort compare l
+
+let solve_canon ~tag ?slack ~solve ~solve_certified model =
   let canon = Ilp.Canonical.of_model model in
   let raw = key ~tag model in
   let k = canonical_key ~tag canon in
@@ -263,12 +320,28 @@ let solve_canon ~tag solve model =
   | `Reserved ->
     Atomic.incr miss_count;
     Obs.Metrics.incr m_misses;
-    (match store_load k with
-     | Some o ->
-       settle k (Some o);
-       replay canon o
-     | None ->
-       (match solve canon with
+    let auditing = audit_enabled () in
+    let cm = Ilp.Canonical.model canon in
+    let compute () =
+      if auditing then begin
+        match solve_certified canon with
+        | s, cert ->
+          (match Audit.Checker.audit ?slack cm s cert with
+           | Some (Audit.Checker.Failed reason) -> record_audit_failure k reason
+           | Some Audit.Checker.Verified | None -> ());
+          settle k (Some (Solved s));
+          store_save ?cert k (Solved s);
+          replay canon (Solved s)
+        | exception Ilp.Branch_bound.Node_limit_exceeded ->
+          settle k (Some Node_limit);
+          store_save k Node_limit;
+          raise Ilp.Branch_bound.Node_limit_exceeded
+        | exception e ->
+          settle k None;
+          raise e
+      end
+      else begin
+        match solve canon with
         | s ->
           settle k (Some (Solved s));
           store_save k (Solved s);
@@ -279,10 +352,44 @@ let solve_canon ~tag solve model =
           raise Ilp.Branch_bound.Node_limit_exceeded
         | exception e ->
           settle k None;
-          raise e))
+          raise e
+      end
+    in
+    (match store_load k with
+     | None -> compute ()
+     | Some (o, cert) ->
+       if not auditing then begin
+         settle k (Some o);
+         replay canon o
+       end
+       else begin
+         (* re-audit on disk load; the checksum tier catches bit rot,
+            this tier catches entries whose *content* no longer proves
+            what it claims *)
+         match o with
+         | Node_limit ->
+           (* deterministic replay outcome; carries no certificate *)
+           settle k (Some o);
+           replay canon o
+         | Solved _ when cert = None ->
+           (* certless entry (pre-audit producer): recompute through
+              the certified path so the tier gets upgraded in place *)
+           compute ()
+         | Solved s -> (
+             match Audit.Checker.audit ?slack cm s cert with
+             | Some Audit.Checker.Verified ->
+               settle k (Some o);
+               replay canon o
+             | Some (Audit.Checker.Failed _) | None ->
+               store_reject k;
+               compute ())
+       end)
 
-let solve_cached ~tag solve model =
-  solve_canon ~tag (fun canon -> solve (Ilp.Canonical.model canon)) model
+let solve_cached ~tag ~solve ~solve_certified model =
+  solve_canon ~tag
+    ~solve:(fun canon -> solve (Ilp.Canonical.model canon))
+    ~solve_certified:(fun canon -> solve_certified (Ilp.Canonical.model canon))
+    model
 
 (* --- root-presolve memo ------------------------------------------------ *)
 
@@ -335,7 +442,12 @@ let root_presolve ~structure model =
 
 (* --- public solvers ---------------------------------------------------- *)
 
-let solve_lp model = solve_cached ~tag:"lp" Ilp.Simplex.solve model
+let solve_lp model =
+  solve_cached ~tag:"lp" ~solve:Ilp.Simplex.solve
+    ~solve_certified:(fun m ->
+        let s, c = Ilp.Simplex.solve_certified m in
+        (s, Option.map (fun c -> Ilp.Cert.Lp c) c))
+    model
 
 let solve_ilp ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model
   =
@@ -343,8 +455,8 @@ let solve_ilp ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model
     Printf.sprintf "ilp|nodes=%d|slack=%s|presolve=%b" node_limit
       (Q.to_string slack) presolve
   in
-  solve_canon ~tag
-    (fun canon ->
+  solve_canon ~tag ~slack
+    ~solve:(fun canon ->
        let cm = Ilp.Canonical.model canon in
        let root =
          if presolve then
@@ -353,6 +465,13 @@ let solve_ilp ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) model
          else None
        in
        Ilp.Branch_bound.solve ~node_limit ~slack ~presolve ?root cm)
+      (* the certified search always runs presolve-less (its node boxes
+         must derive from the branching path alone); the answer is the
+         same either way — presolve only skips work — so the entry is
+         still valid for this tag *)
+    ~solve_certified:(fun canon ->
+        Ilp.Branch_bound.solve_certified ~node_limit ~slack
+          (Ilp.Canonical.model canon))
     model
 
 let stats () =
@@ -375,6 +494,7 @@ let clear () =
   Mutex.lock lock;
   Hashtbl.reset table;
   Hashtbl.reset presolve_table;
+  Hashtbl.reset audit_failures_tbl;
   (* waiters on a cleared Pending key re-check, find nothing, and become
      fresh misses — acceptable for a bench-only operation *)
   Condition.broadcast settled;

@@ -117,22 +117,34 @@ val key_of_string : string -> string option
 (** [Some key] iff the string is a well-formed cache key (32 lowercase
     hex characters); [None] otherwise. *)
 
-val entry_to_string : outcome -> string
+val entry_to_string : ?cert:Ilp.Cert.t -> outcome -> string
 (** One-line versioned JSON rendering of a settled outcome, with exact
-    rational coordinates. *)
+    rational coordinates. Without [?cert] the rendering is the v1
+    format, byte-identical to the pre-audit one (existing disk caches
+    stay valid); with [?cert] it is v2, with the certificate embedded. *)
 
 val entry_of_string : string -> outcome option
-(** Inverse of {!entry_to_string}; [None] on any structural or version
-    mismatch (the persistent tier then recomputes). *)
+(** Inverse of {!entry_to_string} modulo the certificate (accepts both
+    v1 and v2 entries, dropping a v2 certificate); [None] on any
+    structural or version mismatch (the persistent tier then
+    recomputes). *)
+
+val entry_decode : string -> (outcome * Ilp.Cert.t option) option
+(** Full inverse of {!entry_to_string}: outcome plus the embedded
+    certificate if any. A v2 entry whose certificate fails to decode is
+    rejected as a whole. *)
 
 type store = {
   load : string -> string option;  (** key -> serialized entry *)
   save : string -> string -> unit;  (** key -> serialized entry *)
+  reject : string -> unit;
+      (** key failed its audit on load: quarantine it (the persistent
+          tier treats this like a checksum corruption) *)
 }
 (** A persistent second tier behind the in-memory table. [load] is
     consulted on a memory miss (inside the single-flight reservation, so
     concurrent requesters still solve/load once); [save] is called after
-    every freshly solved outcome settles. Both are best-effort:
+    every freshly solved outcome settles. All three are best-effort:
     exceptions are swallowed and corrupt payloads ignored. *)
 
 val set_store : store option -> unit
@@ -140,3 +152,29 @@ val set_store : store option -> unit
     Memory-tier hit/miss accounting is unchanged by a store: a store hit
     still counts as a memory miss, so the jobs-invariant counters keep
     their meaning. *)
+
+(** {1 Audit mode}
+
+    With {!set_audit}[ true], every fresh solve goes through the
+    certified solver entry points ({!Ilp.Simplex.solve_certified},
+    {!Ilp.Branch_bound.solve_certified}) and its answer is checked by
+    {!Audit.Checker} before it settles; certificates are persisted with
+    entries, and a disk-loaded entry is re-audited before being served —
+    a failed audit quarantines the entry (via [store.reject]) and
+    recomputes through the certified path, mirroring the checksum
+    handling one tier below. Auditing happens inside the single-flight
+    reservation, so each unique key is audited exactly once per process
+    and the [audit.{verified,failed,skipped}] counters are
+    jobs-invariant. *)
+
+val set_audit : bool -> unit
+(** Enables/disables audit mode process-wide (default: off — zero
+    overhead for existing callers). *)
+
+val audit_enabled : unit -> bool
+
+val audit_failures : unit -> (string * string) list
+(** Keys whose {e freshly computed} answer failed its own audit, with
+    the checker's reason — evidence of a solver bug. Sorted; cleared by
+    {!clear}. Quarantined-then-recomputed disk entries are not listed
+    (they were recovered from). *)

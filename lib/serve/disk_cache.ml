@@ -69,6 +69,13 @@ let quarantine t ~ns ~key =
     Sys.rename (path t ~ns ~key) dest
   with _ -> ()
 
+(* Content-level rejection (the audit tier found a well-checksummed
+   entry whose certificate no longer proves its claim): same handling
+   as checksum corruption one level below. *)
+let reject t ~ns ~key =
+  Obs.Metrics.incr m_corrupt;
+  quarantine t ~ns ~key
+
 (* value ^ "\n" ^ trailer line; verify length and digest. *)
 let verify content =
   let n = String.length content in

@@ -36,6 +36,12 @@ val store : t -> ns:string -> key:string -> string -> unit
 (** Atomically persists the value with its trailer. The value must not
     contain newlines (cache entries are one-line JSON). *)
 
+val reject : t -> ns:string -> key:string -> unit
+(** Quarantines an entry whose {e content} was rejected above the
+    checksum tier (a failed certificate audit) and counts it on
+    [serve.disk.corrupt] — the same recovery path as a checksum
+    mismatch. *)
+
 val quarantine_dir : t -> string
 
 (** Counter names, exposed for tests: [serve.disk.hits],

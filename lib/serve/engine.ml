@@ -65,6 +65,7 @@ let solve_store disk ~ns =
   {
     Runtime.Solve_cache.load = (fun key -> Disk_cache.load disk ~ns ~key);
     save = (fun key value -> Disk_cache.store disk ~ns ~key value);
+    reject = (fun key -> Disk_cache.reject disk ~ns ~key);
   }
 
 let create config =

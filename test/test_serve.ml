@@ -752,6 +752,141 @@ let test_runtime_caches_replay_from_disk () =
   Alcotest.(check string)
     "replayed result identical" (result_bytes first) (result_bytes second)
 
+(* --- audit: certificates through the persistent tier ---------------------- *)
+
+(* a small branching ILP, so the persisted certificate exercises the
+   search-tree format, not just an LP leaf *)
+let audit_model () =
+  let q = Numeric.Q.of_int in
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m ~integer:true ~ub:(q 3) "x" in
+  let y = Ilp.Model.add_var m ~integer:true ~ub:(q 3) "y" in
+  Ilp.Model.add_constraint m
+    (Ilp.Linexpr.of_terms [ (q 3, x); (q 2, y) ])
+    Ilp.Model.Le (q 7);
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linexpr.of_terms [ (q 2, x); (Numeric.Q.one, y) ]);
+  m
+
+(* Installs a disk-backed solve store (recording what it persists) with
+   audit mode on; always restores the process-wide state afterwards. *)
+let with_certified_store dir f =
+  let d = Serve.Disk_cache.open_ ~root:dir () in
+  let saved = ref [] in
+  let store =
+    {
+      Runtime.Solve_cache.load =
+        (fun key -> Serve.Disk_cache.load d ~ns:"solve" ~key);
+      save =
+        (fun key value ->
+           saved := (key, value) :: !saved;
+           Serve.Disk_cache.store d ~ns:"solve" ~key value);
+      reject = (fun key -> Serve.Disk_cache.reject d ~ns:"solve" ~key);
+    }
+  in
+  Runtime.Solve_cache.clear ();
+  Runtime.Solve_cache.set_store (Some store);
+  Runtime.Solve_cache.set_audit true;
+  Fun.protect
+    ~finally:(fun () ->
+        Runtime.Solve_cache.set_audit false;
+        Runtime.Solve_cache.set_store None;
+        Runtime.Solve_cache.clear ())
+    (fun () -> f d saved)
+
+let the_saved_entry saved =
+  match !saved with
+  | [ kv ] -> kv
+  | l -> Alcotest.failf "expected exactly one persisted entry, got %d" (List.length l)
+
+let test_cert_roundtrip_through_disk () =
+  with_tmpdir @@ fun dir ->
+  with_certified_store dir @@ fun _d saved ->
+  let verified0 = metric "audit.verified" in
+  let o1 = Runtime.Solve_cache.solve_ilp (audit_model ()) in
+  Alcotest.(check int)
+    "fresh solve audited" (verified0 + 1) (metric "audit.verified");
+  let _, entry = the_saved_entry saved in
+  (match Runtime.Solve_cache.entry_decode entry with
+   | Some (Runtime.Solve_cache.Solved _, Some _) -> ()
+   | Some (_, None) -> Alcotest.fail "persisted entry carries no certificate"
+   | _ -> Alcotest.failf "persisted entry undecodable: %s" entry);
+  (* "restart": cold memory, warm disk — the entry must be re-audited on
+     load before it is served *)
+  Runtime.Solve_cache.clear ();
+  let corrupt0 = metric "serve.disk.corrupt" in
+  let o2 = Runtime.Solve_cache.solve_ilp (audit_model ()) in
+  Alcotest.(check bool)
+    "answers identical across restart" true (Ilp.Solution.equal o1 o2);
+  Alcotest.(check int)
+    "disk load re-audited" (verified0 + 2) (metric "audit.verified");
+  Alcotest.(check int)
+    "no quarantine on a clean load" corrupt0 (metric "serve.disk.corrupt")
+
+let test_tampered_cert_quarantined () =
+  with_tmpdir @@ fun dir ->
+  with_certified_store dir @@ fun d saved ->
+  let o1 = Runtime.Solve_cache.solve_ilp (audit_model ()) in
+  let key, entry = the_saved_entry saved in
+  let outcome, cert =
+    match Runtime.Solve_cache.entry_decode entry with
+    | Some (o, Some c) -> (o, c)
+    | _ -> Alcotest.fail "expected a certified entry"
+  in
+  let tampered =
+    match outcome with
+    | Runtime.Solve_cache.Solved (Ilp.Solution.Optimal { objective; values }) ->
+      Runtime.Solve_cache.entry_to_string ~cert
+        (Runtime.Solve_cache.Solved
+           (Ilp.Solution.Optimal
+              { objective = Numeric.Q.add objective Numeric.Q.one; values }))
+    | _ -> Alcotest.fail "expected an optimal outcome"
+  in
+  (* a checksum-valid write of the tampered entry: the tier below cannot
+     catch this — only the certificate audit can *)
+  Serve.Disk_cache.store d ~ns:"solve" ~key tampered;
+  Runtime.Solve_cache.clear ();
+  let corrupt0 = metric "serve.disk.corrupt"
+  and failed0 = metric "audit.failed" in
+  let o2 = Runtime.Solve_cache.solve_ilp (audit_model ()) in
+  Alcotest.(check bool)
+    "tamper did not leak into the answer" true (Ilp.Solution.equal o1 o2);
+  Alcotest.(check int)
+    "audit.failed counted" (failed0 + 1) (metric "audit.failed");
+  Alcotest.(check int)
+    "quarantined like a corruption" (corrupt0 + 1) (metric "serve.disk.corrupt");
+  let qdir = Serve.Disk_cache.quarantine_dir d in
+  Alcotest.(check bool)
+    "tampered file held in quarantine" true
+    (Sys.file_exists qdir && Array.length (Sys.readdir qdir) >= 1);
+  (* a recovered-from tamper is not solver-bug evidence *)
+  Alcotest.(check bool)
+    "no solver-bug failures recorded" true
+    (Runtime.Solve_cache.audit_failures () = [])
+
+let test_certless_entry_upgraded () =
+  with_tmpdir @@ fun dir ->
+  with_certified_store dir @@ fun d saved ->
+  let o1 = Runtime.Solve_cache.solve_ilp (audit_model ()) in
+  let key, entry = the_saved_entry saved in
+  (* downgrade the stored entry to the certificate-less v1 format, as a
+     pre-audit producer would have written it *)
+  let v1 =
+    match Runtime.Solve_cache.entry_of_string entry with
+    | Some o -> Runtime.Solve_cache.entry_to_string o
+    | None -> Alcotest.failf "entry undecodable: %s" entry
+  in
+  Serve.Disk_cache.store d ~ns:"solve" ~key v1;
+  Runtime.Solve_cache.clear ();
+  saved := [];
+  let o2 = Runtime.Solve_cache.solve_ilp (audit_model ()) in
+  Alcotest.(check bool)
+    "upgrade preserves the answer" true (Ilp.Solution.equal o1 o2);
+  (* recomputed through the certified path and re-persisted with a cert *)
+  match Runtime.Solve_cache.entry_decode (snd (the_saved_entry saved)) with
+  | Some (_, Some _) -> ()
+  | _ -> Alcotest.fail "certless entry was not upgraded to a certified one"
+
 (* --- concurrency: socket hammer ------------------------------------------ *)
 
 let distinct_queries =
@@ -937,6 +1072,15 @@ let () =
             test_corrupt_query_entry_recomputed;
           Alcotest.test_case "runtime caches replay from disk" `Slow
             test_runtime_caches_replay_from_disk;
+        ] );
+      ( "audit-tier",
+        [
+          Alcotest.test_case "certificate round-trips through disk" `Quick
+            test_cert_roundtrip_through_disk;
+          Alcotest.test_case "tampered entry quarantined + recomputed" `Quick
+            test_tampered_cert_quarantined;
+          Alcotest.test_case "certless entry upgraded" `Quick
+            test_certless_entry_upgraded;
         ] );
       ( "concurrency",
         [
