@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- tables       # regeneration only
      dune exec bench/main.exe -- timings      # Bechamel only
      dune exec bench/main.exe -- solver       # solver micro-benchmark
+     dune exec bench/main.exe -- obs          # tracing/logging overhead
      dune exec bench/main.exe -- perf-check   # vs bench/perf_baseline.json *)
 
 open Bechamel
@@ -402,6 +403,85 @@ let pp_sim_bench b =
     b.sim_cycles b.stepped_wall_s (b.stepped_cps /. 1e6) b.event_wall_s
     (b.event_cps /. 1e6) b.sim_event_speedup
 
+(* ------------------------------------------------------------------ *)
+(* Observability overhead benchmark                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The full analysis pipeline for one figure-4 cell (isolation runs,
+   counter lint, FTC + ILP-PTAC bounds, co-run validation) with the
+   runtime caches cleared per repetition, timed three ways: tracer off,
+   tracer on (ring sink, spans + cache instants recorded), tracer on
+   with the event log at debug. Best-of-N per configuration so scheduler
+   noise does not masquerade as instrumentation cost; the gate in
+   [perf-check] budgets the traced/plain ratio. *)
+type obs_bench = {
+  obs_reps : int;
+  plain_wall_s : float;  (* best-of-N, tracer + log quiet *)
+  traced_wall_s : float;  (* tracer enabled *)
+  logged_wall_s : float;  (* tracer enabled + log at debug *)
+  traced_events : int;  (* ring occupancy after one traced rep *)
+  trace_overhead : float;  (* traced / plain *)
+  log_overhead : float;  (* logged / plain *)
+}
+
+let obs_bench () =
+  let reps = 3 in
+  let cell () =
+    Runtime.Solve_cache.clear ();
+    Runtime.Run_cache.clear ();
+    ignore
+      (Experiments.Figure4.run_row ~scenario:Platform.Scenario.scenario1
+         ~load:Workload.Load_gen.High ())
+  in
+  let best_of f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  Obs.Tracer.disable ();
+  let plain_wall_s = best_of cell in
+  Obs.Tracer.enable ();
+  let traced_wall_s = best_of cell in
+  let traced_events = List.length (Obs.Tracer.events ()) in
+  let saved_level = Obs.Log.level () in
+  Obs.Log.set_level Obs.Log.Debug;
+  let logged_wall_s = best_of cell in
+  Obs.Log.set_level saved_level;
+  Obs.Tracer.disable ();
+  {
+    obs_reps = reps;
+    plain_wall_s;
+    traced_wall_s;
+    logged_wall_s;
+    traced_events;
+    trace_overhead = traced_wall_s /. Float.max plain_wall_s 1e-9;
+    log_overhead = logged_wall_s /. Float.max plain_wall_s 1e-9;
+  }
+
+let json_of_obs_bench b =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str "obs-overhead");
+      ("reps", Obs.Json.Int b.obs_reps);
+      ("plain_wall_s", Obs.Json.Float b.plain_wall_s);
+      ("traced_wall_s", Obs.Json.Float b.traced_wall_s);
+      ("logged_wall_s", Obs.Json.Float b.logged_wall_s);
+      ("traced_events", Obs.Json.Int b.traced_events);
+      ("trace_overhead", Obs.Json.Float b.trace_overhead);
+      ("log_overhead", Obs.Json.Float b.log_overhead);
+    ]
+
+let pp_obs_bench b =
+  Format.printf
+    "one figure-4 cell, cold caches, best of %d:@.  plain  %.3fs@.  traced \
+     %.3fs (%.2fx, %d events)@.  logged %.3fs (%.2fx)@."
+    b.obs_reps b.plain_wall_s b.traced_wall_s b.trace_overhead b.traced_events
+    b.logged_wall_s b.log_overhead
+
 let perf_baseline_file = "bench/perf_baseline.json"
 
 (* CI perf smoke: fail when pivots per branch & bound node regress more
@@ -452,7 +532,28 @@ let run_perf_check () =
     Format.printf "FAIL: event-kernel throughput regressed more than 2x@.";
     exit 1
   end
-  else Format.printf "OK: within the 2x budget@."
+  else Format.printf "OK: within the 2x budget@.";
+  (* Observability smoke: tracing a full analysis cell must stay within
+     the budgeted overhead ratio. Both passes run the same workload in
+     the same process (best-of-N), so machine speed cancels out of the
+     ratio like it does for the kernel speedup above. *)
+  section "Observability overhead smoke (traced vs plain analysis cell)";
+  let o = obs_bench () in
+  pp_obs_bench o;
+  let overhead_max =
+    match Obs.Json.member "obs_overhead_max" baseline with
+    | Some (Obs.Json.Float f) -> f
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> failwith "perf_baseline.json: missing obs_overhead_max"
+  in
+  Format.printf "trace overhead: budget %.2fx, current %.2fx@." overhead_max
+    o.trace_overhead;
+  if o.trace_overhead > overhead_max then begin
+    Format.printf "FAIL: tracing overhead exceeds the %.2fx budget@."
+      overhead_max;
+    exit 1
+  end
+  else Format.printf "OK: within the %.2fx budget@." overhead_max
 
 (* ------------------------------------------------------------------ *)
 (* Serve replay: sustained queries/sec through a live daemon            *)
@@ -482,6 +583,7 @@ let serve_queries =
                   [ Serve.Protocol.Ftc; Serve.Protocol.Ilp_ptac;
                     Serve.Protocol.Ideal ];
                 observed = true;
+                trace = None;
               })
          Workload.Load_gen.all_levels)
     [ "scenario1"; "scenario2" ]
@@ -817,13 +919,18 @@ let () =
      let r = audit_bench () in
      pp_audit_bench r;
      merge_result (json_of_audit_bench r)
+   | "obs" ->
+     section "Observability overhead (traced vs plain analysis cell)";
+     let r = obs_bench () in
+     pp_obs_bench r;
+     merge_result (json_of_obs_bench r)
    | "all" ->
      regenerate ();
      run_timings ()
    | other ->
      Format.eprintf
        "unknown mode %S (expected: tables | timings | solver | sim | audit | \
-        perf-check | serve | all)@."
+        obs | perf-check | serve | all)@."
        other;
      exit 2);
   Format.printf "@.done.@."

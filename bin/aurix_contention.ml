@@ -769,8 +769,17 @@ let addr_of socket port host =
     Serve.Server.Unix_path path
 
 let serve_cmd =
-  let run socket port host cache_dir no_disk max_bytes jobs kernel trace metrics =
+  let run socket port host cache_dir no_disk max_bytes log_file jobs kernel
+      trace metrics =
     with_obs kernel trace metrics @@ fun () ->
+    (match log_file with
+     | Some path ->
+       if not (Obs.Log.open_sink path) then begin
+         Format.eprintf "cannot open log file %s@." path;
+         exit 2
+       end
+     | None -> ());
+    Fun.protect ~finally:Obs.Log.close_sink @@ fun () ->
     let addr = addr_of socket port host in
     let disk =
       if no_disk then None else Some (Serve.Disk_cache.open_ ?root:cache_dir ())
@@ -823,6 +832,16 @@ let serve_cmd =
       & info [ "max-request-bytes" ] ~docv:"N"
           ~doc:"Reject request lines longer than $(docv) bytes (default 1 MiB).")
   in
+  let log_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-file" ] ~docv:"FILE"
+          ~doc:
+            "Append structured JSONL event-log records (connections, cache \
+             quarantines, rejects, errors) to $(docv); also settable via \
+             $(b,AURIX_LOG). Level via $(b,AURIX_LOG_LEVEL).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -832,18 +851,35 @@ let serve_cmd =
           restarts.")
     Term.(
       const run $ socket_arg $ port_arg $ host_arg $ cache_dir_arg $ no_disk_arg
-      $ max_bytes_arg $ jobs_arg $ kernel_arg $ trace_arg $ metrics_arg)
+      $ max_bytes_arg $ log_file_arg $ jobs_arg $ kernel_arg $ trace_arg
+      $ metrics_arg)
 
 let query_cmd =
-  let run socket port host file op scenario levels models observed id =
-    let addr = addr_of socket port host in
-    let line =
+  let run socket port host file op scenario levels models observed id trace
+      metrics =
+    (* exit happens outside [with_obs] so the requested files are written
+       (the client trace carries the request's trace id) *)
+    let code =
+      with_obs None trace metrics @@ fun () ->
+      let addr = addr_of socket port host in
+      let client = Serve.Client.connect addr in
+      Fun.protect ~finally:(fun () -> Serve.Client.close client) @@ fun () ->
       match file with
       | Some f ->
-        let ic = open_in f in
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () -> input_line ic)
+        let line =
+          let ic = open_in f in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> input_line ic)
+        in
+        let reply = Serve.Client.rpc_line client line in
+        print_endline reply;
+        (match Serve.Protocol.decode_response reply with
+         | Ok (Serve.Protocol.Reject _) -> 3
+         | Ok _ -> 0
+         | Error msg ->
+           Format.eprintf "undecodable response: %s@." msg;
+           4)
       | None ->
         let req =
           match op with
@@ -866,6 +902,7 @@ let query_cmd =
                 contenders;
                 models;
                 observed;
+                trace = None;
               }
           | other ->
             Format.eprintf
@@ -874,21 +911,18 @@ let query_cmd =
               other;
             exit 2
         in
-        Serve.Protocol.encode_request req
+        (* [Client.rpc] originates the trace context when --trace enabled
+           the tracer; re-encoding the decoded reply reproduces the
+           daemon's bytes (the codec is an exact inverse) *)
+        (match Serve.Client.rpc client req with
+         | Ok resp ->
+           print_endline (Serve.Protocol.encode_response resp);
+           (match resp with Serve.Protocol.Reject _ -> 3 | _ -> 0)
+         | Error msg ->
+           Format.eprintf "undecodable response: %s@." msg;
+           4)
     in
-    let client = Serve.Client.connect addr in
-    let reply =
-      Fun.protect
-        ~finally:(fun () -> Serve.Client.close client)
-        (fun () -> Serve.Client.rpc_line client line)
-    in
-    print_endline reply;
-    match Serve.Protocol.decode_response reply with
-    | Ok (Serve.Protocol.Reject _) -> exit 3
-    | Ok _ -> ()
-    | Error msg ->
-      Format.eprintf "undecodable response: %s@." msg;
-      exit 4
+    if code <> 0 then exit code
   in
   let file_arg =
     Arg.(
@@ -948,14 +982,175 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:
          "Send one request to a running serve daemon and print the raw \
-          response line. Exits 3 when the daemon rejected the request.")
+          response line. Exits 3 when the daemon rejected the request. \
+          With $(b,--trace), the request carries a fresh trace id that the \
+          daemon adopts, so the client trace and a daemon trace of the \
+          same run stitch into one span tree.")
     Term.(
       const run $ socket_arg $ port_arg $ host_arg $ file_arg $ op_arg
-      $ scenario_arg $ loads_arg $ models_arg $ observed_arg $ id_arg)
+      $ scenario_arg $ loads_arg $ models_arg $ observed_arg $ id_arg
+      $ trace_arg $ metrics_arg)
+
+(* --- stats ------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let module J = Obs.Json in
+  let rec pp_payload fmt indent j =
+    match j with
+    | J.Obj kvs ->
+      List.iter
+        (fun (k, v) ->
+           match v with
+           | J.Obj _ ->
+             Format.fprintf fmt "%s%s:@." indent k;
+             pp_payload fmt (indent ^ "  ") v
+           | J.List items ->
+             Format.fprintf fmt "%s%s: %d item(s)@." indent k
+               (List.length items);
+             List.iter
+               (fun item ->
+                  Format.fprintf fmt "%s  - %s@." indent (J.to_string item))
+               items
+           | _ -> Format.fprintf fmt "%s%s: %s@." indent k (J.to_string v))
+        kvs
+    | _ -> Format.fprintf fmt "%s%s@." indent (J.to_string j)
+  in
+  let run socket port host prometheus json id =
+    let addr = addr_of socket port host in
+    let client = Serve.Client.connect addr in
+    let resp =
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close client)
+        (fun () -> Serve.Client.rpc client (Serve.Protocol.Stats_req id))
+    in
+    match resp with
+    | Ok (Serve.Protocol.Stats_reply { stats; payload; _ }) ->
+      if prometheus then (
+        match J.member "prometheus" payload with
+        | Some (J.Str s) -> print_string s
+        | _ ->
+          Format.eprintf
+            "daemon sent no prometheus section (pre-v2 daemon?)@.";
+          exit 4)
+      else if json then print_endline (J.to_string payload)
+      else begin
+        let fmt = Format.std_formatter in
+        (* v2 payload when present; always the flat v1 counters below *)
+        (match payload with
+         | J.Obj _ ->
+           pp_payload fmt ""
+             (J.Obj
+                (List.filter
+                   (fun (k, _) -> k <> "prometheus")
+                   (match payload with J.Obj kvs -> kvs | _ -> [])))
+         | _ -> ());
+        Format.fprintf fmt "counters:@.";
+        List.iter
+          (fun (k, v) -> Format.fprintf fmt "  %s: %d@." k v)
+          stats;
+        Format.pp_print_flush fmt ()
+      end
+    | Ok _ ->
+      Format.eprintf "unexpected response kind to stats request@.";
+      exit 4
+    | Error msg ->
+      Format.eprintf "undecodable response: %s@." msg;
+      exit 4
+  in
+  let prometheus_arg =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "Print the Prometheus text exposition of the daemon's metrics \
+             registry instead of the human summary.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the raw introspection payload as one JSON line.")
+  in
+  let id_arg =
+    Arg.(
+      value & opt string "stats"
+      & info [ "id" ] ~docv:"ID" ~doc:"Correlation id echoed in the response.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Introspect a running serve daemon: uptime, in-flight requests, \
+          per-stage latency histograms, cache occupancy and hit rates, \
+          audit verdicts and recent rejects — human-readable by default, \
+          or as JSON / Prometheus text exposition.")
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ prometheus_arg $ json_arg
+      $ id_arg)
+
+(* --- obs --------------------------------------------------------------------- *)
+
+let obs_analyze_cmd =
+  let run files json top =
+    let inputs =
+      List.map
+        (fun f ->
+           let ic = open_in_bin f in
+           let content =
+             Fun.protect
+               ~finally:(fun () -> close_in_noerr ic)
+               (fun () -> really_input_string ic (in_channel_length ic))
+           in
+           (Filename.basename f, content))
+        files
+    in
+    match Obs.Trace_analyzer.of_strings inputs with
+    | Error msg ->
+      Format.eprintf "cannot analyze: %s@." msg;
+      exit 2
+    | Ok t ->
+      if json then
+        print_endline (Obs.Json.to_string (Obs.Trace_analyzer.to_json ~top t))
+      else print_string (Obs.Trace_analyzer.report_string ~top t)
+  in
+  let files_arg =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Chrome trace_event JSON file(s) written by $(b,--trace); pass \
+             the client's and the daemon's trace of the same run together \
+             to stitch them by shared trace id.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the analysis as JSON instead of a report.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Bound the slowest-requests and trace lists (default 5).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Analyze exported trace files offline: critical path, per-stage \
+          latency breakdown, top-N slowest requests, cache effectiveness \
+          and cross-process trace connectivity.")
+    Term.(const run $ files_arg $ json_arg $ top_arg)
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:"Offline observability tooling for exported traces.")
+    [ obs_analyze_cmd ]
 
 let () =
   let doc = "Multicore contention models for the AURIX TC27x (DAC 2018 reproduction)" in
   let info = Cmd.info "aurix_contention" ~version:"1.0.0" ~doc in
+  Obs.Log.init_from_env ();
   exit
     (Cmd.eval
        (Cmd.group info
@@ -979,4 +1174,6 @@ let () =
             profile_cmd;
             serve_cmd;
             query_cmd;
+            stats_cmd;
+            obs_cmd;
           ]))

@@ -1,0 +1,242 @@
+(* Domain-safe structured event log with a bounded ring buffer and an
+   optional JSONL file sink.
+
+   The hot path is one atomic load when the record's level is below the
+   threshold. Above it, the entry is rendered lazily (the fields thunk
+   runs only for admitted records), stamped with the ambient trace id
+   from [Tracer.with_trace], pushed into a fixed-capacity ring
+   (overwriting the oldest entry and counting the drop — same semantics
+   as the tracer ring) and, when a sink is open, written out as one JSON
+   line immediately.
+
+   Sink writes are best-effort: an I/O failure closes the sink and
+   counts on [obs.log.errors] — the daemon never dies because its log
+   file did. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type entry = {
+  ts : float; (* unix seconds *)
+  level : level;
+  event : string;
+  trace : string; (* ambient trace id, "" when none *)
+  tid : int; (* domain id *)
+  seq : int; (* global record order *)
+  fields : (string * Json.t) list;
+}
+
+let m_records = Metrics.counter "obs.log.records"
+let m_dropped = Metrics.counter "obs.log.dropped"
+let m_errors = Metrics.counter "obs.log.errors"
+
+let default_capacity = 4096
+
+type state = {
+  capacity : int;
+  buf : entry option array;
+  mutable len : int;
+  mutable head : int;
+  mutable next_seq : int;
+  mutable n_dropped : int;
+  mutable sink : out_channel option;
+  mutable sink_owned : bool; (* close on [close_sink]? *)
+  lock : Mutex.t;
+}
+
+let make_state capacity =
+  {
+    capacity;
+    buf = Array.make capacity None;
+    len = 0;
+    head = 0;
+    next_seq = 0;
+    n_dropped = 0;
+    sink = None;
+    sink_owned = false;
+    lock = Mutex.create ();
+  }
+
+let state = ref (make_state default_capacity)
+let threshold = Atomic.make (severity Info)
+
+(* Injectable clock so golden-log tests are deterministic. *)
+let clock = ref Unix.gettimeofday
+let set_clock f = clock := f
+let reset_clock () = clock := Unix.gettimeofday
+
+let set_level l = Atomic.set threshold (severity l)
+
+let level () =
+  match Atomic.get threshold with
+  | 0 -> Debug
+  | 1 -> Info
+  | 2 -> Warn
+  | _ -> Error
+
+let set_capacity capacity =
+  if capacity < 1 then invalid_arg "Log.set_capacity: capacity must be >= 1";
+  let old = !state in
+  Mutex.lock old.lock;
+  let fresh = make_state capacity in
+  fresh.sink <- old.sink;
+  fresh.sink_owned <- old.sink_owned;
+  old.sink <- None;
+  state := fresh;
+  Mutex.unlock old.lock
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let entry_to_json e =
+  Json.Obj
+    ([
+      ("ts", Json.Float e.ts);
+      ("level", Json.Str (level_to_string e.level));
+      ("event", Json.Str e.event);
+      ("tid", Json.Int e.tid);
+      ("seq", Json.Int e.seq);
+    ]
+     @ (if e.trace = "" then [] else [ ("trace", Json.Str e.trace) ])
+     @ e.fields)
+
+let entry_to_line e = Json.to_string (entry_to_json e)
+
+(* --- sinks --------------------------------------------------------------- *)
+
+let drop_sink_locked s =
+  (if s.sink_owned then
+     match s.sink with Some oc -> (try close_out oc with _ -> ()) | None -> ());
+  s.sink <- None;
+  s.sink_owned <- false
+
+let set_sink_channel oc =
+  let s = !state in
+  Mutex.lock s.lock;
+  drop_sink_locked s;
+  s.sink <- oc;
+  s.sink_owned <- false;
+  Mutex.unlock s.lock
+
+let open_sink path =
+  match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+  | oc ->
+    let s = !state in
+    Mutex.lock s.lock;
+    drop_sink_locked s;
+    s.sink <- Some oc;
+    s.sink_owned <- true;
+    Mutex.unlock s.lock;
+    true
+  | exception _ ->
+    Metrics.incr m_errors;
+    false
+
+let close_sink () =
+  let s = !state in
+  Mutex.lock s.lock;
+  drop_sink_locked s;
+  Mutex.unlock s.lock
+
+let init_from_env () =
+  (match Sys.getenv_opt "AURIX_LOG_LEVEL" with
+   | Some l -> (match level_of_string l with Some l -> set_level l | None -> ())
+   | None -> ());
+  match Sys.getenv_opt "AURIX_LOG" with
+  | Some path when path <> "" -> ignore (open_sink path)
+  | _ -> ()
+
+(* --- recording ----------------------------------------------------------- *)
+
+let record lvl event mk_fields =
+  if severity lvl >= Atomic.get threshold then begin
+    let e =
+      {
+        ts = !clock ();
+        level = lvl;
+        event;
+        trace = Tracer.current_trace ();
+        tid = (Domain.self () :> int);
+        seq = 0;
+        fields = (match mk_fields with None -> [] | Some mk -> mk ());
+      }
+    in
+    let s = !state in
+    Mutex.lock s.lock;
+    let e = { e with seq = s.next_seq } in
+    s.next_seq <- s.next_seq + 1;
+    if s.len < s.capacity then begin
+      s.buf.((s.head + s.len) mod s.capacity) <- Some e;
+      s.len <- s.len + 1
+    end
+    else begin
+      s.buf.(s.head) <- Some e;
+      s.head <- (s.head + 1) mod s.capacity;
+      s.n_dropped <- s.n_dropped + 1;
+      Metrics.incr m_dropped
+    end;
+    (match s.sink with
+     | None -> ()
+     | Some oc -> (
+       try
+         output_string oc (entry_to_line e);
+         output_char oc '\n';
+         flush oc
+       with _ ->
+         Metrics.incr m_errors;
+         drop_sink_locked s));
+    Mutex.unlock s.lock;
+    Metrics.incr m_records
+  end
+
+let debug ?fields event = record Debug event fields
+let info ?fields event = record Info event fields
+let warn ?fields event = record Warn event fields
+let error ?fields event = record Error event fields
+
+(* --- inspection ---------------------------------------------------------- *)
+
+let entries () =
+  let s = !state in
+  Mutex.lock s.lock;
+  let out =
+    List.init s.len (fun i ->
+        match s.buf.((s.head + i) mod s.capacity) with
+        | Some e -> e
+        | None -> assert false)
+  in
+  Mutex.unlock s.lock;
+  out
+
+let dropped () =
+  let s = !state in
+  Mutex.lock s.lock;
+  let n = s.n_dropped in
+  Mutex.unlock s.lock;
+  n
+
+let clear () =
+  let s = !state in
+  Mutex.lock s.lock;
+  Array.fill s.buf 0 s.capacity None;
+  s.len <- 0;
+  s.head <- 0;
+  s.next_seq <- 0;
+  s.n_dropped <- 0;
+  Mutex.unlock s.lock
+
+let to_jsonl () =
+  String.concat "" (List.map (fun e -> entry_to_line e ^ "\n") (entries ()))

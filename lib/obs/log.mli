@@ -1,0 +1,87 @@
+(** Domain-safe structured event log: levelled JSONL records in a
+    bounded ring buffer, with an optional file sink.
+
+    A record below the threshold level costs one atomic load — the
+    fields thunk never runs. Admitted records are stamped with the
+    ambient trace id installed by {!Tracer.with_trace} (so log lines
+    correlate with spans), a domain id and a global sequence number,
+    kept in a fixed-capacity ring (when full, the oldest entry is
+    overwritten and counted in {!dropped} and on the [obs.log.dropped]
+    metric — bounded memory, never blocking), and mirrored to the sink
+    as one JSON line when one is open.
+
+    The daemon opens a sink from [--log-file] or the [AURIX_LOG]
+    environment variable ({!init_from_env}); sink I/O failures close the
+    sink and count on [obs.log.errors] rather than raising. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+type entry = {
+  ts : float;  (** unix seconds (from the injectable clock) *)
+  level : level;
+  event : string;  (** machine-readable event name, e.g. ["disk.quarantine"] *)
+  trace : string;  (** ambient trace id, [""] when none *)
+  tid : int;  (** domain id *)
+  seq : int;  (** global record order *)
+  fields : (string * Json.t) list;
+}
+
+val set_level : level -> unit
+(** Threshold; records strictly below it are discarded unrendered.
+    Default: [Info]. *)
+
+val level : unit -> level
+
+val set_capacity : int -> unit
+(** Replaces the ring with a fresh one of the given capacity (entries,
+    drop counter and sequence reset; an open sink is kept). Default
+    capacity: 4096 entries.
+    @raise Invalid_argument on [capacity < 1]. *)
+
+val debug : ?fields:(unit -> (string * Json.t) list) -> string -> unit
+val info : ?fields:(unit -> (string * Json.t) list) -> string -> unit
+val warn : ?fields:(unit -> (string * Json.t) list) -> string -> unit
+val error : ?fields:(unit -> (string * Json.t) list) -> string -> unit
+(** [info "serve.reject" ~fields:(fun () -> [("code", Json.Str "lint")])].
+    The fields thunk runs only when the record is admitted. Reserved
+    keys ([ts], [level], [event], [tid], [seq], [trace]) are rendered
+    first; fields follow in the given order. *)
+
+val entries : unit -> entry list
+(** Retained entries, oldest first. *)
+
+val dropped : unit -> int
+(** Entries evicted by ring overflow since start/{!clear}. *)
+
+val clear : unit -> unit
+
+val entry_to_json : entry -> Json.t
+val entry_to_line : entry -> string
+(** One compact JSON object, no trailing newline. *)
+
+val to_jsonl : unit -> string
+(** The whole ring as newline-terminated JSON lines. *)
+
+val open_sink : string -> bool
+(** Opens [path] in append mode and mirrors subsequent records to it.
+    [false] (plus [obs.log.errors]) when the file cannot be opened. *)
+
+val set_sink_channel : out_channel option -> unit
+(** Installs (or removes, on [None]) a caller-owned channel as the sink
+    — tests use a buffer-backed temp file. The channel is not closed by
+    {!close_sink}. *)
+
+val close_sink : unit -> unit
+
+val init_from_env : unit -> unit
+(** Applies [AURIX_LOG_LEVEL] (a {!level} name) and [AURIX_LOG] (a sink
+    path) when set. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replaces the timestamp source — golden-log tests install a
+    deterministic counter. *)
+
+val reset_clock : unit -> unit

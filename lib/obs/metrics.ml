@@ -210,6 +210,49 @@ let to_json_value () =
 
 let to_json () = Json.to_string (to_json_value ())
 
+(* Prometheus text exposition. Metric names keep the registry's sorted
+   order; dots become underscores and everything gets an [aurix_]
+   prefix, so `serve.latency_s` scrapes as `aurix_serve_latency_s`.
+   Histogram buckets are cumulative with a closing +Inf, per the
+   exposition format. *)
+let prometheus_name name =
+  let sane =
+    String.map
+      (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' as c -> c | _ -> '_')
+      name
+  in
+  "aurix_" ^ sane
+
+let to_prometheus () =
+  let b = Buffer.create 2048 in
+  let scalar kind name v =
+    let n = prometheus_name name in
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n%s %d\n" n kind n v)
+  in
+  List.iter
+    (fun (name, m) ->
+       match m with
+       | MCounter c -> scalar "counter" name (Atomic.get c)
+       | MGauge g -> scalar "gauge" name (Atomic.get g)
+       | MHist h ->
+         let s = snapshot_hist h in
+         let n = prometheus_name name in
+         Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+         let cumulative = ref 0 in
+         Array.iteri
+           (fun i edge ->
+              cumulative := !cumulative + s.counts.(i);
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"%.12g\"} %d\n" n edge
+                   !cumulative))
+           s.edges;
+         Buffer.add_string b
+           (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n s.count);
+         Buffer.add_string b (Printf.sprintf "%s_sum %.12g\n" n s.sum);
+         Buffer.add_string b (Printf.sprintf "%s_count %d\n" n s.count))
+    (registered ());
+  Buffer.contents b
+
 let pp fmt () =
   let s = snapshot () in
   Format.fprintf fmt "@[<v>";

@@ -78,8 +78,21 @@ val reset : unit -> unit
 (** Zeroes every value; registrations (names, kinds, bucket edges)
     survive. *)
 
+val hist_to_json : histogram_snapshot -> Json.t
+(** [{"count", "sum", "min", "max", "buckets": [{"le","count"}…],
+    "overflow"}] — the daemon's stats payload embeds the per-stage
+    latency histograms with this. *)
+
 val to_json_value : unit -> Json.t
 (** [{"counters": {..}, "gauges": {..}, "histograms": {..}}]. *)
 
 val to_json : unit -> string
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition of the whole registry, metrics in sorted
+    name order: [aurix_]-prefixed names with dots mapped to underscores,
+    counters/gauges as single samples, histograms as cumulative
+    [_bucket{le="…"}] series plus [_sum]/[_count]. Served by the
+    daemon's [stats] request for scrape-style collection. *)
+
 val pp : Format.formatter -> unit -> unit

@@ -9,7 +9,14 @@
    at span *end* and therefore survive eviction.
 
    Nesting depth is tracked per domain through DLS, so spans recorded
-   from Pool workers nest correctly within whatever that worker runs. *)
+   from Pool workers nest correctly within whatever that worker runs.
+
+   A trace id can be installed ambiently per domain ([with_trace]): every
+   span and instant recorded inside picks it up, which is what stitches a
+   client request, the daemon's handling and the pool workers it fans out
+   to into one logical trace across processes. *)
+
+type kind = Span | Instant
 
 type event = {
   name : string;
@@ -19,6 +26,8 @@ type event = {
   tid : int; (* domain id *)
   depth : int; (* nesting depth at span start, 0 = top level *)
   seq : int; (* global record order (= span end order) *)
+  trace : string; (* ambient trace id, "" when none *)
+  kind : kind;
 }
 
 type sink = {
@@ -33,7 +42,10 @@ type sink = {
 }
 
 let dummy_event =
-  { name = ""; attrs = []; ts_us = 0.; dur_us = 0.; tid = 0; depth = 0; seq = -1 }
+  { name = ""; attrs = []; ts_us = 0.; dur_us = 0.; tid = 0; depth = 0;
+    seq = -1; trace = ""; kind = Span }
+
+let m_dropped = Metrics.counter "obs.trace.dropped"
 
 let current : sink option Atomic.t = Atomic.make None
 
@@ -77,11 +89,24 @@ let record s e =
   else begin
     s.buf.(s.head) <- e;
     s.head <- (s.head + 1) mod s.capacity;
-    s.n_dropped <- s.n_dropped + 1
+    s.n_dropped <- s.n_dropped + 1;
+    Metrics.incr m_dropped
   end;
   Mutex.unlock s.lock
 
 let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+(* --- ambient trace context ---------------------------------------------- *)
+
+let trace_key = Domain.DLS.new_key (fun () -> ref "")
+
+let current_trace () = !(Domain.DLS.get trace_key)
+
+let with_trace id f =
+  let r = Domain.DLS.get trace_key in
+  let old = !r in
+  r := id;
+  Fun.protect ~finally:(fun () -> r := old) f
 
 let with_span ?attrs name f =
   match Atomic.get current with
@@ -90,6 +115,7 @@ let with_span ?attrs name f =
     let d = Domain.DLS.get depth_key in
     let depth = !d in
     d := depth + 1;
+    let trace = current_trace () in
     let start = Unix.gettimeofday () in
     let finish () =
       let stop = Unix.gettimeofday () in
@@ -103,6 +129,8 @@ let with_span ?attrs name f =
           tid = (Domain.self () :> int);
           depth;
           seq = 0;
+          trace;
+          kind = Span;
         }
     in
     (match f () with
@@ -112,6 +140,24 @@ let with_span ?attrs name f =
      | exception e ->
        finish ();
        raise e)
+
+let instant ?attrs name =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+    let d = Domain.DLS.get depth_key in
+    record s
+      {
+        name;
+        attrs = (match attrs with None -> [] | Some mk -> mk ());
+        ts_us = (Unix.gettimeofday () -. s.t0) *. 1e6;
+        dur_us = 0.;
+        tid = (Domain.self () :> int);
+        depth = !d;
+        seq = 0;
+        trace = current_trace ();
+        kind = Instant;
+      }
 
 let events () =
   match Atomic.get current with
@@ -127,18 +173,37 @@ let dropped () =
 
 (* --- Chrome trace_event export ------------------------------------------ *)
 
+let args_json e =
+  let kvs = List.map (fun (k, v) -> (k, Json.Str v)) e.attrs in
+  let kvs = if e.trace = "" then kvs else ("trace", Json.Str e.trace) :: kvs in
+  Json.Obj kvs
+
 let event_to_json e =
-  Json.Obj
-    [
-      ("name", Json.Str e.name);
-      ("cat", Json.Str "aurix");
-      ("ph", Json.Str "X");
-      ("ts", Json.Float e.ts_us);
-      ("dur", Json.Float e.dur_us);
-      ("pid", Json.Int 1);
-      ("tid", Json.Int e.tid);
-      ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.attrs));
-    ]
+  match e.kind with
+  | Span ->
+    Json.Obj
+      [
+        ("name", Json.Str e.name);
+        ("cat", Json.Str "aurix");
+        ("ph", Json.Str "X");
+        ("ts", Json.Float e.ts_us);
+        ("dur", Json.Float e.dur_us);
+        ("pid", Json.Int 1);
+        ("tid", Json.Int e.tid);
+        ("args", args_json e);
+      ]
+  | Instant ->
+    Json.Obj
+      [
+        ("name", Json.Str e.name);
+        ("cat", Json.Str "aurix");
+        ("ph", Json.Str "i");
+        ("ts", Json.Float e.ts_us);
+        ("s", Json.Str "t");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int e.tid);
+        ("args", args_json e);
+      ]
 
 let to_chrome_json_value () =
   Json.Obj
@@ -172,9 +237,15 @@ let pp_tree fmt () =
        in
        List.iter
          (fun e ->
-            Format.fprintf fmt "%s%s%a (%.3f ms)@,"
-              (String.make (2 * (e.depth + 1)) ' ')
-              e.name pp_attrs e.attrs (e.dur_us /. 1e3))
+            match e.kind with
+            | Span ->
+              Format.fprintf fmt "%s%s%a (%.3f ms)@,"
+                (String.make (2 * (e.depth + 1)) ' ')
+                e.name pp_attrs e.attrs (e.dur_us /. 1e3)
+            | Instant ->
+              Format.fprintf fmt "%s@%s%a@,"
+                (String.make (2 * (e.depth + 1)) ' ')
+                e.name pp_attrs e.attrs)
          mine)
     tids;
   let d = dropped () in
@@ -197,17 +268,19 @@ let aggregate () =
   in
   List.iter
     (fun e ->
-       let calls, total, mx =
-         match Hashtbl.find_opt tbl e.name with
-         | Some cell -> cell
-         | None ->
-           let cell = (ref 0, ref 0., ref 0.) in
-           Hashtbl.add tbl e.name cell;
-           cell
-       in
-       Stdlib.incr calls;
-       total := !total +. e.dur_us;
-       if e.dur_us > !mx then mx := e.dur_us)
+       if e.kind = Span then begin
+         let calls, total, mx =
+           match Hashtbl.find_opt tbl e.name with
+           | Some cell -> cell
+           | None ->
+             let cell = (ref 0, ref 0., ref 0.) in
+             Hashtbl.add tbl e.name cell;
+             cell
+         in
+         Stdlib.incr calls;
+         total := !total +. e.dur_us;
+         if e.dur_us > !mx then mx := e.dur_us
+       end)
     (events ());
   Hashtbl.fold
     (fun span (calls, total, mx) acc ->
@@ -227,7 +300,8 @@ let pp_hot_paths fmt () =
   (* share of the traced wall time = sum of top-level span durations *)
   let wall_us =
     List.fold_left
-      (fun acc e -> if e.depth = 0 then acc +. e.dur_us else acc)
+      (fun acc e ->
+         if e.depth = 0 && e.kind = Span then acc +. e.dur_us else acc)
       0. (events ())
   in
   Format.fprintf fmt "@[<v>%-28s %8s %12s %12s %12s %7s@," "span" "calls"

@@ -109,10 +109,16 @@ let run_all_in t thunks =
     let results = Array.make n None in
     let remaining = Atomic.make n in
     let enqueued_at = Unix.gettimeofday () in
+    (* The submitter's ambient trace id travels with the batch: spans
+       recorded on worker domains join the same logical trace. *)
+    let trace = Obs.Tracer.current_trace () in
     let run i =
       let started_at = Unix.gettimeofday () in
       Obs.Metrics.observe h_wait (started_at -. enqueued_at);
-      let r = try Ok (arr.(i) ()) with e -> Error e in
+      let r =
+        try Ok (Obs.Tracer.with_trace trace (fun () -> arr.(i) ()))
+        with e -> Error e
+      in
       Atomic.incr tasks_counter;
       Obs.Metrics.incr m_tasks;
       Obs.Metrics.observe h_task (Unix.gettimeofday () -. started_at);
@@ -173,9 +179,12 @@ let both ?jobs f g =
     | _ -> assert false
   end
   else begin
+    let trace = Obs.Tracer.current_trace () in
     let d =
       Domain.spawn (fun () ->
-          let r = try Ok (f ()) with e -> Error e in
+          let r =
+            try Ok (Obs.Tracer.with_trace trace f) with e -> Error e
+          in
           Atomic.incr tasks_counter;
           Obs.Metrics.incr m_tasks;
           r)

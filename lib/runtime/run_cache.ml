@@ -406,11 +406,13 @@ let run ?(config = Machine.default_config)
   | `Hit (o, waited) ->
     Atomic.incr hit_count;
     Obs.Metrics.incr m_hits;
+    Obs.Tracer.instant "cache.run.hit" ~attrs:(fun () -> [ ("key", k) ]);
     if waited then Atomic.incr waited_count;
     replay o
   | `Reserved ->
     Atomic.incr miss_count;
     Obs.Metrics.incr m_misses;
+    Obs.Tracer.instant "cache.run.miss" ~attrs:(fun () -> [ ("key", k) ]);
     (match store_load k with
      | Some o ->
        (* second-tier hit: install the persisted outcome without

@@ -218,9 +218,13 @@ let size () =
   Mutex.unlock lock;
   n
 
-let count_hit ~waited kind =
+let count_hit ~key ~waited kind =
   Atomic.incr hit_count;
   Obs.Metrics.incr m_hits;
+  Obs.Tracer.instant "cache.solve.hit"
+    ~attrs:(fun () ->
+        [ ("key", key);
+          ("kind", match kind with `Raw -> "raw" | `Canonical -> "canonical") ]);
   if waited then Atomic.incr waited_count;
   match kind with
   | `Raw ->
@@ -315,11 +319,12 @@ let solve_canon ~tag ?slack ~solve ~solve_certified model =
   let k = canonical_key ~tag canon in
   match acquire ~raw k with
   | `Hit (o, kind, waited) ->
-    count_hit ~waited kind;
+    count_hit ~key:k ~waited kind;
     replay canon o
   | `Reserved ->
     Atomic.incr miss_count;
     Obs.Metrics.incr m_misses;
+    Obs.Tracer.instant "cache.solve.miss" ~attrs:(fun () -> [ ("key", k) ]);
     let auditing = audit_enabled () in
     let cm = Ilp.Canonical.model canon in
     let compute () =

@@ -32,8 +32,36 @@ let rpc_line t line =
   flush t.oc;
   input_line t.ic
 
+(* Trace/span id generation. A private PRNG seeded per process — the
+   ids only name spans in trace exports, so they must merely be unique,
+   and keeping the global [Random] state untouched keeps experiment
+   determinism unaffected. *)
+let rng = lazy (Random.State.make_self_init ())
+
+let gen_id bytes =
+  let st = Lazy.force rng in
+  String.concat ""
+    (List.init bytes (fun _ -> Printf.sprintf "%02x" (Random.State.int st 256)))
+
+let new_span_ref () =
+  { Protocol.trace_id = gen_id 16; parent_span = gen_id 8 }
+
 let rpc t req =
-  Protocol.decode_response (rpc_line t (Protocol.encode_request req))
+  match req with
+  | Protocol.Analyze q when q.trace = None && Obs.Tracer.enabled () ->
+    (* originate the trace here: mint a trace id + client span id, send
+       them with the request, and record the client-side span under the
+       same trace id — the daemon's spans adopt it, so both processes'
+       exports stitch into one tree *)
+    let sref = new_span_ref () in
+    let req = Protocol.Analyze { q with trace = Some sref } in
+    Obs.Tracer.with_trace sref.Protocol.trace_id (fun () ->
+        Obs.Tracer.with_span "client.rpc"
+          ~attrs:(fun () ->
+              [ ("op", "analyze"); ("span", sref.Protocol.parent_span) ])
+          (fun () ->
+             Protocol.decode_response (rpc_line t (Protocol.encode_request req))))
+  | _ -> Protocol.decode_response (rpc_line t (Protocol.encode_request req))
 
 let close t =
   try Unix.close t.fd with _ -> ()

@@ -14,7 +14,17 @@ val rpc_line : t -> string -> string
 (** Sends one raw request line, returns the raw response line.
     @raise End_of_file if the daemon closed the connection. *)
 
+val new_span_ref : unit -> Protocol.span_ref
+(** A fresh trace id (16 bytes hex) + client span id (8 bytes hex) from
+    a private PRNG — the global [Random] state is never touched. *)
+
 val rpc : t -> Protocol.request -> (Protocol.response, string) result
-(** [rpc_line] through the codec; [Error _] on an undecodable reply. *)
+(** [rpc_line] through the codec; [Error _] on an undecodable reply.
+
+    When the {!Obs.Tracer} is enabled and an [Analyze] request carries
+    no trace context yet, [rpc] originates one: it attaches a
+    {!new_span_ref} and wraps the exchange in a [client.rpc] span under
+    that trace id, so the client's and the daemon's trace exports share
+    the id and stitch into one span tree. *)
 
 val close : t -> unit

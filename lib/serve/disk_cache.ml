@@ -1,5 +1,7 @@
 type t = { root : string }
 
+module J = Obs.Json
+
 let m_hits = Obs.Metrics.counter "serve.disk.hits"
 let m_misses = Obs.Metrics.counter "serve.disk.misses"
 let m_corrupt = Obs.Metrics.counter "serve.disk.corrupt"
@@ -60,6 +62,10 @@ let read_file file =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let quarantine t ~ns ~key =
+  Obs.Log.warn "disk.quarantine"
+    ~fields:(fun () -> [ ("ns", J.Str ns); ("key", J.Str key) ]);
+  Obs.Tracer.instant "disk.quarantine"
+    ~attrs:(fun () -> [ ("ns", ns); ("key", key) ]);
   try
     let qdir = quarantine_dir t in
     mkdir_p qdir;
@@ -105,11 +111,15 @@ let load t ~ns ~key =
     match read_file file with
     | exception _ ->
       Obs.Metrics.incr m_misses;
+      Obs.Tracer.instant "disk.miss"
+        ~attrs:(fun () -> [ ("ns", ns); ("key", key) ]);
       None
     | content -> (
       match verify content with
       | Some value ->
         Obs.Metrics.incr m_hits;
+        Obs.Tracer.instant "disk.hit"
+          ~attrs:(fun () -> [ ("ns", ns); ("key", key) ]);
         Some value
       | None ->
         Obs.Metrics.incr m_corrupt;
@@ -139,4 +149,9 @@ let store t ~ns ~key value =
          raise e);
       Sys.rename tmp file;
       Obs.Metrics.incr m_writes
-    with _ -> Obs.Metrics.incr m_errors
+    with e ->
+      Obs.Metrics.incr m_errors;
+      Obs.Log.warn "disk.store_error"
+        ~fields:(fun () ->
+            [ ("ns", J.Str ns); ("key", J.Str key);
+              ("exn", J.Str (Printexc.to_string e)) ])

@@ -31,12 +31,18 @@ type t = {
   lock : Mutex.t;
   settled : Condition.t;
   stores_installed : bool;
+  created_at : float;
   served : int Atomic.t;
   rejected : int Atomic.t;
   computed : int Atomic.t;
   memory_hits : int Atomic.t;
   disk_hits : int Atomic.t;
+  (* last few rejects, newest first, for the stats payload *)
+  recent_rejects : (string option * P.reject_code * string) list ref;
+  rejects_lock : Mutex.t;
 }
+
+let recent_rejects_kept = 8
 
 type stats = {
   served : int;
@@ -54,6 +60,34 @@ let m_disk_hits = Obs.Metrics.counter "serve.query.disk_hits"
 
 let m_latency =
   Obs.Metrics.histogram ~buckets:Obs.Metrics.latency_buckets "serve.latency_s"
+
+let g_in_flight = Obs.Metrics.gauge "serve.in_flight"
+
+(* Per-stage latency histograms, mirrored by spans of the same name so
+   live scrapes and offline traces attribute time the same way. *)
+let h_stage_lint =
+  Obs.Metrics.histogram ~buckets:Obs.Metrics.latency_buckets
+    "serve.stage.lint_s"
+
+let h_stage_isolation =
+  Obs.Metrics.histogram ~buckets:Obs.Metrics.latency_buckets
+    "serve.stage.isolation_s"
+
+let h_stage_bounds =
+  Obs.Metrics.histogram ~buckets:Obs.Metrics.latency_buckets
+    "serve.stage.bounds_s"
+
+let h_stage_corun =
+  Obs.Metrics.histogram ~buckets:Obs.Metrics.latency_buckets
+    "serve.stage.corun_s"
+
+let stage name h f =
+  Obs.Tracer.with_span name (fun () ->
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+            Obs.Metrics.observe h (Unix.gettimeofday () -. t0))
+        f)
 
 let runtime_store disk ~ns =
   {
@@ -83,11 +117,14 @@ let create config =
     lock = Mutex.create ();
     settled = Condition.create ();
     stores_installed;
+    created_at = Unix.gettimeofday ();
     served = Atomic.make 0;
     rejected = Atomic.make 0;
     computed = Atomic.make 0;
     memory_hits = Atomic.make 0;
     disk_hits = Atomic.make 0;
+    recent_rejects = ref [];
+    rejects_lock = Mutex.create ();
   }
 
 let close t =
@@ -115,8 +152,15 @@ let stats_alist t =
     ("disk_hits", s.disk_hits);
   ]
 
+(* The content address is pinned to the v1 wire rendering with both the
+   correlation id and the trace context blanked: identical analyses
+   share one cache entry regardless of who asked or how they were
+   traced, and every digest minted before the v2 bump still addresses
+   the same disk entry. *)
 let digest (q : P.analyze) =
-  Digest.to_hex (Digest.string (P.encode_request (P.Analyze { q with id = "" })))
+  Digest.to_hex
+    (Digest.string
+       (P.encode_request ~version:1 (P.Analyze { q with id = ""; trace = None })))
 
 (* --- admission + dispatch ----------------------------------------------- *)
 
@@ -209,42 +253,47 @@ let compute t (q : P.analyze) : P.analyze_result =
          })
       contenders
   in
-  guard_lint ~id ~pass:"serve.preflight"
-    (Analysis.Preflight.check_run ~latency ~scenario
-       ~tasks ());
+  stage "serve.stage.lint" h_stage_lint (fun () ->
+      guard_lint ~id ~pass:"serve.preflight"
+        (Analysis.Preflight.check_run ~latency ~scenario
+           ~tasks ()));
   (* isolation measurements; each task alone on its own core, fanned out
      over the pool (Run_cache makes repeats free) *)
-  let observations =
-    Runtime.Pool.map ?jobs:t.config.jobs
-      (fun { Analysis.Program_lint.core; program; _ } ->
-         match Mbta.Measurement.isolation ~core program with
-         | o -> Ok o
-         | exception Tcsim.Machine.Cycle_limit_exceeded c -> Error c)
-      tasks
-  in
-  let observations =
-    List.map2
-      (fun { Analysis.Program_lint.label; _ } -> function
-         | Ok o -> o
-         | Error c ->
-           rejectf ~id P.Cycle_limit
-             "task %S exceeded the cycle limit in isolation (at cycle %d)"
-             label c)
-      tasks observations
-  in
   let iso_app, iso_contenders =
-    match observations with
-    | a :: rest -> (a, List.combine (List.map fst contenders) rest)
-    | [] -> assert false
+    stage "serve.stage.isolation" h_stage_isolation (fun () ->
+        let observations =
+          Runtime.Pool.map ?jobs:t.config.jobs
+            (fun { Analysis.Program_lint.core; program; _ } ->
+               match Mbta.Measurement.isolation ~core program with
+               | o -> Ok o
+               | exception Tcsim.Machine.Cycle_limit_exceeded c -> Error c)
+            tasks
+        in
+        let observations =
+          List.map2
+            (fun { Analysis.Program_lint.label; _ } -> function
+               | Ok o -> o
+               | Error c ->
+                 rejectf ~id P.Cycle_limit
+                   "task %S exceeded the cycle limit in isolation (at cycle %d)"
+                   label c)
+            tasks observations
+        in
+        let iso_app, iso_contenders =
+          match observations with
+          | a :: rest -> (a, List.combine (List.map fst contenders) rest)
+          | [] -> assert false
+        in
+        guard_lint ~id ~pass:"serve.counters"
+          (List.concat
+             (List.map2
+                (fun { Analysis.Program_lint.label; _ }
+                  (o : Mbta.Measurement.observation) ->
+                  Analysis.Counter_lint.check ~latency ~scenario
+                    ~path:[ "isolation"; label ] o.counters)
+                tasks observations));
+        (iso_app, iso_contenders))
   in
-  guard_lint ~id ~pass:"serve.counters"
-    (List.concat
-       (List.map2
-          (fun { Analysis.Program_lint.label; _ }
-            (o : Mbta.Measurement.observation) ->
-            Analysis.Counter_lint.check ~latency ~scenario
-              ~path:[ "isolation"; label ] o.counters)
-          tasks observations));
   let a = iso_app.Mbta.Measurement.counters in
   let contender_counters =
     List.map
@@ -261,20 +310,6 @@ let compute t (q : P.analyze) : P.analyze_result =
           contender_counters;
     }
   in
-  if List.mem P.Ilp_ptac q.models then
-    List.iter
-      (fun (core, b) ->
-         let model, _ =
-           Contention.Ilp_ptac.build_model ~options:ilp_options ~latency
-             ~scenario ~a ~b ()
-         in
-         guard_lint ~id ~pass:"serve.model"
-           (Analysis.Model_lint.check
-              ~path:
-                [ "ilp-ptac"; scenario.Scenario.name;
-                  Printf.sprintf "contender%d" core ]
-              model))
-      contender_counters;
   let bound = function
     | P.Ftc ->
       let r = Contention.Ftc.contention_bound ~dirty:is_s2 ~latency ~a () in
@@ -297,19 +332,37 @@ let compute t (q : P.analyze) : P.analyze_result =
           ()
         |> Option.map (fun (r : Contention.Multi.result) -> r.delta))
   in
-  let bounds = List.map (fun m -> (m, bound m)) q.models in
+  let bounds =
+    stage "serve.stage.bounds" h_stage_bounds (fun () ->
+        if List.mem P.Ilp_ptac q.models then
+          List.iter
+            (fun (core, b) ->
+               let model, _ =
+                 Contention.Ilp_ptac.build_model ~options:ilp_options ~latency
+                   ~scenario ~a ~b ()
+               in
+               guard_lint ~id ~pass:"serve.model"
+                 (Analysis.Model_lint.check
+                    ~path:
+                      [ "ilp-ptac"; scenario.Scenario.name;
+                        Printf.sprintf "contender%d" core ]
+                    model))
+            contender_counters;
+        List.map (fun m -> (m, bound m)) q.models)
+  in
   let observed_cycles =
     if not q.observed then None
     else
-      match
-        Mbta.Measurement.corun ~analysis:(app, 0)
-          ~contenders:(List.map (fun (core, p) -> (p, core)) contenders)
-          ()
-      with
-      | o -> Some o.Mbta.Measurement.cycles
-      | exception Tcsim.Machine.Cycle_limit_exceeded c ->
-        rejectf ~id P.Cycle_limit
-          "co-run exceeded the cycle limit (at cycle %d)" c
+      stage "serve.stage.corun" h_stage_corun (fun () ->
+          match
+            Mbta.Measurement.corun ~analysis:(app, 0)
+              ~contenders:(List.map (fun (core, p) -> (p, core)) contenders)
+              ()
+          with
+          | o -> Some o.Mbta.Measurement.cycles
+          | exception Tcsim.Machine.Cycle_limit_exceeded c ->
+            rejectf ~id P.Cycle_limit
+              "co-run exceeded the cycle limit (at cycle %d)" c)
   in
   {
     P.isolation_cycles = iso_app.Mbta.Measurement.cycles;
@@ -377,6 +430,8 @@ let analyze (t : t) (q : P.analyze) =
   | `Hit r ->
     Atomic.incr t.memory_hits;
     Obs.Metrics.incr m_memory_hits;
+    Obs.Tracer.instant "cache.query.memory_hit"
+      ~attrs:(fun () -> [ ("digest", k) ]);
     finish P.Memory r
   | `Reserved -> (
     match disk_query_load t k with
@@ -384,6 +439,8 @@ let analyze (t : t) (q : P.analyze) =
       settle t k (Some r);
       Atomic.incr t.disk_hits;
       Obs.Metrics.incr m_disk_hits;
+      Obs.Tracer.instant "cache.query.disk_hit"
+        ~attrs:(fun () -> [ ("digest", k) ]);
       finish P.Disk r
     | None -> (
       match compute t q with
@@ -392,10 +449,105 @@ let analyze (t : t) (q : P.analyze) =
         disk_query_save t k r;
         Atomic.incr t.computed;
         Obs.Metrics.incr m_computed;
+        Obs.Tracer.instant "cache.query.computed"
+          ~attrs:(fun () -> [ ("digest", k) ]);
         finish P.Computed r
       | exception e ->
         settle t k None;
         raise e))
+
+(* --- live introspection -------------------------------------------------- *)
+
+module J = Obs.Json
+
+let counter_value name = Obs.Metrics.value (Obs.Metrics.counter name)
+
+let ints kvs = J.Obj (List.map (fun (k, v) -> (k, J.Int v)) kvs)
+
+(* The rich stats payload (protocol v2). Everything except [uptime_s],
+   [in_flight], [stages] and [prometheus] is a pure function of the
+   query multiset — jobs-invariant, like the deterministic metrics
+   snapshot — and the jobs=1 vs jobs=4 suite pins that. *)
+let stats_payload t =
+  let rc = Runtime.Run_cache.stats () in
+  let sc = Runtime.Solve_cache.stats () in
+  let stage_histograms =
+    let snap = Obs.Metrics.snapshot () in
+    List.filter_map
+      (fun (name, h) ->
+         let is_stage =
+           name = "serve.latency_s"
+           || (String.length name >= 12 && String.sub name 0 12 = "serve.stage.")
+         in
+         if is_stage then Some (name, Obs.Metrics.hist_to_json h) else None)
+      snap.Obs.Metrics.histograms
+  in
+  let recent =
+    Mutex.lock t.rejects_lock;
+    let r = !(t.recent_rejects) in
+    Mutex.unlock t.rejects_lock;
+    List.map
+      (fun (xid, code, message) ->
+         J.Obj
+           [
+             ("id", match xid with None -> J.Null | Some id -> J.Str id);
+             ("code", J.Str (P.reject_code_to_string code));
+             ("message", J.Str message);
+           ])
+      r
+  in
+  J.Obj
+    [
+      ("uptime_s", J.Int (int_of_float (Unix.gettimeofday () -. t.created_at)));
+      ("in_flight", J.Int (Obs.Metrics.gauge_value g_in_flight));
+      ("engine", ints (stats_alist t));
+      ( "caches",
+        J.Obj
+          [
+            ( "query",
+              ints
+                [
+                  ("computed", Atomic.get t.computed);
+                  ("memory_hits", Atomic.get t.memory_hits);
+                  ("disk_hits", Atomic.get t.disk_hits);
+                ] );
+            ( "run",
+              ints
+                [
+                  ("hits", rc.Runtime.Run_cache.hits);
+                  ("misses", rc.Runtime.Run_cache.misses);
+                  ("size", Runtime.Run_cache.size ());
+                ] );
+            ( "solve",
+              ints
+                [
+                  ("hits", sc.Runtime.Solve_cache.hits);
+                  ("misses", sc.Runtime.Solve_cache.misses);
+                  ("raw_hits", sc.Runtime.Solve_cache.raw_hits);
+                  ("canonical_hits", sc.Runtime.Solve_cache.canonical_hits);
+                  ("size", Runtime.Solve_cache.size ());
+                ] );
+            ( "disk",
+              ints
+                [
+                  ("hits", counter_value "serve.disk.hits");
+                  ("misses", counter_value "serve.disk.misses");
+                  ("corrupt", counter_value "serve.disk.corrupt");
+                  ("writes", counter_value "serve.disk.writes");
+                  ("errors", counter_value "serve.disk.errors");
+                ] );
+          ] );
+      ( "audit",
+        ints
+          [
+            ("verified", counter_value "audit.verified");
+            ("failed", counter_value "audit.failed");
+            ("skipped", counter_value "audit.skipped");
+          ] );
+      ("stages", J.Obj stage_histograms);
+      ("recent_rejects", J.List recent);
+      ("prometheus", J.Str (Obs.Metrics.to_prometheus ()));
+    ]
 
 (* --- the line-level entry point ----------------------------------------- *)
 
@@ -404,8 +556,13 @@ let handle_request t (req : P.request) =
   | P.Ping id -> `Reply (P.Pong id)
   | P.Metrics_req id ->
     `Reply (P.Metrics_reply { mid = id; metrics = Obs.Metrics.to_json_value () })
-  | P.Stats_req id -> `Reply (P.Stats_reply { sid = id; stats = stats_alist t })
-  | P.Shutdown id -> `Stop (P.Shutdown_ack id)
+  | P.Stats_req id ->
+    `Reply
+      (P.Stats_reply
+         { sid = id; stats = stats_alist t; payload = stats_payload t })
+  | P.Shutdown id ->
+    Obs.Log.info "serve.shutdown" ~fields:(fun () -> [ ("id", J.Str id) ]);
+    `Stop (P.Shutdown_ack id)
   | P.Analyze q -> `Reply (analyze t q)
 
 let op_of_request = function
@@ -415,8 +572,30 @@ let op_of_request = function
   | P.Shutdown _ -> "shutdown"
   | P.Analyze _ -> "analyze"
 
+let record_reject (t : t) xid code message =
+  Atomic.incr t.rejected;
+  Obs.Metrics.incr m_rejects;
+  Obs.Log.warn "serve.reject"
+    ~fields:(fun () ->
+        [
+          ("id", match xid with None -> J.Null | Some id -> J.Str id);
+          ("code", J.Str (P.reject_code_to_string code));
+          ("message", J.Str message);
+        ]);
+  Mutex.lock t.rejects_lock;
+  let kept =
+    List.filteri (fun i _ -> i < recent_rejects_kept - 1) !(t.recent_rejects)
+  in
+  t.recent_rejects := (xid, code, message) :: kept;
+  Mutex.unlock t.rejects_lock
+
 let handle_line t line =
   Obs.Metrics.incr m_requests;
+  Obs.Metrics.gauge_add g_in_flight 1;
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.gauge_add g_in_flight (-1))
+  @@ fun () ->
+  let reply_version = ref P.version in
   let reply =
     if String.length line > t.config.max_request_bytes then
       `Reply
@@ -425,28 +604,48 @@ let handle_line t line =
               (String.length line) t.config.max_request_bytes)
            [])
     else
-      match P.decode_request line with
+      match P.decode_request_v line with
       | Error msg -> `Reply (reject P.Parse msg [])
-      | Ok req ->
-        Obs.Tracer.with_span "serve.request"
-          ~attrs:(fun () -> [ ("op", op_of_request req) ])
-          (fun () ->
-             try handle_request t req with
-             | Rejected r -> `Reply r
-             | e ->
-               let id =
-                 match req with
-                 | P.Analyze q -> q.id
-                 | P.Ping id | P.Metrics_req id | P.Stats_req id
-                 | P.Shutdown id -> id
-               in
-               `Reply (reject ~id P.Internal (Printexc.to_string e) []))
+      | Ok (req, v) ->
+        reply_version := v;
+        let run () =
+          Obs.Tracer.with_span "serve.request"
+            ~attrs:(fun () ->
+                ("op", op_of_request req)
+                ::
+                (match req with
+                 | P.Analyze { trace = Some tr; _ } ->
+                   [ ("parent", tr.P.parent_span) ]
+                 | _ -> []))
+            (fun () ->
+               try handle_request t req with
+               | Rejected r -> `Reply r
+               | e ->
+                 let id =
+                   match req with
+                   | P.Analyze q -> q.id
+                   | P.Ping id | P.Metrics_req id | P.Stats_req id
+                   | P.Shutdown id -> id
+                 in
+                 Obs.Log.error "serve.internal"
+                   ~fields:(fun () ->
+                       [ ("id", J.Str id);
+                         ("exn", J.Str (Printexc.to_string e)) ]);
+                 `Reply (reject ~id P.Internal (Printexc.to_string e) []))
+        in
+        (* adopt the requester's trace id for the whole handling, so
+           daemon spans (and the pool workers they fan out to) join the
+           client's trace *)
+        (match req with
+         | P.Analyze { trace = Some tr; _ } ->
+           Obs.Tracer.with_trace tr.P.trace_id run
+         | _ -> run ())
   in
   (match reply with
-   | `Reply (P.Reject _) ->
-     Atomic.incr t.rejected;
-     Obs.Metrics.incr m_rejects
+   | `Reply (P.Reject { xid; code; message; _ }) ->
+     record_reject t xid code message
    | _ -> ());
+  let version = !reply_version in
   match reply with
-  | `Reply r -> `Reply (P.encode_response r)
-  | `Stop r -> `Stop (P.encode_response r)
+  | `Reply r -> `Reply (P.encode_response ~version r)
+  | `Stop r -> `Stop (P.encode_response ~version r)

@@ -47,9 +47,19 @@ type stats = {
 val stats : t -> stats
 
 val digest : Protocol.analyze -> string
-(** The query's content address (hex): the encoded request with the
-    correlation id blanked, so identical analyses share one cache entry
-    regardless of id. *)
+(** The query's content address (hex): the {e v1} encoding of the
+    request with the correlation id and trace context blanked, so
+    identical analyses share one cache entry regardless of id or
+    tracing, and addresses minted before the protocol v2 bump still
+    resolve. *)
+
+val stats_payload : t -> Obs.Json.t
+(** The rich introspection object carried by v2 stats replies: uptime,
+    in-flight gauge, engine counters, per-cache occupancy and hit/miss
+    splits, audit verdict totals, per-stage latency histograms, recent
+    rejects and a Prometheus text exposition. All sections except
+    [uptime_s], [in_flight], [stages] and [prometheus] are
+    jobs-invariant. *)
 
 val analyze : t -> Protocol.analyze -> Protocol.response
 (** The full admission → dispatch → cache pipeline for one query. *)

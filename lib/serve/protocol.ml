@@ -1,6 +1,13 @@
 module J = Obs.Json
 
-let version = 1
+(* v2 adds the optional trace context on analyze requests and the rich
+   payload on stats replies. v1 lines still decode (the new fields
+   default), and encoders can render any message in either version —
+   the daemon answers in the version the request arrived with, and the
+   engine's content digest pins the v1 rendering so cache keys survived
+   the bump. *)
+let version = 2
+let min_version = 1
 
 (* --- request types ------------------------------------------------------ *)
 
@@ -25,6 +32,8 @@ type contender_spec =
   | Con_level of { level : Workload.Load_gen.level; core : int }
   | Con_inline of { ccore : int; cprogram : program_spec }
 
+type span_ref = { trace_id : string; parent_span : string }
+
 type analyze = {
   id : string;
   scenario : string;
@@ -32,6 +41,7 @@ type analyze = {
   contenders : contender_spec list;
   models : model list;
   observed : bool;
+  trace : span_ref option;
 }
 
 type request =
@@ -98,7 +108,7 @@ type response =
     }
   | Pong of string
   | Metrics_reply of { mid : string; metrics : J.t }
-  | Stats_reply of { sid : string; stats : (string * int) list }
+  | Stats_reply of { sid : string; stats : (string * int) list; payload : J.t }
   | Shutdown_ack of string
 
 (* --- encoding ----------------------------------------------------------- *)
@@ -179,7 +189,10 @@ let json_of_diag (d : Analysis.Diag.t) =
       ("equation", match d.equation with None -> J.Null | Some e -> J.Str e);
     ]
 
-let request_to_json = function
+let json_of_span_ref { trace_id; parent_span } =
+  J.Obj [ ("id", J.Str trace_id); ("parent", J.Str parent_span) ]
+
+let request_to_json ?(version = version) = function
   | Ping id -> J.Obj [ ("v", J.Int version); ("op", J.Str "ping"); ("id", J.Str id) ]
   | Metrics_req id ->
     J.Obj [ ("v", J.Int version); ("op", J.Str "metrics"); ("id", J.Str id) ]
@@ -189,7 +202,7 @@ let request_to_json = function
     J.Obj [ ("v", J.Int version); ("op", J.Str "shutdown"); ("id", J.Str id) ]
   | Analyze q ->
     J.Obj
-      [
+      ([
         ("v", J.Int version);
         ("op", J.Str "analyze");
         ("id", J.Str q.id);
@@ -200,10 +213,16 @@ let request_to_json = function
           J.List (List.map (fun m -> J.Str (model_to_string m)) q.models) );
         ("observed", J.Bool q.observed);
       ]
+       @
+       (* the trace context is a v2 field; a v1 rendering drops it, which
+          is also what keeps the engine's content digest stable *)
+       match q.trace with
+       | Some t when version >= 2 -> [ ("trace", json_of_span_ref t) ]
+       | _ -> [])
 
-let encode_request r = J.to_string (request_to_json r)
+let encode_request ?version r = J.to_string (request_to_json ?version r)
 
-let response_to_json = function
+let response_to_json ?(version = version) = function
   | Result { rid; cache; wall_us; result } ->
     J.Obj
       [
@@ -232,17 +251,18 @@ let response_to_json = function
     J.Obj
       [ ("v", J.Int version); ("op", J.Str "metrics"); ("status", J.Str "ok");
         ("id", J.Str mid); ("metrics", metrics) ]
-  | Stats_reply { sid; stats } ->
+  | Stats_reply { sid; stats; payload } ->
     J.Obj
-      [ ("v", J.Int version); ("op", J.Str "stats"); ("status", J.Str "ok");
-        ("id", J.Str sid);
-        ("stats", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) stats)) ]
+      ([ ("v", J.Int version); ("op", J.Str "stats"); ("status", J.Str "ok");
+         ("id", J.Str sid);
+         ("stats", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) stats)) ]
+       @ if version >= 2 then [ ("payload", payload) ] else [])
   | Shutdown_ack id ->
     J.Obj
       [ ("v", J.Int version); ("op", J.Str "shutdown"); ("status", J.Str "ok");
         ("id", J.Str id) ]
 
-let encode_response r = J.to_string (response_to_json r)
+let encode_response ?version r = J.to_string (response_to_json ?version r)
 
 (* --- decoding ----------------------------------------------------------- *)
 
@@ -415,9 +435,14 @@ let diag_of_json j =
   in
   Ok { Analysis.Diag.severity; rule; path; message; equation }
 
+let span_ref_of_json j =
+  let* trace_id = str_field "id" j in
+  let* parent_span = str_field "parent" j in
+  Ok { trace_id; parent_span }
+
 let checked_version j =
   match J.member "v" j with
-  | Some (J.Int v) when v = version -> Ok ()
+  | Some (J.Int v) when v >= min_version && v <= version -> Ok v
   | Some (J.Int v) -> fail "unsupported protocol version %d" v
   | _ -> fail "missing or non-integer field \"v\""
 
@@ -425,52 +450,65 @@ let parse_line line =
   match J.parse line with
   | Error e -> fail "malformed JSON: %s" e
   | Ok j ->
-    let* () = checked_version j in
+    let* v = checked_version j in
     let* op = str_field "op" j in
-    Ok (op, j)
+    Ok (op, j, v)
 
-let decode_request line =
-  let* op, j = parse_line line in
-  match op with
-  | "ping" ->
-    let* id = str_field "id" j in
-    Ok (Ping id)
-  | "metrics" ->
-    let* id = str_field "id" j in
-    Ok (Metrics_req id)
-  | "stats" ->
-    let* id = str_field "id" j in
-    Ok (Stats_req id)
-  | "shutdown" ->
-    let* id = str_field "id" j in
-    Ok (Shutdown id)
-  | "analyze" ->
-    let* id = str_field "id" j in
-    let* scenario = str_field "scenario" j in
-    let* app =
-      match J.member "app" j with
-      | Some a -> app_of_json a
-      | None -> fail "missing field \"app\""
-    in
-    let* contenders = list_field "contenders" j in
-    let* contenders = map_r contender_of_json contenders in
-    let* models = list_field "models" j in
-    let* models =
-      map_r
-        (function
-          | J.Str s ->
-            (match model_of_string s with
-             | Some m -> Ok m
-             | None -> fail "unknown model %S" s)
-          | _ -> fail "non-string model name")
-        models
-    in
-    let* observed = bool_field "observed" j in
-    Ok (Analyze { id; scenario; app; contenders; models; observed })
-  | other -> fail "unknown request op %S" other
+let decode_request_v line =
+  let* op, j, v = parse_line line in
+  let* req =
+    match op with
+    | "ping" ->
+      let* id = str_field "id" j in
+      Ok (Ping id)
+    | "metrics" ->
+      let* id = str_field "id" j in
+      Ok (Metrics_req id)
+    | "stats" ->
+      let* id = str_field "id" j in
+      Ok (Stats_req id)
+    | "shutdown" ->
+      let* id = str_field "id" j in
+      Ok (Shutdown id)
+    | "analyze" ->
+      let* id = str_field "id" j in
+      let* scenario = str_field "scenario" j in
+      let* app =
+        match J.member "app" j with
+        | Some a -> app_of_json a
+        | None -> fail "missing field \"app\""
+      in
+      let* contenders = list_field "contenders" j in
+      let* contenders = map_r contender_of_json contenders in
+      let* models = list_field "models" j in
+      let* models =
+        map_r
+          (function
+            | J.Str s ->
+              (match model_of_string s with
+               | Some m -> Ok m
+               | None -> fail "unknown model %S" s)
+            | _ -> fail "non-string model name")
+          models
+      in
+      let* observed = bool_field "observed" j in
+      let* trace =
+        match J.member "trace" j with
+        | None | Some J.Null -> Ok None
+        | Some tj when v >= 2 ->
+          let* t = span_ref_of_json tj in
+          Ok (Some t)
+        | Some _ -> fail "field \"trace\" requires protocol version >= 2"
+      in
+      Ok (Analyze { id; scenario; app; contenders; models; observed; trace })
+    | other -> fail "unknown request op %S" other
+  in
+  Ok (req, v)
+
+let decode_request line = Result.map fst (decode_request_v line)
 
 let decode_response line =
-  let* op, j = parse_line line in
+  let* op, j, _v = parse_line line in
   match op with
   | "pong" ->
     let* id = str_field "id" j in
@@ -496,7 +534,10 @@ let decode_response line =
           | (k, _) -> fail "non-integer stat %S" k)
         stats
     in
-    Ok (Stats_reply { sid; stats })
+    let payload =
+      match J.member "payload" j with Some p -> p | None -> J.Null
+    in
+    Ok (Stats_reply { sid; stats; payload })
   | "result" ->
     let* rid = str_field "id" j in
     let* cache = str_field "cache" j in

@@ -12,9 +12,22 @@
       structured diagnostic instead of crashing;
     - encode/decode are exact inverses on well-formed values (a QCheck
       property in [test_serve] pins this), which is what lets responses
-      be byte-compared across processes and parallel degrees. *)
+      be byte-compared across processes and parallel degrees.
+
+    {b Versioning.} The current version is 2; lines from {!min_version}
+    up still decode, with the newer fields (the analyze trace context,
+    the stats payload) defaulting. Encoders take an optional [?version]
+    so the daemon can answer a v1 client with a v1 line — and so the
+    engine's content digest can pin the v1 rendering, keeping cache
+    addresses stable across the bump. *)
 
 (** {1 Requests} *)
+
+val version : int
+(** The version new encodings carry by default (2). *)
+
+val min_version : int
+(** The oldest version {!decode_request}/{!decode_response} accept (1). *)
 
 type model = Ideal | Ftc | Ilp_ptac
 
@@ -38,6 +51,13 @@ type contender_spec =
           distinct cores never share SRI lines *)
   | Con_inline of { ccore : int; cprogram : program_spec }
 
+type span_ref = { trace_id : string; parent_span : string }
+(** A reference into the requester's trace: the daemon adopts
+    [trace_id] as the ambient {!Obs.Tracer} trace id while handling the
+    request, so client and server spans share one id and stitch into a
+    single tree; [parent_span] names the client span the daemon's
+    [serve.request] span logically nests under. *)
+
 type analyze = {
   id : string;  (** echoed verbatim in the response, for correlation *)
   scenario : string;  (** resolved via {!Platform.Scenario.find} *)
@@ -45,6 +65,8 @@ type analyze = {
   contenders : contender_spec list;
   models : model list;  (** bounds to compute, in response order *)
   observed : bool;  (** also run the actual co-run and report its cycles *)
+  trace : span_ref option;
+      (** v2: propagated trace context; ignored by the content digest *)
 }
 
 type request =
@@ -93,15 +115,29 @@ type response =
     }
   | Pong of string
   | Metrics_reply of { mid : string; metrics : Obs.Json.t }
-  | Stats_reply of { sid : string; stats : (string * int) list }
+  | Stats_reply of {
+      sid : string;
+      stats : (string * int) list;  (** the flat v1 counters, kept as-is *)
+      payload : Obs.Json.t;
+          (** v2: rich introspection (uptime, stage histograms, cache hit
+              rates, recent rejects, Prometheus exposition); [Null] on v1
+              lines *)
+    }
   | Shutdown_ack of string
 
 (** {1 Codec} *)
 
-val encode_request : request -> string
+val encode_request : ?version:int -> request -> string
+(** Renders at the given version (default {!version}); v1 drops the v2
+    fields and is byte-identical to what a v1 build emitted. *)
+
 val decode_request : string -> (request, string) result
 
-val encode_response : response -> string
+val decode_request_v : string -> (request * int, string) result
+(** Also returns the version the line carried, so the daemon can answer
+    in kind. *)
+
+val encode_response : ?version:int -> response -> string
 val decode_response : string -> (response, string) result
 
 val result_to_json : analyze_result -> Obs.Json.t

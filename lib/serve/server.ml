@@ -6,6 +6,10 @@ let pp_addr fmt = function
 
 let m_connections = Obs.Metrics.counter "serve.connections"
 
+module J = Obs.Json
+
+let addr_string addr = Format.asprintf "%a" pp_addr addr
+
 let sockaddr_of = function
   | Unix_path p -> Unix.ADDR_UNIX p
   | Tcp { host; port } ->
@@ -18,6 +22,7 @@ let handle_connection engine stop fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   Obs.Metrics.incr m_connections;
+  Obs.Log.debug "serve.connection";
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> ()
@@ -37,7 +42,12 @@ let handle_connection engine stop fd =
         if continue then loop ()
       end
   in
-  (try loop () with _ -> ());
+  (try loop ()
+   with e ->
+     (* the daemon never dies with a client, but the failure is no
+        longer silent *)
+     Obs.Log.warn "serve.connection_error"
+       ~fields:(fun () -> [ ("exn", J.Str (Printexc.to_string e)) ]));
   (try Unix.close fd with _ -> ())
 
 let serve ~engine ~addr ?(backlog = 16) ?(stop = Atomic.make false)
@@ -54,6 +64,8 @@ let serve ~engine ~addr ?(backlog = 16) ?(stop = Atomic.make false)
    | _ -> ());
   Unix.bind sock sockaddr;
   Unix.listen sock backlog;
+  Obs.Log.info "serve.listening"
+    ~fields:(fun () -> [ ("addr", J.Str (addr_string addr)) ]);
   (match on_ready with Some f -> f addr | None -> ());
   let threads = ref [] in
   let rec accept_loop () =
@@ -74,6 +86,8 @@ let serve ~engine ~addr ?(backlog = 16) ?(stop = Atomic.make false)
     ~finally:(fun () ->
         (try Unix.close sock with _ -> ());
         List.iter Thread.join !threads;
+        Obs.Log.info "serve.stopped"
+          ~fields:(fun () -> [ ("addr", J.Str (addr_string addr)) ]);
         match addr with
         | Unix_path p -> ( try Unix.unlink p with _ -> ())
         | Tcp _ -> ())

@@ -192,6 +192,394 @@ let test_aggregate () =
   Alcotest.(check bool) "mean <= max" true
     (hot.Obs.Tracer.mean_us <= hot.Obs.Tracer.max_us +. 1e-9)
 
+(* --- golden helpers -------------------------------------------------------- *)
+
+(* [AURIX_GEN_GOLDEN=<dir> ./test_obs.exe] rewrites the observability
+   fixtures instead of checking them, mirroring test_serve. *)
+let golden_check ~name got =
+  match Sys.getenv_opt "AURIX_GEN_GOLDEN" with
+  | Some dir ->
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc got;
+    close_out oc
+  | None ->
+    let ic = open_in (Filename.concat "golden" name) in
+    let want =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Alcotest.(check string) (name ^ " matches fixture") want got
+
+(* --- trace context ---------------------------------------------------------- *)
+
+let test_with_trace_scoping () =
+  Alcotest.(check string) "no ambient trace" "" (Obs.Tracer.current_trace ());
+  let seen =
+    Obs.Tracer.with_trace "outer-id" (fun () ->
+        let outer = Obs.Tracer.current_trace () in
+        let inner = Obs.Tracer.with_trace "inner-id" Obs.Tracer.current_trace in
+        (outer, inner, Obs.Tracer.current_trace ()))
+  in
+  Alcotest.(check (triple string string string))
+    "nested ids install and restore" ("outer-id", "inner-id", "outer-id") seen;
+  Alcotest.(check string) "restored outside" "" (Obs.Tracer.current_trace ());
+  (match Obs.Tracer.with_trace "boom-id" (fun () -> failwith "boom") with
+   | _ -> Alcotest.fail "expected Failure"
+   | exception Failure _ -> ());
+  Alcotest.(check string) "restored after a raise" ""
+    (Obs.Tracer.current_trace ())
+
+let test_instant_events () =
+  Obs.Tracer.enable ~capacity:16 ();
+  Fun.protect ~finally:Obs.Tracer.disable @@ fun () ->
+  Obs.Tracer.with_trace "trace-i" (fun () ->
+      Obs.Tracer.with_span "host" (fun () ->
+          Obs.Tracer.instant "cache.solve.hit"
+            ~attrs:(fun () -> [ ("key", "k") ])));
+  match Obs.Tracer.events () with
+  | [ inst; host ] ->
+    (* the instant is recorded immediately, the span at its end *)
+    Alcotest.(check string) "instant name" "cache.solve.hit"
+      inst.Obs.Tracer.name;
+    Alcotest.(check bool) "instant kind" true
+      (inst.Obs.Tracer.kind = Obs.Tracer.Instant);
+    Alcotest.(check (float 0.)) "instants have no duration" 0.
+      inst.Obs.Tracer.dur_us;
+    Alcotest.(check string) "instant carries the ambient trace" "trace-i"
+      inst.Obs.Tracer.trace;
+    Alcotest.(check int) "instant nests under the open span" 1
+      inst.Obs.Tracer.depth;
+    Alcotest.(check (list (pair string string))) "instant attrs"
+      [ ("key", "k") ] inst.Obs.Tracer.attrs;
+    Alcotest.(check bool) "host is a span" true
+      (host.Obs.Tracer.kind = Obs.Tracer.Span);
+    Alcotest.(check string) "span carries the ambient trace too" "trace-i"
+      host.Obs.Tracer.trace
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_trace_propagates_to_pool () =
+  Obs.Tracer.enable ~capacity:256 ();
+  Fun.protect ~finally:Obs.Tracer.disable @@ fun () ->
+  let inputs = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let results =
+    Obs.Tracer.with_trace "pool-trace" (fun () ->
+        Runtime.Pool.map ~jobs:4
+          (fun i -> Obs.Tracer.with_span "pool.work" (fun () -> 2 * i))
+          inputs)
+  in
+  Alcotest.(check (list int)) "results in order" (List.map (( * ) 2) inputs)
+    results;
+  let works =
+    List.filter
+      (fun e -> e.Obs.Tracer.name = "pool.work")
+      (Obs.Tracer.events ())
+  in
+  Alcotest.(check int) "one span per task" (List.length inputs)
+    (List.length works);
+  List.iter
+    (fun e ->
+       Alcotest.(check string) "worker span joins the submitter's trace"
+         "pool-trace" e.Obs.Tracer.trace)
+    works
+
+let test_trace_dropped_metric () =
+  Obs.Metrics.reset ();
+  Obs.Tracer.enable ~capacity:2 ();
+  Fun.protect ~finally:Obs.Tracer.disable @@ fun () ->
+  for i = 1 to 5 do
+    Obs.Tracer.with_span (Printf.sprintf "d%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "ring evictions" 3 (Obs.Tracer.dropped ());
+  Alcotest.(check int) "mirrored on obs.trace.dropped" 3
+    (Obs.Metrics.value (Obs.Metrics.counter "obs.trace.dropped"))
+
+(* --- log -------------------------------------------------------------------- *)
+
+let reset_log () =
+  Obs.Log.set_level Obs.Log.Info;
+  Obs.Log.set_capacity 4096
+
+let test_log_level_gating () =
+  Obs.Log.set_capacity 64;
+  Fun.protect ~finally:reset_log @@ fun () ->
+  Obs.Log.set_level Obs.Log.Warn;
+  let ran = ref false in
+  let spy () =
+    ran := true;
+    [ ("k", Obs.Json.Int 1) ]
+  in
+  Obs.Log.debug "below.threshold" ~fields:spy;
+  Obs.Log.info "below.threshold.too" ~fields:spy;
+  Alcotest.(check bool) "fields thunk not run below threshold" false !ran;
+  Alcotest.(check int) "nothing admitted" 0
+    (List.length (Obs.Log.entries ()));
+  Obs.Log.warn "at.threshold" ~fields:spy;
+  Alcotest.(check bool) "thunk runs when admitted" true !ran;
+  match Obs.Log.entries () with
+  | [ e ] ->
+    Alcotest.(check string) "event" "at.threshold" e.Obs.Log.event;
+    Alcotest.(check bool) "level" true (e.Obs.Log.level = Obs.Log.Warn);
+    Alcotest.(check bool) "fields kept" true
+      (e.Obs.Log.fields = [ ("k", Obs.Json.Int 1) ])
+  | es -> Alcotest.failf "expected 1 entry, got %d" (List.length es)
+
+let test_log_ring_drop () =
+  Obs.Metrics.reset ();
+  Obs.Log.set_capacity 4;
+  Fun.protect ~finally:reset_log @@ fun () ->
+  for i = 1 to 10 do
+    Obs.Log.info (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check (list string)) "newest four retained, oldest first"
+    [ "e7"; "e8"; "e9"; "e10" ]
+    (List.map (fun e -> e.Obs.Log.event) (Obs.Log.entries ()));
+  Alcotest.(check int) "drops counted" 6 (Obs.Log.dropped ());
+  Alcotest.(check int) "mirrored on obs.log.dropped" 6
+    (Obs.Metrics.value (Obs.Metrics.counter "obs.log.dropped"));
+  Alcotest.(check (list int)) "sequence numbers stay global" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Obs.Log.seq) (Obs.Log.entries ()))
+
+let test_log_trace_correlation () =
+  Obs.Log.set_capacity 16;
+  Fun.protect ~finally:reset_log @@ fun () ->
+  Obs.Tracer.with_trace "corr-1" (fun () -> Obs.Log.info "inside");
+  Obs.Log.info "outside";
+  match Obs.Log.entries () with
+  | [ a; b ] ->
+    Alcotest.(check string) "entry under with_trace is stamped" "corr-1"
+      a.Obs.Log.trace;
+    Alcotest.(check string) "entry outside is blank" "" b.Obs.Log.trace
+  | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es)
+
+let test_log_sink_mirror () =
+  Obs.Log.set_capacity 16;
+  let path = Filename.temp_file "aurix-log" ".jsonl" in
+  let oc = open_out path in
+  Obs.Log.set_sink_channel (Some oc);
+  Fun.protect
+    ~finally:(fun () ->
+        Obs.Log.set_sink_channel None;
+        close_out_noerr oc;
+        (try Sys.remove path with _ -> ());
+        reset_log ())
+  @@ fun () ->
+  Obs.Log.info "sink.one" ~fields:(fun () -> [ ("n", Obs.Json.Int 1) ]);
+  Obs.Log.info "sink.two";
+  let ic = open_in path in
+  let mirrored =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Alcotest.(check string) "sink mirrors the ring line for line"
+    (Obs.Log.to_jsonl ()) mirrored
+
+let test_log_golden () =
+  Obs.Log.set_capacity 64;
+  let tick = ref 0 in
+  Obs.Log.set_clock (fun () ->
+      incr tick;
+      1700000000. +. (float_of_int !tick /. 8.));
+  Fun.protect
+    ~finally:(fun () ->
+        Obs.Log.reset_clock ();
+        reset_log ())
+  @@ fun () ->
+  Obs.Log.set_level Obs.Log.Debug;
+  Obs.Tracer.with_trace "0123456789abcdef" (fun () ->
+      Obs.Log.info "serve.listening"
+        ~fields:(fun () -> [ ("port", Obs.Json.Int 7040) ]);
+      Obs.Log.debug "cache.query"
+        ~fields:(fun () -> [ ("outcome", Obs.Json.Str "memory_hit") ]));
+  Obs.Log.warn "disk.quarantine"
+    ~fields:(fun () ->
+        [ ("ns", Obs.Json.Str "solve"); ("key", Obs.Json.Str "abc123") ]);
+  Obs.Log.error "serve.connection_error"
+    ~fields:(fun () -> [ ("exn", Obs.Json.Str "End_of_file") ]);
+  golden_check ~name:"obs_log_golden.jsonl" (Obs.Log.to_jsonl ())
+
+(* --- metrics exposition ------------------------------------------------------ *)
+
+let test_deterministic_snapshot_sorted () =
+  Obs.Metrics.reset ();
+  (* registered out of order on purpose; histograms must stay excluded *)
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram ~buckets:[| 1. |] "test.det.hist") 0.5;
+  Obs.Metrics.add (Obs.Metrics.counter "test.det.z") 2;
+  Obs.Metrics.add (Obs.Metrics.counter "test.det.a") 1;
+  Obs.Metrics.set (Obs.Metrics.gauge "test.det.m") 9;
+  let snap = Obs.Metrics.deterministic_snapshot () in
+  let keys = List.map fst snap in
+  Alcotest.(check (list string)) "keys are name-sorted"
+    (List.sort compare keys) keys;
+  let ours =
+    List.filter (fun (k, _) -> String.length k >= 9 && String.sub k 0 9 = "test.det.")
+      snap
+  in
+  Alcotest.(check (list (pair string int))) "pinned subset, sorted"
+    [ ("test.det.a", 1); ("test.det.m", 9); ("test.det.z", 2) ]
+    ours
+
+let test_prometheus_format () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.add (Obs.Metrics.counter "test.prom.requests") 5;
+  Obs.Metrics.set (Obs.Metrics.gauge "test.prom.in_flight") 2;
+  let h = Obs.Metrics.histogram ~buckets:[| 0.1; 1. |] "test.prom.latency_s" in
+  (* binary-exact observations so the rendered sum is stable *)
+  List.iter (Obs.Metrics.observe h) [ 0.0625; 0.5; 5. ];
+  let text = Obs.Metrics.to_prometheus () in
+  let has needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec go i =
+      i + nl <= hl && (String.sub text i nl = needle || go (i + 1))
+    in
+    if not (go 0) then Alcotest.failf "exposition misses %S" needle
+  in
+  has "# TYPE aurix_test_prom_requests counter\naurix_test_prom_requests 5\n";
+  has "# TYPE aurix_test_prom_in_flight gauge\naurix_test_prom_in_flight 2\n";
+  has "# TYPE aurix_test_prom_latency_s histogram\n";
+  has "aurix_test_prom_latency_s_bucket{le=\"0.1\"} 1\n";
+  has "aurix_test_prom_latency_s_bucket{le=\"1\"} 2\n";
+  has "aurix_test_prom_latency_s_bucket{le=\"+Inf\"} 3\n";
+  has "aurix_test_prom_latency_s_sum 5.5625\n";
+  has "aurix_test_prom_latency_s_count 3\n"
+
+(* --- trace analyzer ---------------------------------------------------------- *)
+
+(* Hand-written two-process request: a client span and a daemon span
+   tree sharing trace id tr-1, plus a second daemon-only request tr-2.
+   Integer µs timestamps keep every derived number exact, so the
+   analyzer report is pinned byte-for-byte as a golden fixture. *)
+let client_trace_fixture =
+  {|{"traceEvents": [
+  {"name": "client.rpc", "ph": "X", "ts": 50, "dur": 750, "pid": 1, "tid": 0,
+   "args": {"trace": "tr-1", "op": "analyze"}}
+]}
+|}
+
+let daemon_trace_fixture =
+  {|{"traceEvents": [
+  {"name": "serve.request", "ph": "X", "ts": 100, "dur": 800, "pid": 2, "tid": 0,
+   "args": {"trace": "tr-1", "op": "analyze"}},
+  {"name": "serve.stage.lint", "ph": "X", "ts": 120, "dur": 50, "pid": 2, "tid": 0,
+   "args": {"trace": "tr-1"}},
+  {"name": "serve.stage.bounds", "ph": "X", "ts": 180, "dur": 300, "pid": 2, "tid": 0,
+   "args": {"trace": "tr-1"}},
+  {"name": "cache.solve.miss", "ph": "i", "ts": 200, "s": "t", "pid": 2, "tid": 0,
+   "args": {"trace": "tr-1"}},
+  {"name": "disk.hit", "ph": "i", "ts": 210, "s": "t", "pid": 2, "tid": 0,
+   "args": {"trace": "tr-1"}},
+  {"name": "serve.stage.isolation", "ph": "X", "ts": 500, "dur": 200, "pid": 2, "tid": 0,
+   "args": {"trace": "tr-1"}},
+  {"name": "serve.request", "ph": "X", "ts": 1000, "dur": 100, "pid": 2, "tid": 0,
+   "args": {"trace": "tr-2", "op": "analyze"}}
+]}
+|}
+
+let analyze_fixture () =
+  match
+    Obs.Trace_analyzer.of_strings
+      [ ("client", client_trace_fixture); ("daemon", daemon_trace_fixture) ]
+  with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "fixture does not analyze: %s" e
+
+let test_analyzer_forest () =
+  let t = analyze_fixture () in
+  Alcotest.(check (list (pair int string))) "one process per input file"
+    [ (1, "client"); (2, "daemon") ]
+    t.Obs.Trace_analyzer.processes;
+  Alcotest.(check int) "spans" 6 (List.length t.Obs.Trace_analyzer.spans);
+  Alcotest.(check int) "instants" 2 (List.length t.Obs.Trace_analyzer.instants);
+  Alcotest.(check (list string)) "critical path follows the slowest children"
+    [ "serve.request"; "serve.stage.bounds" ]
+    (List.map
+       (fun n -> n.Obs.Trace_analyzer.name)
+       (Obs.Trace_analyzer.critical_path t));
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "requests sorted slowest first"
+    [ ("serve.request", 800.); ("client.rpc", 750.); ("serve.request", 100.) ]
+    (List.map
+       (fun n -> (n.Obs.Trace_analyzer.name, n.Obs.Trace_analyzer.dur))
+       (Obs.Trace_analyzer.requests t))
+
+let test_analyzer_stages () =
+  let t = analyze_fixture () in
+  Alcotest.(check (list (triple string int (float 1e-9))))
+    "per-stage self time sums to traced wall time"
+    [
+      ("client", 1, 750.);
+      ("serve", 2, 350.);
+      ("solve", 1, 300.);
+      ("sim", 1, 200.);
+      ("lint", 1, 50.);
+    ]
+    (List.map
+       (fun s ->
+          Obs.Trace_analyzer.
+            (s.stage, s.stage_spans, s.stage_self_us))
+       (Obs.Trace_analyzer.stages t))
+
+let test_analyzer_caches () =
+  let t = analyze_fixture () in
+  match Obs.Trace_analyzer.caches t with
+  | [ disk; solve ] ->
+    Alcotest.(check string) "disk cache" "disk" disk.Obs.Trace_analyzer.cache;
+    Alcotest.(check (list (pair string int))) "disk outcomes"
+      [ ("hit", 1) ] disk.Obs.Trace_analyzer.outcomes;
+    Alcotest.(check (option (float 1e-9))) "disk hit rate" (Some 1.)
+      disk.Obs.Trace_analyzer.hit_rate;
+    Alcotest.(check string) "solve cache" "solve" solve.Obs.Trace_analyzer.cache;
+    Alcotest.(check (list (pair string int))) "solve outcomes"
+      [ ("miss", 1) ] solve.Obs.Trace_analyzer.outcomes;
+    Alcotest.(check (option (float 1e-9))) "solve hit rate" (Some 0.)
+      solve.Obs.Trace_analyzer.hit_rate
+  | cs -> Alcotest.failf "expected 2 caches, got %d" (List.length cs)
+
+let test_analyzer_traces_connect () =
+  let t = analyze_fixture () in
+  match Obs.Trace_analyzer.traces t with
+  | [ tr1; tr2 ] ->
+    Alcotest.(check string) "request trace id" "tr-1"
+      tr1.Obs.Trace_analyzer.trace_id;
+    Alcotest.(check (list int)) "tr-1 connects client and daemon" [ 1; 2 ]
+      tr1.Obs.Trace_analyzer.pids;
+    Alcotest.(check int) "tr-1 spans" 5 tr1.Obs.Trace_analyzer.trace_spans;
+    Alcotest.(check (float 1e-9)) "tr-1 self time" 1550.
+      tr1.Obs.Trace_analyzer.trace_total_us;
+    Alcotest.(check string) "second trace id" "tr-2"
+      tr2.Obs.Trace_analyzer.trace_id;
+    Alcotest.(check (list int)) "tr-2 stays daemon-only" [ 2 ]
+      tr2.Obs.Trace_analyzer.pids
+  | ts -> Alcotest.failf "expected 2 traces, got %d" (List.length ts)
+
+let test_analyzer_rejects_garbage () =
+  (match Obs.Trace_analyzer.of_string "{not json" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "malformed JSON accepted");
+  match Obs.Trace_analyzer.of_string "{\"events\": []}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing traceEvents accepted"
+
+let test_analyzer_golden () =
+  (* the fixture files and the pinned report regenerate together *)
+  golden_check ~name:"obs_trace_client.json" client_trace_fixture;
+  golden_check ~name:"obs_trace_daemon.json" daemon_trace_fixture;
+  let t = analyze_fixture () in
+  let report = Obs.Trace_analyzer.report_string ~top:5 t in
+  (let has needle =
+     let nl = String.length needle and hl = String.length report in
+     let rec go i =
+       i + nl <= hl && (String.sub report i nl = needle || go (i + 1))
+     in
+     if not (go 0) then Alcotest.failf "report misses %S" needle
+   in
+   has "critical path:";
+   has "stage breakdown";
+   has "cache effectiveness:");
+  golden_check ~name:"obs_trace_report.txt" (report ^ "\n")
+
 (* --- jobs invariance ------------------------------------------------------- *)
 
 let knapsack ~capacity ~flipped () =
@@ -265,6 +653,48 @@ let () =
           Alcotest.test_case "chrome trace round-trips" `Quick
             test_chrome_trace_roundtrip;
           Alcotest.test_case "per-span aggregation" `Quick test_aggregate;
+        ] );
+      ( "trace context",
+        [
+          Alcotest.test_case "with_trace scoping" `Quick
+            test_with_trace_scoping;
+          Alcotest.test_case "instant events" `Quick test_instant_events;
+          Alcotest.test_case "trace id crosses pool workers" `Quick
+            test_trace_propagates_to_pool;
+          Alcotest.test_case "obs.trace.dropped mirrors evictions" `Quick
+            test_trace_dropped_metric;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "threshold gates unrendered" `Quick
+            test_log_level_gating;
+          Alcotest.test_case "ring drops oldest and counts" `Quick
+            test_log_ring_drop;
+          Alcotest.test_case "entries carry the ambient trace" `Quick
+            test_log_trace_correlation;
+          Alcotest.test_case "sink mirrors the ring" `Quick
+            test_log_sink_mirror;
+          Alcotest.test_case "golden JSONL rendering" `Quick test_log_golden;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "deterministic snapshot sorted and pinned" `Quick
+            test_deterministic_snapshot_sorted;
+          Alcotest.test_case "prometheus text format" `Quick
+            test_prometheus_format;
+        ] );
+      ( "trace analyzer",
+        [
+          Alcotest.test_case "span forest and critical path" `Quick
+            test_analyzer_forest;
+          Alcotest.test_case "stage breakdown" `Quick test_analyzer_stages;
+          Alcotest.test_case "cache effectiveness" `Quick test_analyzer_caches;
+          Alcotest.test_case "trace ids connect processes" `Quick
+            test_analyzer_traces_connect;
+          Alcotest.test_case "garbage inputs rejected" `Quick
+            test_analyzer_rejects_garbage;
+          Alcotest.test_case "golden fixtures and report" `Quick
+            test_analyzer_golden;
         ] );
       ( "determinism",
         [ QCheck_alcotest.to_alcotest jobs_invariant_snapshot ] );

@@ -92,6 +92,7 @@ let golden_query =
     contenders = [ P.Con_level { level = Workload.Load_gen.High; core = 1 } ];
     models = [ P.Ftc; P.Ilp_ptac; P.Ideal ];
     observed = true;
+    trace = None;
   }
 
 (* A contender whose load target is unmapped: the program lint rejects
@@ -120,6 +121,7 @@ let lint_reject_query =
       ];
     models = [ P.Ftc ];
     observed = false;
+    trace = None;
   }
 
 let analyze_line q = P.encode_request (P.Analyze q)
@@ -208,7 +210,13 @@ let gen_analyze =
   in
   let* models = list_size (0 -- 3) gen_model in
   let* observed = bool in
-  return { P.id; scenario; app; contenders; models; observed }
+  let* trace =
+    opt
+      (let* trace_id = gen_id in
+       let* parent_span = gen_id in
+       return { P.trace_id; parent_span })
+  in
+  return { P.id; scenario; app; contenders; models; observed; trace }
 
 let gen_request =
   let open QCheck.Gen in
@@ -281,7 +289,18 @@ let gen_response =
          (P.Metrics_reply { mid; metrics = J.Obj [ ("serve.requests", J.Int n) ] }));
       (let* sid = gen_id in
        let* stats = list_size (0 -- 3) (pair gen_id (0 -- 1000)) in
-       return (P.Stats_reply { sid; stats }));
+       let* payload =
+         oneof
+           [
+             return J.Null;
+             (let* up = 0 -- 10000 in
+              let* infl = 0 -- 16 in
+              return
+                (J.Obj
+                   [ ("uptime_s", J.Int up); ("in_flight", J.Int infl) ]));
+           ]
+       in
+       return (P.Stats_reply { sid; stats; payload }));
       map (fun id -> P.Shutdown_ack id) gen_id;
     ]
 
@@ -367,6 +386,44 @@ let test_golden_lint_reject () =
     Alcotest.(check bool) "decoder matches fixture" true (q = lint_reject_query)
   | _ -> Alcotest.fail "fixture did not decode to the lint-reject query"
 
+(* v1 compatibility: the pre-trace wire format, pinned byte-for-byte.
+   Old clients keep working across the v2 bump — their lines decode,
+   and the v1 renderings of the same messages are unchanged. *)
+let test_v1_compat () =
+  let req = read_golden "serve_request_v1.json" in
+  Alcotest.(check string)
+    "v1 request encoder unchanged" req
+    (P.encode_request ~version:1 (P.Analyze golden_query));
+  (match P.decode_request req with
+   | Ok (P.Analyze q) ->
+     Alcotest.(check bool) "v1 request still decodes" true (q = golden_query)
+   | _ -> Alcotest.fail "v1 request fixture did not decode");
+  let resp = read_golden "serve_response_v1.json" in
+  Alcotest.(check string)
+    "v1 response encoder unchanged" resp
+    (P.encode_response ~version:1 golden_response);
+  Alcotest.(check bool)
+    "v1 response still decodes" true
+    (P.decode_response resp = Ok golden_response);
+  let lint = read_golden "serve_lint_reject_v1.json" in
+  Alcotest.(check string)
+    "v1 lint-reject encoder unchanged" lint
+    (P.encode_request ~version:1 (P.Analyze lint_reject_query));
+  (* a traced request rendered at v1 drops the trace context *)
+  let traced =
+    { golden_query with
+      P.trace = Some { P.trace_id = "feed"; parent_span = "f00d" } }
+  in
+  Alcotest.(check string)
+    "v1 rendering drops the trace"
+    (P.encode_request ~version:1 (P.Analyze golden_query))
+    (P.encode_request ~version:1 (P.Analyze traced));
+  (* while the default (v2) rendering keeps it, round-trip *)
+  match P.decode_request (P.encode_request (P.Analyze traced)) with
+  | Ok (P.Analyze q) ->
+    Alcotest.(check bool) "v2 keeps the trace" true (q = traced)
+  | _ -> Alcotest.fail "traced request did not round-trip"
+
 (* --- stable cache keys and entries -------------------------------------- *)
 
 (* Pinned hex digests: if any of these change, on-disk caches written by
@@ -383,7 +440,14 @@ let test_query_digest_golden () =
   (* the correlation id is excluded: same analysis => same entry *)
   Alcotest.(check string)
     "id does not affect the digest" expected_query_digest
-    (Serve.Engine.digest { golden_query with P.id = "other" })
+    (Serve.Engine.digest { golden_query with P.id = "other" });
+  (* so is the v2 trace context: tracing a request must not fork its
+     cache entry away from the untraced population *)
+  Alcotest.(check string)
+    "trace does not affect the digest" expected_query_digest
+    (Serve.Engine.digest
+       { golden_query with
+         P.trace = Some { P.trace_id = "abc"; parent_span = "def" } })
 
 let tiny_program =
   Tcsim.Program.make ~name:"tiny"
@@ -497,7 +561,11 @@ let test_reject_parse () =
       "not json at all";
       "{";
       "{\"v\": 1}";
-      "{\"v\": 2, \"op\": \"ping\", \"id\": \"x\"}";
+      "{\"v\": 3, \"op\": \"ping\", \"id\": \"x\"}";
+      "{\"v\": 1, \"op\": \"analyze\", \"id\": \"x\", \"scenario\": \
+       \"scenario1\", \"app\": \"bundled\", \"contenders\": [], \"models\": \
+       [\"ftc\"], \"observed\": false, \"trace\": {\"id\": \"t\", \
+       \"parent\": \"p\"}}";
       "{\"v\": 1, \"op\": \"frobnicate\", \"id\": \"x\"}";
       "{\"v\": 1, \"op\": \"analyze\", \"id\": \"x\"}";
       "[1, 2, 3]";
@@ -575,6 +643,7 @@ let test_reject_oversize_program () =
             contenders = [];
             models = [ P.Ftc ];
             observed = false;
+            trace = None;
           }))
 
 let test_reject_lint () =
@@ -598,11 +667,14 @@ let test_control_ops () =
    | P.Pong id -> Alcotest.(check string) "pong echoes id" "p7" id
    | _ -> Alcotest.fail "expected pong");
   (match decode_reply (reply_of e (P.encode_request (P.Stats_req "s1"))) with
-   | P.Stats_reply { sid; stats } ->
+   | P.Stats_reply { sid; stats; payload } ->
      Alcotest.(check string) "stats echoes id" "s1" sid;
      Alcotest.(check bool)
        "stats carries served" true
-       (List.mem_assoc "served" stats)
+       (List.mem_assoc "served" stats);
+     Alcotest.(check bool)
+       "v2 stats carries a payload" true
+       (payload <> J.Null)
    | _ -> Alcotest.fail "expected stats");
   (match decode_reply (reply_of e (P.encode_request (P.Metrics_req "m1"))) with
    | P.Metrics_reply { metrics = J.Obj _; _ } -> ()
@@ -887,6 +959,149 @@ let test_certless_entry_upgraded () =
   | Some (_, Some _) -> ()
   | _ -> Alcotest.fail "certless entry was not upgraded to a certified one"
 
+(* --- observability: introspection payload, version echo, tracing ---------- *)
+
+let test_version_echo () =
+  let e = mk_engine () in
+  with_engine e @@ fun () ->
+  (* a v1 request gets a v1 reply... *)
+  let reply = reply_of e (P.encode_request ~version:1 (P.Ping "v")) in
+  (match J.parse reply with
+   | Ok j ->
+     Alcotest.(check bool)
+       "v1 request answered in v1" true
+       (J.member "v" j = Some (J.Int 1))
+   | Error _ -> Alcotest.fail "unparsable reply");
+  (* ...so a v1 stats reply carries no payload member at all *)
+  (match J.parse (reply_of e (P.encode_request ~version:1 (P.Stats_req "s"))) with
+   | Ok j ->
+     Alcotest.(check bool)
+       "no payload on the v1 wire" true
+       (J.member "payload" j = None)
+   | Error _ -> Alcotest.fail "unparsable v1 stats reply");
+  (* while the default (v2) wire carries it *)
+  match J.parse (reply_of e (P.encode_request (P.Stats_req "s"))) with
+  | Ok j ->
+    Alcotest.(check bool)
+      "payload on the v2 wire" true
+      (J.member "payload" j <> None)
+  | Error _ -> Alcotest.fail "unparsable v2 stats reply"
+
+let stats_payload_of e =
+  match decode_reply (reply_of e (P.encode_request (P.Stats_req "sp"))) with
+  | P.Stats_reply { payload; _ } -> payload
+  | other ->
+    Alcotest.failf "expected stats, got %s" (P.encode_response other)
+
+let test_stats_payload_content () =
+  let e = mk_engine () in
+  with_engine e @@ fun () ->
+  ignore (reply_of e (analyze_line { golden_query with P.id = "sp1" }));
+  ignore (expect_reject e ~id:"sp2" P.Invalid
+            (analyze_line { golden_query with P.id = "sp2"; scenario = "nope" }));
+  let payload = stats_payload_of e in
+  List.iter
+    (fun k ->
+       Alcotest.(check bool)
+         (Printf.sprintf "payload has %S" k)
+         true
+         (J.member k payload <> None))
+    [ "uptime_s"; "in_flight"; "engine"; "caches"; "audit"; "stages";
+      "recent_rejects"; "prometheus" ];
+  (* the analyze above filled every per-stage histogram *)
+  (match J.member "stages" payload with
+   | Some (J.Obj stages) ->
+     List.iter
+       (fun k ->
+          match List.assoc_opt k stages with
+          | Some h ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s observed at least once" k)
+              true
+              (match J.member "count" h with
+               | Some (J.Int n) -> n >= 1
+               | _ -> false)
+          | None -> Alcotest.failf "missing stage histogram %S" k)
+       [ "serve.latency_s"; "serve.stage.lint_s"; "serve.stage.isolation_s";
+         "serve.stage.bounds_s"; "serve.stage.corun_s" ]
+   | _ -> Alcotest.fail "stages is not an object");
+  (* the engine section mirrors the flat counters *)
+  (match J.member "engine" payload with
+   | Some engine ->
+     Alcotest.(check bool)
+       "one computed query" true
+       (J.member "computed" engine = Some (J.Int 1))
+   | None -> Alcotest.fail "no engine section");
+  (* the reject above is the newest recent reject *)
+  (match J.member "recent_rejects" payload with
+   | Some (J.List (newest :: _)) ->
+     Alcotest.(check bool)
+       "recent reject carries the id" true
+       (J.member "id" newest = Some (J.Str "sp2"));
+     Alcotest.(check bool)
+       "recent reject carries the code" true
+       (J.member "code" newest = Some (J.Str "invalid"))
+   | _ -> Alcotest.fail "recent_rejects empty or malformed");
+  (* the Prometheus exposition is well-formed text with our prefix *)
+  match J.member "prometheus" payload with
+  | Some (J.Str s) ->
+    Alcotest.(check bool)
+      "exposition starts with a TYPE comment" true
+      (String.length s > 6 && String.sub s 0 6 = "# TYPE");
+    let has sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      "counters exported under the aurix_ prefix" true
+      (has "aurix_serve_requests");
+    Alcotest.(check bool)
+      "histograms exported with cumulative buckets" true
+      (has "aurix_serve_latency_s_bucket{le=\"+Inf\"}")
+  | _ -> Alcotest.fail "prometheus section is not a string"
+
+(* The daemon adopts the requester's trace id: every span and cache
+   instant of the handling — including those recorded inside pool
+   workers — carries it. *)
+let test_trace_adoption () =
+  Obs.Tracer.enable ();
+  Fun.protect ~finally:(fun () -> Obs.Tracer.disable ()) @@ fun () ->
+  let e = mk_engine ~jobs:2 () in
+  with_engine e @@ fun () ->
+  let sref = { P.trace_id = "deadbeef"; parent_span = "cafe" } in
+  ignore
+    (reply_of e
+       (analyze_line { golden_query with P.id = "traced"; trace = Some sref }));
+  let evs = Obs.Tracer.events () in
+  List.iter
+    (fun name ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s joined the trace" name)
+         true
+         (List.exists
+            (fun (ev : Obs.Tracer.event) ->
+               ev.name = name && ev.trace = "deadbeef")
+            evs))
+    [ "serve.request"; "serve.stage.lint"; "serve.stage.isolation";
+      "serve.stage.bounds"; "serve.stage.corun"; "cache.query.computed" ];
+  (* the serve.request span records the client's parent span id *)
+  Alcotest.(check bool)
+    "serve.request carries the parent span ref" true
+    (List.exists
+       (fun (ev : Obs.Tracer.event) ->
+          ev.name = "serve.request"
+          && List.assoc_opt "parent" ev.attrs = Some "cafe")
+       evs);
+  (* an untraced request records spans without any trace id *)
+  Obs.Tracer.clear ();
+  ignore (reply_of e (analyze_line { golden_query with P.id = "untraced" }));
+  Alcotest.(check bool)
+    "untraced spans carry no trace id" true
+    (List.for_all
+       (fun (ev : Obs.Tracer.event) -> ev.trace = "")
+       (Obs.Tracer.events ()))
+
 (* --- concurrency: socket hammer ------------------------------------------ *)
 
 let distinct_queries =
@@ -901,9 +1116,55 @@ let distinct_queries =
               contenders = [ P.Con_level { level; core = 1 } ];
               models = [ P.Ftc; P.Ilp_ptac; P.Ideal ];
               observed = true;
+              trace = None;
             })
          Workload.Load_gen.[ High; Low ])
     [ "scenario1"; "scenario2" ]
+
+(* The jobs-invariant payload sections: identical after serving the same
+   query multiset at jobs=1 and jobs=4. Cumulative process-wide numbers
+   (disk counters, run/solve hits) are compared as deltas. *)
+let test_stats_payload_jobs_invariance () =
+  let view jobs =
+    Runtime.Run_cache.clear ();
+    Runtime.Solve_cache.clear ();
+    let e = mk_engine ~jobs () in
+    with_engine e @@ fun () ->
+    let sc0 = Runtime.Solve_cache.stats () in
+    let rc0 = Runtime.Run_cache.stats () in
+    List.iter
+      (fun q -> ignore (reply_of e (analyze_line { q with P.id = "inv" })))
+      distinct_queries;
+    let payload = stats_payload_of e in
+    let sc1 = Runtime.Solve_cache.stats () in
+    let rc1 = Runtime.Run_cache.stats () in
+    let section name =
+      match J.member name payload with
+      | Some s -> J.to_string s
+      | None -> Alcotest.failf "payload has no %S section" name
+    in
+    ( section "engine",
+      (match J.member "caches" payload with
+       | Some c ->
+         (match J.member "query" c with
+          | Some q -> J.to_string q
+          | None -> Alcotest.fail "no query cache section")
+       | None -> Alcotest.fail "no caches section"),
+      ( rc1.Runtime.Run_cache.hits - rc0.Runtime.Run_cache.hits,
+        rc1.Runtime.Run_cache.misses - rc0.Runtime.Run_cache.misses,
+        sc1.Runtime.Solve_cache.hits - sc0.Runtime.Solve_cache.hits,
+        sc1.Runtime.Solve_cache.misses - sc0.Runtime.Solve_cache.misses,
+        Runtime.Run_cache.size (),
+        Runtime.Solve_cache.size () ) )
+  in
+  let e1, q1, c1 = view 1 in
+  let e4, q4, c4 = view 4 in
+  Alcotest.(check string) "engine section invariant" e1 e4;
+  Alcotest.(check string) "query cache section invariant" q1 q4;
+  let pp (a, b, c, d, e, f) =
+    Printf.sprintf "run %d/%d solve %d/%d sizes %d/%d" a b c d e f
+  in
+  Alcotest.(check string) "cache deltas invariant" (pp c1) (pp c4)
 
 let hammer ~jobs =
   with_tmpdir @@ fun dir ->
@@ -1010,6 +1271,12 @@ let () =
     write "serve_response.json" (P.encode_response golden_response);
     write "serve_lint_reject.json"
       (P.encode_request (P.Analyze lint_reject_query));
+    write "serve_request_v1.json"
+      (P.encode_request ~version:1 (P.Analyze golden_query));
+    write "serve_response_v1.json"
+      (P.encode_response ~version:1 golden_response);
+    write "serve_lint_reject_v1.json"
+      (P.encode_request ~version:1 (P.Analyze lint_reject_query));
     Printf.printf "query digest:    %s\n" (Serve.Engine.digest golden_query);
     Printf.printf "run fingerprint: %s\n"
       (Runtime.Run_cache.fingerprint ~config:Tcsim.Machine.default_config
@@ -1032,6 +1299,7 @@ let () =
           Alcotest.test_case "golden response fixture" `Quick test_golden_response;
           Alcotest.test_case "golden lint-reject fixture" `Quick
             test_golden_lint_reject;
+          Alcotest.test_case "v1 wire compatibility" `Quick test_v1_compat;
         ] );
       ( "stable-keys",
         [
@@ -1081,6 +1349,17 @@ let () =
             test_tampered_cert_quarantined;
           Alcotest.test_case "certless entry upgraded" `Quick
             test_certless_entry_upgraded;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "replies echo the request version" `Quick
+            test_version_echo;
+          Alcotest.test_case "stats payload content" `Slow
+            test_stats_payload_content;
+          Alcotest.test_case "daemon adopts the request trace id" `Slow
+            test_trace_adoption;
+          Alcotest.test_case "stats payload jobs invariance" `Slow
+            test_stats_payload_jobs_invariance;
         ] );
       ( "concurrency",
         [
