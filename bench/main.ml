@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- timings      # Bechamel only
      dune exec bench/main.exe -- solver       # solver micro-benchmark
      dune exec bench/main.exe -- obs          # tracing/logging overhead
+     dune exec bench/main.exe -- dag          # pipelined dag vs phased runner
      dune exec bench/main.exe -- perf-check   # vs bench/perf_baseline.json *)
 
 open Bechamel
@@ -482,6 +483,132 @@ let pp_obs_bench b =
     b.obs_reps b.plain_wall_s b.traced_wall_s b.trace_overhead b.traced_events
     b.logged_wall_s b.log_overhead
 
+(* ------------------------------------------------------------------ *)
+(* Dag scheduling benchmark                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The figure-4 grid and the A1 ablation, run both ways: through the
+   pipelined experiment dag and through the phase-locked barrier runner
+   (each cell's simulate → model → solve → validate as one monolithic
+   task). Caches are cleared before every pass so each one pays the
+   full pipeline. Two ratios come out:
+
+   - [pool_overhead]: dag wall / phased wall at jobs=1 — the pure
+     bookkeeping cost of node-per-stage scheduling, machine-independent
+     because both sides run sequentially in the same process;
+   - [dag_speedup]: phased wall / dag wall at jobs=nproc — what
+     pipelining across cells buys once stages can overlap. On a
+     single-core runner this converges to ~1/pool_overhead, so the
+     perf gate follows the sim-speedup precedent (fail at baseline/2)
+     rather than an absolute floor. *)
+type dag_bench = {
+  dag_jobs : int;
+  fig4_phased_1_s : float;
+  fig4_dag_1_s : float;
+  fig4_phased_n_s : float;
+  fig4_dag_n_s : float;
+  a1_phased_1_s : float;
+  a1_dag_1_s : float;
+  a1_phased_n_s : float;
+  a1_dag_n_s : float;
+  pool_overhead : float;  (* max over workloads, jobs=1 dag/phased *)
+  dag_speedup : float;  (* max over workloads, jobs=n phased/dag *)
+  dag_rows_equal : bool;
+}
+
+let dag_bench () =
+  let cold f =
+    Runtime.Solve_cache.clear ();
+    Runtime.Run_cache.clear ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let jobs = Runtime.Pool.default_jobs () in
+  let fig4_phased_1, fig4_phased_1_s =
+    cold (fun () -> Experiments.Figure4.run_all_phased ~jobs:1 ())
+  in
+  let fig4_dag_1, fig4_dag_1_s =
+    cold (fun () -> Experiments.Figure4.run_all ~jobs:1 ())
+  in
+  let fig4_phased_n, fig4_phased_n_s =
+    cold (fun () -> Experiments.Figure4.run_all_phased ~jobs ())
+  in
+  let fig4_dag_n, fig4_dag_n_s =
+    cold (fun () -> Experiments.Figure4.run_all ~jobs ())
+  in
+  let a1_phased_1, a1_phased_1_s =
+    cold (fun () -> Experiments.Ablations.a1_contender_info_phased ~jobs:1 ())
+  in
+  let a1_dag_1, a1_dag_1_s =
+    cold (fun () -> Experiments.Ablations.a1_contender_info ~jobs:1 ())
+  in
+  let a1_phased_n, a1_phased_n_s =
+    cold (fun () -> Experiments.Ablations.a1_contender_info_phased ~jobs ())
+  in
+  let a1_dag_n, a1_dag_n_s =
+    cold (fun () -> Experiments.Ablations.a1_contender_info ~jobs ())
+  in
+  let ratio num den = num /. Float.max den 1e-9 in
+  {
+    dag_jobs = jobs;
+    fig4_phased_1_s;
+    fig4_dag_1_s;
+    fig4_phased_n_s;
+    fig4_dag_n_s;
+    a1_phased_1_s;
+    a1_dag_1_s;
+    a1_phased_n_s;
+    a1_dag_n_s;
+    pool_overhead =
+      Float.max
+        (ratio fig4_dag_1_s fig4_phased_1_s)
+        (ratio a1_dag_1_s a1_phased_1_s);
+    dag_speedup =
+      Float.max
+        (ratio fig4_phased_n_s fig4_dag_n_s)
+        (ratio a1_phased_n_s a1_dag_n_s);
+    dag_rows_equal =
+      fig4_phased_1 = fig4_dag_1
+      && fig4_dag_1 = fig4_phased_n
+      && fig4_dag_1 = fig4_dag_n
+      && a1_phased_1 = a1_dag_1
+      && a1_dag_1 = a1_phased_n
+      && a1_dag_1 = a1_dag_n;
+  }
+
+let json_of_dag_bench b =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str "dag-scheduling");
+      ("jobs", Obs.Json.Int b.dag_jobs);
+      ("figure4_phased_jobs1_s", Obs.Json.Float b.fig4_phased_1_s);
+      ("figure4_dag_jobs1_s", Obs.Json.Float b.fig4_dag_1_s);
+      ("figure4_phased_jobsN_s", Obs.Json.Float b.fig4_phased_n_s);
+      ("figure4_dag_jobsN_s", Obs.Json.Float b.fig4_dag_n_s);
+      ("a1_phased_jobs1_s", Obs.Json.Float b.a1_phased_1_s);
+      ("a1_dag_jobs1_s", Obs.Json.Float b.a1_dag_1_s);
+      ("a1_phased_jobsN_s", Obs.Json.Float b.a1_phased_n_s);
+      ("a1_dag_jobsN_s", Obs.Json.Float b.a1_dag_n_s);
+      ("pool_overhead", Obs.Json.Float b.pool_overhead);
+      ("dag_speedup", Obs.Json.Float b.dag_speedup);
+      ("rows_equal", Obs.Json.Bool b.dag_rows_equal);
+    ]
+
+let pp_dag_bench b =
+  Format.printf
+    "figure4 grid:  phased %.3fs / dag %.3fs (jobs=1);  phased %.3fs / dag \
+     %.3fs (jobs=%d)@."
+    b.fig4_phased_1_s b.fig4_dag_1_s b.fig4_phased_n_s b.fig4_dag_n_s b.dag_jobs;
+  Format.printf
+    "ablation A1:   phased %.3fs / dag %.3fs (jobs=1);  phased %.3fs / dag \
+     %.3fs (jobs=%d)@."
+    b.a1_phased_1_s b.a1_dag_1_s b.a1_phased_n_s b.a1_dag_n_s b.dag_jobs;
+  Format.printf
+    "pool overhead %.2fx (dag vs phased, sequential); dag speedup %.2fx \
+     (jobs=%d); rows identical: %b@."
+    b.pool_overhead b.dag_speedup b.dag_jobs b.dag_rows_equal
+
 let perf_baseline_file = "bench/perf_baseline.json"
 
 (* CI perf smoke: fail when pivots per branch & bound node regress more
@@ -553,7 +680,46 @@ let run_perf_check () =
       overhead_max;
     exit 1
   end
-  else Format.printf "OK: within the %.2fx budget@." overhead_max
+  else Format.printf "OK: within the %.2fx budget@." overhead_max;
+  (* Dag scheduling smoke: two gates. The sequential dag/phased ratio is
+     a same-process comparison, so machine speed cancels and the
+     [pool_overhead_max] budget is absolute. The parallel speedup
+     depends on the runner's core count, so — like the kernel speedup —
+     it only fails when it collapses below half its baseline. *)
+  section "Dag scheduling smoke (pipelined dag vs phase-locked runner)";
+  let d = dag_bench () in
+  pp_dag_bench d;
+  if not d.dag_rows_equal then begin
+    Format.printf "FAIL: dag and phased runners disagree on the rows@.";
+    exit 1
+  end;
+  let pool_overhead_max =
+    match Obs.Json.member "pool_overhead_max" baseline with
+    | Some (Obs.Json.Float f) -> f
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> failwith "perf_baseline.json: missing pool_overhead_max"
+  in
+  Format.printf "pool overhead: budget %.2fx, current %.2fx@."
+    pool_overhead_max d.pool_overhead;
+  if d.pool_overhead > pool_overhead_max then begin
+    Format.printf "FAIL: dag bookkeeping exceeds the %.2fx budget@."
+      pool_overhead_max;
+    exit 1
+  end
+  else Format.printf "OK: within the %.2fx budget@." pool_overhead_max;
+  let baseline_dag_speedup =
+    match Obs.Json.member "dag_speedup" baseline with
+    | Some (Obs.Json.Float f) -> f
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> failwith "perf_baseline.json: missing dag_speedup"
+  in
+  Format.printf "dag speedup: baseline %.2fx, current %.2fx (jobs=%d)@."
+    baseline_dag_speedup d.dag_speedup d.dag_jobs;
+  if d.dag_speedup < baseline_dag_speedup /. 2. then begin
+    Format.printf "FAIL: dag pipelining speedup collapsed more than 2x@.";
+    exit 1
+  end
+  else Format.printf "OK: within the 2x budget@."
 
 (* ------------------------------------------------------------------ *)
 (* Serve replay: sustained queries/sec through a live daemon            *)
@@ -924,13 +1090,18 @@ let () =
      let r = obs_bench () in
      pp_obs_bench r;
      merge_result (json_of_obs_bench r)
+   | "dag" ->
+     section "Dag scheduling (pipelined dag vs phase-locked runner)";
+     let r = dag_bench () in
+     pp_dag_bench r;
+     merge_result (json_of_dag_bench r)
    | "all" ->
      regenerate ();
      run_timings ()
    | other ->
      Format.eprintf
        "unknown mode %S (expected: tables | timings | solver | sim | audit | \
-        obs | perf-check | serve | all)@."
+        obs | dag | perf-check | serve | all)@."
        other;
      exit 2);
   Format.printf "@.done.@."

@@ -27,9 +27,16 @@ type a1_row = {
 
 val a1_contender_info :
   ?config:Tcsim.Machine.config -> ?jobs:int -> unit -> a1_row list
-(** One pool cell per (scenario, load); [jobs] defaults to
-    {!Runtime.Pool.default_jobs}, row order is independent of it (as for
-    every study below). *)
+(** One {!Runtime.Dag} chain per (scenario, load) — readings feed the
+    two ILP solves and the fTC bound as separate overlapping nodes;
+    [jobs] defaults to {!Runtime.Pool.default_jobs}, row order (and
+    every row byte) is independent of it (as for every study below). *)
+
+val a1_contender_info_phased :
+  ?config:Tcsim.Machine.config -> ?jobs:int -> unit -> a1_row list
+(** Phase-locked reference executor (one monolithic task per cell, batch
+    barrier) — the [bench dag] baseline; produces exactly
+    {!a1_contender_info}'s rows. *)
 
 type a2_row = {
   a2_scenario : string;

@@ -31,13 +31,22 @@ val run_row :
 val run_scenario :
   ?config:Tcsim.Machine.config -> ?jobs:int -> Platform.Scenario.t -> row list
 (** H-, M-, L-Load rows for one scenario. [jobs] (default
-    {!Runtime.Pool.default_jobs}) runs the load cells on a domain pool;
-    rows come back in load order regardless. *)
+    {!Runtime.Pool.default_jobs}) runs the load cells' dependency
+    graph on a domain pool; rows come back in load order regardless. *)
 
 val run_all : ?config:Tcsim.Machine.config -> ?jobs:int -> unit -> row list
-(** Both paper scenarios, all three loads. Cells run on a [jobs]-wide
-    pool; the row order (scenario-major, then H/M/L) is independent of
-    [jobs]. *)
+(** Both paper scenarios, all three loads. Each cell unfolds into a
+    {!Runtime.Dag} chain (prep → isolation sims / corun → bounds → row)
+    and independent cells overlap across phases on a [jobs]-wide pool;
+    the row order (scenario-major, then H/M/L) — and every byte of the
+    rows — is independent of [jobs]. *)
+
+val run_all_phased :
+  ?config:Tcsim.Machine.config -> ?jobs:int -> unit -> row list
+(** Phase-locked reference executor: one monolithic {!run_row} task per
+    cell with a batch barrier — the pre-DAG shape. Kept as the
+    [bench dag] wall-time baseline and as a differential oracle
+    (produces exactly {!run_all}'s rows). *)
 
 val sound : row -> bool
 (** Do both model estimates cover the observed co-run time? *)

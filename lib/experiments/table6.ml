@@ -1,50 +1,74 @@
 type entry = { scenario : string; core : int; counters : Platform.Counters.t }
 
 let run ?config ?jobs () =
-  (* one isolation simulation per (scenario, role) cell, merged back in
-     the paper's row order by the pool *)
-  Runtime.Pool.map ?jobs
-    (fun (scenario, role) ->
-       Obs.Tracer.with_span "table6.cell"
-         ~attrs:(fun () ->
-             [
-               ("scenario", scenario.Platform.Scenario.name);
-               ("role", match role with `App -> "app" | `HLoad -> "hload");
-             ])
-       @@ fun () ->
-       let variant = Workload.Control_loop.variant_of_scenario scenario in
-       let obs core p =
-         Analysis.Preflight.run ~scenario
-           ~tasks:
-             [ { Analysis.Program_lint.label = Tcsim.Program.name p; core; program = p } ]
-           ();
-         let c =
-           (Mbta.Measurement.isolation ?config ~core p).Mbta.Measurement.counters
+  (* per (scenario, role) cell: prep (program + preflight) → isolation
+     simulation → counter lint + entry, declared as dag nodes so cells
+     pipeline; entries come back in the paper's row order by node
+     identity *)
+  let open Runtime.Dag in
+  let dag = create () in
+  let entries =
+    List.map
+      (fun (scenario, role) ->
+         let role_name = match role with `App -> "app" | `HLoad -> "hload" in
+         let lbl stage =
+           Printf.sprintf "table6/%s/%s/%s" scenario.Platform.Scenario.name
+             role_name stage
          in
-         Analysis.Preflight.guard
-           (Analysis.Counter_lint.check ~scenario
-              ~path:[ scenario.Platform.Scenario.name; Tcsim.Program.name p ]
-              c);
-         c
-       in
-       match role with
-       | `App ->
-         {
-           scenario = scenario.Platform.Scenario.name;
-           core = 1;
-           counters = obs 0 (Workload.Control_loop.app variant);
-         }
-       | `HLoad ->
-         {
-           scenario = scenario.Platform.Scenario.name;
-           core = 2;
-           counters =
-             obs 1
-               (Workload.Load_gen.make ~variant ~level:Workload.Load_gen.High ());
-         })
-    (List.concat_map
-       (fun scenario -> [ (scenario, `App); (scenario, `HLoad) ])
-       [ Platform.Scenario.scenario1; Platform.Scenario.scenario2 ])
+         let sim_core = match role with `App -> 0 | `HLoad -> 1 in
+         let report_core = match role with `App -> 1 | `HLoad -> 2 in
+         let prep =
+           node ~label:(lbl "prep") dag ~deps:[] (fun () ->
+               let variant =
+                 Workload.Control_loop.variant_of_scenario scenario
+               in
+               let p =
+                 match role with
+                 | `App -> Workload.Control_loop.app variant
+                 | `HLoad ->
+                   Workload.Load_gen.make ~variant
+                     ~level:Workload.Load_gen.High ()
+               in
+               Analysis.Preflight.run ~scenario
+                 ~tasks:
+                   [
+                     {
+                       Analysis.Program_lint.label = Tcsim.Program.name p;
+                       core = sim_core;
+                       program = p;
+                     };
+                   ]
+                 ();
+               p)
+         in
+         let iso =
+           node ~label:(lbl "iso") dag ~deps:[ dep prep ] (fun () ->
+               (Mbta.Measurement.isolation ?config ~core:sim_core (get prep))
+                 .Mbta.Measurement.counters)
+         in
+         node ~label:(lbl "entry") dag
+           ~deps:[ dep prep; dep iso ]
+           (fun () ->
+             let c = get iso in
+             Analysis.Preflight.guard
+               (Analysis.Counter_lint.check ~scenario
+                  ~path:
+                    [
+                      scenario.Platform.Scenario.name;
+                      Tcsim.Program.name (get prep);
+                    ]
+                  c);
+             {
+               scenario = scenario.Platform.Scenario.name;
+               core = report_core;
+               counters = c;
+             }))
+      (List.concat_map
+         (fun scenario -> [ (scenario, `App); (scenario, `HLoad) ])
+         [ Platform.Scenario.scenario1; Platform.Scenario.scenario2 ])
+  in
+  Runtime.Dag.run ?jobs dag;
+  List.map get entries
 
 let pp fmt entries =
   Format.fprintf fmt "@[<v>%-12s %-6s %8s %6s %6s %9s %9s@," "scenario" "core"

@@ -26,34 +26,40 @@ type histogram = hist
 
 type metric = MCounter of counter | MGauge of gauge | MHist of hist
 
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+(* [timing] marks a counter/gauge as a host-timing fact (steal counts,
+   queue depths): kept out of {!deterministic_snapshot} like histograms
+   are, because its value legitimately varies with the parallel degree.
+   The flag is fixed by the first registration of a name. *)
+type entry = { metric : metric; timing : bool }
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
 let reg_lock = Mutex.create ()
 
-let register name make extract =
+let register ?(timing = false) name make extract =
   Mutex.lock reg_lock;
-  let m =
+  let e =
     match Hashtbl.find_opt registry name with
-    | Some m -> m
+    | Some e -> e
     | None ->
-      let m = make () in
-      Hashtbl.add registry name m;
-      m
+      let e = { metric = make (); timing } in
+      Hashtbl.add registry name e;
+      e
   in
   Mutex.unlock reg_lock;
-  match extract m with
+  match extract e.metric with
   | Some h -> h
   | None ->
     invalid_arg
       (Printf.sprintf "Metrics: %S is already registered with another kind"
          name)
 
-let counter name =
-  register name
+let counter ?timing name =
+  register ?timing name
     (fun () -> MCounter (Atomic.make 0))
     (function MCounter c -> Some c | _ -> None)
 
-let gauge name =
-  register name
+let gauge ?timing name =
+  register ?timing name
     (fun () -> MGauge (Atomic.make 0))
     (function MGauge g -> Some g | _ -> None)
 
@@ -146,7 +152,7 @@ let snapshot_hist h =
 
 let snapshot () =
   List.fold_left
-    (fun acc (name, m) ->
+    (fun acc (name, { metric = m; _ }) ->
        match m with
        | MCounter c -> { acc with counters = acc.counters @ [ (name, Atomic.get c) ] }
        | MGauge g -> { acc with gauges = acc.gauges @ [ (name, Atomic.get g) ] }
@@ -157,8 +163,9 @@ let snapshot () =
 
 let deterministic_snapshot () =
   List.filter_map
-    (fun (name, m) ->
+    (fun (name, { metric = m; timing }) ->
        match m with
+       | _ when timing -> None
        | MCounter c -> Some (name, Atomic.get c)
        | MGauge g -> Some (name, Atomic.get g)
        | MHist _ -> None)
@@ -166,7 +173,7 @@ let deterministic_snapshot () =
 
 let reset () =
   List.iter
-    (fun (_, m) ->
+    (fun (_, { metric = m; _ }) ->
        match m with
        | MCounter c | MGauge c -> Atomic.set c 0
        | MHist h ->
@@ -197,15 +204,32 @@ let hist_to_json (s : histogram_snapshot) =
       ("overflow", Json.Int s.counts.(Array.length s.edges));
     ]
 
+(* The JSON export keeps the documented contract that the [counters]
+   and [gauges] sections are identical for every --jobs value: metrics
+   registered [~timing:true] (steal counts, queue depths) go to their
+   own [timing] section instead, next to the equally schedule-dependent
+   [histograms]. *)
 let to_json_value () =
-  let s = snapshot () in
+  let counters = ref []
+  and gauges = ref []
+  and timing = ref []
+  and hists = ref [] in
+  List.iter
+    (fun (name, { metric = m; timing = is_timing }) ->
+       let push l x = l := !l @ [ x ] in
+       match m with
+       | MCounter c | MGauge c when is_timing ->
+         push timing (name, Json.Int (Atomic.get c))
+       | MCounter c -> push counters (name, Json.Int (Atomic.get c))
+       | MGauge g -> push gauges (name, Json.Int (Atomic.get g))
+       | MHist h -> push hists (name, hist_to_json (snapshot_hist h)))
+    (registered ());
   Json.Obj
     [
-      ( "counters",
-        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.counters) );
-      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.gauges));
-      ( "histograms",
-        Json.Obj (List.map (fun (n, h) -> (n, hist_to_json h)) s.histograms) );
+      ("counters", Json.Obj !counters);
+      ("gauges", Json.Obj !gauges);
+      ("timing", Json.Obj !timing);
+      ("histograms", Json.Obj !hists);
     ]
 
 let to_json () = Json.to_string (to_json_value ())
@@ -230,7 +254,7 @@ let to_prometheus () =
     Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n%s %d\n" n kind n v)
   in
   List.iter
-    (fun (name, m) ->
+    (fun (name, { metric = m; _ }) ->
        match m with
        | MCounter c -> scalar "counter" name (Atomic.get c)
        | MGauge g -> scalar "gauge" name (Atomic.get g)

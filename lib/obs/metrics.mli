@@ -13,17 +13,25 @@
     their totals are independent of the parallel degree, and
     {!deterministic_snapshot} exposes exactly this jobs-invariant subset.
     Histograms record host timing (task latency, queue wait) and are the
-    only part of a snapshot allowed to differ between runs. *)
+    only part of a snapshot allowed to differ between runs — except for
+    counters/gauges registered with [~timing:true] (steal counts,
+    queue-depth gauges), which are scheduling facts of one particular
+    run and are likewise excluded from {!deterministic_snapshot}. *)
 
 type counter
 type gauge
 type histogram
 
-val counter : string -> counter
-(** Registers (or retrieves) the counter [name].
+val counter : ?timing:bool -> string -> counter
+(** Registers (or retrieves) the counter [name]. [~timing:true]
+    (default [false]) marks the counter as a host-timing fact whose
+    value may depend on the parallel degree; such counters appear in
+    {!snapshot} and {!to_prometheus} but not in
+    {!deterministic_snapshot}. The flag is fixed by the first
+    registration of a name.
     @raise Invalid_argument if [name] is bound to another metric kind. *)
 
-val gauge : string -> gauge
+val gauge : ?timing:bool -> string -> gauge
 val histogram : buckets:float array -> string -> histogram
 (** [buckets] are strictly increasing inclusive upper bounds; one
     overflow bucket is added implicitly after the last edge.
@@ -70,9 +78,9 @@ val snapshot : unit -> snapshot
     set is not a global cut — take snapshots around quiesced regions. *)
 
 val deterministic_snapshot : unit -> (string * int) list
-(** Counters and gauges only (name-sorted) — the subset whose values are
-    independent of the parallel degree; the jobs=1 vs jobs=4 suites
-    compare exactly this. *)
+(** Counters and gauges only (name-sorted), excluding those registered
+    with [~timing:true] — the subset whose values are independent of the
+    parallel degree; the jobs=1 vs jobs=4 suites compare exactly this. *)
 
 val reset : unit -> unit
 (** Zeroes every value; registrations (names, kinds, bucket edges)
@@ -84,7 +92,10 @@ val hist_to_json : histogram_snapshot -> Json.t
     latency histograms with this. *)
 
 val to_json_value : unit -> Json.t
-(** [{"counters": {..}, "gauges": {..}, "histograms": {..}}]. *)
+(** [{"counters": {..}, "gauges": {..}, "timing": {..},
+    "histograms": {..}}]. Counters/gauges registered [~timing:true]
+    appear under ["timing"], so the ["counters"] and ["gauges"]
+    sections stay identical for every parallel degree. *)
 
 val to_json : unit -> string
 

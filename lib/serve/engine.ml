@@ -27,6 +27,10 @@ type entry = Pending | Done of P.analyze_result
 
 type t = {
   config : config;
+  pool : Runtime.Pool.t;
+      (* persistent dispatch pool: domains are spawned once at engine
+         creation, not per request *)
+  owns_pool : bool; (* false when borrowing Runtime.Pool.shared *)
   table : (string, entry) Hashtbl.t;
   lock : Mutex.t;
   settled : Condition.t;
@@ -111,8 +115,20 @@ let create config =
       true
     | _ -> false
   in
+  (* an explicit --jobs pins a private pool of that width; otherwise the
+     daemon shares the process-wide pool (and its domains) with anything
+     else running in this process — no oversubscription, and concurrent
+     requests interleave batch-for-batch in the injector instead of
+     head-of-line blocking *)
+  let pool, owns_pool =
+    match config.jobs with
+    | Some j -> (Runtime.Pool.create ~jobs:j (), true)
+    | None -> (Runtime.Pool.shared (), false)
+  in
   {
     config;
+    pool;
+    owns_pool;
     table = Hashtbl.create 64;
     lock = Mutex.create ();
     settled = Condition.create ();
@@ -131,7 +147,8 @@ let close t =
   if t.stores_installed then begin
     Runtime.Run_cache.set_store None;
     Runtime.Solve_cache.set_store None
-  end
+  end;
+  if t.owns_pool then Runtime.Pool.shutdown t.pool
 
 let stats (t : t) : stats =
   {
@@ -262,7 +279,7 @@ let compute t (q : P.analyze) : P.analyze_result =
   let iso_app, iso_contenders =
     stage "serve.stage.isolation" h_stage_isolation (fun () ->
         let observations =
-          Runtime.Pool.map ?jobs:t.config.jobs
+          Runtime.Pool.map_in ~label:"serve.isolation" t.pool
             (fun { Analysis.Program_lint.core; program; _ } ->
                match Mbta.Measurement.isolation ~core program with
                | o -> Ok o

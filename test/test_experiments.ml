@@ -181,15 +181,31 @@ let test_ablation_fsb () =
     (Experiments.Ablations.a4_fsb ())
 
 let test_parallel_determinism () =
-  (* the domain pool must not change any result: jobs=4 rows are
-     structurally equal to the sequential jobs=1 rows *)
+  (* the work-stealing pool must not change any result: rows at every
+     jobs count are structurally equal to the sequential jobs=1 rows *)
   let seq = Experiments.Figure4.run_all ~jobs:1 () in
-  let par = Experiments.Figure4.run_all ~jobs:4 () in
-  Alcotest.(check bool) "figure4 rows identical across jobs" true (seq = par);
   let a1_seq = Experiments.Ablations.a1_contender_info ~jobs:1 () in
-  let a1_par = Experiments.Ablations.a1_contender_info ~jobs:4 () in
-  Alcotest.(check bool) "ablation A1 rows identical across jobs" true
-    (a1_seq = a1_par)
+  List.iter
+    (fun jobs ->
+       let par = Experiments.Figure4.run_all ~jobs () in
+       Alcotest.(check bool)
+         (Printf.sprintf "figure4 rows identical at jobs=%d" jobs)
+         true (seq = par);
+       let a1_par = Experiments.Ablations.a1_contender_info ~jobs () in
+       Alcotest.(check bool)
+         (Printf.sprintf "ablation A1 rows identical at jobs=%d" jobs)
+         true (a1_seq = a1_par))
+    [ 4; 8 ]
+
+let test_dag_matches_phased () =
+  (* the pipelined dag and the phase-locked barrier runner are two
+     schedules of the same computation: rows must be byte-identical *)
+  let dag = Experiments.Figure4.run_all ~jobs:4 () in
+  let phased = Experiments.Figure4.run_all_phased ~jobs:4 () in
+  Alcotest.(check bool) "figure4 dag = phased" true (dag = phased);
+  let a1_dag = Experiments.Ablations.a1_contender_info ~jobs:4 () in
+  let a1_phased = Experiments.Ablations.a1_contender_info_phased ~jobs:4 () in
+  Alcotest.(check bool) "ablation A1 dag = phased" true (a1_dag = a1_phased)
 
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
@@ -268,6 +284,7 @@ let () =
           Alcotest.test_case "ILP adapts to load" `Slow test_figure4_ilp_adapts_to_load;
           Alcotest.test_case "ideal below ILP" `Slow test_figure4_ideal_below_ilp;
           Alcotest.test_case "parallel determinism" `Slow test_parallel_determinism;
+          Alcotest.test_case "dag matches phased runner" `Slow test_dag_matches_phased;
         ] );
       ( "tables",
         [

@@ -600,6 +600,45 @@ let knapsack ~capacity ~flipped () =
     (Ilp.Linexpr.of_terms (List.map fst terms));
   m
 
+let test_timing_metrics_excluded () =
+  (* metrics registered with ~timing:true (steal counts, queue depth
+     gauges) are facts about the schedule, not the computation: they
+     must show up in the full snapshot and the Prometheus exposition
+     but never in the deterministic snapshot *)
+  let c = Obs.Metrics.counter ~timing:true "test.obs.timing_counter" in
+  let g = Obs.Metrics.gauge ~timing:true "test.obs.timing_gauge" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.set g 3;
+  let full = Obs.Metrics.snapshot () in
+  Alcotest.(check bool) "present in full snapshot" true
+    (List.mem_assoc "test.obs.timing_counter" full.Obs.Metrics.counters
+     && List.mem_assoc "test.obs.timing_gauge" full.Obs.Metrics.gauges);
+  let det = Obs.Metrics.deterministic_snapshot () in
+  Alcotest.(check bool) "counter excluded from deterministic snapshot" false
+    (List.mem_assoc "test.obs.timing_counter" det);
+  Alcotest.(check bool) "gauge excluded from deterministic snapshot" false
+    (List.mem_assoc "test.obs.timing_gauge" det);
+  let prom = Obs.Metrics.to_prometheus () in
+  let has needle =
+    let nl = String.length needle and hl = String.length prom in
+    let rec go i = i + nl <= hl && (String.sub prom i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "exposed to prometheus" true
+    (has "aurix_test_obs_timing_counter");
+  (* and the JSON export files them under "timing", keeping the
+     "counters"/"gauges" sections jobs-invariant *)
+  match Obs.Json.member "timing" (Obs.Metrics.to_json_value ()) with
+  | Some (Obs.Json.Obj timing) ->
+    Alcotest.(check bool) "counter under timing in JSON export" true
+      (List.mem_assoc "test.obs.timing_counter" timing);
+    (match Obs.Json.member "counters" (Obs.Metrics.to_json_value ()) with
+     | Some (Obs.Json.Obj counters) ->
+       Alcotest.(check bool) "counter absent from counters section" false
+         (List.mem_assoc "test.obs.timing_counter" counters)
+     | _ -> Alcotest.fail "counters section missing")
+  | _ -> Alcotest.fail "timing section missing"
+
 let jobs_invariant_snapshot =
   QCheck.Test.make ~count:10
     ~name:"deterministic snapshot identical for jobs=1 and jobs=4"
@@ -697,5 +736,9 @@ let () =
             test_analyzer_golden;
         ] );
       ( "determinism",
-        [ QCheck_alcotest.to_alcotest jobs_invariant_snapshot ] );
+        [
+          Alcotest.test_case "timing metrics excluded" `Quick
+            test_timing_metrics_excluded;
+          QCheck_alcotest.to_alcotest jobs_invariant_snapshot;
+        ] );
     ]

@@ -119,6 +119,271 @@ let test_with_pool_reuse () =
       Alcotest.(check (list int)) "first batch" [ 2; 3; 4 ] a;
       Alcotest.(check (list int)) "second batch" [ 10; 20; 30 ] b)
 
+(* --- scheduler: promises, helping, stealing ----------------------------------- *)
+
+(* deterministic busy work so task costs are real compute, not sleeps *)
+let spin n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := (!acc * 31) + i
+  done;
+  !acc
+
+let test_spawn_await () =
+  List.iter
+    (fun jobs ->
+       Runtime.Pool.with_pool ~jobs (fun pool ->
+           let t = Runtime.Pool.spawn pool (fun () -> spin 1000 + 1) in
+           Alcotest.(check int)
+             (Printf.sprintf "jobs=%d" jobs)
+             (spin 1000 + 1)
+             (Runtime.Pool.await pool t)))
+    [ 1; 4 ]
+
+let test_await_failure () =
+  Runtime.Pool.with_pool ~jobs:2 (fun pool ->
+      let t = Runtime.Pool.spawn pool (fun () -> raise (Boom 7)) in
+      match Runtime.Pool.await pool t with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 7 -> ())
+
+let test_promise_fulfill () =
+  Runtime.Pool.with_pool ~jobs:2 (fun pool ->
+      let p = Runtime.Pool.Task.create () in
+      Alcotest.(check bool) "pending" true (Runtime.Pool.Task.peek p = None);
+      ignore
+        (Runtime.Pool.spawn pool (fun () -> Runtime.Pool.Task.fulfill p 99));
+      Alcotest.(check int) "awaited" 99 (Runtime.Pool.await pool p);
+      match Runtime.Pool.Task.fulfill p 1 with
+      | () -> Alcotest.fail "second fulfill must be rejected"
+      | exception Invalid_argument _ -> ())
+
+let test_nested_run_all_on_workers () =
+  (* tasks block on a nested batch of the same pool: awaiters help
+     instead of deadlocking (the old FIFO pool documented this as
+     forbidden) *)
+  Runtime.Pool.with_pool ~jobs:3 (fun pool ->
+      let out =
+        Runtime.Pool.map_in pool
+          (fun i ->
+             List.fold_left ( + ) 0
+               (Runtime.Pool.run_all ~jobs:3
+                  (List.init 4 (fun j () -> (10 * i) + j))))
+          [ 1; 2; 3; 4; 5; 6 ]
+      in
+      Alcotest.(check (list int)) "nested batches compose"
+        (List.map (fun i -> (40 * i) + 6) [ 1; 2; 3; 4; 5; 6 ])
+        out)
+
+let test_both_nested_on_workers () =
+  (* both inside pool tasks routes through the scheduler, spawning no
+     extra domains, and stays deterministic *)
+  let expected = List.init 8 (fun i -> (i, -i)) in
+  List.iter
+    (fun jobs ->
+       let out =
+         Runtime.Pool.map ~jobs
+           (fun i ->
+              Runtime.Pool.both
+                (fun () -> ignore (spin (100 * i)); i)
+                (fun () -> -i))
+           (List.init 8 Fun.id)
+       in
+       Alcotest.(check (list (pair int int)))
+         (Printf.sprintf "jobs=%d" jobs)
+         expected out)
+    [ 1; 4 ]
+
+let test_steal_hammer () =
+  (* skewed task costs on 4 domains: early tasks are two orders of
+     magnitude heavier, so the owner's deque drains by theft; results,
+     exactly-once accounting and the task counter must not notice *)
+  let n = 64 in
+  let cost i = if i mod 8 = 0 then 200_000 else 500 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  let batch () =
+    List.init n (fun i () ->
+        Atomic.incr hits.(i);
+        spin (cost i) lxor i)
+  in
+  let before = Runtime.Pool.tasks_run () in
+  let r4 = Runtime.Pool.run_all ~jobs:4 (batch ()) in
+  Alcotest.(check int) "tasks accounted once" n
+    (Runtime.Pool.tasks_run () - before);
+  Array.iteri
+    (fun i a ->
+       Alcotest.(check int) (Printf.sprintf "task %d ran once" i) 1
+         (Atomic.get a))
+    hits;
+  (* determinism oracle: byte-identical to the sequential schedule and
+     to a repeated parallel run *)
+  let r1 = Runtime.Pool.run_all ~jobs:1 (batch ()) in
+  let r4' = Runtime.Pool.run_all ~jobs:4 (batch ()) in
+  Alcotest.(check (list int)) "parallel = sequential" r1 r4;
+  Alcotest.(check (list int)) "parallel repeatable" r4 r4'
+
+let test_shared_pool () =
+  let p = Runtime.Pool.shared () in
+  Alcotest.(check bool) "same instance" true (p == Runtime.Pool.shared ());
+  Alcotest.(check (list int)) "usable" [ 2; 4; 6 ]
+    (Runtime.Pool.map_in p (fun i -> 2 * i) [ 1; 2; 3 ])
+
+(* --- dag ----------------------------------------------------------------------- *)
+
+let test_dag_basic () =
+  List.iter
+    (fun jobs ->
+       let open Runtime.Dag in
+       let dag = create () in
+       let a = node ~label:"a" dag ~deps:[] (fun () -> 2) in
+       let b = node ~label:"b" dag ~deps:[ dep a ] (fun () -> get a * 3) in
+       let c = node ~label:"c" dag ~deps:[ dep a ] (fun () -> get a + 10) in
+       let d =
+         node ~label:"d" dag ~deps:[ dep b; dep c ] (fun () -> get b + get c)
+       in
+       run ~jobs dag;
+       Alcotest.(check int) (Printf.sprintf "jobs=%d" jobs) 18 (get d))
+    [ 1; 4 ]
+
+let test_dag_skip_propagation () =
+  let open Runtime.Dag in
+  let dag = create () in
+  let a = node ~label:"a" dag ~deps:[] (fun () -> raise (Boom 3)) in
+  let ran_b = ref false in
+  let b =
+    node ~label:"b" dag ~deps:[ dep a ] (fun () ->
+        ran_b := true;
+        0)
+  in
+  let c = node ~label:"c" dag ~deps:[] (fun () -> 5) in
+  (match run ~jobs:4 dag with
+   | () -> Alcotest.fail "expected Boom"
+   | exception Boom 3 -> ());
+  Alcotest.(check bool) "skipped node never executed" false !ran_b;
+  Alcotest.(check int) "independent node still ran" 5 (get c);
+  (match get b with
+   | _ -> Alcotest.fail "expected Dependency_failed"
+   | exception Dependency_failed { node = "b"; dep = "a" } -> ()
+   | exception Dependency_failed _ -> Alcotest.fail "wrong edge reported")
+
+let test_dag_first_failure_by_node_id () =
+  (* node 0 is slow and fails; node 1 fails instantly: the raised
+     failure is node 0's on every schedule *)
+  List.iter
+    (fun jobs ->
+       let open Runtime.Dag in
+       let dag = create () in
+       ignore
+         (node ~label:"slow" dag ~deps:[] (fun () ->
+              ignore (spin 200_000);
+              raise (Boom 0)));
+       ignore (node ~label:"fast" dag ~deps:[] (fun () -> raise (Boom 1)));
+       match run ~jobs dag with
+       | () -> Alcotest.fail "expected Boom"
+       | exception Boom i ->
+         Alcotest.(check int) (Printf.sprintf "jobs=%d" jobs) 0 i)
+    [ 1; 4 ]
+
+let test_dag_node_counter_invariant () =
+  let count jobs =
+    let open Runtime.Dag in
+    let dag = create () in
+    let a = node dag ~deps:[] (fun () -> 1) in
+    let b = node dag ~deps:[ dep a ] (fun () -> get a + 1) in
+    ignore (node dag ~deps:[ dep a; dep b ] (fun () -> get a + get b));
+    let before = Runtime.Pool.tasks_run () in
+    run ~jobs dag;
+    Runtime.Pool.tasks_run () - before
+  in
+  let c1 = count 1 in
+  let c4 = count 4 in
+  Alcotest.(check int) "one task per node" 3 c1;
+  Alcotest.(check int) "task totals jobs-invariant" c1 c4
+
+(* Random DAGs: completion order respects every edge and results are
+   identical at jobs=1/4/8. Node "durations" are injected determinist-
+   ically from the spec (busy spins), skewing schedules without
+   touching the clock. *)
+let dag_spec_gen =
+  QCheck.Gen.(
+    sized_size (int_range 2 18) (fun n ->
+        let node_spec i =
+          (* deps drawn from strictly earlier nodes; weight = duration *)
+          let* weight = int_range 0 2000 in
+          let* deps =
+            if i = 0 then return []
+            else list_size (int_range 0 (min i 3)) (int_range 0 (i - 1))
+          in
+          return (weight, List.sort_uniq compare deps)
+        in
+        let rec build i acc =
+          if i >= n then return (List.rev acc)
+          else
+            let* s = node_spec i in
+            build (i + 1) (s :: acc)
+        in
+        build 0 []))
+
+let dag_spec_print spec =
+  String.concat ";"
+    (List.mapi
+       (fun i (w, deps) ->
+          Printf.sprintf "%d:(w=%d deps=[%s])" i w
+            (String.concat "," (List.map string_of_int deps)))
+       spec)
+
+let run_dag_spec spec jobs =
+  let open Runtime.Dag in
+  let dag = create () in
+  let order = ref [] in
+  let order_lock = Mutex.create () in
+  let nodes = Array.make (List.length spec) None in
+  List.iteri
+    (fun i (weight, deps) ->
+       let deps =
+         List.map
+           (fun j ->
+              match nodes.(j) with Some n -> dep n | None -> assert false)
+           deps
+       in
+       nodes.(i) <-
+         Some
+           (node ~label:(string_of_int i) dag ~deps (fun () ->
+                let v = spin weight lxor i in
+                Mutex.lock order_lock;
+                order := i :: !order;
+                Mutex.unlock order_lock;
+                v)))
+    spec;
+  run ~jobs dag;
+  let results =
+    Array.to_list
+      (Array.map (function Some n -> get n | None -> assert false) nodes)
+  in
+  (results, List.rev !order)
+
+let dag_respects_edges =
+  QCheck.Test.make ~count:40 ~name:"random dag: edges respected, results jobs-invariant"
+    (QCheck.make ~print:dag_spec_print dag_spec_gen)
+    (fun spec ->
+       let r1, _ = run_dag_spec spec 1 in
+       List.for_all
+         (fun jobs ->
+            let r, completed = run_dag_spec spec jobs in
+            let pos = Hashtbl.create 16 in
+            List.iteri (fun at i -> Hashtbl.replace pos i at) completed;
+            let edge_ok i (_, deps) =
+              List.for_all
+                (fun d -> Hashtbl.find pos d < Hashtbl.find pos i)
+                deps
+            in
+            r = r1
+            && List.length completed = List.length spec
+            && List.for_all2 edge_ok
+                 (List.init (List.length spec) Fun.id)
+                 spec)
+         [ 1; 4; 8 ])
+
 (* --- solve cache -------------------------------------------------------------- *)
 
 let knapsack_model ?(capacity = 50) () =
@@ -524,6 +789,31 @@ let () =
           Alcotest.test_case "task counter" `Quick test_tasks_counter;
           Alcotest.test_case "AURIX_JOBS parsing" `Quick test_default_jobs_env;
           Alcotest.test_case "pool reuse across batches" `Quick test_with_pool_reuse;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "spawn/await" `Quick test_spawn_await;
+          Alcotest.test_case "await propagates failure" `Quick test_await_failure;
+          Alcotest.test_case "promise fulfill is once-only" `Quick
+            test_promise_fulfill;
+          Alcotest.test_case "nested run_all on workers" `Quick
+            test_nested_run_all_on_workers;
+          Alcotest.test_case "both nested on workers" `Quick
+            test_both_nested_on_workers;
+          Alcotest.test_case "steal hammer (skewed costs, 4 domains)" `Quick
+            test_steal_hammer;
+          Alcotest.test_case "shared pool" `Quick test_shared_pool;
+        ] );
+      ( "dag",
+        [
+          Alcotest.test_case "diamond" `Quick test_dag_basic;
+          Alcotest.test_case "failure skips dependents" `Quick
+            test_dag_skip_propagation;
+          Alcotest.test_case "first failure by node id" `Quick
+            test_dag_first_failure_by_node_id;
+          Alcotest.test_case "node counter jobs-invariant" `Quick
+            test_dag_node_counter_invariant;
+          QCheck_alcotest.to_alcotest dag_respects_edges;
         ] );
       ( "solve-cache",
         [
