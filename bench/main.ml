@@ -609,6 +609,218 @@ let pp_dag_bench b =
      (jobs=%d); rows identical: %b@."
     b.pool_overhead b.dag_speedup b.dag_jobs b.dag_rows_equal
 
+(* ------------------------------------------------------------------ *)
+(* Parallel branch & bound benchmark                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A harder deterministic model family than [solver_models] — wider
+   integer boxes and fractional objectives force search trees well past
+   the frontier cut, so subtree mining has real work to overlap. The
+   parallel solve is byte-identical to the sequential one (the qcheck
+   property pins it); only the wall clock may differ. *)
+let bnb_models () =
+  let state = ref 0x2545F4914F6CDD1D in
+  let rand bound =
+    state := ((!state * 0x5DEECE66D) + 0xB) land ((1 lsl 48) - 1);
+    (!state lsr 16) mod bound
+  in
+  List.init 8 (fun _ ->
+      let q = Numeric.Q.of_int in
+      let m = Ilp.Model.create () in
+      let nv = 7 + rand 3 in
+      let vars =
+        Array.init nv (fun i ->
+            Ilp.Model.add_var m ~integer:true ~ub:(q (3 + rand 6))
+              (Printf.sprintf "x%d" i))
+      in
+      let nr = 6 + rand 5 in
+      for _ = 1 to nr do
+        let terms =
+          Array.to_list (Array.map (fun v -> (q (rand 11 - 4), v)) vars)
+        in
+        Ilp.Model.add_constraint m (Ilp.Linexpr.of_terms terms) Ilp.Model.Le
+          (q (15 + rand 45))
+      done;
+      Ilp.Model.set_objective m Ilp.Model.Maximize
+        (Ilp.Linexpr.of_terms
+           (Array.to_list
+              (Array.map (fun v -> (Numeric.Q.of_ints (1 + rand 17) 2, v)) vars)));
+      m)
+
+type bnb_bench = {
+  bnb_jobs : int;
+  bnb_reps : int;
+  bnb_nodes : int;  (* per sequential pass, jobs-invariant *)
+  bnb_seq_wall_s : float;
+  bnb_par_wall_s : float;
+  bnb_parallel_speedup : float;
+  bnb_results_equal : bool;
+}
+
+let bnb_bench () =
+  let models = bnb_models () in
+  let reps = 3 in
+  let best solve =
+    let best_t = ref infinity and res = ref None in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r = List.map solve models in
+      best_t := Float.min !best_t (Unix.gettimeofday () -. t0);
+      res := Some r
+    done;
+    (Option.get !res, !best_t)
+  in
+  let before = Obs.Metrics.deterministic_snapshot () in
+  let seq, bnb_seq_wall_s = best (fun m -> Ilp.Branch_bound.solve m) in
+  let after = Obs.Metrics.deterministic_snapshot () in
+  let jobs = Runtime.Pool.default_jobs () in
+  let par, bnb_par_wall_s =
+    Runtime.Pool.with_pool ~jobs (fun pool ->
+        let parallel =
+          { Ilp.Branch_bound.degree = Runtime.Pool.jobs pool;
+            spawn = Runtime.Pool.spawn_raw pool }
+        in
+        best (fun m -> Ilp.Branch_bound.solve ~parallel m))
+  in
+  {
+    bnb_jobs = jobs;
+    bnb_reps = reps;
+    bnb_nodes = counter_delta before after "ilp.bb.nodes" / reps;
+    bnb_seq_wall_s;
+    bnb_par_wall_s;
+    bnb_parallel_speedup = bnb_seq_wall_s /. Float.max bnb_par_wall_s 1e-9;
+    bnb_results_equal = seq = par;
+  }
+
+let json_of_bnb_bench b =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str "bnb-parallel");
+      ("jobs", Obs.Json.Int b.bnb_jobs);
+      ("reps", Obs.Json.Int b.bnb_reps);
+      ("nodes", Obs.Json.Int b.bnb_nodes);
+      ("seq_wall_s", Obs.Json.Float b.bnb_seq_wall_s);
+      ("par_wall_s", Obs.Json.Float b.bnb_par_wall_s);
+      ("bnb_parallel_speedup", Obs.Json.Float b.bnb_parallel_speedup);
+      ("results_equal", Obs.Json.Bool b.bnb_results_equal);
+    ]
+
+let pp_bnb_bench b =
+  Format.printf
+    "%d nodes, best of %d: sequential %.3fs, parallel %.3fs (%.2fx, jobs=%d); \
+     results identical: %b@."
+    b.bnb_nodes b.bnb_reps b.bnb_seq_wall_s b.bnb_par_wall_s
+    b.bnb_parallel_speedup b.bnb_jobs b.bnb_results_equal
+
+(* ------------------------------------------------------------------ *)
+(* Simulation family benchmark                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The figure-4 measurement cells (both isolations + the co-run) run
+   solo vs as one [Tcsim.Machine.run_family], bypassing the run cache —
+   what sharing one decoded per-core script across the members of a
+   cell buys. The members' results are bit-identical either way (the
+   differential property pins it), so the ratio is pure frontend
+   savings and cancels machine speed out. *)
+type family_bench = {
+  fam_reps : int;
+  fam_cells : int;
+  fam_solo_wall_s : float;
+  fam_family_wall_s : float;
+  sim_family_speedup : float;
+  fam_results_equal : bool;
+}
+
+let family_bench () =
+  let reps = 3 in
+  let cells =
+    List.map
+      (fun (app, con) ->
+         let analysis = { Tcsim.Machine.program = app; core = 0 } in
+         let contender = { Tcsim.Machine.program = con; core = 1 } in
+         [
+           Tcsim.Machine.spec ~analysis ();
+           Tcsim.Machine.spec ~analysis:contender ();
+           Tcsim.Machine.spec ~restart_contenders:false ~analysis
+             ~contenders:[ contender ] ();
+         ])
+      (sim_workloads ())
+  in
+  let best pass =
+    let best_t = ref infinity and res = ref None in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r = List.map pass cells in
+      best_t := Float.min !best_t (Unix.gettimeofday () -. t0);
+      res := Some r
+    done;
+    (Option.get !res, !best_t)
+  in
+  let solo_of s =
+    Tcsim.Machine.run
+      ~restart_contenders:s.Tcsim.Machine.sp_restart_contenders
+      ?priorities:s.Tcsim.Machine.sp_priorities
+      ~trace:s.Tcsim.Machine.sp_trace ~analysis:s.Tcsim.Machine.sp_analysis
+      ~contenders:s.Tcsim.Machine.sp_contenders ()
+  in
+  let solo, fam_solo_wall_s = best (List.map solo_of) in
+  let fam, fam_family_wall_s = best Tcsim.Machine.run_family in
+  {
+    fam_reps = reps;
+    fam_cells = List.length cells;
+    fam_solo_wall_s;
+    fam_family_wall_s;
+    sim_family_speedup = fam_solo_wall_s /. Float.max fam_family_wall_s 1e-9;
+    fam_results_equal = solo = fam;
+  }
+
+let json_of_family_bench b =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str "sim-family");
+      ("reps", Obs.Json.Int b.fam_reps);
+      ("cells", Obs.Json.Int b.fam_cells);
+      ("solo_wall_s", Obs.Json.Float b.fam_solo_wall_s);
+      ("family_wall_s", Obs.Json.Float b.fam_family_wall_s);
+      ("sim_family_speedup", Obs.Json.Float b.sim_family_speedup);
+      ("results_equal", Obs.Json.Bool b.fam_results_equal);
+    ]
+
+let pp_family_bench b =
+  Format.printf
+    "%d cells x3 members, best of %d: solo %.3fs, family %.3fs (%.2fx); \
+     results identical: %b@."
+    b.fam_cells b.fam_reps b.fam_solo_wall_s b.fam_family_wall_s
+    b.sim_family_speedup b.fam_results_equal
+
+let results_file = "BENCH_results.json"
+
+(* The serve, audit, bnb and family benchmarks also run as their own
+   modes; merge such an entry into the results file by its name,
+   without clobbering the regenerated stages. *)
+let merge_result entry =
+  let name = Obs.Json.member "name" entry in
+  let existing =
+    if not (Sys.file_exists results_file) then []
+    else
+      let ic = open_in results_file in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Obs.Json.parse s with
+      | Ok (Obs.Json.List entries) ->
+        List.filter (fun j -> Obs.Json.member "name" j <> name) entries
+      | _ -> []
+  in
+  let oc = open_out results_file in
+  output_string oc (Obs.Json.to_string (Obs.Json.List (existing @ [ entry ])));
+  output_char oc '\n';
+  close_out oc;
+  let pretty = match name with Some (Obs.Json.Str s) -> s | _ -> "benchmark" in
+  Format.printf "@.%s entry merged into %s@." pretty results_file
+
 let perf_baseline_file = "bench/perf_baseline.json"
 
 (* CI perf smoke: fail when pivots per branch & bound node regress more
@@ -719,7 +931,74 @@ let run_perf_check () =
     Format.printf "FAIL: dag pipelining speedup collapsed more than 2x@.";
     exit 1
   end
-  else Format.printf "OK: within the 2x budget@."
+  else Format.printf "OK: within the 2x budget@.";
+  (* End-to-end figure4 wall: the dag pass at jobs=nproc above is the
+     whole experiment — simulations, models, solves, validation. Wall
+     time is machine-dependent, so the baseline is generous and the
+     gate only catches collapses past 2x. *)
+  let baseline_fig4_wall =
+    match Obs.Json.member "figure4_wall_s" baseline with
+    | Some (Obs.Json.Float f) -> f
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> failwith "perf_baseline.json: missing figure4_wall_s"
+  in
+  Format.printf "figure4 end-to-end wall: baseline %.2fs, current %.2fs \
+                 (jobs=%d)@."
+    baseline_fig4_wall d.fig4_dag_n_s d.dag_jobs;
+  if d.fig4_dag_n_s > 2. *. baseline_fig4_wall then begin
+    Format.printf "FAIL: figure4 wall time regressed more than 2x@.";
+    exit 1
+  end
+  else Format.printf "OK: within the 2x budget@.";
+  (* Parallel branch & bound smoke: like the dag speedup, the ratio
+     depends on the runner's core count, so it fails only when it
+     collapses below half its (conservative) baseline. Determinism is a
+     hard gate: the parallel pass must reproduce the sequential answers. *)
+  section "Parallel branch & bound smoke (subtree mining vs sequential)";
+  let pb = bnb_bench () in
+  pp_bnb_bench pb;
+  if not pb.bnb_results_equal then begin
+    Format.printf "FAIL: parallel B&B disagrees with the sequential solve@.";
+    exit 1
+  end;
+  let baseline_bnb_speedup =
+    match Obs.Json.member "bnb_parallel_speedup" baseline with
+    | Some (Obs.Json.Float f) -> f
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> failwith "perf_baseline.json: missing bnb_parallel_speedup"
+  in
+  Format.printf "bnb parallel speedup: baseline %.2fx, current %.2fx (jobs=%d)@."
+    baseline_bnb_speedup pb.bnb_parallel_speedup pb.bnb_jobs;
+  if pb.bnb_parallel_speedup < baseline_bnb_speedup /. 2. then begin
+    Format.printf "FAIL: parallel B&B speedup collapsed more than 2x@.";
+    exit 1
+  end
+  else Format.printf "OK: within the 2x budget@.";
+  merge_result (json_of_bnb_bench pb);
+  (* Simulation family smoke: a same-process ratio (solo vs family on
+     identical members), so machine speed cancels out like the kernel
+     speedup; it fails below half baseline. *)
+  section "Simulation family smoke (shared scripts vs solo runs)";
+  let fb = family_bench () in
+  pp_family_bench fb;
+  if not fb.fam_results_equal then begin
+    Format.printf "FAIL: family members disagree with solo runs@.";
+    exit 1
+  end;
+  let baseline_family_speedup =
+    match Obs.Json.member "sim_family_speedup" baseline with
+    | Some (Obs.Json.Float f) -> f
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> failwith "perf_baseline.json: missing sim_family_speedup"
+  in
+  Format.printf "sim family speedup: baseline %.2fx, current %.2fx@."
+    baseline_family_speedup fb.sim_family_speedup;
+  if fb.sim_family_speedup < baseline_family_speedup /. 2. then begin
+    Format.printf "FAIL: family batching speedup collapsed more than 2x@.";
+    exit 1
+  end
+  else Format.printf "OK: within the 2x budget@.";
+  merge_result (json_of_family_bench fb)
 
 (* ------------------------------------------------------------------ *)
 (* Serve replay: sustained queries/sec through a live daemon            *)
@@ -843,8 +1122,6 @@ let json_of_serve_bench r =
       ("disk_hits", Obs.Json.Int r.engine_stats.Serve.Engine.disk_hits);
     ]
 
-let results_file = "BENCH_results.json"
-
 let json_of_stage (name, (t : Runtime.Telemetry.t), deltas) =
   Obs.Json.Obj
     [
@@ -893,32 +1170,6 @@ let regenerate () =
   output_char oc '\n';
   close_out oc;
   Format.printf "@.per-stage results written to %s@." results_file
-
-(* The serve and audit benchmarks also run as their own modes; merge
-   such an entry into the results file by its name, without clobbering
-   the regenerated stages. *)
-let merge_result entry =
-  let name = Obs.Json.member "name" entry in
-  let existing =
-    if not (Sys.file_exists results_file) then []
-    else
-      let ic = open_in results_file in
-      let s =
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      match Obs.Json.parse s with
-      | Ok (Obs.Json.List entries) ->
-        List.filter (fun j -> Obs.Json.member "name" j <> name) entries
-      | _ -> []
-  in
-  let oc = open_out results_file in
-  output_string oc (Obs.Json.to_string (Obs.Json.List (existing @ [ entry ])));
-  output_char oc '\n';
-  close_out oc;
-  let pretty = match name with Some (Obs.Json.Str s) -> s | _ -> "benchmark" in
-  Format.printf "@.%s entry merged into %s@." pretty results_file
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timings                                                     *)
@@ -1095,13 +1346,23 @@ let () =
      let r = dag_bench () in
      pp_dag_bench r;
      merge_result (json_of_dag_bench r)
+   | "bnb" ->
+     section "Parallel branch & bound (subtree mining vs sequential)";
+     let r = bnb_bench () in
+     pp_bnb_bench r;
+     merge_result (json_of_bnb_bench r)
+   | "family" ->
+     section "Simulation families (shared scripts vs solo runs)";
+     let r = family_bench () in
+     pp_family_bench r;
+     merge_result (json_of_family_bench r)
    | "all" ->
      regenerate ();
      run_timings ()
    | other ->
      Format.eprintf
        "unknown mode %S (expected: tables | timings | solver | sim | audit | \
-        obs | dag | perf-check | serve | all)@."
+        obs | dag | bnb | family | perf-check | serve | all)@."
        other;
      exit 2);
   Format.printf "@.done.@."

@@ -668,6 +668,50 @@ let audit_cmd =
             (Experiments.Ablations.a3_multi_contender ?jobs
                Platform.Scenario.scenario1);
           ignore (Experiments.Ablations.a4_fsb ?jobs ()) );
+      ( "bnb",
+        (* Hard certified solves with intra-solve parallelism: the
+           frontier-mining merge path itself produces the certificates
+           being audited, at whatever --jobs says. *)
+        fun ?jobs () ->
+          let state = ref 0x1F123BB5 in
+          let rand bound =
+            state := ((!state * 0x5DEECE66D) + 0xB) land ((1 lsl 48) - 1);
+            (!state lsr 16) mod bound
+          in
+          let models =
+            List.init 6 (fun _ ->
+                let q = Numeric.Q.of_int in
+                let m = Ilp.Model.create () in
+                let nv = 7 + rand 3 in
+                let vars =
+                  Array.init nv (fun i ->
+                      Ilp.Model.add_var m ~integer:true ~ub:(q (3 + rand 6))
+                        (Printf.sprintf "x%d" i))
+                in
+                for _ = 1 to 6 + rand 5 do
+                  let terms =
+                    Array.to_list
+                      (Array.map (fun v -> (q (rand 11 - 4), v)) vars)
+                  in
+                  Ilp.Model.add_constraint m (Ilp.Linexpr.of_terms terms)
+                    Ilp.Model.Le
+                    (q (15 + rand 45))
+                done;
+                Ilp.Model.set_objective m Ilp.Model.Maximize
+                  (Ilp.Linexpr.of_terms
+                     (Array.to_list
+                        (Array.map
+                           (fun v -> (Numeric.Q.of_ints (1 + rand 17) 2, v))
+                           vars)));
+                m)
+          in
+          Runtime.Pool.with_pool ?jobs (fun pool ->
+              List.iter
+                (fun m ->
+                   ignore
+                     (Runtime.Solve_cache.solve_ilp
+                        ~parallel:(Runtime.Solve_cache.On_pool pool) m))
+                models) );
     ]
   in
   let run name jobs kernel trace metrics =

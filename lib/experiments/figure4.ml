@@ -124,25 +124,26 @@ let add_row_nodes ?config dag ~scenario ~load =
           ();
         (app, contender))
   in
-  let iso_app =
-    node ~label:(lbl "iso_app") dag ~deps:[ dep prep ] (fun () ->
-        Mbta.Measurement.isolation ?config ~core:0 (fst (get prep)))
-  in
-  let iso_con =
-    node ~label:(lbl "iso_con") dag ~deps:[ dep prep ] (fun () ->
-        Mbta.Measurement.isolation ?config ~core:1 (snd (get prep)))
-  in
-  let corun =
-    node ~label:(lbl "corun") dag ~deps:[ dep prep ] (fun () ->
+  (* the cell's three simulations — two isolations + the observed co-run
+     — dispatch as one run family: decoded program scripts are shared
+     between the members, and each stays individually content-addressed
+     in the run cache *)
+  let sims =
+    node ~label:(lbl "sims") dag ~deps:[ dep prep ] (fun () ->
         let app, contender = get prep in
-        Mbta.Measurement.corun ?config ~analysis:(app, 0)
+        Mbta.Measurement.cell_family ?config ~analysis:(app, 0)
           ~contenders:[ (contender, 1) ] ())
   in
   let bounds =
-    node ~label:(lbl "bounds") dag
-      ~deps:[ dep iso_app; dep iso_con ]
+    node ~label:(lbl "bounds") dag ~deps:[ dep sims ]
       (fun () ->
-        let iso_a = get iso_app and iso_b = get iso_con in
+        let cell = get sims in
+        let iso_a = cell.Mbta.Measurement.iso_analysis in
+        let iso_b =
+          match cell.Mbta.Measurement.iso_contenders with
+          | [ o ] -> o
+          | _ -> assert false
+        in
         let a = iso_a.Mbta.Measurement.counters in
         let b = iso_b.Mbta.Measurement.counters in
         Analysis.Preflight.guard
@@ -178,15 +179,19 @@ let add_row_nodes ?config dag ~scenario ~load =
         (ftc_r, ilp_r, ideal_delta))
   in
   node ~label:(lbl "row") dag
-    ~deps:[ dep bounds; dep corun; dep iso_app ]
+    ~deps:[ dep bounds; dep sims ]
     (fun () ->
       let ftc_r, ilp_r, ideal_delta = get bounds in
-      let isolation_cycles = (get iso_app).Mbta.Measurement.cycles in
+      let cell = get sims in
+      let isolation_cycles =
+        cell.Mbta.Measurement.iso_analysis.Mbta.Measurement.cycles
+      in
       {
         scenario = scenario.Scenario.name;
         load;
         isolation_cycles;
-        observed_cycles = (get corun).Mbta.Measurement.cycles;
+        observed_cycles =
+          cell.Mbta.Measurement.corun.Mbta.Measurement.cycles;
         ftc =
           Mbta.Wcet.make ~isolation_cycles
             ~contention_cycles:ftc_r.Contention.Ftc.delta;

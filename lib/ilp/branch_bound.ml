@@ -4,7 +4,10 @@ exception Node_limit_exceeded
 
 (* Search observability (Obs.Metrics): totals are per-process and, with
    the single-flight solve cache, independent of the parallel degree —
-   every distinct model is searched exactly once either way. *)
+   every distinct model is searched exactly once either way, and the
+   subtree phase commits speculative metric deltas in sequential merge
+   order (see below), so even intra-solve parallelism leaves the
+   deterministic counters byte-identical at any [jobs]. *)
 let m_solves = Obs.Metrics.counter "ilp.bb.solves"
 let m_nodes = Obs.Metrics.counter "ilp.bb.nodes"
 let m_pruned = Obs.Metrics.counter "ilp.bb.pruned"
@@ -14,7 +17,30 @@ let m_warm = Obs.Metrics.counter "ilp.bb.warm_starts"
 let m_restarts = Obs.Metrics.counter "ilp.bb.engine_restarts"
 let m_max_depth = Obs.Metrics.gauge "ilp.bb.max_depth"
 
+(* Jobs-invariant parallel-search counters: where the frontier cut falls
+   and how many nodes sit below it depend only on the model and the
+   [frontier] width, never on how many domains mined the subtrees. *)
+let m_par_nodes = Obs.Metrics.counter "bnb.parallel_nodes"
+let m_par_splits = Obs.Metrics.counter "bnb.parallel_splits"
+
+(* Scheduling facts of one particular run: which domain claimed which
+   subtree (and how many speculative runs were redone as sequential
+   replays) is a race outcome, so these stay out of
+   [Obs.Metrics.deterministic_snapshot]. *)
+let m_subtrees = Obs.Metrics.counter ~timing:true "bnb.subtrees"
+let m_subtree_steals = Obs.Metrics.counter ~timing:true "bnb.subtree_steals"
+
 let branching_value x = (Q.floor x, Q.ceil x)
+
+(* How a solve may fan its subtree work out: [spawn] fires a helper
+   thunk onto some executor (in practice [Runtime.Pool.spawn_raw]) and
+   [degree] bounds how many helpers are worth spawning. The record is
+   dependency-inverted — lib/ilp does not know about the pool — and it
+   never affects results, node counts or certificates: only which
+   domain explores which subtree. *)
+type parallel = { degree : int; spawn : (unit -> unit) -> unit }
+
+let default_frontier = 32
 
 (* Depth-first branch & bound, most-fractional branching, down-branch
    first (for the contention ILPs the optimum sits near the upper bounds,
@@ -32,169 +58,490 @@ let branching_value x = (Q.floor x, Q.ceil x)
    relaxation cannot beat the incumbent by more than [slack]. The returned
    incumbent is therefore within [slack] of the true optimum — callers
    needing a sound upper (resp. lower) bound on a maximisation (resp.
-   minimisation) must add [slack] back. *)
-let search engine ~node_limit ~slack ~presolve ~root model =
-  let module E = (val engine : Simplex.ENGINE) in
-  let nv = Model.num_vars model in
-  let int_vars = Model.integer_vars model in
-  let dir, obj_expr = Model.objective model in
-  (* When the objective takes integral values on every integer-feasible
-     point, a node whose relaxation floors (resp. ceils) to the incumbent
-     cannot contain a better solution — pruning on the rounded bound is
-     exact and collapses fractional near-optimal plateaus. *)
-  let objective_integral =
-    Q.is_integer (Linexpr.constant obj_expr)
-    && List.for_all
-         (fun (v, c) -> Q.is_integer c && (Model.var_info model v).integer)
-         (Linexpr.terms obj_expr)
-  in
-  let effective_bound objective =
-    if objective_integral then
-      match dir with
-      | Model.Maximize -> Q.floor objective
-      | Model.Minimize -> Q.ceil objective
-    else objective
-  in
-  let worth_exploring objective incumbent =
-    (* Can this node still beat [incumbent] by more than [slack]? *)
-    match dir with
-    | Model.Maximize -> Q.compare (effective_bound objective) (Q.add incumbent slack) > 0
-    | Model.Minimize -> Q.compare (effective_bound objective) (Q.sub incumbent slack) < 0
-  in
-  let better a b =
-    match dir with
-    | Model.Maximize -> Q.compare a b > 0
-    | Model.Minimize -> Q.compare a b < 0
-  in
-  let best : (Q.t * Q.t array) option ref = ref None in
-  let nodes = ref 0 in
-  let better_than_best objective =
-    match !best with Some (bobj, _) -> better objective bobj | None -> true
-  in
-  let set_incumbent objective values =
-    Obs.Metrics.incr m_incumbents;
-    best := Some (objective, values)
-  in
-  (* Rounding heuristic: flooring a relaxation point keeps every
-     non-negative <=-constraint satisfied, so it often yields a feasible
-     integer incumbent for free; we verify feasibility exactly before
-     accepting it. *)
-  let try_floor_incumbent values =
-    let floored =
-      Array.mapi
-        (fun v x -> if List.mem v int_vars then Q.floor x else x)
-        values
-    in
-    let lookup v = floored.(v) in
-    match Model.check_feasible model lookup with
-    | Error _ -> ()
-    | Ok _ ->
-      let objective = Linexpr.eval obj_expr lookup in
-      if better_than_best objective then set_incumbent objective floored
-  in
-  (* Branch on the fractional variable closest to half-integral,
-     preferring variables with a non-zero objective coefficient: ties in
-     the relaxation otherwise make the search wander over fractional
-     splits that cannot change the bound. *)
-  let in_objective v = not (Q.is_zero (Linexpr.coeff obj_expr v)) in
-  let most_fractional values =
-    let pick vars =
-      List.fold_left
-        (fun acc v ->
-           let f = Q.frac values.(v) in
-           if Q.is_zero f then acc
-           else begin
-             let dist = Q.abs (Q.sub f (Q.of_ints 1 2)) in
-             match acc with
-             | Some (_, bdist) when Q.compare bdist dist <= 0 -> acc
-             | _ -> Some (v, dist)
-           end)
-        None vars
-    in
-    match pick (List.filter in_objective int_vars) with
-    | Some _ as r -> r
-    | None -> pick int_vars
-  in
-  let rec explore ~depth ~parent lb0 ub0 =
-    incr nodes;
-    Obs.Metrics.incr m_nodes;
-    Obs.Metrics.set_max m_max_depth depth;
-    if !nodes > node_limit then begin
-      Obs.Metrics.incr m_node_limit;
-      raise Node_limit_exceeded
-    end;
-    match
-      (* a memoised root presolve (shared per model structure by the
-         solve cache) replaces the root node's tightening run *)
-      (match root with
-       | Some outcome when depth = 0 -> outcome
-       | _ ->
-         if presolve then Presolve.tighten model ~lb:lb0 ~ub:ub0
-         else Presolve.Tightened (lb0, ub0))
-    with
-    | Presolve.Infeasible -> ()
-    | Presolve.Tightened (lb, ub) -> explore_box ~depth ~parent lb ub
+   minimisation) must add [slack] back.
 
-  and explore_box ~depth ~parent lb ub =
-    (* Warm path: copy the parent's optimal basis and repair it under
-       the tightened box with dual pivots; cold path at the root (or on
-       the dense tier, which never hands back a state). *)
-    let state, solution =
+   {b Parallel determinism.} The search is one fixed algorithm at every
+   parallel degree: an explicit-stack DFS whose pop order is exactly the
+   recursive down-then-up order. The spawner expands the stack
+   sequentially until it holds [frontier] unexplored nodes; the
+   remaining stack, popped LIFO, lists subtree roots in sequential
+   continuation order. Subtrees are then claimed off an atomic counter
+   (by the spawner and any [parallel] helpers) and explored
+   speculatively: each run snapshots a shared atomic incumbent objective
+   at claim time (the only cross-subtree communication, used only for
+   pruning), counts its own nodes against an optimistic budget, and
+   buffers all metric updates in an [Obs.Metrics.capture] delta. The
+   spawner then merges results in subtree order: a run whose snapshot
+   equals the deterministic prefix incumbent made exactly the sequential
+   decisions, so its delta/incumbent/certificate commit as-is; any other
+   run (stale snapshot, or past the exact remaining node budget) is
+   discarded and replayed inline at its sequential position. Either way
+   the visit order, prune/incumbent/node/pivot totals, the returned
+   solution and the certificate tree are those of the sequential DFS. *)
+
+module type MODE = sig
+  module E : Simplex.ENGINE
+
+  type node
+  (** What a fully explored node contributes to the caller: [unit] for
+      the plain search, {!Cert.tree} for the certified one. *)
+
+  type info
+  (** Payload extracted from an optimal node's LP certificate before
+      branching decisions ([unit], or the dual multipliers). *)
+
+  val eval :
+    model:Model.t ->
+    parent:E.state option ->
+    lb:Q.t option array ->
+    ub:Q.t option array ->
+    E.state option * Solution.t * Cert.lp_cert option
+
+  val info_of : Cert.lp_cert option -> info
+  val presolve_leaf : node
+  val leaf_infeasible : Cert.lp_cert option -> node
+  val leaf_bounded : info -> node
+  val branch_node : var:int -> pivot:Q.t -> down:node -> up:node -> node
+  val presolve : bool
+  val root : Presolve.outcome option
+end
+
+exception Unbounded_search of Cert.lp_cert option
+exception Uncertified
+
+module Search (M : MODE) = struct
+  module E = M.E
+
+  (* One unexplored node. [set] installs the node's contribution once
+     its whole subtree is done; branch nodes install themselves when
+     both children have (the join closures run only on the spawner or
+     wholly inside one speculative run, never concurrently). *)
+  type frame = {
+    depth : int;
+    parent : E.state option;
+    lb : Q.t option array;
+    ub : Q.t option array;
+    set : M.node -> unit;
+  }
+
+  (* Incumbent store and node accounting, so the same [process] drives
+     the sequential prefix (globals), a speculative subtree run (local
+     incumbent seeded from the claim-time snapshot) and a replay. *)
+  type env = {
+    bound : unit -> Q.t option;
+    record : Q.t -> Q.t array -> unit;
+    count_node : int -> unit;
+  }
+
+  type sub_result = {
+    snap : Q.t option;  (* shared incumbent objective at claim time *)
+    sr_nodes : int;
+    limit_hit : bool;  (* ran past the optimistic node budget *)
+    local_best : (Q.t * Q.t array) option;
+    delta : Obs.Metrics.delta;
+    sub_node : M.node option;
+    err : exn option;  (* deterministic abort (tier restart, unbounded) *)
+  }
+
+  let run ~node_limit ~slack ~parallel ~frontier model =
+    let nv = Model.num_vars model in
+    let int_vars = Model.integer_vars model in
+    let dir, obj_expr = Model.objective model in
+    (* When the objective takes integral values on every integer-feasible
+       point, a node whose relaxation floors (resp. ceils) to the incumbent
+       cannot contain a better solution — pruning on the rounded bound is
+       exact and collapses fractional near-optimal plateaus. *)
+    let objective_integral =
+      Q.is_integer (Linexpr.constant obj_expr)
+      && List.for_all
+           (fun (v, c) -> Q.is_integer c && (Model.var_info model v).Model.integer)
+           (Linexpr.terms obj_expr)
+    in
+    let effective_bound objective =
+      if objective_integral then
+        match dir with
+        | Model.Maximize -> Q.floor objective
+        | Model.Minimize -> Q.ceil objective
+      else objective
+    in
+    let worth_exploring objective incumbent =
+      (* Can this node still beat [incumbent] by more than [slack]? *)
+      match dir with
+      | Model.Maximize ->
+        Q.compare (effective_bound objective) (Q.add incumbent slack) > 0
+      | Model.Minimize ->
+        Q.compare (effective_bound objective) (Q.sub incumbent slack) < 0
+    in
+    let better a b =
+      match dir with
+      | Model.Maximize -> Q.compare a b > 0
+      | Model.Minimize -> Q.compare a b < 0
+    in
+    (* Rounding heuristic: flooring a relaxation point keeps every
+       non-negative <=-constraint satisfied, so it often yields a feasible
+       integer incumbent for free; we verify feasibility exactly before
+       accepting it. *)
+    let try_floor env values =
+      let floored =
+        Array.mapi
+          (fun v x -> if List.mem v int_vars then Q.floor x else x)
+          values
+      in
+      let lookup v = floored.(v) in
+      match Model.check_feasible model lookup with
+      | Error _ -> ()
+      | Ok _ -> (
+        let objective = Linexpr.eval obj_expr lookup in
+        match env.bound () with
+        | Some b when not (better objective b) -> ()
+        | _ -> env.record objective floored)
+    in
+    (* Branch on the fractional variable closest to half-integral,
+       preferring variables with a non-zero objective coefficient: ties in
+       the relaxation otherwise make the search wander over fractional
+       splits that cannot change the bound. *)
+    let in_objective v = not (Q.is_zero (Linexpr.coeff obj_expr v)) in
+    let most_fractional values =
+      let pick vars =
+        List.fold_left
+          (fun acc v ->
+             let f = Q.frac values.(v) in
+             if Q.is_zero f then acc
+             else begin
+               let dist = Q.abs (Q.sub f (Q.of_ints 1 2)) in
+               match acc with
+               | Some (_, bdist) when Q.compare bdist dist <= 0 -> acc
+               | _ -> Some (v, dist)
+             end)
+          None vars
+      in
+      match pick (List.filter in_objective int_vars) with
+      | Some _ as r -> r
+      | None -> pick int_vars
+    in
+    (* One node: count it, presolve (or use the memoised root outcome),
+       solve the relaxation warm from the parent basis, then settle as a
+       leaf or push both children ([push] up first so the down child pops
+       first — the recursive visit order). *)
+    let process env ~push frame =
+      env.count_node frame.depth;
+      match
+        (match M.root with
+         | Some outcome when frame.depth = 0 -> outcome
+         | _ ->
+           if M.presolve then Presolve.tighten model ~lb:frame.lb ~ub:frame.ub
+           else Presolve.Tightened (frame.lb, frame.ub))
+      with
+      | Presolve.Infeasible -> frame.set M.presolve_leaf
+      | Presolve.Tightened (lb, ub) -> (
+        (match frame.parent with
+         | Some _ -> Obs.Metrics.incr m_warm
+         | None -> ());
+        let state, solution, cert = M.eval ~model ~parent:frame.parent ~lb ~ub in
+        match solution with
+        | Solution.Infeasible -> frame.set (M.leaf_infeasible cert)
+        | Solution.Unbounded ->
+          (* An unbounded relaxation of a node means the ILP itself is
+             unbounded or infeasible; surface it at the root. *)
+          raise (Unbounded_search cert)
+        | Solution.Optimal { objective; values } ->
+          let info = M.info_of cert in
+          (match most_fractional values with
+           | Some _ -> try_floor env values
+           | None -> ());
+          let prune =
+            match env.bound () with
+            | Some b -> not (worth_exploring objective b)
+            | None -> false
+          in
+          if prune then begin
+            Obs.Metrics.incr m_pruned;
+            frame.set (M.leaf_bounded info)
+          end
+          else begin
+            match most_fractional values with
+            | None -> (
+              (match env.bound () with
+               | Some b when not (better objective b) -> ()
+               | _ -> env.record objective values);
+              frame.set (M.leaf_bounded info))
+            | Some (v, _) ->
+              let fl, cl = branching_value values.(v) in
+              let ub' = Array.copy ub in
+              ub'.(v) <-
+                (match ub.(v) with
+                 | Some u -> Some (Q.min u fl)
+                 | None -> Some fl);
+              let lb' = Array.copy lb in
+              lb'.(v) <-
+                (match lb.(v) with
+                 | Some l -> Some (Q.max l cl)
+                 | None -> Some cl);
+              let dhole = ref None and uhole = ref None in
+              let pending = ref 2 in
+              let join hole t =
+                hole := Some t;
+                decr pending;
+                if !pending = 0 then
+                  frame.set
+                    (M.branch_node ~var:v ~pivot:fl
+                       ~down:(Option.get !dhole)
+                       ~up:(Option.get !uhole))
+              in
+              push
+                { depth = frame.depth + 1; parent = state; lb = lb'; ub;
+                  set = join uhole };
+              push
+                { depth = frame.depth + 1; parent = state; lb; ub = ub';
+                  set = join dhole }
+          end)
+    in
+    let exhaust env stack =
+      let rec go () =
+        match !stack with
+        | [] -> ()
+        | f :: rest ->
+          stack := rest;
+          process env ~push:(fun fr -> stack := fr :: !stack) f;
+          go ()
+      in
+      go ()
+    in
+    let best : (Q.t * Q.t array) option ref = ref None in
+    let nodes = ref 0 in
+    let count_global ~parallel_phase depth =
+      incr nodes;
+      Obs.Metrics.incr m_nodes;
+      if parallel_phase then Obs.Metrics.incr m_par_nodes;
+      Obs.Metrics.set_max m_max_depth depth;
+      if !nodes > node_limit then begin
+        Obs.Metrics.incr m_node_limit;
+        raise Node_limit_exceeded
+      end
+    in
+    let genv ~parallel_phase =
+      {
+        bound = (fun () -> Option.map fst !best);
+        record =
+          (fun o v ->
+             Obs.Metrics.incr m_incumbents;
+             best := Some (o, v));
+        count_node = count_global ~parallel_phase;
+      }
+    in
+    (* Claim-mine-merge over the frontier cut. The spawner participates
+       in claiming, then block-waits on its own condition variable for
+       any subtree a helper claimed — helpers never block, so there is
+       no cycle to deadlock on (in particular, a caller holding a
+       solve-cache reservation never executes foreign pool work here). *)
+    let explore_subtrees frames =
+      let subs = Array.of_list frames in
+      let m = Array.length subs in
+      let budget0 = node_limit - !nodes in
+      let shared : Q.t option Atomic.t = Atomic.make (Option.map fst !best) in
+      let results : sub_result option array = Array.make m None in
+      let rlock = Mutex.create () in
+      let rcond = Condition.create () in
+      let claim = Atomic.make 0 in
+      let speculative frame =
+        let snap = Atomic.get shared in
+        let local = ref None in
+        let lnodes = ref 0 in
+        let publish o =
+          let rec cas () =
+            let cur = Atomic.get shared in
+            let improves =
+              match cur with None -> true | Some c -> better o c
+            in
+            if improves && not (Atomic.compare_and_set shared cur (Some o))
+            then cas ()
+          in
+          cas ()
+        in
+        let env =
+          {
+            bound =
+              (fun () ->
+                 match !local with Some (o, _) -> Some o | None -> snap);
+            record =
+              (fun o v ->
+                 Obs.Metrics.incr m_incumbents;
+                 local := Some (o, v);
+                 publish o);
+            count_node =
+              (fun depth ->
+                 incr lnodes;
+                 Obs.Metrics.incr m_nodes;
+                 Obs.Metrics.incr m_par_nodes;
+                 Obs.Metrics.set_max m_max_depth depth;
+                 if !lnodes > budget0 then raise Node_limit_exceeded);
+          }
+        in
+        let result = ref None in
+        let stack = ref [ { frame with set = (fun t -> result := Some t) } ] in
+        let r, delta = Obs.Metrics.capture (fun () -> exhaust env stack) in
+        match r with
+        | Ok () ->
+          { snap; sr_nodes = !lnodes; limit_hit = false; local_best = !local;
+            delta; sub_node = !result; err = None }
+        | Error Node_limit_exceeded ->
+          { snap; sr_nodes = !lnodes; limit_hit = true; local_best = !local;
+            delta; sub_node = None; err = None }
+        | Error e ->
+          { snap; sr_nodes = !lnodes; limit_hit = false; local_best = !local;
+            delta; sub_node = None; err = Some e }
+      in
+      let run_claims ~stolen () =
+        let rec go () =
+          let i = Atomic.fetch_and_add claim 1 in
+          if i < m then begin
+            Obs.Metrics.incr m_subtrees;
+            if stolen then Obs.Metrics.incr m_subtree_steals;
+            let r = speculative subs.(i) in
+            Mutex.lock rlock;
+            results.(i) <- Some r;
+            Condition.broadcast rcond;
+            Mutex.unlock rlock;
+            go ()
+          end
+        in
+        go ()
+      in
+      (match parallel with
+       | Some p when p.degree > 1 && m > 1 ->
+         let helpers = min (p.degree - 1) (m - 1) in
+         for _ = 1 to helpers do
+           p.spawn (fun () -> run_claims ~stolen:true ())
+         done
+       | _ -> ());
+      run_claims ~stolen:false ();
+      (* every index is claimed by now; wait out helpers' stragglers *)
+      let wait i =
+        Mutex.lock rlock;
+        while (match results.(i) with None -> true | Some _ -> false) do
+          Condition.wait rcond rlock
+        done;
+        let r = match results.(i) with Some r -> r | None -> assert false in
+        Mutex.unlock rlock;
+        r
+      in
+      let replay frame =
+        let stack = ref [ frame ] in
+        exhaust (genv ~parallel_phase:true) stack
+      in
+      for i = 0 to m - 1 do
+        let r = wait i in
+        let prefix = Option.map fst !best in
+        let matches =
+          match (r.snap, prefix) with
+          | None, None -> true
+          | Some a, Some b -> Q.compare a b = 0
+          | _ -> false
+        in
+        let fits = (not r.limit_hit) && r.sr_nodes <= node_limit - !nodes in
+        if matches && fits then begin
+          (* the run saw exactly the sequential incumbent, so it made
+             exactly the sequential decisions: commit it *)
+          nodes := !nodes + r.sr_nodes;
+          Obs.Metrics.commit r.delta;
+          (match r.local_best with
+           | Some (o, v) -> (
+             match !best with
+             | Some (b, _) when not (better o b) -> ()
+             | _ -> best := Some (o, v))
+           | None -> ());
+          match r.err with
+          | Some e -> raise e
+          | None -> (
+            match r.sub_node with
+            | Some t -> subs.(i).set t
+            | None -> assert false)
+        end
+        else
+          (* stale snapshot or past the exact remaining budget: redo this
+             subtree inline at its sequential position (re-raising any
+             abort — node limit, tier restart — at the sequential point) *)
+          replay subs.(i)
+      done
+    in
+    let lb0 = Array.init nv (fun v -> (Model.var_info model v).Model.lb) in
+    let ub0 = Array.init nv (fun v -> (Model.var_info model v).Model.ub) in
+    let root_node = ref None in
+    Obs.Tracer.with_span "ilp.branch_bound"
+      ~attrs:(fun () ->
+          [ ("vars", string_of_int nv); ("nodes", string_of_int !nodes) ])
+      (fun () ->
+         match
+           let stack =
+             ref
+               [ { depth = 0; parent = None; lb = lb0; ub = ub0;
+                   set = (fun t -> root_node := Some t) } ]
+           in
+           let size = ref 1 in
+           let push f =
+             stack := f :: !stack;
+             incr size
+           in
+           let env0 = genv ~parallel_phase:false in
+           let continue_ = ref true in
+           while !continue_ do
+             match !stack with
+             | [] -> continue_ := false
+             | _ when !size >= frontier -> continue_ := false
+             | f :: rest ->
+               stack := rest;
+               decr size;
+               process env0 ~push f
+           done;
+           match !stack with
+           | [] -> ()
+           | frames ->
+             Obs.Metrics.incr m_par_splits;
+             explore_subtrees frames
+         with
+         | () ->
+           let solution =
+             match !best with
+             | Some (objective, values) ->
+               Solution.Optimal { objective; values }
+             | None -> Solution.Infeasible
+           in
+           let node =
+             match !root_node with Some n -> n | None -> assert false
+           in
+           `Finished (solution, node)
+         | exception Unbounded_search c -> `Unbounded c)
+end
+
+let search engine ~node_limit ~slack ~presolve ~root ~parallel ~frontier model
+  =
+  let module En = (val engine : Simplex.ENGINE) in
+  let module S = Search (struct
+    module E = En
+
+    type node = unit
+    type info = unit
+
+    let eval ~model ~parent ~lb ~ub =
       match parent with
       | Some pst ->
-        Obs.Metrics.incr m_warm;
         let st = E.branch pst in
-        (Some st, E.reoptimize st ~lb ~ub)
-      | None -> E.root model ~lb ~ub
-    in
-    match solution with
-    | Solution.Infeasible -> ()
-    | Solution.Unbounded ->
-      (* An unbounded relaxation of a node means the ILP itself is unbounded
-         or infeasible; surface it as unboundedness at the root. *)
-      raise Exit
-    | Solution.Optimal { objective; values } ->
-      (match most_fractional values with
-       | Some _ -> try_floor_incumbent values
-       | None -> ());
-      let prune =
-        match !best with
-        | Some (bobj, _) -> not (worth_exploring objective bobj)
-        | None -> false
-      in
-      if prune then Obs.Metrics.incr m_pruned
-      else begin
-        match most_fractional values with
-        | None ->
-          if better_than_best objective then set_incumbent objective values
-        | Some (v, _) ->
-          let fl, cl = branching_value values.(v) in
-          let ub' = Array.copy ub in
-          ub'.(v) <-
-            (match ub.(v) with
-             | Some u -> Some (Q.min u fl)
-             | None -> Some fl);
-          explore ~depth:(depth + 1) ~parent:state lb ub';
-          let lb' = Array.copy lb in
-          lb'.(v) <-
-            (match lb.(v) with
-             | Some l -> Some (Q.max l cl)
-             | None -> Some cl);
-          explore ~depth:(depth + 1) ~parent:state lb' ub
-      end
-  in
-  let lb0 = Array.init nv (fun v -> (Model.var_info model v).lb) in
-  let ub0 = Array.init nv (fun v -> (Model.var_info model v).ub) in
-  Obs.Tracer.with_span "ilp.branch_bound"
-    ~attrs:(fun () ->
-        [ ("vars", string_of_int nv); ("nodes", string_of_int !nodes) ])
-    (fun () ->
-       match explore ~depth:0 ~parent:None lb0 ub0 with
-       | () ->
-         (match !best with
-          | Some (objective, values) -> Solution.Optimal { objective; values }
-          | None -> Solution.Infeasible)
-       | exception Exit -> Solution.Unbounded)
+        (Some st, E.reoptimize st ~lb ~ub, None)
+      | None ->
+        let st, sol = E.root model ~lb ~ub in
+        (st, sol, None)
+
+    let info_of _ = ()
+    let presolve_leaf = ()
+    let leaf_infeasible _ = ()
+    let leaf_bounded () = ()
+    let branch_node ~var:_ ~pivot:_ ~down:_ ~up:_ = ()
+    let presolve = presolve
+    let root = root
+  end) in
+  match S.run ~node_limit ~slack ~parallel ~frontier model with
+  | `Finished (sol, ()) -> sol
+  | `Unbounded _ -> Solution.Unbounded
 
 (* Certified search: identical branching discipline, but every node's
    relaxation goes through the certified engine entry points and the
@@ -203,196 +550,96 @@ let search engine ~node_limit ~slack ~presolve ~root model =
    every node box is derivable from the declared bounds plus the
    branching path alone; that changes the node count but never the
    answer, which only depends on the exhaustive search discipline. *)
+let search_certified engine ~node_limit ~slack ~parallel ~frontier model =
+  let module En = (val engine : Simplex.ENGINE) in
+  let module S = Search (struct
+    module E = En
 
-exception Unbounded_with_cert of Cert.lp_cert option
-exception Uncertified
+    type node = Cert.tree
+    type info = Q.t array (* optimal duals *)
 
-let search_certified engine ~node_limit ~slack model =
-  let module E = (val engine : Simplex.ENGINE) in
-  let nv = Model.num_vars model in
-  let int_vars = Model.integer_vars model in
-  let dir, obj_expr = Model.objective model in
-  let objective_integral =
-    Q.is_integer (Linexpr.constant obj_expr)
-    && List.for_all
-         (fun (v, c) -> Q.is_integer c && (Model.var_info model v).integer)
-         (Linexpr.terms obj_expr)
-  in
-  let effective_bound objective =
-    if objective_integral then
-      match dir with
-      | Model.Maximize -> Q.floor objective
-      | Model.Minimize -> Q.ceil objective
-    else objective
-  in
-  let worth_exploring objective incumbent =
-    match dir with
-    | Model.Maximize -> Q.compare (effective_bound objective) (Q.add incumbent slack) > 0
-    | Model.Minimize -> Q.compare (effective_bound objective) (Q.sub incumbent slack) < 0
-  in
-  let better a b =
-    match dir with
-    | Model.Maximize -> Q.compare a b > 0
-    | Model.Minimize -> Q.compare a b < 0
-  in
-  let best : (Q.t * Q.t array) option ref = ref None in
-  let nodes = ref 0 in
-  let better_than_best objective =
-    match !best with Some (bobj, _) -> better objective bobj | None -> true
-  in
-  let set_incumbent objective values =
-    Obs.Metrics.incr m_incumbents;
-    best := Some (objective, values)
-  in
-  let try_floor_incumbent values =
-    let floored =
-      Array.mapi
-        (fun v x -> if List.mem v int_vars then Q.floor x else x)
-        values
-    in
-    let lookup v = floored.(v) in
-    match Model.check_feasible model lookup with
-    | Error _ -> ()
-    | Ok _ ->
-      let objective = Linexpr.eval obj_expr lookup in
-      if better_than_best objective then set_incumbent objective floored
-  in
-  let in_objective v = not (Q.is_zero (Linexpr.coeff obj_expr v)) in
-  let most_fractional values =
-    let pick vars =
-      List.fold_left
-        (fun acc v ->
-           let f = Q.frac values.(v) in
-           if Q.is_zero f then acc
-           else begin
-             let dist = Q.abs (Q.sub f (Q.of_ints 1 2)) in
-             match acc with
-             | Some (_, bdist) when Q.compare bdist dist <= 0 -> acc
-             | _ -> Some (v, dist)
-           end)
-        None vars
-    in
-    match pick (List.filter in_objective int_vars) with
-    | Some _ as r -> r
-    | None -> pick int_vars
-  in
-  let require = function Some c -> c | None -> raise Uncertified in
-  let rec explore ~depth ~parent lb ub =
-    incr nodes;
-    Obs.Metrics.incr m_nodes;
-    Obs.Metrics.set_max m_max_depth depth;
-    if !nodes > node_limit then begin
-      Obs.Metrics.incr m_node_limit;
-      raise Node_limit_exceeded
-    end;
-    let state, solution, cert =
+    let eval ~model ~parent ~lb ~ub =
       match parent with
       | Some pst ->
-        Obs.Metrics.incr m_warm;
         let st = E.branch pst in
         let sol, cert = E.reoptimize_certified st ~lb ~ub in
         (Some st, sol, cert)
       | None -> E.root_certified model ~lb ~ub
-    in
-    match solution with
-    | Solution.Infeasible -> Cert.Leaf_infeasible (require cert)
-    | Solution.Unbounded ->
-      (* Warm re-solves never end [Unbounded] (branching only tightens
-         bounds), so this can only fire at the root node. *)
-      raise (Unbounded_with_cert cert)
-    | Solution.Optimal { objective; values } ->
-      let duals =
-        match require cert with
-        | Cert.Optimal_cert { duals } -> duals
-        | _ -> raise Uncertified
-      in
-      (match most_fractional values with
-       | Some _ -> try_floor_incumbent values
-       | None -> ());
-      let prune =
-        match !best with
-        | Some (bobj, _) -> not (worth_exploring objective bobj)
-        | None -> false
-      in
-      if prune then begin
-        Obs.Metrics.incr m_pruned;
-        (* Sound against the final answer because incumbents only ever
-           improve: the dual bound beats at most incumbent + slack, and
-           incumbent <= answer. *)
-        Cert.Leaf_bounded { duals }
-      end
-      else begin
-        match most_fractional values with
-        | None ->
-          if better_than_best objective then set_incumbent objective values;
-          (* An integral leaf needs no special node kind: its dual bound
-             equals its objective, which the final answer dominates. *)
-          Cert.Leaf_bounded { duals }
-        | Some (v, _) ->
-          let fl, cl = branching_value values.(v) in
-          let ub' = Array.copy ub in
-          ub'.(v) <-
-            (match ub.(v) with
-             | Some u -> Some (Q.min u fl)
-             | None -> Some fl);
-          let down = explore ~depth:(depth + 1) ~parent:state lb ub' in
-          let lb' = Array.copy lb in
-          lb'.(v) <-
-            (match lb.(v) with
-             | Some l -> Some (Q.max l cl)
-             | None -> Some cl);
-          let up = explore ~depth:(depth + 1) ~parent:state lb' ub in
-          Cert.Branch { var = v; pivot = fl; down; up }
-      end
-  in
-  let lb0 = Array.init nv (fun v -> (Model.var_info model v).lb) in
-  let ub0 = Array.init nv (fun v -> (Model.var_info model v).ub) in
-  Obs.Tracer.with_span "ilp.branch_bound"
-    ~attrs:(fun () ->
-        [ ("vars", string_of_int nv); ("nodes", string_of_int !nodes) ])
-    (fun () ->
-       match explore ~depth:0 ~parent:None lb0 ub0 with
-       | tree ->
-         let solution =
-           match !best with
-           | Some (objective, values) -> Solution.Optimal { objective; values }
-           | None -> Solution.Infeasible
-         in
-         (solution, Some (Cert.Ilp { islack = slack; tree }))
-       | exception Unbounded_with_cert c ->
-         (Solution.Unbounded, Option.map (fun c -> Cert.Ilp_unbounded c) c))
+
+    let info_of = function
+      | Some (Cert.Optimal_cert { duals }) -> duals
+      | Some _ | None -> raise Uncertified
+
+    (* unreachable: the certified search never presolves *)
+    let presolve_leaf = Cert.Leaf_bounded { duals = [||] }
+
+    let leaf_infeasible = function
+      | Some c -> Cert.Leaf_infeasible c
+      | None -> raise Uncertified
+
+    (* Sound against the final answer because incumbents only ever
+       improve: the dual bound beats at most incumbent + slack, and
+       incumbent <= answer. Covers pruned nodes and integral leaves. *)
+    let leaf_bounded duals = Cert.Leaf_bounded { duals }
+    let branch_node ~var ~pivot ~down ~up = Cert.Branch { var; pivot; down; up }
+    let presolve = false
+    let root = None
+  end) in
+  match S.run ~node_limit ~slack ~parallel ~frontier model with
+  | `Finished (solution, tree) ->
+    (solution, Some (Cert.Ilp { islack = slack; tree }))
+  | `Unbounded c ->
+    (* Warm re-solves never end [Unbounded] (branching only tightens
+       bounds), so this can only fire at the root node. *)
+    (Solution.Unbounded, Option.map (fun c -> Cert.Ilp_unbounded c) c)
 
 let solve ?(node_limit = 200_000) ?(slack = Q.zero) ?(presolve = true) ?root
-    model =
+    ?parallel ?(frontier = default_frontier) model =
   if Q.sign slack < 0 then invalid_arg "Branch_bound.solve: negative slack";
+  if frontier < 1 then invalid_arg "Branch_bound.solve: frontier must be >= 1";
   Obs.Metrics.incr m_solves;
   (* Tier ladder: machine-word fast path, exact rationals, dense primal.
      Each restart reruns the entire search, so the answer is always the
      deterministic output of a single engine. *)
-  match search Simplex.fast ~node_limit ~slack ~presolve ~root model with
+  match
+    search Simplex.fast ~node_limit ~slack ~presolve ~root ~parallel ~frontier
+      model
+  with
   | result -> result
   | exception (Fastq.Overflow | Simplex.Stalled) -> (
       Obs.Metrics.incr m_restarts;
-      match search Simplex.exact ~node_limit ~slack ~presolve ~root model with
+      match
+        search Simplex.exact ~node_limit ~slack ~presolve ~root ~parallel
+          ~frontier model
+      with
       | result -> result
       | exception Simplex.Stalled ->
         Obs.Metrics.incr m_restarts;
-        search Simplex.dense ~node_limit ~slack ~presolve ~root model)
+        search Simplex.dense ~node_limit ~slack ~presolve ~root ~parallel
+          ~frontier model)
 
-let solve_certified ?(node_limit = 200_000) ?(slack = Q.zero) model =
+let solve_certified ?(node_limit = 200_000) ?(slack = Q.zero) ?parallel
+    ?(frontier = default_frontier) model =
   if Q.sign slack < 0 then
     invalid_arg "Branch_bound.solve_certified: negative slack";
+  if frontier < 1 then
+    invalid_arg "Branch_bound.solve_certified: frontier must be >= 1";
   Obs.Metrics.incr m_solves;
-  match search_certified Simplex.fast ~node_limit ~slack model with
+  match
+    search_certified Simplex.fast ~node_limit ~slack ~parallel ~frontier model
+  with
   | result -> result
   | exception (Fastq.Overflow | Simplex.Stalled | Uncertified) -> (
       Obs.Metrics.incr m_restarts;
-      match search_certified Simplex.exact ~node_limit ~slack model with
+      match
+        search_certified Simplex.exact ~node_limit ~slack ~parallel ~frontier
+          model
+      with
       | result -> result
       | exception (Simplex.Stalled | Uncertified) ->
         Obs.Metrics.incr m_restarts;
         ( search Simplex.dense ~node_limit ~slack ~presolve:true ~root:None
-            model,
+            ~parallel ~frontier model,
           None ))
 
 let solve_lp_relaxation = Simplex.solve

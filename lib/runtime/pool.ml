@@ -283,10 +283,11 @@ let try_steal t ~self rng =
   in
   if n = 0 then None else go (2 * n)
 
-(* Claim one task: own deque (LIFO) → injector (round-robin) → steal.
-   [self = -1] marks a helper with no deque (batch submitter, awaiter on
-   a foreign domain): it starts at the injector. *)
-let next_task t ~self rng =
+(* Claim one task without stealing: own deque (LIFO) → injector
+   (round-robin). [self = -1] marks a helper with no deque (batch
+   submitter, awaiter on a foreign domain): it starts at the injector.
+   This is the whole help menu for promise awaiters — see [await]. *)
+let next_task_local t ~self =
   let local = if self >= 0 then Deque.pop t.deques.(self) else None in
   match local with
   | Some task ->
@@ -299,12 +300,19 @@ let next_task t ~self rng =
     | Some task ->
       Atomic.decr t.pending;
       Some task
-    | None -> (
-      match try_steal t ~self rng with
-      | Some task ->
-        Atomic.decr t.pending;
-        Some task
-      | None -> None))
+    | None -> None)
+
+(* Claim one task: own deque (LIFO) → injector (round-robin) → steal.
+   Only the worker main loop steals; awaiters never do. *)
+let next_task t ~self rng =
+  match next_task_local t ~self with
+  | Some _ as r -> r
+  | None -> (
+    match try_steal t ~self rng with
+    | Some task ->
+      Atomic.decr t.pending;
+      Some task
+    | None -> None)
 
 let mix seed i = lcg (seed lxor (((i + 1) * 0x9E3779B9) land max_int))
 
@@ -436,20 +444,55 @@ let spawn ?label t f =
   end;
   p
 
+(* Scheduling-only submission: the raw thunk is enqueued with no
+   promise, no task counter, no latency histograms and no trace
+   propagation. This is what intra-solve helpers (parallel branch &
+   bound subtree miners) ride on — they must be invisible to the
+   jobs-invariant [pool.tasks] counter and to traces, because how many
+   of them run (and where) is a scheduling fact, not a computation
+   fact. On a sequential pool the thunk runs inline. *)
+let spawn_raw t f = if t.workers = [] then f () else enqueue t f
+
+(* The pool whose worker domain is executing the calling code, if any —
+   lets deep callees (the solve cache) fan work out over otherwise-idle
+   domains without threading the pool through every layer. *)
+let current () =
+  match Domain.DLS.get dls_ctx with
+  | Some c when c.wpool.workers <> [] && not (Atomic.get c.wpool.stop) ->
+    Some c.wpool
+  | _ -> None
+
+(* Work an awaiter may claim without stealing: its own deque (if it is
+   a worker of this pool) and the injector. Deliberately not
+   [t.pending > 0]: pending counts tasks sitting in *other* workers'
+   deques too, and an awaiter that cannot steal them must park rather
+   than spin on them. *)
+let claimable t ~self =
+  (self >= 0 && Deque.size t.deques.(self) > 0)
+  ||
+  (Mutex.lock t.inj_lock;
+   let r = not (Queue.is_empty t.injector) in
+   Mutex.unlock t.inj_lock;
+   r)
+
 let await t p =
-  let has_work () = Atomic.get t.pending > 0 in
-  let self, rng =
-    match worker_ctx t with
-    | Some c -> (c.windex, c.rng)
-    | None -> (-1, ref (mix t.seed 0x5DEECE))
-  in
+  let self = match worker_ctx t with Some c -> c.windex | None -> -1 in
+  let has_work () = claimable t ~self in
   let rec loop () =
     match Task.peek p with
     | Some (Ok v) -> v
     | Some (Error e) -> raise e
     | None -> (
-      (* help: run other tasks instead of blocking a domain *)
-      match next_task t ~self rng with
+      (* Help — but only with work this domain may run without
+         stealing: its own deque (newest first, typically the very
+         subtasks being awaited) and the injector. Awaiters used to
+         fall through to the steal tier, which was pathological under
+         skewed subtree costs: the awaiter raced the victims for their
+         cache-warm tasks, every failed CAS burnt both sides, and the
+         awaited promise was not finished any sooner. Foreign deques
+         are the worker main loops' business; an awaiter with nothing
+         local parks until the promise settles. *)
+      match next_task_local t ~self with
       | Some task ->
         task ();
         loop ()

@@ -392,6 +392,41 @@ let replay = function
   | Finished r -> r
   | Limit c -> raise (Machine.Cycle_limit_exceeded c)
 
+let hit k o ~waited =
+  Atomic.incr hit_count;
+  Obs.Metrics.incr m_hits;
+  Obs.Tracer.instant "cache.run.hit" ~attrs:(fun () -> [ ("key", k) ]);
+  if waited then Atomic.incr waited_count;
+  replay o
+
+(* The [`Reserved] path: consult the second tier, then simulate with
+   [sim] and settle the key with whatever happened. *)
+let miss k ~sim =
+  Atomic.incr miss_count;
+  Obs.Metrics.incr m_misses;
+  Obs.Tracer.instant "cache.run.miss" ~attrs:(fun () -> [ ("key", k) ]);
+  match store_load k with
+  | Some o ->
+    (* second-tier hit: install the persisted outcome without
+       simulating; still a miss of the memory tier *)
+    settle k (Some o);
+    replay o
+  | None ->
+    (match sim () with
+     | r ->
+       settle k (Some (Finished r));
+       store_save k (Finished r);
+       r
+     | exception Machine.Cycle_limit_exceeded c ->
+       (* deterministic for this key (max_cycles is part of it): cache
+          the outcome so hit/miss totals stay jobs-invariant *)
+       settle k (Some (Limit c));
+       store_save k (Limit c);
+       raise (Machine.Cycle_limit_exceeded c)
+     | exception e ->
+       settle k None;
+       raise e)
+
 let run ?(config = Machine.default_config)
     ?(max_cycles = Machine.default_max_cycles) ?(restart_contenders = true)
     ?priorities ?(trace = false) ?kernel ~analysis ?(contenders = []) () =
@@ -403,40 +438,62 @@ let run ?(config = Machine.default_config)
       ~kernel ~analysis ~contenders
   in
   match acquire k with
-  | `Hit (o, waited) ->
-    Atomic.incr hit_count;
-    Obs.Metrics.incr m_hits;
-    Obs.Tracer.instant "cache.run.hit" ~attrs:(fun () -> [ ("key", k) ]);
-    if waited then Atomic.incr waited_count;
-    replay o
+  | `Hit (o, waited) -> hit k o ~waited
   | `Reserved ->
-    Atomic.incr miss_count;
-    Obs.Metrics.incr m_misses;
-    Obs.Tracer.instant "cache.run.miss" ~attrs:(fun () -> [ ("key", k) ]);
-    (match store_load k with
-     | Some o ->
-       (* second-tier hit: install the persisted outcome without
-          simulating; still a miss of the memory tier *)
-       settle k (Some o);
-       replay o
-     | None ->
-       (match
-          Machine.run ~config ~max_cycles ~restart_contenders ?priorities
-            ~trace ~kernel ~analysis ~contenders ()
-        with
-        | r ->
-          settle k (Some (Finished r));
-          store_save k (Finished r);
-          r
-        | exception Machine.Cycle_limit_exceeded c ->
-          (* deterministic for this key (max_cycles is part of it): cache
-             the outcome so hit/miss totals stay jobs-invariant *)
-          settle k (Some (Limit c));
-          store_save k (Limit c);
-          raise (Machine.Cycle_limit_exceeded c)
-        | exception e ->
-          settle k None;
-          raise e))
+    miss k ~sim:(fun () ->
+        Machine.run ~config ~max_cycles ~restart_contenders ?priorities ~trace
+          ~kernel ~analysis ~contenders ())
+
+(* A cached run family: members are processed one at a time — acquire,
+   simulate-or-replay, settle, then move on — so each member is still
+   content-addressed and single-flighted individually (a family never
+   holds two reservations at once, which could deadlock against another
+   family reserving in the opposite order; and a duplicate spec later in
+   the same family simply hits the entry its twin just settled). The
+   members that do simulate share one script table, and members found in
+   the cache are replays the family did not have to simulate — both
+   kinds of saved work count into [sim.family_reuse]. *)
+let m_family_reuse = Obs.Metrics.counter ~timing:true "sim.family_reuse"
+
+let family_member ~config ~max_cycles ~kernel ~scripts (s : Machine.spec) =
+  let k =
+    fingerprint ~config ~max_cycles
+      ~restart_contenders:s.Machine.sp_restart_contenders
+      ~priorities:s.Machine.sp_priorities ~trace:s.Machine.sp_trace ~kernel
+      ~analysis:s.Machine.sp_analysis ~contenders:s.Machine.sp_contenders
+  in
+  match acquire k with
+  | `Hit (o, waited) ->
+    Obs.Metrics.incr m_family_reuse;
+    hit k o ~waited
+  | `Reserved ->
+    miss k ~sim:(fun () ->
+        Machine.run ~config ~max_cycles
+          ~restart_contenders:s.Machine.sp_restart_contenders
+          ?priorities:s.Machine.sp_priorities ~trace:s.Machine.sp_trace
+          ~kernel ~scripts ~analysis:s.Machine.sp_analysis
+          ~contenders:s.Machine.sp_contenders ())
+
+let family_args ~kernel =
+  let kernel =
+    match kernel with Some k -> k | None -> Machine.default_kernel ()
+  in
+  (kernel, Machine.script_table ())
+
+let run_family ?(config = Machine.default_config)
+    ?(max_cycles = Machine.default_max_cycles) ?kernel specs =
+  let kernel, scripts = family_args ~kernel in
+  List.map (family_member ~config ~max_cycles ~kernel ~scripts) specs
+
+let run_family_outcomes ?(config = Machine.default_config)
+    ?(max_cycles = Machine.default_max_cycles) ?kernel specs =
+  let kernel, scripts = family_args ~kernel in
+  List.map
+    (fun s ->
+       match family_member ~config ~max_cycles ~kernel ~scripts s with
+       | r -> Ok r
+       | exception e -> Error e)
+    specs
 
 let run_isolation ?config ?max_cycles ?kernel ?(core = 0) program =
   run ?config ?max_cycles ?kernel ~analysis:{ Machine.program; core } ()

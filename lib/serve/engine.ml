@@ -274,42 +274,85 @@ let compute t (q : P.analyze) : P.analyze_result =
       guard_lint ~id ~pass:"serve.preflight"
         (Analysis.Preflight.check_run ~latency ~scenario
            ~tasks ()));
-  (* isolation measurements; each task alone on its own core, fanned out
-     over the pool (Run_cache makes repeats free) *)
-  let iso_app, iso_contenders =
+  (* All the request's simulations — every task alone on its core, plus
+     (when observed) the co-run — dispatch as one run family on a pool
+     worker: the app's decoded script is shared between its isolation
+     and the co-run, and each member stays individually content-
+     addressed in the run cache. Member failures are captured, not
+     raised, so reject precedence is unchanged: isolation cycle limits
+     first, then counter lint, then bounds; the co-run's outcome is
+     deferred to its own stage below. *)
+  let iso_outcomes, corun_outcome =
     stage "serve.stage.isolation" h_stage_isolation (fun () ->
-        let observations =
-          Runtime.Pool.map_in ~label:"serve.isolation" t.pool
+        let iso_specs =
+          List.map
             (fun { Analysis.Program_lint.core; program; _ } ->
-               match Mbta.Measurement.isolation ~core program with
-               | o -> Ok o
-               | exception Tcsim.Machine.Cycle_limit_exceeded c -> Error c)
+               Tcsim.Machine.spec
+                 ~analysis:{ Tcsim.Machine.program; core }
+                 ())
             tasks
         in
-        let observations =
-          List.map2
-            (fun { Analysis.Program_lint.label; _ } -> function
-               | Ok o -> o
-               | Error c ->
-                 rejectf ~id P.Cycle_limit
-                   "task %S exceeded the cycle limit in isolation (at cycle %d)"
-                   label c)
-            tasks observations
+        let corun_specs =
+          if not q.observed then []
+          else
+            [
+              Tcsim.Machine.spec ~restart_contenders:false
+                ~analysis:{ Tcsim.Machine.program = app; core = 0 }
+                ~contenders:
+                  (List.map
+                     (fun (core, program) -> { Tcsim.Machine.program; core })
+                     contenders)
+                ();
+            ]
         in
-        let iso_app, iso_contenders =
-          match observations with
-          | a :: rest -> (a, List.combine (List.map fst contenders) rest)
+        let outcomes =
+          match
+            Runtime.Pool.run_all_in ~label:"serve.family" t.pool
+              [
+                (fun () ->
+                   Runtime.Run_cache.run_family_outcomes
+                     (iso_specs @ corun_specs));
+              ]
+          with
+          | [ outcomes ] -> outcomes
+          | _ -> assert false
+        in
+        let rec split_last acc = function
+          | [ last ] -> (List.rev acc, last)
+          | o :: rest -> split_last (o :: acc) rest
           | [] -> assert false
         in
-        guard_lint ~id ~pass:"serve.counters"
-          (List.concat
-             (List.map2
-                (fun { Analysis.Program_lint.label; _ }
-                  (o : Mbta.Measurement.observation) ->
-                  Analysis.Counter_lint.check ~latency ~scenario
-                    ~path:[ "isolation"; label ] o.counters)
-                tasks observations));
-        (iso_app, iso_contenders))
+        if q.observed then
+          let iso, corun = split_last [] outcomes in
+          (iso, Some corun)
+        else (outcomes, None))
+  in
+  let iso_app, iso_contenders =
+    let observations =
+      List.map2
+        (fun { Analysis.Program_lint.label; _ } -> function
+           | Ok r -> Mbta.Measurement.of_result r
+           | Error (Tcsim.Machine.Cycle_limit_exceeded c) ->
+             rejectf ~id P.Cycle_limit
+               "task %S exceeded the cycle limit in isolation (at cycle %d)"
+               label c
+           | Error e -> raise e)
+        tasks iso_outcomes
+    in
+    let iso_app, iso_contenders =
+      match observations with
+      | a :: rest -> (a, List.combine (List.map fst contenders) rest)
+      | [] -> assert false
+    in
+    guard_lint ~id ~pass:"serve.counters"
+      (List.concat
+         (List.map2
+            (fun { Analysis.Program_lint.label; _ }
+              (o : Mbta.Measurement.observation) ->
+              Analysis.Counter_lint.check ~latency ~scenario
+                ~path:[ "isolation"; label ] o.counters)
+            tasks observations));
+    (iso_app, iso_contenders)
   in
   let a = iso_app.Mbta.Measurement.counters in
   let contender_counters =
@@ -367,19 +410,20 @@ let compute t (q : P.analyze) : P.analyze_result =
             contender_counters;
         List.map (fun m -> (m, bound m)) q.models)
   in
+  (* the co-run already simulated with the family above; its deferred
+     outcome surfaces here, at the stage where it used to run, so reject
+     precedence and response shape are unchanged *)
   let observed_cycles =
-    if not q.observed then None
-    else
+    match corun_outcome with
+    | None -> None
+    | Some outcome ->
       stage "serve.stage.corun" h_stage_corun (fun () ->
-          match
-            Mbta.Measurement.corun ~analysis:(app, 0)
-              ~contenders:(List.map (fun (core, p) -> (p, core)) contenders)
-              ()
-          with
-          | o -> Some o.Mbta.Measurement.cycles
-          | exception Tcsim.Machine.Cycle_limit_exceeded c ->
+          match outcome with
+          | Ok r -> Some (Mbta.Measurement.of_result r).Mbta.Measurement.cycles
+          | Error (Tcsim.Machine.Cycle_limit_exceeded c) ->
             rejectf ~id P.Cycle_limit
-              "co-run exceeded the cycle limit (at cycle %d)" c)
+              "co-run exceeded the cycle limit (at cycle %d)" c
+          | Error e -> raise e)
   in
   {
     P.isolation_cycles = iso_app.Mbta.Measurement.cycles;

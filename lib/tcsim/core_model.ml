@@ -13,10 +13,299 @@ let p16_config =
 
 let e16_config = { kind = E16; icache = Some Cache.tc16e_icache; dcache = None }
 
+(* --- Decoded instruction scripts ---------------------------------------
+   Everything a core does besides waiting is timing-independent: which
+   instruction comes next, how its fetch and data access classify, and
+   whether each cache access hits — all of it is a function of the
+   (program, core config) pair alone, because the per-core caches see a
+   fixed access sequence whatever the SRI timing is. A [Script.entry]
+   records that classification per instruction; the timing-dependent
+   part (ticket issue cycles, stall accounting, phase waits) is applied
+   by the core when it consumes the entry. Scripts are the unit of reuse
+   for run families: one (program, config) stream, generated once,
+   replayed by every family member that runs that program. *)
+module Script = struct
+  type fetch =
+    | Fdirect  (* pc in scratchpad: no fetch transaction *)
+    | Fhit
+    | Fmiss of { target : Target.t; pc : int }  (* counts PCACHE_MISS *)
+    | Funcached of { target : Target.t; pc : int }
+
+  type exec =
+    | Ecompute of int
+    | Elocal  (* scratchpad data access *)
+    | Ehit
+    | Emiss_clean of { target : Target.t; addr : int }
+    | Emiss_folded of { addr : int }  (* dirty LMU victim folded into the fill *)
+    | Emiss_wb of { vtarget : Target.t; vaddr : int; target : Target.t; addr : int }
+    | Euncached of { target : Target.t; addr : int }
+
+  type entry = Instr of { fetch : fetch; exec : exec } | End_of_pass
+
+  (* The generator owns private caches and a walker; calling it advances
+     them by one instruction. [End_of_pass] rewinds the walker (caches
+     stay warm — restart semantics), so the stream is infinite for
+     looping co-runners and each pass reflects the cache state its
+     predecessors left behind. *)
+  let generator config program =
+    let dcache = match config.kind with P16 -> config.dcache | E16 -> None in
+    let icache = Option.map Cache.create config.icache in
+    let dcache = Option.map Cache.create dcache in
+    let walker = Program.Walker.create program in
+    let fetch_of (instr : Program.instr) =
+      match Memory_map.classify instr.Program.pc with
+      | Memory_map.Pspr | Memory_map.Dspr -> Fdirect
+      | Memory_map.Sri (target, cacheable) ->
+        (match (cacheable, icache) with
+         | true, Some ic ->
+           (match Cache.access ic ~addr:instr.Program.pc ~write:false with
+            | Cache.Hit -> Fhit
+            (* I-cache lines are never dirty: victims drop silently. *)
+            | Cache.Miss _ -> Fmiss { target; pc = instr.Program.pc })
+         | (false, _ | true, None) -> Funcached { target; pc = instr.Program.pc })
+    in
+    let exec_of (instr : Program.instr) =
+      match instr.Program.kind with
+      | Program.Compute n -> Ecompute n
+      | Program.Load addr | Program.Store addr ->
+        let write =
+          match instr.Program.kind with Program.Store _ -> true | _ -> false
+        in
+        (match Memory_map.classify addr with
+         | Memory_map.Dspr | Memory_map.Pspr -> Elocal
+         | Memory_map.Sri (target, cacheable) ->
+           if
+             write
+             && (Target.equal target Target.Pf0 || Target.equal target Target.Pf1)
+           then
+             invalid_arg
+               (Printf.sprintf "Core_model: store to program flash at 0x%x" addr);
+           (match (cacheable, dcache) with
+            | true, Some dc ->
+              (match Cache.access dc ~addr ~write with
+               | Cache.Hit -> Ehit
+               | Cache.Miss { victim = None } -> Emiss_clean { target; addr }
+               | Cache.Miss { victim = Some vaddr } ->
+                 let vtarget =
+                   match Memory_map.classify vaddr with
+                   | Memory_map.Sri (vt, _) -> vt
+                   | Memory_map.Dspr | Memory_map.Pspr ->
+                     (* dirty lines only ever hold SRI-cacheable data *)
+                     assert false
+                 in
+                 if
+                   Target.equal vtarget Target.Lmu && Target.equal target Target.Lmu
+                 then Emiss_folded { addr }
+                 else Emiss_wb { vtarget; vaddr; target; addr })
+            | (false, _ | true, None) -> Euncached { target; addr }))
+    in
+    fun () ->
+      match Program.Walker.next walker with
+      | None ->
+        Program.Walker.reset walker;
+        End_of_pass
+      | Some instr -> Instr { fetch = fetch_of instr; exec = exec_of instr }
+
+  (* A shared script memoises the generator's stream so several cores
+     (across family members, or the same program on two cores) replay it
+     from private cursors. Extension is demand-driven and single-
+     threaded: family members run one after another, and within a run
+     the event loop interleaves cores on one domain.
+
+     The memo stores entries as flat int words in fixed-size chunks
+     rather than as boxed [entry] values: long-lived scripts would
+     otherwise promote every entry to the major heap (and re-copy them
+     on growth), which in practice made a scripted replay slower than
+     regenerating from scratch.  Chunks hold only immediates, so the GC
+     never scans them, and appending a chunk never copies old data.
+     Readers decode on demand into fresh short-lived variants.
+
+     Entries are variable-length and tightly packed — one tag word, then
+     only the payload words the tag calls for, with the 2-bit target
+     code packed into the address word and small [Ecompute] cycle
+     counts inlined into the tag word — so the common shapes cost one
+     or two words each. Readers are sequential cursors, so nothing
+     needs random access into the word stream.
+
+     Word layouts:
+       w0: bits 0-2 etag, bits 3-4 ftag, bits 5.. inline Ecompute
+           cycles (etag 7 escapes the count to its own word when it is
+           too large to inline); negative w0 marks End_of_pass.
+       fetch word (ftag 2/3):  pc lsl 2  lor target
+       exec words: etag 3/6:   addr lsl 2 lor target
+                   etag 4:     addr
+                   etag 5:     vaddr lsl 2 lor vtarget,
+                               addr lsl 2 lor target
+     Addresses and pcs are region-validated non-negative ints, so the
+     2-bit target packing never clips them. *)
+  let chunk_words = 8192
+  let max_inline_compute = max_int lsr 5
+
+  let tcode = function
+    | Target.Dfl -> 0
+    | Target.Pf0 -> 1
+    | Target.Pf1 -> 2
+    | Target.Lmu -> 3
+
+  let tdecode = function
+    | 0 -> Target.Dfl
+    | 1 -> Target.Pf0
+    | 2 -> Target.Pf1
+    | _ -> Target.Lmu
+
+  type t = {
+    mutable chunks : int array array;
+    mutable len : int;  (* entries memoised *)
+    mutable wlen : int;  (* words used *)
+    gen : unit -> entry;
+    mutable failed : exn option;
+  }
+
+  let create config program =
+    {
+      chunks = [||];
+      len = 0;
+      wlen = 0;
+      gen = generator config program;
+      failed = None;
+    }
+
+  let push t v =
+    let ci = t.wlen / chunk_words in
+    if ci = Array.length t.chunks then
+      t.chunks <- Array.append t.chunks [| Array.make chunk_words 0 |];
+    t.chunks.(ci).(t.wlen mod chunk_words) <- v;
+    t.wlen <- t.wlen + 1
+
+  let word t i = t.chunks.(i / chunk_words).(i mod chunk_words)
+
+  let encode t e =
+    (match e with
+    | End_of_pass -> push t (-1)
+    | Instr { fetch; exec } ->
+        let ftag =
+          match fetch with
+          | Fdirect -> 0
+          | Fhit -> 1
+          | Fmiss _ -> 2
+          | Funcached _ -> 3
+        in
+        let etag, inline_n =
+          match exec with
+          | Ecompute n -> if n <= max_inline_compute then (0, n) else (7, 0)
+          | Elocal -> (1, 0)
+          | Ehit -> (2, 0)
+          | Emiss_clean _ -> (3, 0)
+          | Emiss_folded _ -> (4, 0)
+          | Emiss_wb _ -> (5, 0)
+          | Euncached _ -> (6, 0)
+        in
+        push t ((inline_n lsl 5) lor (ftag lsl 3) lor etag);
+        (match fetch with
+        | Fdirect | Fhit -> ()
+        | Fmiss { target; pc } | Funcached { target; pc } ->
+            push t ((pc lsl 2) lor tcode target));
+        (match exec with
+        | Ecompute n -> if n > max_inline_compute then push t n
+        | Elocal | Ehit -> ()
+        | Emiss_folded { addr } -> push t addr
+        | Emiss_clean { target; addr } | Euncached { target; addr } ->
+            push t ((addr lsl 2) lor tcode target)
+        | Emiss_wb { vtarget; vaddr; target; addr } ->
+            push t ((vaddr lsl 2) lor tcode vtarget);
+            push t ((addr lsl 2) lor tcode target)));
+    t.len <- t.len + 1
+
+  (* Single-word entries (payload-less fetch with local/hit exec or a
+     small inlined compute count) decode to shared constants, so
+     replaying them allocates nothing. Entries are immutable, making
+     the sharing unobservable. *)
+  let ecompute_consts = Array.init 256 (fun n -> Ecompute n)
+
+  let consts =
+    Array.init (256 lsl 5) (fun w0 ->
+        if (w0 lsr 3) land 3 >= 2 then None
+        else
+          let fetch = if (w0 lsr 3) land 3 = 0 then Fdirect else Fhit in
+          match w0 land 7 with
+          | 0 -> Some (Instr { fetch; exec = Ecompute (w0 lsr 5) })
+          | 1 when w0 lsr 5 = 0 -> Some (Instr { fetch; exec = Elocal })
+          | 2 when w0 lsr 5 = 0 -> Some (Instr { fetch; exec = Ehit })
+          | _ -> None)
+
+  (* Decodes the entry at word position [!pos], advancing [pos] past it. *)
+  let decode t pos =
+    let rd () =
+      let v = word t !pos in
+      incr pos;
+      v
+    in
+    let w0 = rd () in
+    if w0 < 0 then End_of_pass
+    else
+      match if w0 < Array.length consts then consts.(w0) else None with
+      | Some e -> e
+      | None ->
+          let fetch =
+            match (w0 lsr 3) land 3 with
+            | 0 -> Fdirect
+            | 1 -> Fhit
+            | ftag ->
+                let w = rd () in
+                let target = tdecode (w land 3) and pc = w lsr 2 in
+                if ftag = 2 then Fmiss { target; pc }
+                else Funcached { target; pc }
+          in
+          let exec =
+            match w0 land 7 with
+            | 0 ->
+                let n = w0 lsr 5 in
+                if n < 256 then ecompute_consts.(n) else Ecompute n
+            | 1 -> Elocal
+            | 2 -> Ehit
+            | 3 ->
+                let w = rd () in
+                Emiss_clean { target = tdecode (w land 3); addr = w lsr 2 }
+            | 4 -> Emiss_folded { addr = rd () }
+            | 5 ->
+                let w1 = rd () in
+                let w2 = rd () in
+                Emiss_wb
+                  {
+                    vtarget = tdecode (w1 land 3);
+                    vaddr = w1 lsr 2;
+                    target = tdecode (w2 land 3);
+                    addr = w2 lsr 2;
+                  }
+            | 6 ->
+                let w = rd () in
+                Euncached { target = tdecode (w land 3); addr = w lsr 2 }
+            | _ -> Ecompute (rd ())
+          in
+          Instr { fetch; exec }
+
+  let reader t =
+    let idx = ref 0 and wpos = ref 0 in
+    fun () ->
+      while t.len <= !idx do
+        (* A generator failure (e.g. an invalid program) must replay
+           identically for every cursor that reaches this index; the
+           generator's internal state is unusable after the raise. *)
+        (match t.failed with Some e -> raise e | None -> ());
+        match t.gen () with
+        | e -> encode t e
+        | exception exn ->
+            t.failed <- Some exn;
+            raise exn
+      done;
+      incr idx;
+      decode t wpos
+end
+
 type phase =
   | Start
   | Busy of int (* remaining cycles after the current one *)
-  | Wait_fetch of Sri.ticket * Program.instr
+  | Wait_fetch of Sri.ticket * Script.exec (* fetch resolved -> apply exec *)
   | Wait_writeback of Sri.ticket * (Target.t * int * bool) (* pending fill *)
   | Wait_data of Sri.ticket
   | Done
@@ -24,9 +313,7 @@ type phase =
 type t = {
   core_id : int;
   sri : Sri.t;
-  icache : Cache.t option;
-  dcache : Cache.t option;
-  walker : Program.Walker.t;
+  next : unit -> Script.entry; (* live generator or shared-script cursor *)
   mutable phase : phase;
   mutable ccnt : int;
   mutable pmem_stall : int;
@@ -39,14 +326,14 @@ type t = {
   mutable synced : int; (* last cycle this core was stepped at; -1 initially *)
 }
 
-let create config ~sri ~core_id program =
-  let dcache = match config.kind with P16 -> config.dcache | E16 -> None in
+let create ?script config ~sri ~core_id program =
   {
     core_id;
     sri;
-    icache = Option.map Cache.create config.icache;
-    dcache = Option.map Cache.create dcache;
-    walker = Program.Walker.create program;
+    next =
+      (match script with
+       | Some s -> Script.reader s
+       | None -> Script.generator config program);
     phase = Start;
     ccnt = 0;
     pmem_stall = 0;
@@ -73,84 +360,47 @@ let issue t ~target ~op ~addr ~folded ~cycle =
   Sri.request t.sri ~core:t.core_id ~target ~op ~addr
     ~folded_dirty_writeback:folded ~cycle
 
-(* Execute phase of an instruction whose fetch has resolved; consumes the
-   current cycle. *)
-let exec t instr ~cycle =
-  match instr.Program.kind with
-  | Program.Compute n -> t.phase <- (if n <= 1 then Start else Busy (n - 1))
-  | Program.Load addr | Program.Store addr ->
-    let write = match instr.Program.kind with Program.Store _ -> true | _ -> false in
-    (match Memory_map.classify addr with
-     | Memory_map.Dspr | Memory_map.Pspr -> t.phase <- Start
-     | Memory_map.Sri (target, cacheable) ->
-       if write && (Target.equal target Target.Pf0 || Target.equal target Target.Pf1)
-       then
-         invalid_arg
-           (Printf.sprintf "Core_model: store to program flash at 0x%x" addr);
-       (match (cacheable, t.dcache) with
-        | true, Some dc ->
-          (match Cache.access dc ~addr ~write with
-           | Cache.Hit -> t.phase <- Start
-           | Cache.Miss { victim = None } ->
-             t.dcache_miss_clean <- t.dcache_miss_clean + 1;
-             let tk = issue t ~target ~op:Op.Data ~addr ~folded:false ~cycle in
-             t.phase <- Wait_data tk
-           | Cache.Miss { victim = Some vaddr } ->
-             t.dcache_miss_dirty <- t.dcache_miss_dirty + 1;
-             let vtarget =
-               match Memory_map.classify vaddr with
-               | Memory_map.Sri (vt, _) -> vt
-               | Memory_map.Dspr | Memory_map.Pspr ->
-                 (* dirty lines only ever hold SRI-cacheable data *)
-                 assert false
-             in
-             if Target.equal vtarget Target.Lmu && Target.equal target Target.Lmu
-             then begin
-               (* folded write-back: single long LMU transaction *)
-               let tk = issue t ~target ~op:Op.Data ~addr ~folded:true ~cycle in
-               t.phase <- Wait_data tk
-             end
-             else begin
-               let wb =
-                 issue t ~target:vtarget ~op:Op.Data ~addr:vaddr ~folded:false
-                   ~cycle
-               in
-               t.phase <- Wait_writeback (wb, (target, addr, false))
-             end)
-        | (false, _ | true, None) ->
-          let tk = issue t ~target ~op:Op.Data ~addr ~folded:false ~cycle in
-          t.phase <- Wait_data tk))
+(* Execute phase of a scripted instruction whose fetch has resolved;
+   consumes the current cycle. *)
+let apply_exec t (e : Script.exec) ~cycle =
+  match e with
+  | Script.Ecompute n -> t.phase <- (if n <= 1 then Start else Busy (n - 1))
+  | Script.Elocal | Script.Ehit -> t.phase <- Start
+  | Script.Emiss_clean { target; addr } ->
+    t.dcache_miss_clean <- t.dcache_miss_clean + 1;
+    let tk = issue t ~target ~op:Op.Data ~addr ~folded:false ~cycle in
+    t.phase <- Wait_data tk
+  | Script.Euncached { target; addr } ->
+    let tk = issue t ~target ~op:Op.Data ~addr ~folded:false ~cycle in
+    t.phase <- Wait_data tk
+  | Script.Emiss_folded { addr } ->
+    (* folded write-back: single long LMU transaction *)
+    t.dcache_miss_dirty <- t.dcache_miss_dirty + 1;
+    let tk = issue t ~target:Target.Lmu ~op:Op.Data ~addr ~folded:true ~cycle in
+    t.phase <- Wait_data tk
+  | Script.Emiss_wb { vtarget; vaddr; target; addr } ->
+    t.dcache_miss_dirty <- t.dcache_miss_dirty + 1;
+    let wb = issue t ~target:vtarget ~op:Op.Data ~addr:vaddr ~folded:false ~cycle in
+    t.phase <- Wait_writeback (wb, (target, addr, false))
 
 (* Fetch + begin an instruction; consumes the current cycle on the fetch
    hit path (as the first execute cycle). *)
 let begin_instruction t ~cycle =
-  match Program.Walker.next t.walker with
-  | None ->
+  match t.next () with
+  | Script.End_of_pass ->
     t.phase <- Done;
     t.finish_at <- cycle;
     t.ccnt <- t.ccnt - 1 (* the cycle just counted was not used *)
-  | Some instr ->
-    (match Memory_map.classify instr.Program.pc with
-     | Memory_map.Pspr | Memory_map.Dspr -> exec t instr ~cycle
-     | Memory_map.Sri (target, cacheable) ->
-       (match (cacheable, t.icache) with
-        | true, Some ic ->
-          (match Cache.access ic ~addr:instr.Program.pc ~write:false with
-           | Cache.Hit -> exec t instr ~cycle
-           | Cache.Miss _ ->
-             (* I-cache lines are never dirty: victims drop silently. *)
-             t.pcache_miss <- t.pcache_miss + 1;
-             let tk =
-               issue t ~target ~op:Op.Code ~addr:instr.Program.pc ~folded:false
-                 ~cycle
-             in
-             t.phase <- Wait_fetch (tk, instr))
-        | (false, _ | true, None) ->
-          let tk =
-            issue t ~target ~op:Op.Code ~addr:instr.Program.pc ~folded:false
-              ~cycle
-          in
-          t.phase <- Wait_fetch (tk, instr)))
+  | Script.Instr { fetch; exec } ->
+    (match fetch with
+     | Script.Fdirect | Script.Fhit -> apply_exec t exec ~cycle
+     | Script.Fmiss { target; pc } ->
+       t.pcache_miss <- t.pcache_miss + 1;
+       let tk = issue t ~target ~op:Op.Code ~addr:pc ~folded:false ~cycle in
+       t.phase <- Wait_fetch (tk, exec)
+     | Script.Funcached { target; pc } ->
+       let tk = issue t ~target ~op:Op.Code ~addr:pc ~folded:false ~cycle in
+       t.phase <- Wait_fetch (tk, exec))
 
 let step t ~cycle =
   t.synced <- cycle;
@@ -162,10 +412,10 @@ let step t ~cycle =
      | Done -> ()
      | Start -> begin_instruction t ~cycle
      | Busy n -> t.phase <- (if n <= 1 then Start else Busy (n - 1))
-     | Wait_fetch (tk, instr) ->
+     | Wait_fetch (tk, exec) ->
        if tk.Sri.granted && tk.Sri.done_at <= cycle then begin
          t.pmem_stall <- t.pmem_stall + stall_of t tk;
-         exec t instr ~cycle
+         apply_exec t exec ~cycle
        end
      | Wait_writeback (tk, (target, addr, folded)) ->
        if tk.Sri.granted && tk.Sri.done_at <= cycle then begin
@@ -242,11 +492,14 @@ let counters t =
     dcache_miss_dirty = t.dcache_miss_dirty;
   }
 
+(* The program stream rewinds itself at every pass boundary (the
+   generator resets its walker when it emits [End_of_pass]; a shared
+   script's cursor simply reads on into the next pass), so restarting is
+   pure phase bookkeeping. *)
 let restart t =
   (match t.phase with
    | Done -> ()
    | _ -> invalid_arg "Core_model.restart: program still running");
-  Program.Walker.reset t.walker;
   t.phase <- Start;
   t.finish_at <- -1;
   t.restart_count <- t.restart_count + 1

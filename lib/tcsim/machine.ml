@@ -53,6 +53,37 @@ let m_cycles = Obs.Metrics.counter "tcsim.cycles"
 let m_events = Obs.Metrics.counter "tcsim.events"
 let m_skipped = Obs.Metrics.counter "tcsim.skipped_cycles"
 
+(* Timing-tier (the run cache's family path also counts its replays
+   here, and how often scripts get re-attached depends on what earlier
+   requests populated): kept out of the deterministic snapshot. *)
+let m_family_reuse = Obs.Metrics.counter ~timing:true "sim.family_reuse"
+
+(* --- run families -------------------------------------------------------
+   A family groups runs that share programs — the same task measured in
+   isolation and under several contender mixes. Members execute
+   sequentially on the caller, sharing one table of decoded
+   {!Core_model.Script}s keyed by (program content, core config): the
+   first member to run a program pays for its cache simulation and
+   decode, every later member replays the memoised stream. Results are
+   exactly what solo runs would produce (scripts are timing-independent
+   by construction; the differential suite pins it). *)
+
+type script_table =
+  (Program.item list * Core_model.config, Core_model.Script.t) Hashtbl.t
+
+let script_table () : script_table = Hashtbl.create 8
+
+let script_for (scripts : script_table) config program =
+  let key = (Program.items program, config) in
+  match Hashtbl.find_opt scripts key with
+  | Some s ->
+    Obs.Metrics.incr m_family_reuse;
+    s
+  | None ->
+    let s = Core_model.Script.create config program in
+    Hashtbl.add scripts key s;
+    s
+
 (* The seed implementation: every core and the crossbar stepped at every
    cycle. Kept as the differential-testing oracle for the event kernel. *)
 let run_stepped ~max_cycles ~restart_contenders ~sri ~analysis_core
@@ -119,8 +150,8 @@ let run_event ~max_cycles ~restart_contenders ~sri ~analysis_core
        done)
 
 let run ?(config = default_config) ?(max_cycles = default_max_cycles)
-    ?(restart_contenders = true) ?priorities ?(trace = false) ?kernel ~analysis
-    ?(contenders = []) () =
+    ?(restart_contenders = true) ?priorities ?(trace = false) ?kernel ?scripts
+    ~analysis ?(contenders = []) () =
   Obs.Metrics.incr m_runs;
   let finish_cycle = ref 0 in
   Obs.Tracer.with_span "tcsim.run"
@@ -142,7 +173,12 @@ let run ?(config = default_config) ?(max_cycles = default_max_cycles)
        Hashtbl.add seen t.core ())
     all_tasks;
   let sri = Sri.create ~latency:config.latency ?priorities ~trace ~ncores () in
-  let make_core t = Core_model.create config.cores.(t.core) ~sri ~core_id:t.core t.program in
+  let make_core t =
+    let script =
+      Option.map (fun tbl -> script_for tbl config.cores.(t.core) t.program) scripts
+    in
+    Core_model.create ?script config.cores.(t.core) ~sri ~core_id:t.core t.program
+  in
   let analysis_core = make_core analysis in
   let contender_cores = List.map (fun t -> (t.core, make_core t)) contenders in
   (match
@@ -175,3 +211,30 @@ let run ?(config = default_config) ?(max_cycles = default_max_cycles)
 
 let run_isolation ?config ?max_cycles ?kernel ?(core = 0) program =
   run ?config ?max_cycles ?kernel ~analysis:{ program; core } ()
+
+type spec = {
+  sp_restart_contenders : bool;
+  sp_priorities : int array option;
+  sp_trace : bool;
+  sp_analysis : task;
+  sp_contenders : task list;
+}
+
+let spec ?(restart_contenders = true) ?priorities ?(trace = false) ~analysis
+    ?(contenders = []) () =
+  {
+    sp_restart_contenders = restart_contenders;
+    sp_priorities = priorities;
+    sp_trace = trace;
+    sp_analysis = analysis;
+    sp_contenders = contenders;
+  }
+
+let run_family ?config ?max_cycles ?kernel specs =
+  let scripts = script_table () in
+  List.map
+    (fun s ->
+       run ?config ?max_cycles ~restart_contenders:s.sp_restart_contenders
+         ?priorities:s.sp_priorities ~trace:s.sp_trace ?kernel ~scripts
+         ~analysis:s.sp_analysis ~contenders:s.sp_contenders ())
+    specs

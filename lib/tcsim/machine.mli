@@ -56,6 +56,14 @@ val set_default_kernel : kernel -> unit
 val default_max_cycles : int
 (** The default runaway guard, [200_000_000]. *)
 
+type script_table
+(** A memo of decoded {!Core_model.Script}s keyed by (program content,
+    core config), shared by the members of a run family. Stateful and
+    single-threaded: use one table only for runs executed sequentially
+    on one domain. *)
+
+val script_table : unit -> script_table
+
 val run :
   ?config:config ->
   ?max_cycles:int ->
@@ -63,6 +71,7 @@ val run :
   ?priorities:int array ->
   ?trace:bool ->
   ?kernel:kernel ->
+  ?scripts:script_table ->
   analysis:task ->
   ?contenders:task list ->
   unit ->
@@ -74,7 +83,11 @@ val run :
     records every SRI transaction. [max_cycles] (default
     {!default_max_cycles}) guards against runaway programs. [kernel]
     selects the simulation loop (default {!default_kernel}); results do
-    not depend on the choice.
+    not depend on the choice. [scripts] attaches the run to a family:
+    per-core instruction decode and private-cache simulation are
+    memoised in the table and replayed by later runs that share it —
+    results are identical with or without (the [sim.family_reuse]
+    counter records how many attachments were reuses).
     @raise Cycle_limit_exceeded when the budget is exhausted.
     @raise Invalid_argument on core-index clashes or out-of-range cores. *)
 
@@ -86,3 +99,47 @@ val run_isolation :
   Program.t ->
   run_result
 (** The task alone on the platform ([core] defaults to 0). *)
+
+(** {1 Run families}
+
+    A family groups runs that share programs — typically one task
+    measured in isolation and under several contender mixes. Members
+    execute sequentially in list order, sharing one {!script_table}:
+    the first member to run a (program, core config) pair pays for its
+    decode and cache simulation, every later member replays the memoised
+    stream. Each member's {!run_result} is exactly what a solo {!run}
+    with the same arguments would produce (pinned by a differential
+    qcheck property). *)
+
+type spec = {
+  sp_restart_contenders : bool;
+  sp_priorities : int array option;
+  sp_trace : bool;
+  sp_analysis : task;
+  sp_contenders : task list;
+}
+(** One family member: the per-run arguments of {!run} that may vary
+    within a family. [config], [max_cycles] and [kernel] are
+    family-wide. *)
+
+val spec :
+  ?restart_contenders:bool ->
+  ?priorities:int array ->
+  ?trace:bool ->
+  analysis:task ->
+  ?contenders:task list ->
+  unit ->
+  spec
+(** Builds a {!spec}; defaults match {!run}
+    ([restart_contenders = true], no priorities, [trace = false]). *)
+
+val run_family :
+  ?config:config ->
+  ?max_cycles:int ->
+  ?kernel:kernel ->
+  spec list ->
+  run_result list
+(** Runs every member in order, sharing scripts; results in member
+    order. An exception from a member ({!Cycle_limit_exceeded},
+    validation errors) propagates immediately — as with sequential solo
+    runs, later members do not execute. *)

@@ -113,7 +113,14 @@ let test_table6_signatures () =
     (s1b.Counters.pcache_miss > s1a.Counters.pcache_miss)
 
 let test_ablation_contender_info () =
+  (* A1 repeats the application program across load levels: its isolation
+     measurements dispatch as run families, so the batching must actually
+     engage (script attach or cached-member replay) during the sweep *)
+  let family_reuse = Obs.Metrics.counter ~timing:true "sim.family_reuse" in
+  let reuse0 = Obs.Metrics.value family_reuse in
   let rows = Experiments.Ablations.a1_contender_info () in
+  Alcotest.(check bool) "sim.family_reuse > 0 on A1" true
+    (Obs.Metrics.value family_reuse - reuse0 > 0);
   List.iter
     (fun r ->
        Alcotest.(check bool) "info never hurts" true

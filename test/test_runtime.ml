@@ -222,6 +222,44 @@ let test_steal_hammer () =
   Alcotest.(check (list int)) "parallel = sequential" r1 r4;
   Alcotest.(check (list int)) "parallel repeatable" r4 r4'
 
+let test_await_never_steals () =
+  (* a promise awaiter helps from its own deque and the injector only —
+     never from another worker's private deque (the old help-loop's
+     steal churn). The hammer tasks below exist only in a worker's own
+     deque: a batch submitted from a worker is pushed there, not to the
+     injector. The main domain awaits a promise the whole time the
+     hammers are runnable, so under no-steal await it is deterministically
+     impossible for any hammer to execute on the main domain. *)
+  Runtime.Pool.with_pool ~jobs:3 (fun pool ->
+      let main = (Domain.self () :> int) in
+      let started = Atomic.make false in
+      let on_main = Atomic.make 0 in
+      let p = Runtime.Pool.Task.create () in
+      ignore
+        (Runtime.Pool.spawn pool (fun () ->
+             Atomic.set started true;
+             let sum =
+               List.fold_left ( + ) 0
+                 (Runtime.Pool.run_all_in pool
+                    (List.init 100 (fun i () ->
+                         if (Domain.self () :> int) = main then
+                           Atomic.incr on_main;
+                         spin 2_000 lxor i)))
+             in
+             Runtime.Pool.Task.fulfill p sum));
+      (* busy-wait (not await) until a worker owns the batch submitter,
+         so the submitter itself cannot land on the main domain via the
+         awaiter's injector help *)
+      while not (Atomic.get started) do
+        Domain.cpu_relax ()
+      done;
+      let expected =
+        List.fold_left ( + ) 0 (List.init 100 (fun i -> spin 2_000 lxor i))
+      in
+      Alcotest.(check int) "awaited sum" expected (Runtime.Pool.await pool p);
+      Alcotest.(check int) "no hammer ran on the awaiting main domain" 0
+        (Atomic.get on_main))
+
 let test_shared_pool () =
   let p = Runtime.Pool.shared () in
   Alcotest.(check bool) "same instance" true (p == Runtime.Pool.shared ());
@@ -700,6 +738,73 @@ let test_run_cache_jobs_invariant () =
   Alcotest.(check int) "two distinct co-runs in the batch" 2 m1;
   Alcotest.(check int) "the other ten hit" 10 h1
 
+(* --- run families through the cache ------------------------------------------- *)
+
+let family_specs () =
+  let analysis = { Tcsim.Machine.program = mk_prog (); core = 0 } in
+  [
+    Tcsim.Machine.spec ~analysis ();
+    Tcsim.Machine.spec ~restart_contenders:false ~trace:true ~analysis
+      ~contenders:[ mk_contender "c" ] ();
+    Tcsim.Machine.spec ~restart_contenders:false ~priorities:[| 0; 1; 1 |]
+      ~analysis ~contenders:[ mk_contender "c" ] ();
+  ]
+
+let solo_of_specs specs =
+  List.map
+    (fun s ->
+       Runtime.Run_cache.run
+         ~restart_contenders:s.Tcsim.Machine.sp_restart_contenders
+         ?priorities:s.Tcsim.Machine.sp_priorities
+         ~trace:s.Tcsim.Machine.sp_trace ~analysis:s.Tcsim.Machine.sp_analysis
+         ~contenders:s.Tcsim.Machine.sp_contenders ())
+    specs
+
+let test_run_family_matches_solo_and_shares_entries () =
+  (* family members land under exactly the key a solo run would use: a
+     fresh family populates the cache (all misses), solo re-requests of
+     every member then hit, and the results are bit-identical *)
+  Runtime.Run_cache.clear ();
+  let fam = Runtime.Run_cache.run_family (family_specs ()) in
+  let { Runtime.Run_cache.hits; misses; _ } = Runtime.Run_cache.stats () in
+  Alcotest.(check int) "three members simulated" 3 misses;
+  Alcotest.(check int) "no hits yet" 0 hits;
+  let solo = solo_of_specs (family_specs ()) in
+  Alcotest.(check bool) "family results equal solo results" true (fam = solo);
+  let { Runtime.Run_cache.hits; misses; _ } = Runtime.Run_cache.stats () in
+  Alcotest.(check int) "solo runs replay family entries" 3 hits;
+  Alcotest.(check int) "nothing re-simulated" 3 misses;
+  (* and the converse: a warm cache makes a family all-hits *)
+  let fam' = Runtime.Run_cache.run_family (family_specs ()) in
+  Alcotest.(check bool) "warm family replays" true (fam' = fam);
+  let { Runtime.Run_cache.hits; misses; _ } = Runtime.Run_cache.stats () in
+  Alcotest.(check int) "family replays all members" 6 hits;
+  Alcotest.(check int) "still three simulations" 3 misses
+
+let test_run_family_outcomes_captures_cycle_limit () =
+  (* [run_family] aborts at the raising member like Machine.run_family;
+     [run_family_outcomes] captures it as that member's [Error] and
+     still runs the rest *)
+  Runtime.Run_cache.clear ();
+  let heavy = { Tcsim.Machine.program = mk_prog ~loads:500 (); core = 0 } in
+  let light = { Tcsim.Machine.program = mk_prog ~loads:2 (); core = 0 } in
+  let specs =
+    [
+      Tcsim.Machine.spec ~analysis:light ();
+      Tcsim.Machine.spec ~restart_contenders:true ~analysis:heavy ();
+      Tcsim.Machine.spec ~analysis:{ light with Tcsim.Machine.core = 1 } ();
+    ]
+  in
+  (match Runtime.Run_cache.run_family ~max_cycles:50 specs with
+   | _ -> Alcotest.fail "expected Cycle_limit_exceeded"
+   | exception Tcsim.Machine.Cycle_limit_exceeded _ -> ());
+  match Runtime.Run_cache.run_family_outcomes ~max_cycles:50 specs with
+  | [ Ok a; Error (Tcsim.Machine.Cycle_limit_exceeded c); Ok b ] ->
+    Alcotest.(check bool) "limit payload past the budget" true (c > 50);
+    Alcotest.(check bool) "members around the failure still run" true
+      (a.Tcsim.Machine.cycles > 0 && b.Tcsim.Machine.cycles > 0)
+  | _ -> Alcotest.fail "expected [Ok; Error Cycle_limit; Ok]"
+
 (* --- telemetry ---------------------------------------------------------------- *)
 
 let test_telemetry_measure () =
@@ -802,6 +907,8 @@ let () =
             test_both_nested_on_workers;
           Alcotest.test_case "steal hammer (skewed costs, 4 domains)" `Quick
             test_steal_hammer;
+          Alcotest.test_case "awaiters never steal foreign deques" `Quick
+            test_await_never_steals;
           Alcotest.test_case "shared pool" `Quick test_shared_pool;
         ] );
       ( "dag",
@@ -841,6 +948,10 @@ let () =
             test_run_cache_single_flight;
           Alcotest.test_case "hit/miss totals jobs-invariant" `Quick
             test_run_cache_jobs_invariant;
+          Alcotest.test_case "family shares entries with solo runs" `Quick
+            test_run_family_matches_solo_and_shares_entries;
+          Alcotest.test_case "family outcomes capture cycle limit" `Quick
+            test_run_family_outcomes_captures_cycle_limit;
         ] );
       ( "telemetry",
         [

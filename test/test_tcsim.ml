@@ -758,6 +758,68 @@ let prop_kernels_agree_on_cycle_limit =
        in
        go `Stepped = go `Event)
 
+(* --- run families ------------------------------------------------------------- *)
+
+(* A family groups runs that share programs; members must nevertheless
+   reproduce the solo [run_result] bit for bit — cycles, counters,
+   ground-truth profiles, restart counts and traces — even though they
+   read decoded per-core scripts from a shared memo instead of running
+   the live cache/walker frontend. *)
+let prop_family_matches_solo =
+  QCheck.Test.make ~name:"family members reproduce solo runs bit for bit"
+    ~count:60 (QCheck.make gen_kernel_diff)
+    (fun (analysis, contenders, priorities, restart) ->
+       let member ~trace contenders =
+         ( (trace, contenders),
+           Machine.spec ~restart_contenders:restart ?priorities ~trace
+             ~analysis ~contenders () )
+       in
+       (* the full mix (traced), the analysis alone, and — when there are
+          contenders — the analysis against the first one: the analysis
+          program's script is read by every member, contender scripts by
+          some, and one member exercises the traced path *)
+       let members =
+         member ~trace:true contenders
+         :: member ~trace:false []
+         :: (match contenders with
+             | [] -> []
+             | c :: _ -> [ member ~trace:false [ c ] ])
+       in
+       let solos =
+         List.map
+           (fun ((trace, contenders), _) ->
+              Machine.run ~restart_contenders:restart ?priorities ~trace
+                ~analysis ~contenders ())
+           members
+       in
+       Machine.run_family (List.map snd members) = solos)
+
+let prop_family_cycle_limit_matches_solo =
+  QCheck.Test.make ~name:"family agrees with solo on the cycle-limit boundary"
+    ~count:40
+    (QCheck.pair (QCheck.make gen_kernel_diff) (QCheck.int_range 0 400))
+    (fun ((analysis, contenders, priorities, restart), max_cycles) ->
+       (* duplicate members: the second simulates entirely from the memo
+          the first filled in, including on the raising path *)
+       let spec =
+         Machine.spec ~restart_contenders:restart ?priorities ~analysis
+           ~contenders ()
+       in
+       let fam =
+         match Machine.run_family ~max_cycles [ spec; spec ] with
+         | rs -> Ok rs
+         | exception Machine.Cycle_limit_exceeded c -> Error c
+       in
+       let solo =
+         match
+           Machine.run ~max_cycles ~restart_contenders:restart ?priorities
+             ~analysis ~contenders ()
+         with
+         | r -> Ok [ r; r ]
+         | exception Machine.Cycle_limit_exceeded c -> Error c
+       in
+       fam = solo)
+
 let test_kernels_agree_on_workloads () =
   (* the paper's real workload shapes: warm caches, folded write-backs,
      streaming fetches and restarting contenders *)
@@ -877,5 +939,7 @@ let () =
             prop_simulation_deterministic;
             prop_kernels_agree;
             prop_kernels_agree_on_cycle_limit;
+            prop_family_matches_solo;
+            prop_family_cycle_limit_matches_solo;
           ] );
     ]
